@@ -1,0 +1,349 @@
+(* Command-line driver: one subcommand per experiment of the paper
+   (see DESIGN.md for the experiment index). *)
+
+open Cmdliner
+open Pan_topology
+open Pan_experiments
+
+let fmt = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+
+let seed_arg =
+  let doc = "Random seed (all experiments are deterministic given it)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let sample_arg =
+  let doc = "Number of sampled source ASes (the paper uses 500)." in
+  Arg.(value & opt int 500 & info [ "sample-size" ] ~doc)
+
+let caida_arg =
+  let doc =
+    "Load a real CAIDA as-rel2 file instead of generating a synthetic \
+     topology."
+  in
+  Arg.(value & opt (some file) None & info [ "caida" ] ~doc)
+
+let transit_arg =
+  let doc = "Number of transit ASes in the synthetic topology." in
+  Arg.(value & opt int Gen.default_params.Gen.n_transit
+       & info [ "transit" ] ~doc)
+
+let stub_arg =
+  let doc = "Number of stub ASes in the synthetic topology." in
+  Arg.(value & opt int Gen.default_params.Gen.n_stub & info [ "stubs" ] ~doc)
+
+let topology ~caida ~transit ~stubs ~seed =
+  match caida with
+  | Some path ->
+      let g = Caida.load path in
+      Format.fprintf fmt "# loaded %s: %a@." path Graph.pp_stats g;
+      g
+  | None ->
+      let params =
+        { Gen.default_params with Gen.n_transit = transit; n_stub = stubs }
+      in
+      let g = Gen.graph (Gen.generate ~params ~seed ()) in
+      Format.fprintf fmt "# synthetic topology (seed %d): %a@." seed
+        Graph.pp_stats g;
+      g
+
+(* ------------------------------------------------------------------ *)
+(* fig2                                                                *)
+
+let fig2_cmd =
+  let trials =
+    Arg.(value & opt int 200
+         & info [ "trials" ] ~doc:"Choice-set combinations per cardinality.")
+  in
+  let ws =
+    Arg.(value & opt (list int) [ 2; 5; 10; 20; 35; 50; 75; 100 ]
+         & info [ "ws" ] ~doc:"Choice-set cardinalities to sweep.")
+  in
+  let run seed trials ws =
+    List.iter
+      (fun s -> Fig2_pod.pp_series fmt s)
+      (Fig2_pod.run_both ~ws ~trials ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Fig. 2: Price of Dishonesty vs. choice-set size.")
+    Term.(const run $ seed_arg $ trials $ ws)
+
+(* ------------------------------------------------------------------ *)
+(* fig3 / fig4 / summary (one diversity run feeds all three)           *)
+
+let diversity_run caida transit stubs seed sample =
+  let g = topology ~caida ~transit ~stubs ~seed in
+  Diversity.analyze ~sample_size:sample ~seed:(seed + 1) g
+
+let fig34_cmd =
+  let run caida transit stubs seed sample =
+    Diversity.pp_result fmt (diversity_run caida transit stubs seed sample)
+  in
+  Cmd.v
+    (Cmd.info "fig3"
+       ~doc:
+         "Figs. 3 & 4 and the §VI-A aggregates: length-3 paths and nearby \
+          destinations per MA-conclusion scenario.")
+    Term.(
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ sample_arg)
+
+let summary_cmd =
+  let run caida transit stubs seed sample =
+    let result = diversity_run caida transit stubs seed sample in
+    let agg = Diversity.aggregate_stats result in
+    Format.fprintf fmt
+      "additional length-3 paths per AS:      avg %.0f  max %d@.\
+       additional nearby destinations per AS: avg %.0f  max %d@."
+      agg.Diversity.avg_additional_paths agg.Diversity.max_additional_paths
+      agg.Diversity.avg_additional_destinations
+      agg.Diversity.max_additional_destinations
+  in
+  Cmd.v
+    (Cmd.info "summary" ~doc:"§VI-A aggregate path-diversity statistics.")
+    Term.(
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ sample_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fig5 / fig6                                                         *)
+
+let fig5_cmd =
+  let run caida transit stubs seed sample =
+    let g = topology ~caida ~transit ~stubs ~seed in
+    Geodistance.pp fmt
+      (Geodistance.run ~sample_size:sample ~seed:(seed + 1) g)
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Fig. 5: geodistance of MA-added paths.")
+    Term.(
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ sample_arg)
+
+let fig6_cmd =
+  let run caida transit stubs seed sample =
+    let g = topology ~caida ~transit ~stubs ~seed in
+    Bandwidth_exp.pp fmt
+      (Bandwidth_exp.run ~sample_size:sample ~seed:(seed + 1) g)
+  in
+  Cmd.v
+    (Cmd.info "fig6"
+       ~doc:"Fig. 6: bandwidth of MA-added paths (degree-gravity model).")
+    Term.(
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ sample_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gadgets / methods                                                   *)
+
+let gadgets_cmd =
+  let run seed = Gadget_exp.pp fmt (Gadget_exp.run ~seed ()) in
+  Cmd.v
+    (Cmd.info "gadgets"
+       ~doc:"§II: BGP gadget dynamics vs. PAN forwarding stability.")
+    Term.(const run $ seed_arg)
+
+let methods_cmd =
+  let n =
+    Arg.(value & opt int 100
+         & info [ "scenarios" ] ~doc:"Number of random scenarios.")
+  in
+  let run seed n = Methods_exp.pp fmt (Methods_exp.run ~scenarios:n ~seed ()) in
+  Cmd.v
+    (Cmd.info "methods"
+       ~doc:"§IV-C: cash compensation vs. flow-volume targets.")
+    Term.(const run $ seed_arg $ n)
+
+(* ------------------------------------------------------------------ *)
+(* extensions: resilience / chained / export                           *)
+
+let resilience_cmd =
+  let pairs =
+    Arg.(value & opt int 100
+         & info [ "pairs" ] ~doc:"Random source-destination pairs to probe.")
+  in
+  let run caida transit stubs seed pairs =
+    let g = topology ~caida ~transit ~stubs ~seed in
+    Resilience.pp fmt (Resilience.run ~pairs ~seed:(seed + 1) g)
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Extension E9: failover connectivity under link failures, with \
+          and without MAs.")
+    Term.(const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ pairs)
+
+let chained_cmd =
+  let run caida transit stubs seed sample =
+    let g = topology ~caida ~transit ~stubs ~seed in
+    Chained_exp.pp fmt (Chained_exp.run ~sample_size:sample ~seed:(seed + 1) g)
+  in
+  Cmd.v
+    (Cmd.info "chained"
+       ~doc:
+         "Extension E10: diversity gains from agreement-path extension \
+          (§III-B3).")
+    Term.(
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ sample_arg)
+
+let adoption_cmd =
+  let run caida transit stubs seed sample =
+    let g = topology ~caida ~transit ~stubs ~seed in
+    Adoption.pp fmt (Adoption.run ~sample_size:sample ~seed:(seed + 1) g)
+  in
+  Cmd.v
+    (Cmd.info "adoption"
+       ~doc:
+         "Extension E11: negotiate every MA economically (Eq. 10/11) and \
+          measure diversity from the concluded agreements only.")
+    Term.(
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ sample_arg)
+
+let fragility_cmd =
+  let topologies =
+    Arg.(value & opt int 8
+         & info [ "topologies" ] ~doc:"Random topologies per density.")
+  in
+  let run seed topologies =
+    Fragility_exp.pp fmt (Fragility_exp.run ~topologies ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "fragility"
+       ~doc:
+         "Extension E13: BGP convergence trouble vs. density of \
+          GRC-violating agreements.")
+    Term.(const run $ seed_arg $ topologies)
+
+let topology_cmd =
+  let run caida transit stubs seed =
+    let g = topology ~caida ~transit ~stubs ~seed in
+    Format.fprintf fmt "%a@." Metrics.pp_summary (Metrics.summary g);
+    let sizes = Metrics.cone_sizes g in
+    let top =
+      Asn.Map.bindings sizes
+      |> List.sort (fun (_, s1) (_, s2) -> compare s2 s1)
+      |> List.filteri (fun i _ -> i < 10)
+    in
+    Format.fprintf fmt "largest customer cones:@.";
+    List.iter
+      (fun (x, size) -> Format.fprintf fmt "  %a: %d ASes@." Asn.pp x size)
+      top
+  in
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:"Structural metrics of the (synthetic or loaded) topology.")
+    Term.(const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg)
+
+let te_cmd =
+  let n =
+    Arg.(value & opt int 300
+         & info [ "demands" ] ~doc:"Number of gravity-model demands.")
+  in
+  let k =
+    Arg.(value & opt int 3 & info [ "k" ] ~doc:"Paths used by multipath.")
+  in
+  let run caida transit stubs seed n k =
+    let g = topology ~caida ~transit ~stubs ~seed in
+    Te_exp.pp fmt (Te_exp.run ~demands:n ~k ~seed:(seed + 1) g)
+  in
+  Cmd.v
+    (Cmd.info "te"
+       ~doc:
+         "Extension E12: link utilization under GRC vs. MA multipath \
+          traffic engineering.")
+    Term.(
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ n $ k)
+
+let export_cmd =
+  let out =
+    Arg.(value & opt string "export"
+         & info [ "out" ] ~doc:"Output directory for CSV files.")
+  in
+  let run caida transit stubs seed sample out =
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let file name = Filename.concat out name in
+    let g = topology ~caida ~transit ~stubs ~seed in
+    Export.topology ~path:(file "topology.as-rel2") g;
+    Export.fig2 ~path:(file "fig2.csv")
+      (Fig2_pod.run_both ~trials:100 ~seed ());
+    Export.diversity ~paths_csv:(file "fig3_paths.csv")
+      ~dests_csv:(file "fig4_destinations.csv")
+      (Diversity.analyze ~sample_size:sample ~seed:(seed + 1) g);
+    Export.pair_metric ~counts_csv:(file "fig5a_counts.csv")
+      ~improvements_csv:(file "fig5b_reductions.csv")
+      (Geodistance.run ~sample_size:sample ~seed:(seed + 1) g);
+    Export.pair_metric ~counts_csv:(file "fig6a_counts.csv")
+      ~improvements_csv:(file "fig6b_increases.csv")
+      (Bandwidth_exp.run ~sample_size:sample ~seed:(seed + 1) g);
+    Export.resilience ~path:(file "resilience.csv")
+      (Resilience.run ~seed:(seed + 1) g);
+    Export.chained ~path:(file "chained.csv")
+      (Chained_exp.run ~sample_size:sample ~seed:(seed + 1) g);
+    Export.adoption ~path:(file "adoption.csv")
+      (Adoption.run ~sample_size:sample ~seed:(seed + 1) g);
+    Export.te ~path:(file "te.csv") (Te_exp.run ~seed:(seed + 1) g);
+    Export.fragility ~path:(file "fragility.csv")
+      (Fragility_exp.run ~seed:(seed + 1) ());
+    Format.fprintf fmt "wrote CSV series to %s/@." out
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Run every experiment and write the raw series as CSV files.")
+    Term.(
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ sample_arg
+      $ out)
+
+(* ------------------------------------------------------------------ *)
+(* all                                                                 *)
+
+let all_cmd =
+  let run seed =
+    Format.fprintf fmt "=== E7 gadgets ===@.";
+    Gadget_exp.pp fmt (Gadget_exp.run ~seed ());
+    Format.fprintf fmt "@.=== E8 methods ===@.";
+    Methods_exp.pp fmt (Methods_exp.run ~scenarios:50 ~seed ());
+    Format.fprintf fmt "@.=== E1 fig2 (reduced) ===@.";
+    List.iter
+      (fun s -> Fig2_pod.pp_series fmt s)
+      (Fig2_pod.run_both ~ws:[ 2; 10; 50 ] ~trials:50 ~seed ());
+    Format.fprintf fmt "@.=== E2/E3/E6 diversity ===@.";
+    let g = topology ~caida:None ~transit:200 ~stubs:1000 ~seed in
+    Diversity.pp_result fmt (Diversity.analyze ~sample_size:300 ~seed g);
+    Format.fprintf fmt "@.=== E4 fig5 ===@.";
+    Geodistance.pp fmt (Geodistance.run ~sample_size:300 ~seed g);
+    Format.fprintf fmt "@.=== E5 fig6 ===@.";
+    Bandwidth_exp.pp fmt (Bandwidth_exp.run ~sample_size:300 ~seed g);
+    Format.fprintf fmt "@.=== E9 resilience (extension) ===@.";
+    Resilience.pp fmt (Resilience.run ~pairs:60 ~seed g);
+    Format.fprintf fmt "@.=== E10 chained agreements (extension) ===@.";
+    Chained_exp.pp fmt (Chained_exp.run ~sample_size:150 ~seed g)
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment at reduced scale.")
+    Term.(const run $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "panagree" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Enabling Novel Interconnection Agreements with \
+         Path-Aware Networking Architectures' (DSN 2021)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig2_cmd;
+            fig34_cmd;
+            summary_cmd;
+            fig5_cmd;
+            fig6_cmd;
+            gadgets_cmd;
+            methods_cmd;
+            resilience_cmd;
+            chained_cmd;
+            adoption_cmd;
+            te_cmd;
+            fragility_cmd;
+            topology_cmd;
+            export_cmd;
+            all_cmd;
+          ]))

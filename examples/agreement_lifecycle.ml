@@ -1,0 +1,112 @@
+(* The full lifecycle of a mutuality-based agreement.
+
+   1. D and E conclude the Eq. 6 agreement with flow-volume targets.
+   2. The targets become segment grants with volume budgets (§III-B3).
+   3. E re-offers part of its E-D-A segment to its peer F (agreement a').
+   4. A BOSCO-negotiated side deal is settled in volume units instead of
+      cash.
+   5. Operation: traffic is metered per 95th-percentile billing, targets
+      are enforced per epoch, and an overage is priced.
+
+   Run with:  dune exec examples/agreement_lifecycle.exe
+*)
+
+open Pan_topology
+open Pan_econ
+open Pan_numerics
+
+let printf = Format.printf
+
+let () =
+  (* 1. Conclude the agreement with flow-volume targets (Eq. 9). *)
+  let graph, scenario = Scenario_gen.fig1_scenario () in
+  let result = Flow_volume_opt.optimize scenario in
+  printf "1. flow-volume optimization: %a@.@." Flow_volume_opt.pp result;
+  let dx, dy = Decomposition.of_full scenario in
+  printf "   decomposition at full volumes (Eq. 4/5):@.";
+  printf "   %a@.   %a@.@." Decomposition.pp dx Decomposition.pp dy;
+
+  (* 2. The targets become grants. *)
+  let grants = Extension.of_flow_volume_result scenario result in
+  printf "2. segment grants with budgets:@.";
+  List.iter
+    (fun (g : Extension.grant) ->
+      printf "   %a holds %a-%a-%a with allowance %.2f@." Asn.pp
+        g.Extension.holder Asn.pp g.Extension.holder Asn.pp
+        g.Extension.segment.Extension.via Asn.pp
+        g.Extension.segment.Extension.dest g.Extension.allowance)
+    grants;
+  printf "@.";
+
+  (* 3. Secondary agreement: E re-offers E-D-A to its peer F. *)
+  let e = Gen.fig1_asn 'E' and f = Gen.fig1_asn 'F' and a = Gen.fig1_asn 'A'
+  and d = Gen.fig1_asn 'D' in
+  let secondary =
+    {
+      Extension.grantor = e;
+      beneficiary = f;
+      through = { Extension.via = d; dest = a };
+      volume = 1.0;
+    }
+  in
+  (match Extension.validate_secondary graph grants secondary with
+  | Ok _updated ->
+      printf "3. secondary agreement a' accepted: F gains path %a@.@."
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "-")
+           Asn.pp)
+        (Extension.extended_path secondary)
+  | Error msg -> printf "3. secondary agreement rejected: %s@.@." msg);
+
+  (* 4. A BOSCO side deal settled in volume units. *)
+  let rng = Rng.create 7 in
+  let dist = Distribution.uniform (-1.0) 1.0 in
+  let report =
+    Pan_bosco.Service.negotiate ~rng ~dist_x:dist ~dist_y:dist ~w:30 ()
+  in
+  let outcome =
+    Pan_bosco.Game.play report.Pan_bosco.Service.game
+      ~strategy_x:report.Pan_bosco.Service.strategy_x
+      ~strategy_y:report.Pan_bosco.Service.strategy_y ~u_x:0.4 ~u_y:0.1
+  in
+  printf "4. BOSCO side negotiation: %a@." Pan_bosco.Game.pp_outcome outcome;
+  (match Pan_bosco.Volume_terms.of_outcome ~rate:1.0 outcome with
+  | Some terms -> printf "   settled in volume: %a@.@."
+                    Pan_bosco.Volume_terms.pp terms
+  | None -> printf "   side negotiation cancelled@.@.");
+
+  (* 5. Operation: metering, billing, enforcement. *)
+  let enforcement = Enforcement.of_flow_volume scenario result in
+  let meter = Billing.create_meter () in
+  let key =
+    match Traffic_model.demands scenario with
+    | demand :: _ ->
+        {
+          Enforcement.beneficiary = demand.Traffic_model.beneficiary;
+          via = demand.Traffic_model.transit;
+          dest = demand.Traffic_model.dest;
+        }
+    | [] -> assert false
+  in
+  (* a month of five-minute-style samples with an aggressive burst *)
+  let rng = Rng.create 99 in
+  for _ = 1 to 100 do
+    let v = Rng.uniform rng 4.0 12.0 in
+    Billing.sample meter v
+  done;
+  let billed = Billing.billed_volume Billing.P95 meter in
+  printf "5. metered %d samples; 95th-percentile billed volume: %.2f@."
+    (Billing.sample_count meter) billed;
+  Enforcement.record enforcement key billed;
+  (match Enforcement.close_epoch enforcement with
+  | [] -> printf "   epoch closed: within targets@."
+  | violations ->
+      List.iter
+        (fun v ->
+          printf "   violation: %a -> overage charge %.2f@."
+            Enforcement.pp_violation v
+            (Enforcement.overage_charge
+               (Pricing.per_usage ~unit_price:1.0)
+               v))
+        violations);
+  printf "   epochs closed so far: %d@." (Enforcement.epochs_closed enforcement)

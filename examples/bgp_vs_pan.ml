@@ -1,0 +1,118 @@
+(* Why PANs do not need the Gao-Rexford conditions (§II).
+
+   Runs BGP (SPVP) dynamics on GRC-violating policy configurations over
+   the Fig. 1 topology — showing non-determinism and persistent
+   oscillation — and then forwards packets over the very same
+   GRC-violating paths in a PAN, where the embedded path makes the
+   question of convergence moot.  Run with:
+
+     dune exec examples/bgp_vs_pan.exe
+*)
+
+open Pan_topology
+open Pan_routing
+open Pan_scion
+open Pan_numerics
+
+let printf = Format.printf
+
+let show_bgp name instance =
+  printf "@.%s:@." name;
+  printf "  round-robin: %a@." Bgp.pp_outcome
+    (Bgp.run ~schedule:Bgp.Round_robin instance);
+  let stable = Spp.stable_solutions instance in
+  printf "  stable assignments: %d@." (List.length stable);
+  printf "  deterministic under random schedules: %b@."
+    (Bgp.converges_deterministically ~seed:1 instance)
+
+let () =
+  printf "=== BGP with GRC-violating policies (Fig. 1, destination A) ===@.";
+
+  (* D and E exchange provider routes: the DISAGREE pattern. *)
+  show_bgp "D-E mutual provider access (DISAGREE)" (Gadgets.fig1_disagree ());
+
+  (* C concludes similar agreements with both D and E: BAD GADGET. *)
+  show_bgp "C joins with both D and E (BAD GADGET)" (Gadgets.fig1_bad_gadget ());
+
+  (* The RFC 4264 wedgie: recovery does not restore the intended state. *)
+  let wedgie = Gadgets.wedgie () in
+  printf "@.RFC 4264 wedgie:@.";
+  let intended = Gadgets.wedgie_intended () in
+  let stuck = Gadgets.wedgie_stuck () in
+  printf "  intended state stable: %b@." (Spp.is_stable wedgie intended);
+  printf "  stuck state stable:    %b@." (Spp.is_stable wedgie stuck);
+  (match Bgp.run_from ~schedule:Bgp.Round_robin wedgie stuck with
+  | Bgp.Converged { assignment; _ } ->
+      printf "  restarting BGP from the stuck state stays stuck: %b@."
+        (Spp.equal_assignment assignment stuck)
+  | _ -> printf "  unexpected non-convergence@.");
+
+  printf "@.=== The same paths in a PAN ===@.";
+  let g = Gen.fig1 () in
+  let a c = Gen.fig1_asn c in
+  let authz =
+    Authz.create ~mas:[ (a 'D', a 'E'); (a 'C', a 'D'); (a 'C', a 'E') ] g
+  in
+
+  (* Control plane: beacon, register, look up, combine. *)
+  let beacons = Beacon.run authz in
+  printf "beaconing registered %d segments from %d core ASes@."
+    (Beacon.segment_count beacons)
+    (List.length (Beacon.core_ases beacons));
+  let ps = Path_server.build authz beacons in
+  let paths = Combinator.end_to_end ps ~src:(a 'H') ~dst:(a 'I') in
+  printf "end-to-end paths H -> I: %d@." (List.length paths);
+  List.iter (fun seg -> printf "  %a@." Segment.pp seg) paths;
+
+  (* Data plane: all those paths forward loop-free, GRC or not. *)
+  let all_ok =
+    List.for_all
+      (fun seg ->
+        match Forwarding.send authz { Forwarding.segment = seg; payload = "x" }
+        with
+        | Ok d -> d.Forwarding.trace = Segment.ases seg
+        | Error _ -> false)
+      paths
+  in
+  printf "all paths forward exactly as embedded: %b@." all_ok;
+
+  (* Tampering with a hop field is detected. *)
+  (match paths with
+  | seg :: _ ->
+      let hops = Segment.hops seg in
+      let forged =
+        Segment.unsafe_of_hops
+          (List.mapi
+             (fun i (h : Segment.hop) ->
+               if i = 1 then { h with Segment.mac = h.Segment.mac + 1 } else h)
+             hops)
+      in
+      printf "forged segment passes verification: %b@." (Segment.verify forged);
+      (match Forwarding.send authz { Forwarding.segment = forged; payload = "x" }
+       with
+      | Error reason ->
+          printf "forged packet dropped: %a@." Forwarding.pp_drop_reason reason
+      | Ok _ -> printf "unexpected: forged packet delivered@.")
+  | [] -> ());
+
+  (* And the PAN keeps working under any "activation order" because there
+     is nothing to converge: 100 random packets, all delivered. *)
+  let rng = Rng.create 5 in
+  let ases = Array.of_list (Graph.ases g) in
+  let delivered = ref 0 and attempts = ref 0 in
+  for _ = 1 to 100 do
+    let src = Rng.choose rng ases and dst = Rng.choose rng ases in
+    if not (Asn.equal src dst) then begin
+      incr attempts;
+      match Combinator.best_path ps ~src ~dst with
+      | Some seg -> (
+          match
+            Forwarding.send authz { Forwarding.segment = seg; payload = "p" }
+          with
+          | Ok _ -> incr delivered
+          | Error _ -> ())
+      | None -> ()
+    end
+  done;
+  printf "random traffic: %d/%d source-destination pairs delivered@."
+    !delivered !attempts

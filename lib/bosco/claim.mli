@@ -1,0 +1,35 @@
+(** Choice sets of the BOSCO bargaining game (§V-C2).
+
+    A choice set is a finite ascending set of utility claims that always
+    contains [−∞], the cancel option guaranteeing strong individual
+    rationality (any party can walk away). *)
+
+type t
+(** An ascending, duplicate-free array of claims with [t.(0) = −∞]. *)
+
+val of_list : float list -> t
+(** Sort, deduplicate, and ensure the cancel option is present.
+    @raise Invalid_argument if any claim is NaN or [+∞]. *)
+
+val values : t -> float array
+(** The claims, ascending; index 0 is [−∞]. *)
+
+val cardinality : t -> int
+(** [W_Z = |V_Z|], counting the cancel option. *)
+
+val cancel : float
+(** The cancel claim, [−∞]. *)
+
+val sample :
+  Pan_numerics.Rng.t -> Pan_numerics.Distribution.t -> int -> t
+(** [sample rng dist w] draws [w] claims from the utility distribution (the
+    paper's random choice-set construction, §V-E) and adds the cancel
+    option. Duplicates are merged, so the result may be smaller than
+    [w + 1]. @raise Invalid_argument if [w < 1]. *)
+
+val grid : Pan_numerics.Distribution.t -> int -> t
+(** [grid dist w] places [w] equally spaced claims across the central 98%
+    of the distribution's support — the deterministic alternative used by
+    the choice-set-construction ablation. *)
+
+val pp : Format.formatter -> t -> unit

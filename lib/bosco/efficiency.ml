@@ -1,0 +1,67 @@
+open Pan_numerics
+
+(* E[N | σ] = Σ_{i,j : v_i + v_j ≥ 0} ∫_{I_i} (u_x − Π_ij) dU_X ·
+   ∫_{J_j} (u_y + Π_ij) dU_Y, because N factorizes once the claims (and
+   hence the transfer) are fixed by the interval pair. *)
+let expected_nash (game : Game.t) sx sy =
+  let open Game in
+  let vx = Claim.values (Strategy.claims sx) in
+  let vy = Claim.values (Strategy.claims sy) in
+  let thx = Strategy.thresholds sx and thy = Strategy.thresholds sy in
+  let px = Strategy.choice_probabilities game.dist_x sx in
+  let py = Strategy.choice_probabilities game.dist_y sy in
+  let pex =
+    Array.init (Array.length vx) (fun i ->
+        if px.(i) = 0.0 then 0.0
+        else Distribution.partial_expectation game.dist_x thx.(i) thx.(i + 1))
+  in
+  let pey =
+    Array.init (Array.length vy) (fun j ->
+        if py.(j) = 0.0 then 0.0
+        else Distribution.partial_expectation game.dist_y thy.(j) thy.(j + 1))
+  in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i vi ->
+      if vi > neg_infinity && px.(i) > 0.0 then
+        Array.iteri
+          (fun j vj ->
+            if vj > neg_infinity && py.(j) > 0.0 && vi +. vj >= 0.0 then begin
+              let pi = (vi -. vj) /. 2.0 in
+              let x_factor = pex.(i) -. (pi *. px.(i)) in
+              let y_factor = pey.(j) +. (pi *. py.(j)) in
+              total := !total +. (x_factor *. y_factor)
+            end)
+          vy)
+    vx;
+  !total
+
+let expected_nash_truthful ?(grid = 400) (game : Game.t) =
+  let open Game in
+  let lo_x, hi_x = Distribution.support game.dist_x in
+  let lo_y, hi_y = Distribution.support game.dist_y in
+  let clamp lo hi d =
+    let flo = if Float.is_finite lo then lo else Distribution.quantile d 0.001 in
+    let fhi = if Float.is_finite hi then hi else Distribution.quantile d 0.999 in
+    (flo, fhi)
+  in
+  let bx = clamp lo_x hi_x game.dist_x and by = clamp lo_y hi_y game.dist_y in
+  Integrate.grid_2d ~nx:grid ~ny:grid
+    (fun ux uy ->
+      if ux +. uy >= 0.0 then
+        let half = (ux +. uy) /. 2.0 in
+        half *. half
+        *. Distribution.pdf game.dist_x ux
+        *. Distribution.pdf game.dist_y uy
+      else 0.0)
+    bx by
+
+let price_of_dishonesty ?truthful ?grid game sx sy =
+  let benchmark =
+    match truthful with
+    | Some v -> v
+    | None -> expected_nash_truthful ?grid game
+  in
+  if benchmark <= 0.0 then
+    invalid_arg "Efficiency.price_of_dishonesty: unviable agreement";
+  1.0 -. (expected_nash game sx sy /. benchmark)

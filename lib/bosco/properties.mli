@@ -1,0 +1,40 @@
+(** Executable checks of the BOSCO theorems (§V-D).
+
+    Theorems 1–4 are proved in the paper; these functions check them on
+    concrete equilibria — exhaustively where the claim structure allows it
+    (privacy, budget balance) and by deterministic Monte-Carlo sampling of
+    true utilities otherwise.  They back the property-based test suite and
+    let users validate equilibria produced by a (possibly untrusted) BOSCO
+    service. *)
+
+open Pan_numerics
+
+val individual_rationality :
+  ?samples:int -> Rng.t -> Game.t -> Strategy.t -> Strategy.t -> bool
+(** Theorem 1 (strong individual rationality): sampled plays never leave a
+    party with negative after-negotiation utility (tolerance 1e-9).
+    [samples] defaults to 1000. *)
+
+val soundness :
+  ?samples:int -> Rng.t -> Game.t -> Strategy.t -> Strategy.t -> bool
+(** Theorem 2: sampled plays never conclude an agreement whose true
+    surplus [u_X + u_Y] is negative. *)
+
+val pod_in_unit_interval :
+  ?grid:int -> Game.t -> Strategy.t -> Strategy.t -> bool
+(** Theorem 3: the Price of Dishonesty lies in [\[0, 1\]] (up to
+    quadrature tolerance 1e-6). *)
+
+val privacy : Strategy.t -> bool
+(** Theorem 4: no claim's preimage is a single utility value — trivially
+    true for half-open real intervals; checks that every non-empty
+    interval has positive length. *)
+
+val budget_balance : Game.outcome -> bool
+(** The transfer paid by one party equals the transfer received by the
+    other (structurally true; checks the arithmetic of an outcome). *)
+
+val shortest_interval : Strategy.t -> float
+(** The length of the shortest non-empty, finite strategy interval — the
+    quantitative privacy measure the paper suggests (∞ if there is no
+    finite interval). *)

@@ -1,0 +1,134 @@
+type role = Party_x | Party_y
+
+type settlement = { concluded : bool; transfer : float }
+
+type state = Proposed | Published | Committing | Settled of settlement | Aborted of string
+
+(* The session keeps the published mechanism data alongside the visible
+   protocol state. *)
+type session = {
+  state : state;
+  game : Game.t option;
+  strategy_x : Strategy.t option;
+  strategy_y : Strategy.t option;
+  x_verified : bool;
+  y_verified : bool;
+  claim_x : float option;
+  claim_y : float option;
+}
+
+let propose () =
+  {
+    state = Proposed;
+    game = None;
+    strategy_x = None;
+    strategy_y = None;
+    x_verified = false;
+    y_verified = false;
+    claim_x = None;
+    claim_y = None;
+  }
+
+let state s = s.state
+
+let publish s ~game ~strategy_x ~strategy_y =
+  match s.state with
+  | Proposed ->
+      if not (Equilibrium.is_equilibrium game strategy_x strategy_y) then
+        Error "published strategy pair is not a Nash equilibrium"
+      else
+        Ok
+          {
+            s with
+            state = Published;
+            game = Some game;
+            strategy_x = Some strategy_x;
+            strategy_y = Some strategy_y;
+          }
+  | _ -> Error "publish: session is not in Proposed"
+
+let verify s role =
+  match s.state with
+  | Published ->
+      let game = Option.get s.game in
+      let sx = Option.get s.strategy_x and sy = Option.get s.strategy_y in
+      if not (Equilibrium.is_equilibrium game sx sy) then
+        Error "verification failed: not an equilibrium"
+      else
+        let s =
+          match role with
+          | Party_x -> { s with x_verified = true }
+          | Party_y -> { s with y_verified = true }
+        in
+        Ok
+          (if s.x_verified && s.y_verified then { s with state = Committing }
+           else s)
+  | _ -> Error "verify: session is not in Published"
+
+let claims_of s role =
+  let strategy =
+    match role with Party_x -> s.strategy_x | Party_y -> s.strategy_y
+  in
+  Strategy.claims (Option.get strategy)
+
+let commit s role ~claim =
+  match s.state with
+  | Committing ->
+      let in_set =
+        Array.exists (fun v -> v = claim) (Claim.values (claims_of s role))
+      in
+      if not in_set then Error "claim is not in the published choice set"
+      else (
+        match role with
+        | Party_x ->
+            if s.claim_x <> None then Error "party X already committed"
+            else Ok { s with claim_x = Some claim }
+        | Party_y ->
+            if s.claim_y <> None then Error "party Y already committed"
+            else Ok { s with claim_y = Some claim })
+  | _ -> Error "commit: session is not in Committing"
+
+let settle s =
+  match s.state with
+  | Committing -> (
+      match (s.claim_x, s.claim_y) with
+      | Some v_x, Some v_y ->
+          let settlement =
+            if v_x +. v_y >= 0.0 then
+              { concluded = true; transfer = (v_x -. v_y) /. 2.0 }
+            else { concluded = false; transfer = 0.0 }
+          in
+          Ok { s with state = Settled settlement }
+      | _ -> Error "settle: both commitments are required")
+  | _ -> Error "settle: session is not in Committing"
+
+let abort s ~reason =
+  match s.state with Settled _ -> s | _ -> { s with state = Aborted reason }
+
+let settlement s =
+  match s.state with Settled r -> Some r | _ -> None
+
+let ( let* ) = Result.bind
+
+let run_honest ~rng ~dist_x ~dist_y ~w ~u_x ~u_y =
+  let report = Service.negotiate ~rng ~dist_x ~dist_y ~w () in
+  let session = propose () in
+  let* session =
+    publish session ~game:report.Service.game
+      ~strategy_x:report.Service.strategy_x
+      ~strategy_y:report.Service.strategy_y
+  in
+  let* session = verify session Party_x in
+  let* session = verify session Party_y in
+  let v_x = Strategy.apply report.Service.strategy_x u_x in
+  let v_y = Strategy.apply report.Service.strategy_y u_y in
+  let* session = commit session Party_x ~claim:v_x in
+  let* session = commit session Party_y ~claim:v_y in
+  let* session = settle session in
+  match settlement session with
+  | Some { concluded = true; transfer } ->
+      Ok
+        (Game.Concluded
+           { transfer; u_x_after = u_x -. transfer; u_y_after = u_y +. transfer })
+  | Some { concluded = false; _ } -> Ok Game.Cancelled
+  | None -> Error "internal: settled session without settlement"

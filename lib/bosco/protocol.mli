@@ -1,0 +1,84 @@
+(** The message-level negotiation protocol between two ASes and a BOSCO
+    service (§V-C).
+
+    The paper describes the interaction informally: the parties send the
+    agreement content to the service; the service estimates utility
+    distributions, constructs choice sets, finds an equilibrium, and
+    publishes the mechanism-information set [(U_X, U_Y, V_X, V_Y, σ★)];
+    each party verifies the equilibrium and commits a claim; the service
+    settles.  This module makes that a checked state machine, so an
+    implementation (or a test) cannot commit claims before verification,
+    settle twice, or settle with a claim outside the published choice
+    set.
+
+    Privacy note: the service never sees true utilities — it settles from
+    the committed claims alone ({!settlement}); after-negotiation
+    utilities are computed privately by each party. *)
+
+open Pan_numerics
+
+type role = Party_x | Party_y
+
+type settlement = {
+  concluded : bool;
+  transfer : float;  (** [Π_{X→Y}]; 0 when not concluded *)
+}
+
+type state =
+  | Proposed  (** agreement content submitted, awaiting the mechanism *)
+  | Published  (** mechanism-information set out; awaiting verifications *)
+  | Committing  (** both parties verified; claims arriving *)
+  | Settled of settlement
+  | Aborted of string
+
+type session
+
+val propose : unit -> session
+(** Start a session in [Proposed]. *)
+
+val state : session -> state
+
+val publish :
+  session ->
+  game:Game.t ->
+  strategy_x:Strategy.t ->
+  strategy_y:Strategy.t ->
+  (session, string) result
+(** The service publishes the mechanism-information set.  Fails outside
+    [Proposed], or if the strategy pair is not actually a Nash
+    equilibrium of the game (a dishonest service is rejected up front). *)
+
+val verify : session -> role -> (session, string) result
+(** A party re-checks the published equilibrium (the §V-C6 verification
+    step); once both parties have verified, the session moves to
+    [Committing].  Fails outside [Published]. *)
+
+val commit : session -> role -> claim:float -> (session, string) result
+(** Commit a claim.  Fails outside [Committing], if the claim is not in
+    the party's published choice set, or on a second commitment by the
+    same party. *)
+
+val settle : session -> (session, string) result
+(** The service settles once both claims are in: concluded iff the
+    apparent surplus is non-negative, with transfer [(v_X − v_Y)/2].
+    Fails unless both commitments are present. *)
+
+val abort : session -> reason:string -> session
+(** Any participant may abort a non-settled session (no-op when already
+    settled). *)
+
+val settlement : session -> settlement option
+(** The result of a settled session. *)
+
+val run_honest :
+  rng:Rng.t ->
+  dist_x:Distribution.t ->
+  dist_y:Distribution.t ->
+  w:int ->
+  u_x:float ->
+  u_y:float ->
+  (Game.outcome, string) result
+(** Drive a full session end to end: negotiate choice sets via
+    {!Service.negotiate}, publish, both parties verify, each applies its
+    equilibrium strategy to its private true utility, commit, settle —
+    and reconstruct the parties' after-negotiation outcome locally. *)

@@ -1,0 +1,177 @@
+open Pan_numerics
+
+type t = { claims : Claim.t; thresholds : float array }
+
+let claims t = t.claims
+let thresholds t = t.thresholds
+
+let of_thresholds claims thresholds =
+  let w = Claim.cardinality claims in
+  if Array.length thresholds <> w + 1 then
+    invalid_arg "Strategy.of_thresholds: need W + 1 boundaries";
+  if thresholds.(0) <> neg_infinity || thresholds.(w) <> infinity then
+    invalid_arg "Strategy.of_thresholds: ends must be -inf / +inf";
+  for i = 0 to w - 1 do
+    if not (thresholds.(i) <= thresholds.(i + 1)) then
+      invalid_arg "Strategy.of_thresholds: boundaries must be non-decreasing"
+  done;
+  { claims; thresholds = Array.copy thresholds }
+
+let truthful_rounding claims =
+  let values = Claim.values claims in
+  let w = Array.length values in
+  let thresholds =
+    Array.init (w + 1) (fun i ->
+        if i = 0 then neg_infinity else if i = w then infinity else values.(i))
+  in
+  { claims; thresholds }
+
+let apply t u =
+  let th = t.thresholds in
+  let w = Array.length th - 1 in
+  (* largest i with th.(i) <= u; th.(0) = -inf guarantees existence *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if th.(mid) <= u then go mid hi else go lo (mid - 1)
+  in
+  let i = Stdlib.min (go 0 (w - 1)) (w - 1) in
+  (Claim.values t.claims).(i)
+
+let choice_probabilities dist t =
+  let th = t.thresholds in
+  let w = Array.length th - 1 in
+  let cdf x =
+    if x = neg_infinity then 0.0
+    else if x = infinity then 1.0
+    else Distribution.cdf dist x
+  in
+  Array.init w (fun i -> Float.max 0.0 (cdf th.(i + 1) -. cdf th.(i)))
+
+let line_coefficients ~opponent_dist ~opponent own_claims =
+  let opp_values = Claim.values opponent.claims in
+  let opp_probs = choice_probabilities opponent_dist opponent in
+  Array.map
+    (fun v ->
+      if v = neg_infinity then (0.0, 0.0)
+      else begin
+        let m = ref 0.0 and q = ref 0.0 in
+        Array.iteri
+          (fun j vy ->
+            if vy >= -.v then begin
+              m := !m +. opp_probs.(j);
+              q := !q +. (opp_probs.(j) *. ((vy -. v) /. 2.0))
+            end)
+          opp_values;
+        (!m, !q)
+      end)
+    (Claim.values own_claims)
+
+(* Upper envelope of the lines (m_i, q_i): since m is non-decreasing in i,
+   the envelope assigns claims with larger index to larger utilities.  This
+   is Algorithm 1 with an explicit left-to-right walk. *)
+let best_response ~opponent_dist ~opponent own_claims =
+  let lines = line_coefficients ~opponent_dist ~opponent own_claims in
+  let w = Array.length lines in
+  (* A line is dominated if a parallel line lies strictly above it, or is a
+     duplicate with a smaller index. *)
+  let dominated i =
+    let mi, qi = lines.(i) in
+    let result = ref false in
+    Array.iteri
+      (fun j (mj, qj) ->
+        if j <> i && mj = mi then
+          if qj > qi || (qj = qi && j < i) then result := true)
+      lines;
+    !result
+  in
+  let candidates =
+    List.filter (fun i -> not (dominated i)) (List.init w Fun.id)
+  in
+  (* Start: best line as u -> -inf (minimal slope, then maximal
+     intercept). *)
+  let start =
+    List.fold_left
+      (fun best i ->
+        match best with
+        | None -> Some i
+        | Some b ->
+            let mb, qb = lines.(b) and mi, qi = lines.(i) in
+            if mi < mb || (mi = mb && qi > qb) then Some i else Some b)
+      None candidates
+  in
+  let start = Option.get start in
+  (* Walk the envelope: from the current line, the next is the candidate
+     with steeper slope whose intersection comes first. *)
+  let intersection i j =
+    let mi, qi = lines.(i) and mj, qj = lines.(j) in
+    (qi -. qj) /. (mj -. mi)
+  in
+  let rec walk current from acc =
+    let mi, _ = lines.(current) in
+    let next =
+      List.fold_left
+        (fun best j ->
+          let mj, _ = lines.(j) in
+          if mj <= mi then best
+          else
+            let x = intersection current j in
+            match best with
+            | None -> Some (j, x)
+            | Some (jb, xb) ->
+                if
+                  x < xb
+                  || (x = xb && fst lines.(j) > fst lines.(jb))
+                then Some (j, x)
+                else best)
+        None candidates
+    in
+    match next with
+    | None -> List.rev ((current, from) :: acc)
+    | Some (j, x) ->
+        let x = Float.max x from in
+        walk j x ((current, from) :: acc)
+  in
+  let records = walk start neg_infinity [] in
+  (* Convert the visited (claim index, interval start) records into the
+     threshold series; unvisited claims get empty intervals (paper's final
+     fill loop). *)
+  let unset = Float.nan in
+  let th = Array.make (w + 1) unset in
+  th.(0) <- neg_infinity;
+  th.(w) <- infinity;
+  List.iter
+    (fun (idx, from) -> if idx > 0 then th.(idx) <- from)
+    records;
+  for i = w - 1 downto 1 do
+    if Float.is_nan th.(i) then th.(i) <- th.(i + 1)
+  done;
+  (* Monotonicity can be violated by floating-point ties; repair. *)
+  for i = 1 to w - 1 do
+    if th.(i) < th.(i - 1) then th.(i) <- th.(i - 1)
+  done;
+  { claims = own_claims; thresholds = th }
+
+let equal ?(tol = 1e-9) t1 t2 =
+  Claim.values t1.claims = Claim.values t2.claims
+  && Array.length t1.thresholds = Array.length t2.thresholds
+  && Array.for_all2
+       (fun a b ->
+         a = b || Float.abs (a -. b) <= tol)
+       t1.thresholds t2.thresholds
+
+let support_size dist t =
+  Array.fold_left
+    (fun acc p -> if p > 0.0 then acc + 1 else acc)
+    0
+    (choice_probabilities dist t)
+
+let pp fmt t =
+  let values = Claim.values t.claims in
+  let th = t.thresholds in
+  Array.iteri
+    (fun i v ->
+      if th.(i + 1) > th.(i) then
+        Format.fprintf fmt "[%g, %g) -> %g@ " th.(i) th.(i + 1) v)
+    values

@@ -1,0 +1,55 @@
+(** Threshold bargaining strategies and best responses (§V-C4, Alg. 1).
+
+    A strategy maps a party's true utility to a claim from its choice set.
+    Best-response strategies are always {e threshold strategies}: claim
+    [v_i] is played exactly when the true utility lies in
+    [\[t_i, t_{i+1})].  Because the expected after-negotiation utility of
+    playing claim [v] is a linear function [m(v)·u + q(v)] of the true
+    utility [u] (Eq. 16/17), the best response is the upper envelope of
+    [W] lines — computed exactly by {!best_response}. *)
+
+open Pan_numerics
+
+type t
+(** A threshold strategy over a fixed choice set. *)
+
+val claims : t -> Claim.t
+
+val thresholds : t -> float array
+(** Length [W + 1], non-decreasing, first [−∞] and last [+∞]; claim [i]
+    is played on [\[thresholds.(i), thresholds.(i+1))]. *)
+
+val of_thresholds : Claim.t -> float array -> t
+(** @raise Invalid_argument if the array length is not [W + 1], the
+    boundaries are not non-decreasing, or the ends are not [−∞]/[+∞]. *)
+
+val truthful_rounding : Claim.t -> t
+(** The "round down to the nearest claim" strategy — the natural starting
+    point of best-response dynamics: thresholds are the claims
+    themselves. *)
+
+val apply : t -> float -> float
+(** [apply s u = σ(u)]: the claim played at true utility [u]. *)
+
+val choice_probabilities : Distribution.t -> t -> float array
+(** [P(σ(u) = v_i)] under the given utility distribution (Eq. 15). *)
+
+val line_coefficients :
+  opponent_dist:Distribution.t -> opponent:t -> Claim.t -> (float * float) array
+(** For each own claim [v_i], the coefficients [(m_i, q_i)] of the expected
+    after-negotiation utility [m_i·u + q_i] (Eq. 16/17), given the
+    opponent's strategy. The cancel claim has coefficients [(0, 0)]. *)
+
+val best_response :
+  opponent_dist:Distribution.t -> opponent:t -> Claim.t -> t
+(** Algorithm 1: the exact upper-envelope best response. *)
+
+val equal : ?tol:float -> t -> t -> bool
+(** Same claim set and thresholds pointwise within [tol] (default
+    [1e-9]). *)
+
+val support_size : Distribution.t -> t -> int
+(** Number of claims played with positive probability — the paper's
+    "equilibrium choices" count (§V-E). *)
+
+val pp : Format.formatter -> t -> unit

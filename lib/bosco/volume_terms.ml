@@ -1,0 +1,18 @@
+type t = { transfer : float; rate : float; volume_shift : float }
+
+let of_outcome ~rate outcome =
+  if rate <= 0.0 then invalid_arg "Volume_terms.of_outcome: rate <= 0";
+  match outcome with
+  | Game.Cancelled -> None
+  | Game.Concluded { transfer; _ } ->
+      Some { transfer; rate; volume_shift = transfer /. rate }
+
+let pp fmt t =
+  if t.volume_shift >= 0.0 then
+    Format.fprintf fmt
+      "X cedes %g volume units to Y (= %g money at rate %g)" t.volume_shift
+      t.transfer t.rate
+  else
+    Format.fprintf fmt
+      "Y cedes %g volume units to X (= %g money at rate %g)"
+      (-.t.volume_shift) (-.t.transfer) t.rate

@@ -1,0 +1,29 @@
+(** Volume-denominated settlement of a BOSCO outcome.
+
+    The paper notes that adapting BOSCO to flow-volume agreements is open
+    (§V); this module implements the natural first step: instead of cash,
+    the concluded transfer [Π_{X→Y}] is converted into flow-allowance
+    units at a commonly known reference rate [ρ] (e.g. the market transit
+    price), and the paying party cedes [Π/ρ] units of its agreement
+    allowance to the other party.
+
+    Under the approximation that one unit of allowance is worth [ρ] to
+    its holder, the after-settlement utilities equal BOSCO's
+    [(u_X − Π, u_Y + Π)], so Theorems 1–3 carry over with respect to the
+    claimed utilities; the settlement is budget-balanced in volume units
+    by construction (what one party cedes, the other gains).  The
+    allowance bookkeeping itself lives in {!Pan_econ.Extension}
+    ([shift_allowance]). *)
+
+type t = {
+  transfer : float;  (** the underlying cash-equivalent [Π_{X→Y}] *)
+  rate : float;  (** reference money-per-volume rate [ρ] *)
+  volume_shift : float;
+      (** [Π/ρ]: allowance units X cedes to Y (negative: Y cedes to X) *)
+}
+
+val of_outcome : rate:float -> Game.outcome -> t option
+(** [None] when the negotiation was cancelled.
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val pp : Format.formatter -> t -> unit

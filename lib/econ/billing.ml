@@ -1,0 +1,38 @@
+open Pan_numerics
+
+type convention = Median | Mean | P95 | Max
+
+type meter = { mutable samples : float list; mutable count : int }
+
+let create_meter () = { samples = []; count = 0 }
+
+let sample meter volume =
+  if volume < 0.0 then invalid_arg "Billing.sample: negative volume";
+  meter.samples <- volume :: meter.samples;
+  meter.count <- meter.count + 1
+
+let sample_count meter = meter.count
+
+let billed_volume convention meter =
+  match meter.samples with
+  | [] -> 0.0
+  | samples -> (
+      let arr = Array.of_list samples in
+      match convention with
+      | Median -> Stats.median arr
+      | Mean -> Stats.mean arr
+      | P95 -> Stats.percentile arr 95.0
+      | Max -> snd (Stats.min_max arr))
+
+let charge convention meter pricing =
+  Pricing.charge pricing (billed_volume convention meter)
+
+let reset meter =
+  meter.samples <- [];
+  meter.count <- 0
+
+let pp_convention fmt = function
+  | Median -> Format.pp_print_string fmt "median"
+  | Mean -> Format.pp_print_string fmt "mean"
+  | P95 -> Format.pp_print_string fmt "95th-percentile"
+  | Max -> Format.pp_print_string fmt "max"

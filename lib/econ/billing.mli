@@ -1,0 +1,37 @@
+(** Billing conventions for flow volumes (§III-A).
+
+    The model's pricing functions apply to "the flow volume [f_ℓ] on link
+    [ℓ] … interpreted as is appropriate for the pricing function, e.g., as
+    the median, average, or 95th percentile of traffic volume over a given
+    time period".  This module implements that interpretation layer: a
+    meter accumulates per-interval volume samples within a billing period,
+    and a convention reduces them to the billed volume handed to
+    {!Pricing.charge}.  The industry-standard burstable-billing rule is
+    {!P95}. *)
+
+type convention =
+  | Median
+  | Mean
+  | P95  (** standard burstable ("95th percentile") billing *)
+  | Max
+
+type meter
+
+val create_meter : unit -> meter
+
+val sample : meter -> float -> unit
+(** Record one measurement interval's volume.
+    @raise Invalid_argument on a negative volume. *)
+
+val sample_count : meter -> int
+
+val billed_volume : convention -> meter -> float
+(** The billed volume for the period so far; 0 with no samples. *)
+
+val charge : convention -> meter -> Pricing.t -> float
+(** [Pricing.charge] applied to the billed volume. *)
+
+val reset : meter -> unit
+(** Start a new billing period. *)
+
+val pp_convention : Format.formatter -> convention -> unit

@@ -1,0 +1,61 @@
+type t =
+  | Zero
+  | Affine of { base : float; rate : float }
+  | Power of { alpha : float; beta : float }
+  | Piecewise of (float * float) list  (** (breakpoint, rate) pairs *)
+
+let zero = Zero
+
+let linear ~rate =
+  if rate < 0.0 then invalid_arg "Cost.linear: negative rate";
+  Affine { base = 0.0; rate }
+
+let affine ~base ~rate =
+  if base < 0.0 || rate < 0.0 then invalid_arg "Cost.affine: negative parameter";
+  Affine { base; rate }
+
+let power ~alpha ~beta =
+  if alpha < 0.0 || beta < 0.0 then invalid_arg "Cost.power: negative parameter";
+  Power { alpha; beta }
+
+let piecewise_linear segments =
+  if segments = [] then invalid_arg "Cost.piecewise_linear: empty";
+  let rec check prev = function
+    | [] -> ()
+    | (brk, rate) :: rest ->
+        if brk <= prev then
+          invalid_arg "Cost.piecewise_linear: breakpoints not increasing";
+        if rate < 0.0 then invalid_arg "Cost.piecewise_linear: negative rate";
+        check brk rest
+  in
+  check 0.0 segments;
+  Piecewise segments
+
+let eval t f =
+  if f < 0.0 then invalid_arg "Cost.eval: negative flow";
+  match t with
+  | Zero -> 0.0
+  | Affine { base; rate } -> base +. (rate *. f)
+  | Power { alpha; beta } ->
+      if alpha = 0.0 then 0.0
+      else if beta = 0.0 then alpha
+      else alpha *. (f ** beta)
+  | Piecewise segments ->
+      let rec go acc lower = function
+        | [] -> acc
+        | [ (_, rate) ] -> acc +. (rate *. Float.max 0.0 (f -. lower))
+        | (brk, rate) :: rest ->
+            if f <= brk then acc +. (rate *. (f -. lower))
+            else go (acc +. (rate *. (brk -. lower))) brk rest
+      in
+      go 0.0 0.0 segments
+
+let pp fmt = function
+  | Zero -> Format.pp_print_string fmt "0"
+  | Affine { base; rate } -> Format.fprintf fmt "%g + %g*f" base rate
+  | Power { alpha; beta } -> Format.fprintf fmt "%g*f^%g" alpha beta
+  | Piecewise segs ->
+      Format.fprintf fmt "piecewise%a"
+        (Format.pp_print_list (fun fmt (b, r) ->
+             Format.fprintf fmt " (%g:%g)" b r))
+        segs

@@ -1,0 +1,29 @@
+(** Internal-cost functions [i_X(f_X)] (§III-A): non-negative and
+    monotonically increasing in the total flow through the AS. *)
+
+type t
+
+val zero : t
+
+val linear : rate:float -> t
+(** [i(f) = rate · f]. @raise Invalid_argument if [rate < 0]. *)
+
+val affine : base:float -> rate:float -> t
+(** [i(f) = base + rate · f]: fixed operating cost plus marginal cost.
+    @raise Invalid_argument on negative parameters. *)
+
+val power : alpha:float -> beta:float -> t
+(** [i(f) = α · f^β] with [α ≥ 0], [β ≥ 0]; superlinear [β] models
+    congestion-driven operating cost. *)
+
+val piecewise_linear : (float * float) list -> t
+(** [piecewise_linear \[(c0, r0); (c1, r1); ...\]] is linear with rate [r0]
+    up to capacity [c0], then rate [r1] up to [c1], etc.; the last rate
+    extends to infinity.  Breakpoints must be positive and strictly
+    increasing, rates non-negative.  Models stepwise capacity upgrades.
+    @raise Invalid_argument on violated preconditions or an empty list. *)
+
+val eval : t -> float -> float
+(** @raise Invalid_argument on a negative flow. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+open Pan_topology
+
+type party_delta = {
+  party : Asn.t;
+  d_revenue : float;
+  d_internal : float;
+  d_provider : float;
+  d_cost : float;
+  utility : float;
+}
+
+let delta_for scenario party flows_after =
+  let business = Traffic_model.business scenario party in
+  let before = Traffic_model.baseline_flows scenario party in
+  let d_revenue =
+    Business.revenue business flows_after -. Business.revenue business before
+  in
+  let d_internal =
+    Business.internal_cost_at business flows_after
+    -. Business.internal_cost_at business before
+  in
+  let d_provider =
+    Business.provider_charges business flows_after
+    -. Business.provider_charges business before
+  in
+  let d_cost = d_internal +. d_provider in
+  { party; d_revenue; d_internal; d_provider; d_cost; utility = d_revenue -. d_cost }
+
+let of_choices scenario choices =
+  match Traffic_model.apply scenario choices with
+  | Error e -> Error e
+  | Ok (fx, fy) ->
+      let x, y = Agreement.parties (Traffic_model.agreement scenario) in
+      Ok (delta_for scenario x fx, delta_for scenario y fy)
+
+let of_full scenario =
+  match of_choices scenario (Traffic_model.full_choice scenario) with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Decomposition.of_full: " ^ e)
+
+let pp fmt d =
+  Format.fprintf fmt
+    "%a: Δr=%+.3f  Δi=%+.3f  Δprovider=%+.3f  Δc=%+.3f  u=%+.3f" Asn.pp
+    d.party d.d_revenue d.d_internal d.d_provider d.d_cost d.utility

@@ -1,0 +1,33 @@
+(** Revenue/cost decomposition of agreement utilities (Eq. 4, 5, 7a, 7b).
+
+    The paper derives agreement utility as [u = Δr − Δc] where the cost
+    change splits into an internal-cost change and a provider-charge
+    change.  This module computes that decomposition for any scenario and
+    choice, which is how the worked examples of §III-B1 (classic
+    peering) and §III-B2 (mutuality) are presented, and what an AS
+    operator would actually look at when judging an agreement. *)
+
+open Pan_topology
+
+type party_delta = {
+  party : Asn.t;
+  d_revenue : float;  (** [Δr] (Eq. 4 / 7a): customer-revenue change *)
+  d_internal : float;  (** [i(f⁽ᵃ⁾) − i(f)]: internal-cost change *)
+  d_provider : float;  (** provider-charge change (the [p_AD] terms) *)
+  d_cost : float;  (** [Δc = d_internal + d_provider] (Eq. 5 / 7b) *)
+  utility : float;  (** [u = Δr − Δc] (Eq. 3) *)
+}
+
+val of_choices :
+  Traffic_model.scenario ->
+  Traffic_model.choice list ->
+  (party_delta * party_delta, string) result
+(** Decompose both parties' agreement utilities at the given per-segment
+    volumes (in agreement order). *)
+
+val of_full : Traffic_model.scenario -> party_delta * party_delta
+(** Decomposition at the full forecast volumes.
+    @raise Invalid_argument if the scenario's own full choice is somehow
+    invalid (cannot happen for scenarios built by {!Traffic_model}). *)
+
+val pp : Format.formatter -> party_delta -> unit

@@ -1,0 +1,76 @@
+open Pan_topology
+
+type key = { beneficiary : Asn.t; via : Asn.t; dest : Asn.t }
+
+type t = {
+  targets : (key, float) Hashtbl.t;
+  meters : (key, float) Hashtbl.t;
+  mutable epochs : int;
+}
+
+let create ~targets =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (key, target) ->
+      if target < 0.0 then invalid_arg "Enforcement.create: negative target";
+      if Hashtbl.mem table key then
+        invalid_arg "Enforcement.create: duplicate segment";
+      Hashtbl.replace table key target)
+    targets;
+  { targets = table; meters = Hashtbl.create 16; epochs = 0 }
+
+let of_flow_volume scenario (result : Flow_volume_opt.result) =
+  if not result.Flow_volume_opt.concluded then
+    invalid_arg "Enforcement.of_flow_volume: agreement not concluded";
+  let targets =
+    List.map2
+      (fun (d : Traffic_model.segment_demand) choice ->
+        ( {
+            beneficiary = d.Traffic_model.beneficiary;
+            via = d.Traffic_model.transit;
+            dest = d.Traffic_model.dest;
+          },
+          Traffic_model.allowance choice ))
+      (Traffic_model.demands scenario)
+      result.Flow_volume_opt.choices
+  in
+  create ~targets
+
+let record t key volume =
+  if volume < 0.0 then invalid_arg "Enforcement.record: negative volume";
+  let current =
+    match Hashtbl.find_opt t.meters key with Some v -> v | None -> 0.0
+  in
+  Hashtbl.replace t.meters key (current +. volume)
+
+let usage t key =
+  match Hashtbl.find_opt t.meters key with Some v -> v | None -> 0.0
+
+type violation = { key : key; used : float; target : float }
+
+let target_of t key =
+  match Hashtbl.find_opt t.targets key with Some v -> v | None -> 0.0
+
+let current_violations t =
+  Hashtbl.fold
+    (fun key used acc ->
+      let target = target_of t key in
+      if used > target +. 1e-12 then { key; used; target } :: acc else acc)
+    t.meters []
+  |> List.sort (fun v1 v2 ->
+         compare (v2.used -. v2.target) (v1.used -. v1.target))
+
+let close_epoch t =
+  let violations = current_violations t in
+  Hashtbl.reset t.meters;
+  t.epochs <- t.epochs + 1;
+  violations
+
+let epochs_closed t = t.epochs
+
+let overage_charge pricing v =
+  Pricing.charge pricing (Float.max 0.0 (v.used -. v.target))
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%a-%a-%a: used %g of %g" Asn.pp v.key.beneficiary
+    Asn.pp v.key.via Asn.pp v.key.dest v.used v.target

@@ -1,0 +1,49 @@
+(** Monitoring and enforcement of flow-volume targets (§IV-C).
+
+    The paper argues that flow-volume agreements are more predictable than
+    cash compensation because the parties can {e enforce} the agreed
+    volume limits.  This module is that enforcement runtime: it meters the
+    traffic each party sends over the agreement's path segments in
+    charging epochs, reports target violations at epoch close, and prices
+    overages with a pricing function (turning persistent violations into a
+    paid-peering-like settlement instead of a broken agreement). *)
+
+open Pan_topology
+
+type key = { beneficiary : Asn.t; via : Asn.t; dest : Asn.t }
+(** A monitored path segment, from the metering party's perspective. *)
+
+type t
+(** Mutable meter state for one agreement. *)
+
+val create : targets:(key * float) list -> t
+(** @raise Invalid_argument on a negative target or duplicate key. *)
+
+val of_flow_volume :
+  Traffic_model.scenario -> Flow_volume_opt.result -> t
+(** Derive the meters from a concluded optimization result.
+    @raise Invalid_argument if the agreement was not concluded. *)
+
+val record : t -> key -> float -> unit
+(** Meter traffic observed on a segment within the current epoch.
+    Unknown segments are metered too (target 0: any use is a violation).
+    @raise Invalid_argument on negative volume. *)
+
+val usage : t -> key -> float
+(** Traffic metered on the segment in the current epoch. *)
+
+type violation = { key : key; used : float; target : float }
+
+val current_violations : t -> violation list
+(** Segments currently above target, worst overage first. *)
+
+val close_epoch : t -> violation list
+(** Report the epoch's violations and reset all meters. *)
+
+val epochs_closed : t -> int
+
+val overage_charge : Pricing.t -> violation -> float
+(** Price the overage volume [used − target] with the given pricing
+    function (e.g. the transit price the volume would have cost). *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,99 @@
+open Pan_topology
+
+type segment = { via : Asn.t; dest : Asn.t }
+
+type grant = {
+  holder : Asn.t;
+  segment : segment;
+  allowance : float;
+  committed : float;
+}
+
+let of_flow_volume_result scenario (result : Flow_volume_opt.result) =
+  if not result.Flow_volume_opt.concluded then []
+  else
+    List.map2
+      (fun (d : Traffic_model.segment_demand) choice ->
+        {
+          holder = d.Traffic_model.beneficiary;
+          segment =
+            { via = d.Traffic_model.transit; dest = d.Traffic_model.dest };
+          allowance = Traffic_model.allowance choice;
+          committed = 0.0;
+        })
+      (Traffic_model.demands scenario)
+      result.Flow_volume_opt.choices
+
+let remaining g = Float.max 0.0 (g.allowance -. g.committed)
+
+let commit g volume =
+  if volume < 0.0 then Error "negative volume"
+  else if volume > remaining g +. 1e-9 then
+    Error
+      (Printf.sprintf "volume %g exceeds remaining allowance %g" volume
+         (remaining g))
+  else Ok { g with committed = g.committed +. volume }
+
+let release g volume = { g with committed = Float.max 0.0 (g.committed -. volume) }
+
+type secondary = {
+  grantor : Asn.t;
+  beneficiary : Asn.t;
+  through : segment;
+  volume : float;
+}
+
+let validate_secondary graph grants s =
+  if not (Graph.connected graph s.grantor s.beneficiary) then
+    Error "grantor and beneficiary are not adjacent"
+  else
+    let rec update acc = function
+      | [] -> Error "grantor does not hold the segment"
+      | g :: rest ->
+          if Asn.equal g.holder s.grantor && g.segment = s.through then
+            match commit g s.volume with
+            | Error e -> Error e
+            | Ok g' -> Ok (List.rev_append acc (g' :: rest))
+          else update (g :: acc) rest
+    in
+    update [] grants
+
+let extended_path s =
+  [ s.beneficiary; s.grantor; s.through.via; s.through.dest ]
+
+let chained_stats g x =
+  let excluded = Asn.Set.add x (Graph.neighbors g x) in
+  let count = ref 0 in
+  let dests = ref Asn.Set.empty in
+  (* y: x's MA partner; z: y's MA partner (z <> x); w: z's provider or
+     peer reached through y's own MA segment y-z-w *)
+  Asn.Set.iter
+    (fun y ->
+      Asn.Set.iter
+        (fun z ->
+          if not (Asn.equal z x) then
+            Asn.Set.iter
+              (fun w ->
+                if
+                  (not (Asn.equal w x))
+                  && (not (Asn.equal w y))
+                  && not (Asn.Set.mem w excluded)
+                then begin
+                  incr count;
+                  dests := Asn.Set.add w !dests
+                end)
+              (Asn.Set.union (Graph.providers g z) (Graph.peers g z)))
+        (Graph.peers g y))
+    (Graph.peers g x);
+  (!count, !dests)
+
+let shift_allowance ~from_ ~to_ v =
+  if v < 0.0 then Error "negative volume shift"
+  else if v > remaining from_ +. 1e-9 then
+    Error
+      (Printf.sprintf "shift %g exceeds remaining allowance %g" v
+         (remaining from_))
+  else
+    Ok
+      ( { from_ with allowance = from_.allowance -. v },
+        { to_ with allowance = to_.allowance +. v } )

@@ -1,0 +1,71 @@
+(** Extension of agreement paths (§III-B3).
+
+    A concluded mutuality-based agreement gives a party new path segments
+    (e.g. D gains D–E–B).  Those segments can themselves become the matter
+    of further agreements: D may extend them to its customers, or re-offer
+    them to another peer in a secondary agreement — provided the secondary
+    volumes still fit within the flow-volume targets of the base agreement
+    (the interdependence the paper points out).
+
+    This module tracks segment grants with volume budgets and validates
+    secondary agreements against them. *)
+
+open Pan_topology
+
+type segment = { via : Asn.t; dest : Asn.t }
+(** The path segment [holder - via - dest] from the holder's perspective. *)
+
+type grant = {
+  holder : Asn.t;  (** the party that gained the segment *)
+  segment : segment;
+  allowance : float;  (** flow-volume target from the base agreement *)
+  committed : float;  (** volume already promised to third parties *)
+}
+
+val of_flow_volume_result :
+  Traffic_model.scenario -> Flow_volume_opt.result -> grant list
+(** The segments each party gained from a concluded flow-volume agreement,
+    with their targets as budgets (empty if the agreement was not
+    concluded). Nothing is committed initially. *)
+
+val remaining : grant -> float
+
+val commit : grant -> float -> (grant, string) result
+(** Reserve part of the budget for a secondary agreement; fails when the
+    remaining allowance is insufficient or the volume is negative. *)
+
+val release : grant -> float -> grant
+(** Return previously committed volume (clamped at zero). *)
+
+type secondary = {
+  grantor : Asn.t;  (** the holder re-offering the segment *)
+  beneficiary : Asn.t;  (** the third party gaining access *)
+  through : segment;  (** the re-offered segment *)
+  volume : float;
+}
+
+val validate_secondary :
+  Graph.t -> grant list -> secondary -> (grant list, string) result
+(** Check a secondary agreement against the holder's grants: the grantor
+    must hold the segment, must be adjacent to the beneficiary, and the
+    volume must fit the remaining allowance.  On success, returns the
+    grant list with the volume committed. *)
+
+val extended_path : secondary -> Asn.t list
+(** The length-4 AS path the secondary agreement creates:
+    [beneficiary - grantor - via - dest]. *)
+
+val chained_stats : Graph.t -> Asn.t -> int * Asn.Set.t
+(** Path-diversity view of full chaining: the number of length-4 paths
+    [x - y - z - w] an AS gains when each MA partner [y] re-offers the
+    segments it gained from its own MAs (MA(x,y) and MA(y,z) concluded,
+    [w] a provider or peer of [z]), and the set of distinct destinations
+    [w].  Destinations that are already direct neighbors of [x], or [x]
+    itself, are excluded. *)
+
+val shift_allowance :
+  from_:grant -> to_:grant -> float -> (grant * grant, string) result
+(** [shift_allowance ~from_ ~to_ v] moves [v] units of uncommitted
+    allowance from one grant to another — the bookkeeping behind
+    volume-denominated settlements ({!Pan_bosco.Volume_terms}).  Fails if
+    [v] is negative or exceeds the source's remaining allowance. *)

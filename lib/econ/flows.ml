@@ -1,0 +1,41 @@
+open Pan_topology
+
+type t = float Asn.Map.t
+
+(* Real AS numbers are below 2^32; stubs live above that bound. *)
+let stub_offset = 0x1_0000_0000
+
+let stub x = Asn.of_int (stub_offset + Asn.to_int x)
+let is_stub x = Asn.to_int x >= stub_offset
+
+let empty = Asn.Map.empty
+
+let of_list l =
+  List.fold_left
+    (fun acc (y, f) ->
+      if f < 0.0 then invalid_arg "Flows.of_list: negative flow";
+      if Asn.Map.mem y acc then invalid_arg "Flows.of_list: duplicate neighbor";
+      Asn.Map.add y f acc)
+    Asn.Map.empty l
+
+let flow_to t y = match Asn.Map.find_opt y t with Some f -> f | None -> 0.0
+
+let total t = Asn.Map.fold (fun _ f acc -> acc +. f) t 0.0 /. 2.0
+
+let set t y f =
+  if f < 0.0 then invalid_arg "Flows.set: negative flow";
+  if f = 0.0 then Asn.Map.remove y t else Asn.Map.add y f t
+
+let add t y delta = set t y (Float.max 0.0 (flow_to t y +. delta))
+
+let neighbors t =
+  Asn.Map.fold (fun y f acc -> if f > 0.0 then y :: acc else acc) t []
+  |> List.rev
+
+let fold f t init = Asn.Map.fold f t init
+
+let pp fmt t =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    (fun fmt (y, f) -> Format.fprintf fmt "%a:%g" Asn.pp y f)
+    fmt (Asn.Map.bindings t)

@@ -1,0 +1,42 @@
+(** Per-AS traffic distributions (the vector [f_X] of §III-A).
+
+    [f_XY] is the share of the flow through AS [X] that also flows directly
+    to or from neighbor [Y]; customer end-hosts of [X] appear as a virtual
+    stub neighbor [Γ_X] ({!stub}).  Every unit of flow through a transit AS
+    crosses two neighbor links, so the total flow [f_X] is half the sum of
+    the neighbor flows. *)
+
+open Pan_topology
+
+type t
+(** An immutable flow distribution. Neighbor flows are non-negative. *)
+
+val stub : Asn.t -> Asn.t
+(** [stub x] is the virtual stub AS [Γ_x] representing [x]'s customer
+    end-hosts. Stub numbers live in a reserved range disjoint from real
+    32-bit AS numbers. *)
+
+val is_stub : Asn.t -> bool
+
+val empty : t
+
+val of_list : (Asn.t * float) list -> t
+(** @raise Invalid_argument on a negative flow or duplicate neighbor. *)
+
+val flow_to : t -> Asn.t -> float
+(** [f_XY]; 0 for unlisted neighbors. *)
+
+val total : t -> float
+(** [f_X = (Σ_Y f_XY) / 2]. *)
+
+val set : t -> Asn.t -> float -> t
+(** Replace a neighbor flow. @raise Invalid_argument if negative. *)
+
+val add : t -> Asn.t -> float -> t
+(** Add a (possibly negative) delta to a neighbor flow, clamping at 0. *)
+
+val neighbors : t -> Asn.t list
+(** Neighbors with non-zero flow, ascending. *)
+
+val fold : (Asn.t -> float -> 'a -> 'a) -> t -> 'a -> 'a
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+let product u_x u_y = if u_x < 0.0 || u_y < 0.0 then 0.0 else u_x *. u_y
+
+let surplus ~u_x ~u_y = u_x +. u_y
+
+let viable ~u_x ~u_y = surplus ~u_x ~u_y >= 0.0
+
+let transfer ~u_x ~u_y =
+  if viable ~u_x ~u_y then Some (u_x -. (surplus ~u_x ~u_y /. 2.0)) else None
+
+let after_transfer ~u_x ~u_y =
+  Option.map
+    (fun pi -> (u_x -. pi, u_y +. pi))
+    (transfer ~u_x ~u_y)

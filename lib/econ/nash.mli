@@ -1,0 +1,25 @@
+(** The Nash bargaining solution for agreement utilities (§IV, Eq. 8–11).
+
+    The Nash product [u_X · u_Y] is maximized only at Pareto-optimal, fair
+    utility combinations; for cash-compensation agreements the maximizer
+    has the closed form of Eq. 11. *)
+
+val product : float -> float -> float
+(** The Nash product, 0 if either utility is negative (an agreement with a
+    losing party is never concluded without compensation). *)
+
+val surplus : u_x:float -> u_y:float -> float
+(** Joint utility [u_X + u_Y]. *)
+
+val viable : u_x:float -> u_y:float -> bool
+(** Can a cash-compensation agreement be concluded, i.e. is the surplus
+    non-negative (§IV-B)? *)
+
+val transfer : u_x:float -> u_y:float -> float option
+(** The Nash-bargaining cash transfer [Π_{X→Y} = u_X − (u_X + u_Y)/2]
+    (Eq. 11); [None] when the agreement is not viable. *)
+
+val after_transfer : u_x:float -> u_y:float -> (float * float) option
+(** Post-transfer utilities [(u_X − Π, u_Y + Π)]; both equal half the
+    surplus — the equal-split property of the Nash solution under
+    transferable utility. *)

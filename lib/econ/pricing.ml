@@ -1,0 +1,35 @@
+type t = { alpha : float; beta : float }
+
+let make ~alpha ~beta =
+  if alpha < 0.0 || beta < 0.0 then
+    invalid_arg "Pricing.make: negative parameter";
+  { alpha; beta }
+
+let flat_rate ~fee = make ~alpha:fee ~beta:0.0
+let per_usage ~unit_price = make ~alpha:unit_price ~beta:1.0
+
+let congestion ~alpha ~beta =
+  if beta <= 1.0 then invalid_arg "Pricing.congestion: beta <= 1";
+  make ~alpha ~beta
+
+let free = { alpha = 0.0; beta = 0.0 }
+
+let alpha t = t.alpha
+let beta t = t.beta
+
+let charge t f =
+  if f < 0.0 then invalid_arg "Pricing.charge: negative flow";
+  if t.alpha = 0.0 then 0.0
+  else if t.beta = 0.0 then t.alpha
+  else t.alpha *. (f ** t.beta)
+
+let marginal t f =
+  if f < 0.0 then invalid_arg "Pricing.marginal: negative flow";
+  if t.beta = 0.0 || t.alpha = 0.0 then 0.0
+  else t.alpha *. t.beta *. (f ** (t.beta -. 1.0))
+
+let is_flat_rate t = t.beta = 0.0
+
+let pp fmt t = Format.fprintf fmt "%g*f^%g" t.alpha t.beta
+
+let equal t1 t2 = t1.alpha = t2.alpha && t1.beta = t2.beta

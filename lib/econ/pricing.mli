@@ -1,0 +1,43 @@
+(** Pricing functions on provider–customer links (§III-A).
+
+    Every provider–customer link carries a pricing function
+    [p(f) = α · f^β] with [α, β ≥ 0], where [f] is the charged flow volume
+    (median, average or 95th-percentile — the model is agnostic):
+
+    - [β = 0]: flat-rate pricing with fee [α];
+    - [β = 1]: pay-per-usage with unit cost [α];
+    - [β > 1]: superlinear (congestion) pricing.
+
+    Peering links are settlement-free; paid peering is modelled as a
+    provider–customer link. *)
+
+type t
+
+val make : alpha:float -> beta:float -> t
+(** @raise Invalid_argument if [alpha < 0] or [beta < 0]. *)
+
+val flat_rate : fee:float -> t
+(** [make ~alpha:fee ~beta:0.]. *)
+
+val per_usage : unit_price:float -> t
+(** [make ~alpha:unit_price ~beta:1.]. *)
+
+val congestion : alpha:float -> beta:float -> t
+(** Superlinear pricing. @raise Invalid_argument if [beta <= 1]. *)
+
+val free : t
+(** The zero pricing function (settlement-free). *)
+
+val alpha : t -> float
+val beta : t -> float
+
+val charge : t -> float -> float
+(** [charge p f] is the amount of money owed for flow volume [f].
+    @raise Invalid_argument if [f < 0]. *)
+
+val marginal : t -> float -> float
+(** Derivative [dp/df] at [f]; for [β = 0] this is 0 everywhere. *)
+
+val is_flat_rate : t -> bool
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

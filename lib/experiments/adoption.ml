@@ -1,0 +1,224 @@
+open Pan_topology
+open Pan_numerics
+open Pan_econ
+
+type negotiation = {
+  x : Asn.t;
+  y : Asn.t;
+  joint_utility : float;
+  concluded : bool;
+}
+
+type per_as = {
+  asn : Asn.t;
+  grc_paths : int;
+  economic_paths : int;
+  all_ma_paths : int;
+  grc_dests : int;
+  economic_dests : int;
+  all_ma_dests : int;
+}
+
+type result = {
+  pairs_evaluated : int;
+  concluded : (Asn.t * Asn.t) list;
+  adoption_rate : float;
+  mean_joint_utility : float;
+  sampled : per_as list;
+}
+
+(* Deterministic per-AS business conditions: prices and internal-cost
+   rates vary across ASes (drawn from a seed-derived stream), which is
+   what makes some agreements viable and others not. *)
+let business_of ~seed g x =
+  let rng = Rng.create (Hashtbl.hash (seed, Asn.to_int x, "biz")) in
+  let transit = Pricing.per_usage ~unit_price:(Rng.uniform rng 0.7 1.3) in
+  (* a sizable share of ASes bills end-hosts flat-rate: for them newly
+     attracted traffic generates no extra revenue — the paper's §III-B1
+     reason why even classic peering can be unattractive *)
+  let stub =
+    if Rng.float rng < 0.4 then Pricing.flat_rate ~fee:20.0
+    else Pricing.per_usage ~unit_price:(Rng.uniform rng 1.2 2.5)
+  in
+  let internal = Cost.linear ~rate:(Rng.uniform rng 0.05 0.7) in
+  Business.of_graph ~default_transit:transit ~default_internal:internal
+    ~stub_price:stub g x
+
+(* Baseline link volumes follow a gravity-ish rule so large ASes carry
+   more traffic; the stub (end-host) volume scales with customer count. *)
+let baseline_of g x =
+  let entries =
+    Asn.Set.fold
+      (fun y acc ->
+        let v =
+          2.0 *. sqrt (float_of_int (Graph.degree g x * Graph.degree g y))
+        in
+        (y, v) :: acc)
+      (Graph.neighbors g x) []
+  in
+  let stub_volume = 4.0 +. float_of_int (Graph.degree g x) in
+  Flows.of_list ((Flows.stub x, stub_volume) :: entries)
+
+(* Forecast demands for one side of the MA.  The partner's providers come
+   first — access to providers is the headline MA case and the one that
+   costs the transit party money — followed by the partner's peers in
+   degree order. *)
+let demands_for ~rng ~max_demands g ~beneficiary ~transit ~granted =
+  let providers, peers =
+    Asn.Set.partition
+      (fun z -> Asn.Set.mem z (Graph.providers g transit))
+      granted
+  in
+  let by_degree set =
+    Asn.Set.elements set
+    |> List.map (fun z -> (Graph.degree g z, z))
+    |> List.sort (fun (d1, z1) (d2, z2) ->
+           match compare d2 d1 with 0 -> Asn.compare z1 z2 | c -> c)
+    |> List.map snd
+  in
+  let dests =
+    by_degree providers @ by_degree peers
+    |> List.filteri (fun i _ -> i < max_demands)
+  in
+  let providers = Graph.providers g beneficiary in
+  let reroute_from =
+    if Asn.Set.is_empty providers then None
+    else Some (Asn.Set.min_elt providers)
+  in
+  let provider_traffic =
+    4.0 *. sqrt (float_of_int (Graph.degree g beneficiary))
+  in
+  List.map
+    (fun z ->
+      let share = Rng.uniform rng 0.05 0.3 in
+      let reroutable =
+        if reroute_from = None then 0.0 else provider_traffic *. share
+      in
+      Traffic_model.
+        {
+          beneficiary;
+          transit;
+          dest = z;
+          reroutable;
+          reroute_from;
+          attracted_max = reroutable *. Rng.uniform rng 0.2 0.8;
+        })
+    dests
+
+let negotiate_pair_with ~max_demands ~seed g x y =
+  let rng =
+    Rng.create
+      (Hashtbl.hash (seed, Asn.to_int x, Asn.to_int y, "pair"))
+  in
+  let agreement = Agreement.mutuality g x y in
+  let demands =
+    demands_for ~rng ~max_demands g ~beneficiary:x ~transit:y
+      ~granted:(Agreement.accessible agreement ~to_:x)
+    @ demands_for ~rng ~max_demands g ~beneficiary:y ~transit:x
+        ~granted:(Agreement.accessible agreement ~to_:y)
+  in
+  if demands = [] then { x; y; joint_utility = 0.0; concluded = false }
+  else
+    let scenario =
+      Traffic_model.make_scenario_exn ~graph:g ~agreement
+        ~businesses:
+          [ (x, business_of ~seed g x); (y, business_of ~seed g y) ]
+        ~baseline:[ (x, baseline_of g x); (y, baseline_of g y) ]
+        ~demands
+    in
+    let r = Cash_opt.optimize scenario in
+    {
+      x;
+      y;
+      joint_utility = r.Cash_opt.u_x +. r.Cash_opt.u_y;
+      concluded = r.Cash_opt.concluded;
+    }
+
+let negotiate_pair ~seed g x y = negotiate_pair_with ~max_demands:3 ~seed g x y
+
+let run ?(sample_size = 300) ?(max_demands = 3) ?(seed = 17) g =
+  let negotiations =
+    Graph.fold_peering_links
+      (fun x y acc -> negotiate_pair_with ~max_demands ~seed g x y :: acc)
+      g []
+  in
+  let concluded =
+    List.filter_map
+      (fun (n : negotiation) -> if n.concluded then Some (n.x, n.y) else None)
+      negotiations
+  in
+  let concluded_set =
+    List.fold_left
+      (fun acc (x, y) ->
+        let key (a, b) = if Asn.compare a b <= 0 then (a, b) else (b, a) in
+        let k = key (x, y) in
+        Hashtbl.replace acc k ();
+        acc)
+      (Hashtbl.create 4096) concluded
+  in
+  let is_concluded a b =
+    let k = if Asn.compare a b <= 0 then (a, b) else (b, a) in
+    Hashtbl.mem concluded_set k
+  in
+  let joint_sum =
+    List.fold_left
+      (fun acc (n : negotiation) ->
+        if n.concluded then acc +. n.joint_utility else acc)
+      0.0 negotiations
+  in
+  let rng = Rng.create seed in
+  let all = Array.of_list (Graph.ases g) in
+  let sample =
+    if Array.length all <= sample_size then all
+    else Rng.sample_without_replacement rng sample_size all
+  in
+  let analyze asn =
+    let grc = Path_enum.grc g asn in
+    let economic = Path_enum.economic_paths ~concluded:is_concluded g asn in
+    let all_ma = Path_enum.scenario_paths g Path_enum.Ma_all asn in
+    {
+      asn;
+      grc_paths = Path_enum.total_count grc;
+      economic_paths = Path_enum.total_count economic;
+      all_ma_paths = Path_enum.total_count all_ma;
+      grc_dests = Asn.Set.cardinal (Path_enum.dest_set grc);
+      economic_dests = Asn.Set.cardinal (Path_enum.dest_set economic);
+      all_ma_dests = Asn.Set.cardinal (Path_enum.dest_set all_ma);
+    }
+  in
+  {
+    pairs_evaluated = List.length negotiations;
+    concluded;
+    adoption_rate =
+      (if negotiations = [] then 0.0
+       else
+         float_of_int (List.length concluded)
+         /. float_of_int (List.length negotiations));
+    mean_joint_utility =
+      (if concluded = [] then 0.0
+       else joint_sum /. float_of_int (List.length concluded));
+    sampled = Array.to_list (Array.map analyze sample);
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "# Economic MA adoption (extension): %d peering pairs negotiated@."
+    r.pairs_evaluated;
+  Format.fprintf fmt "adopted: %d (%.1f%%), mean joint utility %.2f@."
+    (List.length r.concluded)
+    (100.0 *. r.adoption_rate)
+    r.mean_joint_utility;
+  let med f =
+    Pan_numerics.Stats.median
+      (Array.of_list (List.map (fun pa -> float_of_int (f pa)) r.sampled))
+  in
+  Format.fprintf fmt "%-22s %-10s %-12s %s@." "median per AS" "GRC"
+    "economic" "all-MA";
+  Format.fprintf fmt "%-22s %-10.0f %-12.0f %.0f@." "length-3 paths"
+    (med (fun pa -> pa.grc_paths))
+    (med (fun pa -> pa.economic_paths))
+    (med (fun pa -> pa.all_ma_paths));
+  Format.fprintf fmt "%-22s %-10.0f %-12.0f %.0f@." "destinations"
+    (med (fun pa -> pa.grc_dests))
+    (med (fun pa -> pa.economic_dests))
+    (med (fun pa -> pa.all_ma_dests))

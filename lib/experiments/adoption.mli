@@ -1,0 +1,50 @@
+(** Extension experiment E11 — economically concluded MAs.
+
+    The paper's §VI evaluates the extreme case where {e all} possible
+    mutuality-based agreements are concluded, noting that automated
+    negotiation (§V) would have to make each one economically viable for
+    both parties.  This experiment closes that loop: every peering pair
+    negotiates its MA with the cash-compensation method (Eq. 10/11) over
+    a topology-derived scenario — business profiles from the graph with
+    per-AS price variation, demand forecasts proportional to destination
+    degree — and the path-diversity analysis is then re-run with only the
+    {e concluded} agreements in force. *)
+
+open Pan_topology
+
+type negotiation = {
+  x : Asn.t;
+  y : Asn.t;
+  joint_utility : float;
+  concluded : bool;
+}
+
+type per_as = {
+  asn : Asn.t;
+  grc_paths : int;
+  economic_paths : int;  (** length-3 paths with concluded MAs only *)
+  all_ma_paths : int;  (** the paper's extreme case, for comparison *)
+  grc_dests : int;
+  economic_dests : int;
+  all_ma_dests : int;
+}
+
+type result = {
+  pairs_evaluated : int;
+  concluded : (Asn.t * Asn.t) list;
+  adoption_rate : float;
+  mean_joint_utility : float;  (** over concluded agreements *)
+  sampled : per_as list;
+}
+
+val negotiate_pair :
+  seed:int -> Graph.t -> Asn.t -> Asn.t -> negotiation
+(** Negotiate one MA: deterministic given the seed and the pair. *)
+
+val run :
+  ?sample_size:int -> ?max_demands:int -> ?seed:int -> Graph.t -> result
+(** Negotiate every peering pair of the graph, then analyze
+    [sample_size] (default 300) sampled ASes. [max_demands] (default 3)
+    bounds the forecast segments per agreement side. *)
+
+val pp : Format.formatter -> result -> unit

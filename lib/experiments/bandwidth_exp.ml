@@ -1,0 +1,14 @@
+open Pan_topology
+
+let run ?(sample_size = 500) ?(seed = 7) g =
+  let bw = Bandwidth.degree_gravity g in
+  Pair_analysis.analyze ~sample_size ~seed ~graph:g
+    ~metric:(Bandwidth.path3_bandwidth bw) ~better:`Higher ()
+
+let run_default ?(params = Gen.default_params) ?(topology_seed = 42) () =
+  let g = Gen.graph (Gen.generate ~params ~seed:topology_seed ()) in
+  (g, run g)
+
+let pp fmt result =
+  Pair_analysis.pp_counts ~label:"Fig.6a bandwidth" fmt result;
+  Pair_analysis.pp_improvements ~label:"Fig.6b bandwidth increase" fmt result

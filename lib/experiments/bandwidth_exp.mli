@@ -1,0 +1,15 @@
+(** Experiment E5 — Fig. 6: bandwidth of MA-added paths under the
+    degree-gravity capacity model (§VI-C). *)
+
+open Pan_topology
+
+val run : ?sample_size:int -> ?seed:int -> Graph.t -> Pair_analysis.result
+(** A path is "better" when its bottleneck capacity is higher; the
+    improvement metric is the relative bandwidth increase of the best MA
+    path over the best GRC path. *)
+
+val run_default : ?params:Gen.params -> ?topology_seed:int -> unit ->
+  Graph.t * Pair_analysis.result
+
+val pp : Format.formatter -> Pair_analysis.result -> unit
+(** Fig. 6a and Fig. 6b tables. *)

@@ -1,0 +1,32 @@
+(** Extension experiment E10 — diversity gains from agreement-path
+    extension (§III-B3).
+
+    The paper sketches, but does not evaluate, secondary agreements that
+    re-offer MA-created segments.  This experiment measures how many
+    length-4 paths and additional destinations full chaining would add on
+    top of the length-3 MA gains of Fig. 3/4. *)
+
+open Pan_topology
+
+type per_as = {
+  asn : Asn.t;
+  ma3_paths : int;  (** direct length-3 MA paths (the Fig. 3 quantity) *)
+  chained4_paths : int;  (** length-4 paths from one level of chaining *)
+  ma3_new_dests : int;  (** destinations added by length-3 MA paths *)
+  chained4_extra_dests : int;
+      (** destinations reachable only through chained paths: not a
+          neighbor, not a GRC or MA-3 destination *)
+}
+
+type result = { sampled : per_as list }
+
+val run : ?sample_size:int -> ?seed:int -> Graph.t -> result
+
+val run_default :
+  ?params:Gen.params -> ?topology_seed:int -> unit -> Graph.t * result
+
+val mean_ratio : result -> float
+(** Mean of [chained4_paths / max(1, ma3_paths)] over the sample: how much
+    a second level of agreements multiplies the path supply. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,145 @@
+open Pan_topology
+open Pan_numerics
+
+type config = {
+  params : Gen.params;
+  topology_seed : int;
+  sample_seed : int;
+  sample_size : int;
+  top_ns : int list;
+}
+
+let default_config =
+  {
+    params = Gen.default_params;
+    topology_seed = 42;
+    sample_seed = 7;
+    sample_size = 500;
+    top_ns = [ 1; 2; 5 ];
+  }
+
+type per_as = {
+  asn : Asn.t;
+  paths : (Path_enum.scenario * int) list;
+  destinations : (Path_enum.scenario * int) list;
+}
+
+type result = {
+  graph : Graph.t;
+  scenarios : Path_enum.scenario list;
+  sampled : per_as list;
+}
+
+let scenarios_for top_ns =
+  Path_enum.Grc
+  :: Path_enum.Ma_all
+  :: Path_enum.Ma_direct_only
+  :: List.map (fun n -> Path_enum.Ma_top n) top_ns
+
+let scenarios_of config = scenarios_for config.top_ns
+
+let analyze ?(sample_size = 500) ?(seed = 7) ?(top_ns = [ 1; 2; 5 ]) g =
+  let scenarios = scenarios_for top_ns in
+  let rng = Rng.create seed in
+  let all = Array.of_list (Graph.ases g) in
+  let sample =
+    if Array.length all <= sample_size then all
+    else Rng.sample_without_replacement rng sample_size all
+  in
+  let analyze_as asn =
+    let per_scenario =
+      List.map (fun s -> (s, Path_enum.scenario_paths g s asn)) scenarios
+    in
+    {
+      asn;
+      paths =
+        List.map (fun (s, m) -> (s, Path_enum.total_count m)) per_scenario;
+      destinations =
+        List.map
+          (fun (s, m) -> (s, Asn.Set.cardinal (Path_enum.dest_set m)))
+          per_scenario;
+    }
+  in
+  { graph = g; scenarios; sampled = Array.to_list (Array.map analyze_as sample) }
+
+let run config =
+  let gen = Gen.generate ~params:config.params ~seed:config.topology_seed () in
+  analyze ~sample_size:config.sample_size ~seed:config.sample_seed
+    ~top_ns:config.top_ns (Gen.graph gen)
+
+let values_for result extract scenario =
+  Array.of_list
+    (List.map
+       (fun pa ->
+         match List.assoc_opt scenario (extract pa) with
+         | Some n -> float_of_int n
+         | None -> invalid_arg "Diversity: unknown scenario")
+       result.sampled)
+
+let paths_cdf result scenario =
+  Stats.ecdf (values_for result (fun pa -> pa.paths) scenario)
+
+let destinations_cdf result scenario =
+  Stats.ecdf (values_for result (fun pa -> pa.destinations) scenario)
+
+type aggregate = {
+  avg_additional_paths : float;
+  max_additional_paths : int;
+  avg_additional_destinations : float;
+  max_additional_destinations : int;
+}
+
+let aggregate_stats result =
+  let additional pa extract =
+    let get s =
+      match List.assoc_opt s (extract pa) with
+      | Some n -> n
+      | None -> invalid_arg "Diversity.aggregate_stats: missing scenario"
+    in
+    get Path_enum.Ma_all - get Path_enum.Grc
+  in
+  let paths =
+    List.map (fun pa -> additional pa (fun p -> p.paths)) result.sampled
+  in
+  let dests =
+    List.map (fun pa -> additional pa (fun p -> p.destinations)) result.sampled
+  in
+  let avg l =
+    List.fold_left ( + ) 0 l |> float_of_int |> fun s ->
+    s /. float_of_int (Stdlib.max 1 (List.length l))
+  in
+  {
+    avg_additional_paths = avg paths;
+    max_additional_paths = List.fold_left Stdlib.max 0 paths;
+    avg_additional_destinations = avg dests;
+    max_additional_destinations = List.fold_left Stdlib.max 0 dests;
+  }
+
+let pp_cdf_table fmt title result extract =
+  let percentiles = [ 10; 25; 50; 75; 90; 99 ] in
+  Format.fprintf fmt "# %s (value at percentile, per scenario)@." title;
+  Format.fprintf fmt "%-14s" "scenario";
+  List.iter (fun p -> Format.fprintf fmt " p%-8d" p) percentiles;
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun s ->
+      let values = values_for result extract s in
+      Format.fprintf fmt "%-14s" (Path_enum.scenario_label s);
+      List.iter
+        (fun p ->
+          Format.fprintf fmt " %-9.0f"
+            (Stats.percentile values (float_of_int p)))
+        percentiles;
+      Format.fprintf fmt "@.")
+    result.scenarios
+
+let pp_result fmt result =
+  pp_cdf_table fmt "Fig.3 length-3 paths" result (fun pa -> pa.paths);
+  pp_cdf_table fmt "Fig.4 nearby destinations" result (fun pa ->
+      pa.destinations);
+  let agg = aggregate_stats result in
+  Format.fprintf fmt
+    "# §VI-A aggregates: additional paths avg=%.0f max=%d; additional \
+     destinations avg=%.0f max=%d@."
+    agg.avg_additional_paths agg.max_additional_paths
+    agg.avg_additional_destinations agg.max_additional_destinations

@@ -1,0 +1,161 @@
+open Pan_topology
+
+let escape field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let write_csv ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let line fields =
+        output_string oc (String.concat "," (List.map escape fields));
+        output_char oc '\n'
+      in
+      line header;
+      List.iter line rows)
+
+let fig2 ~path series =
+  let rows =
+    List.concat_map
+      (fun (s : Fig2_pod.series) ->
+        List.map
+          (fun (p : Fig2_pod.point) ->
+            [
+              s.Fig2_pod.label;
+              string_of_int p.Fig2_pod.w;
+              Printf.sprintf "%.6f" p.Fig2_pod.min_pod;
+              Printf.sprintf "%.6f" p.Fig2_pod.mean_pod;
+              Printf.sprintf "%.3f" p.Fig2_pod.mean_equilibrium_choices;
+            ])
+          s.Fig2_pod.points)
+      series
+  in
+  write_csv ~path
+    ~header:[ "series"; "w"; "min_pod"; "mean_pod"; "mean_eq_choices" ]
+    rows
+
+let diversity ~paths_csv ~dests_csv (r : Diversity.result) =
+  let rows extract =
+    List.concat_map
+      (fun (pa : Diversity.per_as) ->
+        List.map
+          (fun (scenario, value) ->
+            [
+              Path_enum.scenario_label scenario;
+              string_of_int (Asn.to_int pa.Diversity.asn);
+              string_of_int value;
+            ])
+          (extract pa))
+      r.Diversity.sampled
+  in
+  write_csv ~path:paths_csv
+    ~header:[ "scenario"; "asn"; "paths" ]
+    (rows (fun pa -> pa.Diversity.paths));
+  write_csv ~path:dests_csv
+    ~header:[ "scenario"; "asn"; "destinations" ]
+    (rows (fun pa -> pa.Diversity.destinations))
+
+let pair_metric ~counts_csv ~improvements_csv (r : Pair_analysis.result) =
+  write_csv ~path:counts_csv
+    ~header:[ "below_max"; "below_median"; "below_min"; "ma_paths" ]
+    (List.map
+       (fun (pc : Pair_analysis.pair_counts) ->
+         [
+           string_of_int pc.Pair_analysis.below_max;
+           string_of_int pc.Pair_analysis.below_median;
+           string_of_int pc.Pair_analysis.below_min;
+           string_of_int pc.Pair_analysis.ma_paths;
+         ])
+       r.Pair_analysis.pairs);
+  write_csv ~path:improvements_csv
+    ~header:[ "relative_improvement" ]
+    (List.map
+       (fun i -> [ Printf.sprintf "%.6f" i ])
+       r.Pair_analysis.improvements)
+
+let resilience ~path (r : Resilience.result) =
+  let row label (s : Resilience.survival) =
+    [
+      label;
+      Printf.sprintf "%.4f" s.Resilience.grc;
+      Printf.sprintf "%.4f" s.Resilience.ma;
+    ]
+  in
+  write_csv ~path
+    ~header:[ "failure"; "survival_grc"; "survival_ma" ]
+    [
+      row "baseline" r.Resilience.baseline_connectivity;
+      row "first_link" r.Resilience.first_link_failed;
+      row "middle_link" r.Resilience.middle_link_failed;
+    ]
+
+let chained ~path (r : Chained_exp.result) =
+  write_csv ~path
+    ~header:
+      [ "asn"; "ma3_paths"; "chained4_paths"; "ma3_new_dests";
+        "chained4_extra_dests" ]
+    (List.map
+       (fun (pa : Chained_exp.per_as) ->
+         [
+           string_of_int (Asn.to_int pa.Chained_exp.asn);
+           string_of_int pa.Chained_exp.ma3_paths;
+           string_of_int pa.Chained_exp.chained4_paths;
+           string_of_int pa.Chained_exp.ma3_new_dests;
+           string_of_int pa.Chained_exp.chained4_extra_dests;
+         ])
+       r.Chained_exp.sampled)
+
+let topology ~path g = Caida.save path g
+
+let adoption ~path (r : Adoption.result) =
+  write_csv ~path
+    ~header:
+      [ "asn"; "grc_paths"; "economic_paths"; "all_ma_paths"; "grc_dests";
+        "economic_dests"; "all_ma_dests" ]
+    (List.map
+       (fun (pa : Adoption.per_as) ->
+         [
+           string_of_int (Asn.to_int pa.Adoption.asn);
+           string_of_int pa.Adoption.grc_paths;
+           string_of_int pa.Adoption.economic_paths;
+           string_of_int pa.Adoption.all_ma_paths;
+           string_of_int pa.Adoption.grc_dests;
+           string_of_int pa.Adoption.economic_dests;
+           string_of_int pa.Adoption.all_ma_dests;
+         ])
+       r.Adoption.sampled)
+
+let te ~path (r : Te_exp.result) =
+  write_csv ~path
+    ~header:[ "regime"; "mean"; "p95"; "max"; "overloaded"; "unrouted" ]
+    (List.map
+       (fun (reg : Te_exp.regime) ->
+         [
+           reg.Te_exp.label;
+           Printf.sprintf "%.4f" reg.Te_exp.mean_utilization;
+           Printf.sprintf "%.4f" reg.Te_exp.p95_utilization;
+           Printf.sprintf "%.4f" reg.Te_exp.max_utilization;
+           string_of_int reg.Te_exp.overloaded_links;
+           string_of_int reg.Te_exp.unrouted;
+         ])
+       r.Te_exp.regimes)
+
+let fragility ~path (r : Fragility_exp.result) =
+  write_csv ~path
+    ~header:
+      [ "density"; "cases"; "converged"; "oscillated"; "nondeterministic";
+        "dispute_wheel" ]
+    (List.map
+       (fun (p : Fragility_exp.point) ->
+         [
+           Printf.sprintf "%.2f" p.Fragility_exp.violation_density;
+           string_of_int p.Fragility_exp.instances;
+           string_of_int p.Fragility_exp.converged;
+           string_of_int p.Fragility_exp.oscillated;
+           string_of_int p.Fragility_exp.nondeterministic;
+           string_of_int p.Fragility_exp.with_dispute_wheel;
+         ])
+       r.Fragility_exp.points)

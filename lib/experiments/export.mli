@@ -1,0 +1,34 @@
+(** CSV export of experiment results, for replotting the paper's figures
+    with external tools. *)
+
+open Pan_topology
+
+val write_csv : path:string -> header:string list -> string list list -> unit
+(** Write rows (comma-separated, values escaped if they contain commas or
+    quotes) under the given header. *)
+
+val fig2 : path:string -> Fig2_pod.series list -> unit
+(** Columns: series, w, min_pod, mean_pod, mean_equilibrium_choices. *)
+
+val diversity : paths_csv:string -> dests_csv:string -> Diversity.result -> unit
+(** Per-AS rows: scenario, asn, value — one file for Fig. 3 (paths), one
+    for Fig. 4 (destinations). *)
+
+val pair_metric : counts_csv:string -> improvements_csv:string ->
+  Pair_analysis.result -> unit
+(** Fig. 5a/6a rows (per pair: below_max, below_median, below_min,
+    ma_paths) and Fig. 5b/6b rows (one improvement per line). *)
+
+val resilience : path:string -> Resilience.result -> unit
+
+val chained : path:string -> Chained_exp.result -> unit
+
+val topology : path:string -> Graph.t -> unit
+(** The graph in the CAIDA as-rel2 format (not CSV), so external tooling
+    and real-data pipelines can consume it. *)
+
+val adoption : path:string -> Adoption.result -> unit
+
+val te : path:string -> Te_exp.result -> unit
+
+val fragility : path:string -> Fragility_exp.result -> unit

@@ -1,0 +1,64 @@
+open Pan_numerics
+open Pan_bosco
+
+type point = {
+  w : int;
+  min_pod : float;
+  mean_pod : float;
+  mean_equilibrium_choices : float;
+  all_converged : bool;
+}
+
+type series = { label : string; points : point list }
+
+let u1 = Distribution.uniform (-1.0) 1.0
+let u2 = Distribution.uniform (-0.5) 1.0
+
+let default_ws = [ 2; 5; 10; 20; 35; 50; 75; 100 ]
+
+let run ?construction ?(ws = default_ws) ?(trials = 200) ~seed ~label dist =
+  let rng = Rng.create seed in
+  let points =
+    List.map
+      (fun w ->
+        let reports =
+          Service.trials ?construction ~rng ~dist_x:dist ~dist_y:dist ~w
+            ~n:trials ()
+        in
+        let eq_choices =
+          List.fold_left
+            (fun acc (r : Service.report) ->
+              acc
+              +. (float_of_int
+                    (r.equilibrium_choices_x + r.equilibrium_choices_y)
+                 /. 2.0))
+            0.0 reports
+          /. float_of_int (List.length reports)
+        in
+        {
+          w;
+          min_pod = Service.min_pod reports;
+          mean_pod = Service.mean_pod reports;
+          mean_equilibrium_choices = eq_choices;
+          all_converged =
+            List.for_all (fun (r : Service.report) -> r.converged) reports;
+        })
+      ws
+  in
+  { label; points }
+
+let run_both ?ws ?trials ~seed () =
+  [
+    run ?ws ?trials ~seed ~label:"U(1)" u1;
+    run ?ws ?trials ~seed:(seed + 1) ~label:"U(2)" u2;
+  ]
+
+let pp_series fmt s =
+  Format.fprintf fmt "# Fig.2 series %s@." s.label;
+  Format.fprintf fmt "%-6s %-10s %-10s %-8s %s@." "W" "min_PoD" "mean_PoD"
+    "eq_ch" "converged";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%-6d %-10.4f %-10.4f %-8.2f %b@." p.w p.min_pod
+        p.mean_pod p.mean_equilibrium_choices p.all_converged)
+    s.points

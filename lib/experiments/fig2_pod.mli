@@ -1,0 +1,43 @@
+(** Experiment E1 — Fig. 2: Price of Dishonesty vs. choice-set size.
+
+    For each choice-set cardinality [W], generate [trials] random choice-set
+    combinations for both parties, compute the equilibrium of each induced
+    game and record the minimum and mean PoD, plus the mean number of
+    equilibrium choices.  The paper runs the experiment for the two uniform
+    utility distributions [U⁽¹⁾ = Unif\[-1,1\]²] and
+    [U⁽²⁾ = Unif\[-½,1\]²]. *)
+
+open Pan_numerics
+
+type point = {
+  w : int;  (** choice-set cardinality [W_X = W_Y] (cancel option included) *)
+  min_pod : float;
+  mean_pod : float;
+  mean_equilibrium_choices : float;
+  all_converged : bool;
+}
+
+type series = { label : string; points : point list }
+
+val u1 : Distribution.t
+(** Marginal of [U⁽¹⁾]: uniform on [\[-1, 1\]]. *)
+
+val u2 : Distribution.t
+(** Marginal of [U⁽²⁾]: uniform on [\[-1/2, 1\]]. *)
+
+val run :
+  ?construction:Pan_bosco.Service.construction ->
+  ?ws:int list ->
+  ?trials:int ->
+  seed:int ->
+  label:string ->
+  Distribution.t ->
+  series
+(** Sweep over [ws] (default [2; 5; 10; 20; 35; 50; 75; 100]) with [trials]
+    choice-set combinations each (default 200, the paper's setting); both
+    parties share the given marginal distribution. *)
+
+val run_both : ?ws:int list -> ?trials:int -> seed:int -> unit -> series list
+(** The two series of Fig. 2. *)
+
+val pp_series : Format.formatter -> series -> unit

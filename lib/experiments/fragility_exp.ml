@@ -1,0 +1,136 @@
+open Pan_topology
+open Pan_numerics
+open Pan_routing
+
+type point = {
+  violation_density : float;
+  instances : int;
+  converged : int;
+  oscillated : int;
+  nondeterministic : int;
+  with_dispute_wheel : int;
+}
+
+type result = { points : point list }
+
+let small_params =
+  {
+    Gen.default_params with
+    Gen.n_tier1 = 3;
+    n_transit = 8;
+    n_stub = 10;
+    transit_peering_degree = 5.0;
+    stub_peering_prob = 0.4;
+    route_server_hubs = 0;
+  }
+
+(* Select a [density] fraction of peering links as "sibling-style"
+   arrangements: both endpoints offer each other their provider routes
+   and prefer peer-learned routes. *)
+let select_violating_pairs rng g density =
+  let pairs = Graph.fold_peering_links (fun x y acc -> (x, y) :: acc) g [] in
+  List.filter (fun _ -> Rng.float rng < density) pairs
+
+let violating_instance g pairs ~dest =
+  let is_selected x y =
+    List.exists
+      (fun (a, b) ->
+        (Asn.equal a x && Asn.equal b y) || (Asn.equal a y && Asn.equal b x))
+      pairs
+  in
+  (* a route is permitted if valley-free, or if its only valley is the
+     first step crossing a selected peer pair (the partner re-exports its
+     provider route, as agreed) *)
+  let valley_free_from g = function
+    | _ :: _ :: _ as route -> Path.is_valley_free g (Path.make_exn g route)
+    | _ -> true
+  in
+  let permit node route =
+    match route with
+    | _ when valley_free_from g route -> true
+    | u :: (v :: rest_tail as tail) ->
+        Asn.equal u node
+        && Graph.relationship g u v = Some Graph.Peer
+        && is_selected u v
+        && (rest_tail = [] || valley_free_from g tail)
+    | _ -> false
+  in
+  let prefer _node r1 r2 =
+    (* agreement routes (over a selected peer pair) are preferred, as in
+       the DISAGREE setup of §II *)
+    let agreement_route r =
+      match r with
+      | u :: v :: _
+        when Graph.relationship g u v = Some Graph.Peer && is_selected u v ->
+          0
+      | _ -> 1
+    in
+    match compare (agreement_route r1) (agreement_route r2) with
+    | 0 -> compare (Policy.grc_rank g r1) (Policy.grc_rank g r2)
+    | c -> c
+  in
+  Policy.custom_instance ~max_len:4 g ~dest ~permit ~prefer
+
+let run ?(densities = [ 0.0; 0.25; 0.5; 1.0 ]) ?(topologies = 8)
+    ?(dests_per_topology = 3) ?(seed = 23) () =
+  let points =
+    List.map
+      (fun density ->
+        let converged = ref 0
+        and oscillated = ref 0
+        and nondet = ref 0
+        and wheels = ref 0
+        and instances = ref 0 in
+        for t = 1 to topologies do
+          let g =
+            Gen.graph (Gen.generate ~params:small_params ~seed:(seed + t) ())
+          in
+          let rng = Rng.create (seed + (100 * t)) in
+          let pairs = select_violating_pairs rng g density in
+          let ases = Array.of_list (Graph.ases g) in
+          let dests =
+            Rng.sample_without_replacement rng dests_per_topology ases
+          in
+          Array.iter
+            (fun dest ->
+              incr instances;
+              let i = violating_instance g pairs ~dest in
+              if Dispute.has_wheel i then incr wheels;
+              match Bgp.run ~schedule:Bgp.Round_robin i with
+              | Bgp.Oscillation _ -> incr oscillated
+              | Bgp.Exhausted _ -> incr oscillated
+              | Bgp.Converged _ ->
+                  incr converged;
+                  if
+                    not
+                      (Bgp.converges_deterministically ~trials:10
+                         ~seed:(seed + t) i)
+                  then incr nondet)
+            dests
+        done;
+        {
+          violation_density = density;
+          instances = !instances;
+          converged = !converged;
+          oscillated = !oscillated;
+          nondeterministic = !nondet;
+          with_dispute_wheel = !wheels;
+        })
+      densities
+  in
+  { points }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "# BGP fragility vs. density of GRC-violating agreements (E13)@.";
+  Format.fprintf fmt
+    "# (in a PAN, every case is stable by construction: the embedded \
+     path needs no convergence)@.";
+  Format.fprintf fmt "%-10s %-10s %-11s %-12s %-18s %s@." "density" "cases"
+    "converged" "oscillated" "nondeterministic" "dispute_wheel";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%-10.2f %-10d %-11d %-12d %-18d %d@."
+        p.violation_density p.instances p.converged p.oscillated
+        p.nondeterministic p.with_dispute_wheel)
+    r.points

@@ -1,0 +1,42 @@
+(** Extension experiment E13 — BGP's fragility as GRC-violating
+    agreements accumulate.
+
+    §II argues that in a BGP internet, mutuality-like policies "need to
+    be implemented very carefully and with coordination among all
+    involved parties", because seemingly benign combinations reduce to
+    DISAGREE or BAD GADGET.  This experiment measures that: on random
+    topologies, a fraction [p] of peer pairs exchange provider routes and
+    prefer peer-learned routes (exactly the D–E arrangement of Fig. 1);
+    SPVP is then run for random destinations, and the outcomes are
+    classified.  In a PAN the same agreements are trivially stable — the
+    whole point of the paper — so the PAN column would read "100%
+    stable" at every density. *)
+
+
+type point = {
+  violation_density : float;  (** fraction of peer pairs with the policy *)
+  instances : int;  (** (topology, destination) cases evaluated *)
+  converged : int;  (** round-robin SPVP converged *)
+  oscillated : int;  (** round-robin SPVP cycled *)
+  nondeterministic : int;
+      (** converged, but different schedules reach different states *)
+  with_dispute_wheel : int;
+      (** instances containing a dispute wheel — the structural
+          precondition for both failure modes; it appears as soon as
+          violations do, even when the dynamics still happen to
+          converge *)
+}
+
+type result = { points : point list }
+
+val run :
+  ?densities:float list ->
+  ?topologies:int ->
+  ?dests_per_topology:int ->
+  ?seed:int ->
+  unit ->
+  result
+(** Defaults: densities 0, 0.25, 0.5, 1.0; 8 random ~20-AS topologies;
+    3 destinations each. *)
+
+val pp : Format.formatter -> result -> unit

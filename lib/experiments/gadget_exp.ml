@@ -1,0 +1,163 @@
+open Pan_routing
+open Pan_topology
+open Pan_scion
+
+type bgp_case = {
+  name : string;
+  outcome : Bgp.outcome;
+  stable_solutions : int;
+  deterministic : bool;
+  dispute_wheel : bool;
+}
+
+type surprise_case = {
+  before : Bgp.outcome;
+  before_wheel : bool;
+  after : Bgp.outcome;
+  after_stable_solutions : int;
+}
+
+type pan_case = {
+  path : Asn.t list;
+  delivered : bool;
+  loop_free : bool;
+}
+
+type async_case = {
+  async_name : string;
+  fifo : Bgp_async.outcome;
+  livelock_found : bool;
+}
+
+type report = {
+  bgp : bgp_case list;
+  pan : pan_case list;
+  surprise : surprise_case;
+  async : async_case list;
+}
+
+let async_case ~seed name instance =
+  let livelock_found = ref false in
+  for i = 1 to 10 do
+    match
+      Bgp_async.run ~max_messages:20_000
+        ~schedule:
+          (Bgp_async.Random_delivery (Pan_numerics.Rng.create (seed + i)))
+        instance
+    with
+    | Bgp_async.Diverged _ -> livelock_found := true
+    | Bgp_async.Quiesced _ -> ()
+  done;
+  {
+    async_name = name;
+    fifo = Bgp_async.run ~max_messages:20_000 ~schedule:Bgp_async.Fifo instance;
+    livelock_found = !livelock_found;
+  }
+
+let bgp_case ~seed name instance =
+  {
+    name;
+    outcome = Bgp.run ~schedule:Bgp.Round_robin instance;
+    stable_solutions = List.length (Spp.stable_solutions instance);
+    deterministic = Bgp.converges_deterministically ~seed instance;
+    dispute_wheel = Dispute.has_wheel instance;
+  }
+
+let surprise_case () =
+  let benign = Gadgets.surprise () in
+  let failed = Grc_check.remove_link benign (Asn.of_int 4, Asn.of_int 0) in
+  {
+    before = Bgp.run ~schedule:Bgp.Round_robin benign;
+    before_wheel = Dispute.has_wheel benign;
+    after = Bgp.run ~schedule:Bgp.Round_robin failed;
+    after_stable_solutions = List.length (Spp.stable_solutions failed);
+  }
+
+let rec distinct = function
+  | [] -> true
+  | x :: rest -> (not (List.exists (Asn.equal x) rest)) && distinct rest
+
+let pan_case authz path =
+  match Forwarding.send_path authz path ~payload:"probe" with
+  | Ok delivery ->
+      {
+        path;
+        delivered = delivery.Forwarding.trace = path;
+        loop_free = distinct delivery.Forwarding.trace;
+      }
+  | Error _ -> { path; delivered = false; loop_free = true }
+
+let run ?(seed = 20210527) () =
+  let bgp =
+    [
+      bgp_case ~seed "DISAGREE" (Gadgets.disagree ());
+      bgp_case ~seed "GOOD GADGET" (Gadgets.good_gadget ());
+      bgp_case ~seed "BAD GADGET" (Gadgets.bad_gadget ());
+      bgp_case ~seed "WEDGIE" (Gadgets.wedgie ());
+      bgp_case ~seed "Fig.1 DISAGREE" (Gadgets.fig1_disagree ());
+      bgp_case ~seed "Fig.1 BAD GADGET" (Gadgets.fig1_bad_gadget ());
+    ]
+  in
+  (* The same GRC-violating routes, forwarded in a PAN with the matching
+     MAs concluded. *)
+  let g = Gen.fig1 () in
+  let a c = Gen.fig1_asn c in
+  let authz =
+    Authz.create
+      ~mas:[ (a 'D', a 'E'); (a 'C', a 'D'); (a 'C', a 'E') ]
+      g
+  in
+  let pan =
+    List.map (pan_case authz)
+      [
+        [ a 'D'; a 'E'; a 'B' ];        (* D over its MA peer E to B *)
+        [ a 'H'; a 'D'; a 'E'; a 'B' ]; (* extended to D's customer H *)
+        [ a 'E'; a 'D'; a 'A' ];        (* the reciprocal direction *)
+        [ a 'C'; a 'D'; a 'E' ];        (* C's MA with D towards E *)
+        [ a 'D'; a 'E'; a 'F' ];        (* MA access to E's peer F *)
+      ]
+  in
+  let async =
+    [
+      async_case ~seed "DISAGREE" (Gadgets.disagree ());
+      async_case ~seed "GOOD GADGET" (Gadgets.good_gadget ());
+      async_case ~seed "BAD GADGET" (Gadgets.bad_gadget ());
+    ]
+  in
+  { bgp; pan; surprise = surprise_case (); async }
+
+let pp fmt report =
+  Format.fprintf fmt "# BGP (SPVP) on gadget policy configurations@.";
+  Format.fprintf fmt "%-18s %-45s %-8s %-14s %s@." "instance"
+    "round-robin outcome" "stable" "deterministic" "wheel";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%-18s %-45s %-8d %-14b %b@." c.name
+        (Format.asprintf "%a" Bgp.pp_outcome c.outcome)
+        c.stable_solutions c.deterministic c.dispute_wheel)
+    report.bgp;
+  Format.fprintf fmt "# SURPRISE: a benign configuration until a link fails@.";
+  Format.fprintf fmt "  before failure: %a (dispute wheel hidden: %b)@."
+    Bgp.pp_outcome report.surprise.before report.surprise.before_wheel;
+  Format.fprintf fmt "  after failing link 4-0: %a (stable solutions: %d)@."
+    Bgp.pp_outcome report.surprise.after
+    report.surprise.after_stable_solutions;
+  Format.fprintf fmt
+    "# message-passing SPVP (async): livelock probes over 10 schedules@.";
+  Format.fprintf fmt "%-18s %-40s %s@." "instance" "global-FIFO delivery"
+    "livelock found";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%-18s %-40s %b@." c.async_name
+        (Format.asprintf "%a" Bgp_async.pp_outcome c.fifo)
+        c.livelock_found)
+    report.async;
+  Format.fprintf fmt "# PAN forwarding along GRC-violating paths (Fig.1)@.";
+  Format.fprintf fmt "%-26s %-10s %s@." "path" "delivered" "loop-free";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%-26s %-10b %b@."
+        (String.concat "-"
+           (List.map (fun x -> string_of_int (Asn.to_int x)) c.path))
+        c.delivered c.loop_free)
+    report.pan

@@ -1,0 +1,55 @@
+(** Experiment E7 — the §II stability comparison.
+
+    Runs the SPVP (BGP) dynamics on the classic gadgets and on their Fig. 1
+    incarnations, and contrasts them with PAN forwarding over the same
+    GRC-violating paths: BGP is non-deterministic on DISAGREE/WEDGIE and
+    diverges on BAD GADGET, while the PAN data plane forwards along every
+    authorized embedded path without any convergence requirement. *)
+
+open Pan_routing
+open Pan_topology
+
+type bgp_case = {
+  name : string;
+  outcome : Bgp.outcome;  (** round-robin SPVP from the empty assignment *)
+  stable_solutions : int;
+  deterministic : bool;
+      (** do 20 random schedules all converge to the same assignment? *)
+  dispute_wheel : bool;
+      (** does the configuration contain a dispute wheel? (its absence
+          certifies safety) *)
+}
+
+type surprise_case = {
+  before : Bgp.outcome;  (** the benign configuration converges *)
+  before_wheel : bool;
+  after : Bgp.outcome;  (** after failing link (4, 0): BAD GADGET *)
+  after_stable_solutions : int;
+}
+
+type pan_case = {
+  path : Asn.t list;  (** a GRC-violating path on Fig. 1 *)
+  delivered : bool;  (** did the PAN data plane deliver along it? *)
+  loop_free : bool;  (** trace visited no AS twice *)
+}
+
+type async_case = {
+  async_name : string;
+  fifo : Bgp_async.outcome;  (** deterministic global-FIFO delivery *)
+  livelock_found : bool;
+      (** did some random delivery schedule fail to quiesce? *)
+}
+
+type report = {
+  bgp : bgp_case list;
+  pan : pan_case list;
+  surprise : surprise_case;
+      (** §II's "benign topologies may reduce to BAD GADGET when a link
+          fails", exhibited concretely *)
+  async : async_case list;
+      (** the same instances under message-passing SPVP, where DISAGREE
+          can additionally livelock outright *)
+}
+
+val run : ?seed:int -> unit -> report
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,15 @@
+open Pan_topology
+
+let run ?(sample_size = 500) ?(seed = 7) ?(geo_seed = 11) g =
+  let geo = Geo.generate ~seed:geo_seed g in
+  Pair_analysis.analyze ~sample_size ~seed ~graph:g
+    ~metric:(Geo.path3_geodistance geo) ~better:`Lower ()
+
+let run_default ?(params = Gen.default_params) ?(topology_seed = 42) () =
+  let g = Gen.graph (Gen.generate ~params ~seed:topology_seed ()) in
+  (g, run g)
+
+let pp fmt result =
+  Pair_analysis.pp_counts ~label:"Fig.5a geodistance" fmt result;
+  Pair_analysis.pp_improvements ~label:"Fig.5b geodistance reduction" fmt
+    result

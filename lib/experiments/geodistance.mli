@@ -1,0 +1,24 @@
+(** Experiment E4 — Fig. 5: geodistance of MA-added paths.
+
+    AS geolocations come from the synthetic embedding of
+    {!Pan_topology.Geo} (standing in for prefix2as + GeoLite2 + the CAIDA
+    geographic dataset); path geodistance follows the paper's
+    [d(A1,l12) + d(l12,l23) + d(l23,A3)] decomposition. *)
+
+open Pan_topology
+
+val run :
+  ?sample_size:int ->
+  ?seed:int ->
+  ?geo_seed:int ->
+  Graph.t ->
+  Pair_analysis.result
+(** Analyze all pairs with a GRC length-3 path among [sample_size]
+    sampled sources (defaults 500 / seed 7 / geo_seed 11). *)
+
+val run_default : ?params:Gen.params -> ?topology_seed:int -> unit ->
+  Graph.t * Pair_analysis.result
+(** Generate the default synthetic topology and run. *)
+
+val pp : Format.formatter -> Pair_analysis.result -> unit
+(** Fig. 5a and Fig. 5b tables. *)

@@ -1,0 +1,56 @@
+open Pan_topology
+open Pan_numerics
+open Pan_econ
+
+type report = {
+  scenarios : int;
+  cash_concluded : int;
+  flow_volume_concluded : int;
+  cash_only : int;
+  mean_cash_joint : float;
+  mean_flow_volume_joint : float;
+}
+
+let run ?(scenarios = 100) ?(seed = 3) () =
+  let g = Gen.fig1 () in
+  let d = Gen.fig1_asn 'D' and e = Gen.fig1_asn 'E' in
+  let rng = Rng.create seed in
+  let cash_n = ref 0
+  and fv_n = ref 0
+  and cash_only_n = ref 0
+  and cash_joint = ref 0.0
+  and fv_joint = ref 0.0 in
+  for _ = 1 to scenarios do
+    let scenario = Scenario_gen.random_scenario rng g ~x:d ~y:e in
+    let c = Negotiation.compare_methods ~starts_per_dim:2 scenario in
+    if c.Negotiation.cash.Cash_opt.concluded then begin
+      incr cash_n;
+      cash_joint := !cash_joint +. Negotiation.cash_joint c
+    end;
+    if c.Negotiation.flow_volume.Flow_volume_opt.concluded then begin
+      incr fv_n;
+      fv_joint := !fv_joint +. Negotiation.flow_volume_joint c
+    end;
+    if Negotiation.cash_only c then incr cash_only_n
+  done;
+  {
+    scenarios;
+    cash_concluded = !cash_n;
+    flow_volume_concluded = !fv_n;
+    cash_only = !cash_only_n;
+    mean_cash_joint =
+      (if !cash_n = 0 then 0.0 else !cash_joint /. float_of_int !cash_n);
+    mean_flow_volume_joint =
+      (if !fv_n = 0 then 0.0 else !fv_joint /. float_of_int !fv_n);
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "# §IV-C method comparison over %d random scenarios@.\
+     cash concluded:        %d@.\
+     flow-volume concluded: %d@.\
+     cash-only conclusions: %d@.\
+     mean joint utility (cash):        %.3f@.\
+     mean joint utility (flow-volume): %.3f@."
+    r.scenarios r.cash_concluded r.flow_volume_concluded r.cash_only
+    r.mean_cash_joint r.mean_flow_volume_joint

@@ -1,0 +1,113 @@
+open Pan_topology
+open Pan_numerics
+
+type pair_counts = {
+  below_max : int;
+  below_median : int;
+  below_min : int;
+  ma_paths : int;
+}
+
+type result = { pairs : pair_counts list; improvements : float list }
+
+let analyze ?(sample_size = 500) ?(seed = 7) ~graph:g ~metric ~better () =
+  let rng = Rng.create seed in
+  let all = Array.of_list (Graph.ases g) in
+  let sample =
+    if Array.length all <= sample_size then all
+    else Rng.sample_without_replacement rng sample_size all
+  in
+  (* Orient all comparisons so that "improvement" means a smaller score. *)
+  let score src mid dst =
+    let v = metric src mid dst in
+    match better with `Lower -> v | `Higher -> -.v
+  in
+  let pairs = ref [] in
+  let improvements = ref [] in
+  Array.iter
+    (fun src ->
+      let grc = Path_enum.by_destination (Path_enum.grc g src) in
+      let ma =
+        Path_enum.by_destination (Path_enum.additional_paths g Ma_all src)
+      in
+      Asn.Map.iter
+        (fun dst grc_mids ->
+          let grc_scores =
+            Array.of_list
+              (List.map
+                 (fun mid -> score src mid dst)
+                 (Asn.Set.elements grc_mids))
+          in
+          let g_min, g_max = Stats.min_max grc_scores in
+          let g_med = Stats.median grc_scores in
+          let ma_mids =
+            match Asn.Map.find_opt dst ma with
+            | Some mids -> Asn.Set.elements mids
+            | None -> []
+          in
+          let ma_scores = List.map (fun mid -> score src mid dst) ma_mids in
+          let count pred = List.length (List.filter pred ma_scores) in
+          let counts =
+            {
+              below_max = count (fun s -> s < g_max);
+              below_median = count (fun s -> s < g_med);
+              below_min = count (fun s -> s < g_min);
+              ma_paths = List.length ma_scores;
+            }
+          in
+          pairs := counts :: !pairs;
+          match ma_scores with
+          | [] -> ()
+          | _ ->
+              let best_ma = List.fold_left Float.min infinity ma_scores in
+              if best_ma < g_min then begin
+                let improvement =
+                  match better with
+                  | `Lower -> 1.0 -. (best_ma /. g_min)
+                  | `Higher ->
+                      (* scores are negated capacities *)
+                      (best_ma /. g_min) -. 1.0
+                in
+                improvements := improvement :: !improvements
+              end)
+        grc)
+    sample;
+  { pairs = !pairs; improvements = !improvements }
+
+let fraction_pairs_with result ~at_least select =
+  let arr = Array.of_list result.pairs in
+  Stats.fraction_where (fun pc -> select pc >= at_least) arr
+
+let improvement_cdf result =
+  match result.improvements with
+  | [] -> None
+  | l -> Some (Stats.ecdf (Array.of_list l))
+
+let pp_counts ~label fmt result =
+  Format.fprintf fmt "# %s: fraction of AS pairs with >= n better MA paths@."
+    label;
+  Format.fprintf fmt "%-4s %-12s %-12s %-12s %-12s@." "n" "vs_max"
+    "vs_median" "vs_min" "any_MA_path";
+  List.iter
+    (fun n ->
+      Format.fprintf fmt "%-4d %-12.3f %-12.3f %-12.3f %-12.3f@." n
+        (fraction_pairs_with result ~at_least:n (fun p -> p.below_max))
+        (fraction_pairs_with result ~at_least:n (fun p -> p.below_median))
+        (fraction_pairs_with result ~at_least:n (fun p -> p.below_min))
+        (fraction_pairs_with result ~at_least:n (fun p -> p.ma_paths)))
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let pp_improvements ~label fmt result =
+  match result.improvements with
+  | [] -> Format.fprintf fmt "# %s: no pair improves@." label
+  | l ->
+      let arr = Array.of_list l in
+      Format.fprintf fmt
+        "# %s: relative improvement among improving pairs (%d pairs)@." label
+        (Array.length arr);
+      Format.fprintf fmt "%-12s %s@." "percentile" "improvement";
+      List.iter
+        (fun p ->
+          Format.fprintf fmt "p%-11d %.3f@." p
+            (Stats.percentile arr (float_of_int p)))
+        [ 10; 25; 50; 75; 90 ]

@@ -1,0 +1,54 @@
+(** Shared per-AS-pair machinery for the geodistance (Fig. 5) and bandwidth
+    (Fig. 6) analyses.
+
+    Both experiments score each (source, destination) pair connected by at
+    least one GRC length-3 path: they compare the metric of every MA-added
+    path against the max / median / min metric of the pair's GRC paths, and
+    measure the relative improvement of the best MA path over the best GRC
+    path. *)
+
+open Pan_topology
+open Pan_numerics
+
+type pair_counts = {
+  below_max : int;
+      (** MA paths strictly better than the worst GRC path *)
+  below_median : int;
+  below_min : int;  (** MA paths strictly better than the best GRC path *)
+  ma_paths : int;  (** all MA paths of the pair *)
+}
+
+type result = {
+  pairs : pair_counts list;  (** one entry per analyzed AS pair *)
+  improvements : float list;
+      (** relative improvement of the best MA path for pairs whose best
+          path improves (e.g. 0.24 = 24% geodistance reduction) *)
+}
+
+val analyze :
+  ?sample_size:int ->
+  ?seed:int ->
+  graph:Graph.t ->
+  metric:(Asn.t -> Asn.t -> Asn.t -> float) ->
+  better:[ `Lower | `Higher ] ->
+  unit ->
+  result
+(** [metric src mid dst] scores a length-3 path; [better] says whether
+    lower (geodistance) or higher (bandwidth) is preferable. *)
+
+val fraction_pairs_with : result -> at_least:int -> (pair_counts -> int) -> float
+(** Fraction of pairs whose selected counter is at least [at_least] — the
+    way the paper reads Fig. 5a/6a ("around 50% of AS pairs gain at least
+    1 path below the minimum"). *)
+
+val improvement_cdf : result -> Stats.cdf option
+(** CDF over relevant pairs of the relative improvement (Fig. 5b/6b);
+    [None] when no pair improves. *)
+
+val pp_counts :
+  label:string -> Format.formatter -> result -> unit
+(** The Fig. 5a/6a table: fractions of pairs with ≥ n paths satisfying
+    each comparison condition, for n in 1..10. *)
+
+val pp_improvements : label:string -> Format.formatter -> result -> unit
+(** The Fig. 5b/6b table: percentiles of relative improvement. *)

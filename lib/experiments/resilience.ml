@@ -1,0 +1,107 @@
+open Pan_topology
+open Pan_numerics
+open Pan_scion
+
+type survival = { grc : float; ma : float }
+
+type result = {
+  pairs : int;
+  baseline_connectivity : survival;
+  first_link_failed : survival;
+  middle_link_failed : survival;
+  mean_attempts_ma : float;
+}
+
+let all_mas g =
+  Graph.fold_peering_links (fun x y acc -> (x, y) :: acc) g []
+
+let rec path_links = function
+  | a :: (b :: _ as rest) -> (a, b) :: path_links rest
+  | _ -> []
+
+let run ?(pairs = 100) ?(seed = 13) g =
+  let rng = Rng.create seed in
+  let grc_net = Failure.create (Authz.create g) in
+  let ma_net = Failure.create (Authz.create ~mas:(all_mas g) g) in
+  let ases = Array.of_list (Graph.ases g) in
+  (* sample pairs that have a primary GRC path: those are the pairs whose
+     service can degrade in the first place *)
+  let sampled = ref [] in
+  let attempts_budget = pairs * 20 in
+  let tries = ref 0 in
+  while List.length !sampled < pairs && !tries < attempts_budget do
+    incr tries;
+    let src = Rng.choose rng ases and dst = Rng.choose rng ases in
+    if not (Asn.equal src dst) then
+      match
+        Combinator.best_path (Failure.path_server grc_net) ~src ~dst
+      with
+      | Some primary -> sampled := (src, dst, primary) :: !sampled
+      | None -> ()
+  done;
+  let sampled = !sampled in
+  let n = List.length sampled in
+  let attempts_total = ref 0 and deliveries = ref 0 in
+  let survive net ~src ~dst =
+    match Failure.send_with_failover net ~src ~dst ~payload:"" with
+    | Ok outcome ->
+        if net == ma_net then begin
+          attempts_total := !attempts_total + outcome.Failure.attempts;
+          incr deliveries
+        end;
+        true
+    | Error _ -> false
+  in
+  let measure select_link =
+    let ok_grc = ref 0 and ok_ma = ref 0 in
+    List.iter
+      (fun (src, dst, primary) ->
+        let links = path_links (Segment.ases primary) in
+        (match select_link links with
+        | None -> ()
+        | Some (x, y) ->
+            Failure.fail_link grc_net x y;
+            Failure.fail_link ma_net x y);
+        if survive grc_net ~src ~dst then incr ok_grc;
+        if survive ma_net ~src ~dst then incr ok_ma;
+        Failure.restore_all grc_net;
+        Failure.restore_all ma_net)
+      sampled;
+    let frac c = if n = 0 then 0.0 else float_of_int c /. float_of_int n in
+    { grc = frac !ok_grc; ma = frac !ok_ma }
+  in
+  let baseline = measure (fun _ -> None) in
+  let first = measure (function l :: _ -> Some l | [] -> None) in
+  let middle =
+    measure (fun links ->
+        match links with
+        | [] -> None
+        | l -> Some (List.nth l (List.length l / 2)))
+  in
+  {
+    pairs = n;
+    baseline_connectivity = baseline;
+    first_link_failed = first;
+    middle_link_failed = middle;
+    mean_attempts_ma =
+      (if !deliveries = 0 then 0.0
+       else float_of_int !attempts_total /. float_of_int !deliveries);
+  }
+
+let run_default ?(params = Gen.default_params) ?(topology_seed = 42) () =
+  let small = { params with Gen.n_transit = 100; Gen.n_stub = 400 } in
+  let g = Gen.graph (Gen.generate ~params:small ~seed:topology_seed ()) in
+  (g, run g)
+
+let pp fmt r =
+  Format.fprintf fmt
+    "# Resilience (extension): failover survival over %d pairs@." r.pairs;
+  Format.fprintf fmt "%-24s %-10s %s@." "failure" "GRC-only" "with MAs";
+  let row label s =
+    Format.fprintf fmt "%-24s %-10.3f %.3f@." label s.grc s.ma
+  in
+  row "none (baseline)" r.baseline_connectivity;
+  row "primary first link" r.first_link_failed;
+  row "primary middle link" r.middle_link_failed;
+  Format.fprintf fmt "mean paths tried per MA delivery: %.2f@."
+    r.mean_attempts_ma

@@ -1,0 +1,37 @@
+(** Extension experiment E9 — failure resilience of PAN multipath, with
+    and without mutuality-based agreements.
+
+    Not a figure of the paper, but a direct quantification of its §I
+    motivation: MAs enlarge the authorized path set, so end-host failover
+    keeps more source–destination pairs connected when links on their
+    primary path fail.
+
+    For every sampled pair we compute the primary (shortest authorized)
+    GRC path, then fail (a) its first link — typically the source's access
+    link — and (b) its middle link, and measure whether failover still
+    delivers, under GRC-only authorization and with every MA concluded. *)
+
+open Pan_topology
+
+type survival = {
+  grc : float;  (** fraction of pairs that survive without MAs *)
+  ma : float;  (** fraction that survive with all MAs concluded *)
+}
+
+type result = {
+  pairs : int;  (** pairs with a primary path, i.e. actually measured *)
+  baseline_connectivity : survival;  (** before any failure *)
+  first_link_failed : survival;
+  middle_link_failed : survival;
+  mean_attempts_ma : float;
+      (** mean paths tried per successful MA delivery across the failure
+          trials *)
+}
+
+val run : ?pairs:int -> ?seed:int -> Graph.t -> result
+(** [pairs] (default 100) sampled source–destination pairs. *)
+
+val run_default :
+  ?params:Gen.params -> ?topology_seed:int -> unit -> Graph.t * result
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,96 @@
+open Pan_topology
+open Pan_numerics
+open Pan_scion
+
+type regime = {
+  label : string;
+  mean_utilization : float;
+  p95_utilization : float;
+  max_utilization : float;
+  overloaded_links : int;
+  unrouted : int;
+}
+
+type result = { demands : int; regimes : regime list }
+
+let all_mas g = Graph.fold_peering_links (fun x y acc -> (x, y) :: acc) g []
+
+let gravity_volume g src dst =
+  sqrt (float_of_int (Graph.degree g src * Graph.degree g dst))
+
+let run ?(demands = 300) ?(k = 3) ?(seed = 19) ?(volume_scale = 10.0) g =
+  let rng = Rng.create seed in
+  let ases = Array.of_list (Graph.ases g) in
+  let demand_list =
+    List.init demands (fun _ ->
+        let src = Rng.choose rng ases in
+        let rec pick () =
+          let dst = Rng.choose rng ases in
+          if Asn.equal src dst then pick () else dst
+        in
+        let dst = pick () in
+        (src, dst, volume_scale *. gravity_volume g src dst))
+  in
+  let bw = Bandwidth.degree_gravity g in
+  let grc_ps =
+    let authz = Authz.create g in
+    Path_server.build authz (Beacon.run authz)
+  in
+  let ma_ps =
+    let authz = Authz.create ~mas:(all_mas g) g in
+    Path_server.build authz (Beacon.run authz)
+  in
+  (* path candidates are computed once per (pair, path-server) *)
+  let candidates ps src dst =
+    List.map Segment.ases (Combinator.end_to_end ~max_paths:k ps ~src ~dst)
+  in
+  let run_regime label ps policy =
+    let t = Traffic.create g in
+    let unrouted = ref 0 in
+    List.iter
+      (fun (src, dst, volume) ->
+        match candidates ps src dst with
+        | [] -> incr unrouted
+        | paths -> Traffic.place t bw policy paths volume)
+      demand_list;
+    let mean, p95, max_u = Traffic.stats t bw ~loaded_only:true in
+    {
+      label;
+      mean_utilization = mean;
+      p95_utilization = p95;
+      max_utilization = max_u;
+      overloaded_links = Traffic.overloaded t bw ~threshold:1.0;
+      unrouted = !unrouted;
+    }
+  in
+  {
+    demands;
+    regimes =
+      [
+        run_regime "GRC single-path" grc_ps Traffic.Single_path;
+        run_regime
+          (Printf.sprintf "GRC split-%d" k)
+          grc_ps (Traffic.Split k);
+        run_regime (Printf.sprintf "MA split-%d" k) ma_ps (Traffic.Split k);
+        run_regime
+          (Printf.sprintf "MA congestion-aware (k=%d)" k)
+          ma_ps (Traffic.Congestion_aware k);
+      ];
+  }
+
+let run_default ?(params = Gen.default_params) ?(topology_seed = 42) () =
+  let small = { params with Gen.n_transit = 100; Gen.n_stub = 400 } in
+  let g = Gen.graph (Gen.generate ~params:small ~seed:topology_seed ()) in
+  (g, run g)
+
+let pp fmt r =
+  Format.fprintf fmt
+    "# Traffic engineering (extension): %d gravity demands@." r.demands;
+  Format.fprintf fmt "%-28s %-8s %-8s %-8s %-12s %s@." "regime" "mean"
+    "p95" "max" "overloaded" "unrouted";
+  List.iter
+    (fun reg ->
+      Format.fprintf fmt "%-28s %-8.3f %-8.3f %-8.3f %-12d %d@." reg.label
+        reg.mean_utilization reg.p95_utilization reg.max_utilization
+        reg.overloaded_links reg.unrouted)
+    r.regimes

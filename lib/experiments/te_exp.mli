@@ -1,0 +1,33 @@
+(** Extension experiment E12 — traffic engineering with MA multipath.
+
+    Quantifies the paper's §I capacity argument: a fixed gravity-model
+    demand set is placed on the network under four regimes — GRC paths
+    with single-path routing, GRC paths with multipath, all-MA paths with
+    multipath, and all-MA paths with congestion-aware placement — and the
+    resulting link-utilization profile is compared.  More authorized
+    paths means more room to steer around hot links. *)
+
+open Pan_topology
+
+type regime = {
+  label : string;
+  mean_utilization : float;
+  p95_utilization : float;
+  max_utilization : float;
+  overloaded_links : int;  (** utilization > 1 *)
+  unrouted : int;  (** demands with no authorized path *)
+}
+
+type result = { demands : int; regimes : regime list }
+
+val run :
+  ?demands:int -> ?k:int -> ?seed:int -> ?volume_scale:float -> Graph.t ->
+  result
+(** [demands] random source–destination demands (default 300) with
+    gravity volumes scaled by [volume_scale] (default 10.0); multipath
+    regimes use [k] paths (default 3). *)
+
+val run_default :
+  ?params:Gen.params -> ?topology_seed:int -> unit -> Graph.t * result
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,73 @@
+(** Probability distributions on the real line.
+
+    The BOSCO mechanism (§V of the paper) manipulates utility distributions
+    [U_Z(u)]: it samples choice sets from them, computes tail probabilities
+    [P(σ_Y(u_Y) ≥ -v_X)] (Eq. 16), and integrates the Nash bargaining product
+    against the joint distribution (Eq. 19).  This module provides the small
+    algebra of distributions those computations need: density, CDF, quantile,
+    sampling, and interval probabilities — all exact for the piecewise-
+    analytic distributions used in the paper (uniform), and numeric for the
+    rest. *)
+
+type t
+(** A univariate distribution with support [\[inf, sup\]] (either bound may
+    be infinite). *)
+
+val uniform : float -> float -> t
+(** [uniform lo hi] is the continuous uniform distribution on [\[lo, hi\]].
+    @raise Invalid_argument if [lo >= hi]. *)
+
+val triangular : float -> float -> float -> t
+(** [triangular lo mode hi]. @raise Invalid_argument unless
+    [lo <= mode <= hi] and [lo < hi]. *)
+
+val exponential : float -> t
+(** [exponential rate] on [\[0, ∞)]. @raise Invalid_argument if [rate <= 0]. *)
+
+val gaussian : float -> float -> t
+(** [gaussian mu sigma]. @raise Invalid_argument if [sigma <= 0]. *)
+
+val shifted : t -> float -> t
+(** [shifted d c] is the law of [X + c] for [X ~ d]. *)
+
+val scaled : t -> float -> t
+(** [scaled d k] is the law of [k·X] for [X ~ d] and [k > 0].
+    @raise Invalid_argument if [k <= 0]. *)
+
+val support : t -> float * float
+(** Lower and upper bound of the support (possibly infinite). *)
+
+val pdf : t -> float -> float
+(** Probability density at a point. *)
+
+val cdf : t -> float -> float
+(** [cdf d x] is [P(X <= x)]. *)
+
+val quantile : t -> float -> float
+(** [quantile d p] is the smallest [x] with [cdf d x >= p], for
+    [p] in [\[0, 1\]]; computed by bisection for distributions without a
+    closed form. @raise Invalid_argument if [p] is outside [\[0,1\]]. *)
+
+val mean : t -> float
+(** Expected value. *)
+
+val sample : t -> Rng.t -> float
+(** Draw one value (inverse-transform sampling). *)
+
+val prob_interval : t -> float -> float -> float
+(** [prob_interval d a b] is [P(a < X <= b)] ([= cdf b - cdf a]); 0 when
+    [b <= a]. *)
+
+val prob_ge : t -> float -> float
+(** [prob_ge d x] is [P(X >= x)]; for the continuous distributions here this
+    equals [1 - cdf d x]. *)
+
+val expectation : ?epsabs:float -> t -> (float -> float) -> float
+(** [expectation d f] computes [E(f(X))] by adaptive Simpson quadrature over
+    the support (truncated at ±10 standard-deviation-equivalents for
+    unbounded supports). *)
+
+val partial_expectation : ?epsabs:float -> t -> float -> float -> float
+(** [partial_expectation d a b] is [∫_a^b x · pdf(x) dx] (0 when [b <= a]);
+    the building block for piecewise-linear payoff integrals such as the
+    expected Nash bargaining product. *)

@@ -1,0 +1,45 @@
+let trapezoid ~n f a b =
+  if n <= 0 then invalid_arg "Integrate.trapezoid: n <= 0";
+  let h = (b -. a) /. float_of_int n in
+  let rec sum i acc =
+    if i >= n then acc
+    else sum (i + 1) (acc +. f (a +. (h *. float_of_int i)))
+  in
+  h *. ((0.5 *. (f a +. f b)) +. sum 1 0.0)
+
+let simpson a b fa fm fb = (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb)
+
+let adaptive_simpson ?(epsabs = 1e-9) ?(max_depth = 40) f a b =
+  if a = b then 0.0
+  else
+    let sign, a, b = if a > b then (-1.0, b, a) else (1.0, a, b) in
+    let rec go a b fa fm fb whole eps depth =
+      let m = 0.5 *. (a +. b) in
+      let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+      let flm = f lm and frm = f rm in
+      let left = simpson a m fa flm fm in
+      let right = simpson m b fm frm fb in
+      let delta = left +. right -. whole in
+      if depth <= 0 || Float.abs delta <= 15.0 *. eps then
+        left +. right +. (delta /. 15.0)
+      else
+        go a m fa flm fm left (eps /. 2.0) (depth - 1)
+        +. go m b fm frm fb right (eps /. 2.0) (depth - 1)
+    in
+    let fa = f a and fb = f b and fm = f (0.5 *. (a +. b)) in
+    let whole = simpson a b fa fm fb in
+    sign *. go a b fa fm fb whole epsabs max_depth
+
+let grid_2d ~nx ~ny f (ax, bx) (ay, by) =
+  if nx <= 0 || ny <= 0 then invalid_arg "Integrate.grid_2d";
+  let hx = (bx -. ax) /. float_of_int nx in
+  let hy = (by -. ay) /. float_of_int ny in
+  let acc = ref 0.0 in
+  for i = 0 to nx - 1 do
+    let x = ax +. (hx *. (float_of_int i +. 0.5)) in
+    for j = 0 to ny - 1 do
+      let y = ay +. (hy *. (float_of_int j +. 0.5)) in
+      acc := !acc +. f x y
+    done
+  done;
+  !acc *. hx *. hy

@@ -1,0 +1,28 @@
+(** Numerical quadrature.
+
+    Used to compute expected after-negotiation utilities and the expected
+    Nash bargaining product (Eq. 14 and Eq. 19 of the paper), which integrate
+    piecewise-smooth functions against utility densities. *)
+
+val trapezoid : n:int -> (float -> float) -> float -> float -> float
+(** [trapezoid ~n f a b] integrates [f] over [\[a, b\]] with [n] equal
+    panels. @raise Invalid_argument if [n <= 0]. *)
+
+val adaptive_simpson :
+  ?epsabs:float -> ?max_depth:int -> (float -> float) -> float -> float -> float
+(** [adaptive_simpson f a b] integrates [f] over [\[a, b\]] by recursive
+    Simpson quadrature with absolute tolerance [epsabs] (default [1e-9]) and
+    recursion limit [max_depth] (default 40). Returns 0 when [a = b];
+    integrates with a sign flip when [a > b]. *)
+
+val grid_2d :
+  nx:int ->
+  ny:int ->
+  (float -> float -> float) ->
+  float * float ->
+  float * float ->
+  float
+(** [grid_2d ~nx ~ny f (ax, bx) (ay, by)] integrates [f] over the rectangle
+    by the midpoint rule on an [nx × ny] grid. Exact enough for the
+    piecewise-bilinear integrands arising in Eq. 19 when combined with the
+    cell counts used in the experiments. *)

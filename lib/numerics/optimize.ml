@@ -1,0 +1,179 @@
+let invphi = (sqrt 5.0 -. 1.0) /. 2.0
+
+let golden_section_max ?(tol = 1e-9) f a b =
+  let a = ref (Float.min a b) and b = ref (Float.max a b) in
+  let c = ref (!b -. (invphi *. (!b -. !a))) in
+  let d = ref (!a +. (invphi *. (!b -. !a))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  while !b -. !a > tol do
+    if !fc > !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (invphi *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (invphi *. (!b -. !a));
+      fd := f !d
+    end
+  done;
+  let x = 0.5 *. (!a +. !b) in
+  (x, f x)
+
+let grid_max ~n f a b =
+  if n <= 0 then invalid_arg "Optimize.grid_max: n <= 0";
+  let h = (b -. a) /. float_of_int n in
+  let best_x = ref a and best_v = ref (f a) in
+  for i = 1 to n do
+    let x = a +. (h *. float_of_int i) in
+    let v = f x in
+    if v > !best_v then begin
+      best_x := x;
+      best_v := v
+    end
+  done;
+  (!best_x, !best_v)
+
+type box = (float * float) array
+
+let project box p =
+  Array.mapi
+    (fun i x ->
+      let lo, hi = box.(i) in
+      Float.max lo (Float.min hi x))
+    p
+
+let nelder_mead ?(max_iter = 2000) ?(tol = 1e-10) ~f ~box ~start () =
+  let n = Array.length start in
+  if n = 0 then invalid_arg "Optimize.nelder_mead: empty start";
+  let eval p = f (project box p) in
+  (* Initial simplex: start plus one perturbed vertex per axis. *)
+  let vertex i =
+    if i = 0 then Array.copy start
+    else
+      let p = Array.copy start in
+      let lo, hi = box.(i - 1) in
+      let step = Float.max 1e-6 (0.1 *. (hi -. lo)) in
+      p.(i - 1) <- p.(i - 1) +. step;
+      p
+  in
+  let simplex = Array.init (n + 1) vertex in
+  let values = Array.map eval simplex in
+  let order () =
+    let idx = Array.init (n + 1) Fun.id in
+    Array.sort (fun i j -> compare values.(j) values.(i)) idx;
+    (* descending: idx.(0) best for maximization *)
+    let s = Array.map (fun i -> simplex.(i)) idx in
+    let v = Array.map (fun i -> values.(i)) idx in
+    Array.blit s 0 simplex 0 (n + 1);
+    Array.blit v 0 values 0 (n + 1)
+  in
+  let centroid () =
+    let c = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      (* all vertices except the worst (index n after ordering) *)
+      for k = 0 to n - 1 do
+        c.(k) <- c.(k) +. (simplex.(i).(k) /. float_of_int n)
+      done
+    done;
+    c
+  in
+  let combine a alpha b beta =
+    Array.init n (fun k -> (alpha *. a.(k)) +. (beta *. b.(k)))
+  in
+  let iter = ref 0 in
+  let continue = ref true in
+  while !continue && !iter < max_iter do
+    incr iter;
+    order ();
+    if Float.abs (values.(0) -. values.(n)) <= tol then continue := false
+    else begin
+      let c = centroid () in
+      let worst = simplex.(n) in
+      let refl = combine c 2.0 worst (-1.0) in
+      let frefl = eval refl in
+      if frefl > values.(0) then begin
+        (* expansion *)
+        let exp_p = combine c 3.0 worst (-2.0) in
+        let fexp = eval exp_p in
+        if fexp > frefl then begin
+          simplex.(n) <- exp_p;
+          values.(n) <- fexp
+        end
+        else begin
+          simplex.(n) <- refl;
+          values.(n) <- frefl
+        end
+      end
+      else if frefl > values.(n - 1) then begin
+        simplex.(n) <- refl;
+        values.(n) <- frefl
+      end
+      else begin
+        (* contraction *)
+        let con = combine c 0.5 worst 0.5 in
+        let fcon = eval con in
+        if fcon > values.(n) then begin
+          simplex.(n) <- con;
+          values.(n) <- fcon
+        end
+        else
+          (* shrink toward best *)
+          for i = 1 to n do
+            simplex.(i) <- combine simplex.(0) 0.5 simplex.(i) 0.5;
+            values.(i) <- eval simplex.(i)
+          done
+      end
+    end
+  done;
+  order ();
+  (project box simplex.(0), values.(0))
+
+let multistart_nelder_mead ?(starts_per_dim = 3) ?(max_iter = 2000) ~f ~box ()
+    =
+  let n = Array.length box in
+  if n = 0 then invalid_arg "Optimize.multistart_nelder_mead: empty box";
+  let spd = Stdlib.max 2 starts_per_dim in
+  (* Lattice of starts: each coordinate takes spd values across its range. *)
+  let coord_value i j =
+    let lo, hi = box.(i) in
+    lo +. ((hi -. lo) *. (float_of_int j +. 0.5) /. float_of_int spd)
+  in
+  let total = int_of_float (float_of_int spd ** float_of_int n) in
+  (* Cap the lattice to keep high-dimensional problems tractable; fall back
+     to axis midpoints plus the box center when the full grid is too big. *)
+  let starts =
+    if total <= 243 then
+      List.init total (fun flat ->
+          let p = Array.make n 0.0 in
+          let rest = ref flat in
+          for i = 0 to n - 1 do
+            p.(i) <- coord_value i (!rest mod spd);
+            rest := !rest / spd
+          done;
+          p)
+    else
+      let center = Array.map (fun (lo, hi) -> 0.5 *. (lo +. hi)) box in
+      center
+      :: List.concat
+           (List.init n (fun i ->
+                List.init spd (fun j ->
+                    let p = Array.copy center in
+                    p.(i) <- coord_value i j;
+                    p)))
+  in
+  let best = ref None in
+  List.iter
+    (fun start ->
+      let x, v = nelder_mead ~max_iter ~f ~box ~start () in
+      match !best with
+      | Some (_, bv) when bv >= v -> ()
+      | _ -> best := Some (x, v))
+    starts;
+  match !best with
+  | Some r -> r
+  | None -> assert false

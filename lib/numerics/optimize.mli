@@ -1,0 +1,47 @@
+(** Numerical optimization.
+
+    The flow-volume-target method (§IV-A, Eq. 9) maximizes the Nash product
+    over a box of flow allowances; we solve it with projected Nelder–Mead
+    plus a coarse multistart grid.  One-dimensional routines support the
+    cash-compensation method and unit tests. *)
+
+val golden_section_max :
+  ?tol:float -> (float -> float) -> float -> float -> float * float
+(** [golden_section_max f a b] maximizes a unimodal [f] on [\[a, b\]];
+    returns the maximizer and its value. Tolerance on the maximizer
+    defaults to [1e-9]. *)
+
+val grid_max :
+  n:int -> (float -> float) -> float -> float -> float * float
+(** [grid_max ~n f a b] evaluates [f] at [n + 1] equally spaced points and
+    returns the best [(x, f x)]. @raise Invalid_argument if [n <= 0]. *)
+
+type box = (float * float) array
+(** Per-coordinate [(lo, hi)] bounds. *)
+
+val project : box -> float array -> float array
+(** Clamp a point into the box (fresh array). *)
+
+val nelder_mead :
+  ?max_iter:int ->
+  ?tol:float ->
+  f:(float array -> float) ->
+  box:box ->
+  start:float array ->
+  unit ->
+  float array * float
+(** Maximize [f] over [box] with a Nelder–Mead simplex whose evaluations are
+    projected into the box. Returns the best point and value found.
+    Deterministic given [start]. *)
+
+val multistart_nelder_mead :
+  ?starts_per_dim:int ->
+  ?max_iter:int ->
+  f:(float array -> float) ->
+  box:box ->
+  unit ->
+  float array * float
+(** Run {!nelder_mead} from a coarse lattice of start points (corner,
+    center, and per-axis midpoints; [starts_per_dim] controls the lattice
+    resolution, default 3) and keep the best result. Suitable for the
+    low-dimensional, mildly multi-modal Nash-product landscapes of Eq. 9. *)

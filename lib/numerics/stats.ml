@@ -1,0 +1,100 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg ("Stats." ^ name ^ ": empty array")
+
+let mean xs =
+  check_nonempty "mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "variance" xs;
+  let m = mean xs in
+  let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+  acc /. float_of_int (Array.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  check_nonempty "min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let percentile xs p =
+  check_nonempty "percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median xs = percentile xs 50.0
+
+type cdf = { sorted : float array }
+
+let ecdf xs =
+  check_nonempty "ecdf" xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  { sorted }
+
+(* Number of elements <= x, via binary search for the rightmost such index. *)
+let count_le sorted x =
+  let n = Array.length sorted in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if sorted.(mid) <= x then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+let cdf_at c x =
+  float_of_int (count_le c.sorted x) /. float_of_int (Array.length c.sorted)
+
+let survival_at c x = 1.0 -. cdf_at c x
+
+let cdf_points c =
+  let n = Array.length c.sorted in
+  (* keep only the last occurrence of each value: its index carries the
+     full cumulative count *)
+  let rec collect i acc =
+    if i < 0 then acc
+    else if i < n - 1 && c.sorted.(i) = c.sorted.(i + 1) then
+      collect (i - 1) acc
+    else
+      collect (i - 1)
+        ((c.sorted.(i), float_of_int (i + 1) /. float_of_int n) :: acc)
+  in
+  collect (n - 1) []
+
+let histogram ~bins xs =
+  check_nonempty "histogram" xs;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
+  let lo, hi = min_max xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = if i >= bins then bins - 1 else if i < 0 then 0 else i in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  Array.mapi
+    (fun i count ->
+      let cell_lo = lo +. (width *. float_of_int i) in
+      (cell_lo, cell_lo +. width, count))
+    counts
+
+let fraction_where pred xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else
+    let hits = Array.fold_left (fun a x -> if pred x then a + 1 else a) 0 xs in
+    float_of_int hits /. float_of_int n

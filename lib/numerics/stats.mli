@@ -1,0 +1,52 @@
+(** Descriptive statistics and empirical distribution utilities.
+
+    The path-diversity evaluation (§VI) reports its results as empirical
+    CDFs over sampled ASes and AS pairs (Figs. 3–6); this module provides
+    the summaries those figures are built from. *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Population variance. @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element. @raise Invalid_argument on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0, 100\]], linear interpolation between
+    order statistics (the common "type 7" estimate). Does not mutate [xs].
+    @raise Invalid_argument on an empty array or out-of-range [p]. *)
+
+val median : float array -> float
+(** [median xs = percentile xs 50.0]. *)
+
+type cdf
+(** An empirical CDF: a step function built from a sample. *)
+
+val ecdf : float array -> cdf
+(** Build the empirical CDF of a sample.
+    @raise Invalid_argument on an empty array. *)
+
+val cdf_at : cdf -> float -> float
+(** [cdf_at c x] is the fraction of sample points [<= x]. *)
+
+val cdf_points : cdf -> (float * float) list
+(** The knots of the step function as [(value, cumulative fraction)] pairs,
+    ascending in value; suitable for plotting a figure series. *)
+
+val survival_at : cdf -> float -> float
+(** [survival_at c x = 1 - cdf_at c x]: the fraction of points [> x]. The
+    paper reads its CDF figures this way ("20% of ASes have more than
+    45,000 paths"). *)
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] partitions [\[min, max\]] into [bins] equal cells
+    and returns [(lo, hi, count)] per cell; the last cell is right-closed.
+    @raise Invalid_argument if [bins <= 0] or [xs] is empty. *)
+
+val fraction_where : ('a -> bool) -> 'a array -> float
+(** Fraction of elements satisfying the predicate (0 on empty input). *)

@@ -1,0 +1,95 @@
+open Pan_topology
+open Pan_numerics
+
+type schedule = Round_robin | Random of Rng.t
+
+type outcome =
+  | Converged of { assignment : Spp.assignment; activations : int }
+  | Oscillation of { period : int; activations : int }
+  | Exhausted of { activations : int }
+
+let activate t assignment node =
+  let best = Spp.best_available t assignment node in
+  let current = Option.join (Asn.Map.find_opt node assignment) in
+  if best = current then (assignment, false)
+  else (Asn.Map.add node best assignment, true)
+
+let serialize assignment =
+  (* A canonical representation for cycle detection: Asn.Map is already
+     ordered, so the bindings list is canonical. *)
+  Asn.Map.bindings assignment
+
+let run_round_robin ~max_activations t start =
+  let node_array = Array.of_list (Spp.nodes t) in
+  let seen = Hashtbl.create 64 in
+  let rec sweep assignment activations sweep_index =
+    if activations >= max_activations then Exhausted { activations }
+    else begin
+      let changed = ref false in
+      let assignment = ref assignment in
+      Array.iter
+        (fun node ->
+          let next, delta = activate t !assignment node in
+          assignment := next;
+          if delta then changed := true)
+        node_array;
+      let activations = activations + Array.length node_array in
+      if not !changed then Converged { assignment = !assignment; activations }
+      else
+        let key = serialize !assignment in
+        match Hashtbl.find_opt seen key with
+        | Some earlier ->
+            Oscillation { period = sweep_index - earlier; activations }
+        | None ->
+            Hashtbl.add seen key sweep_index;
+            sweep !assignment activations (sweep_index + 1)
+    end
+  in
+  sweep start 0 0
+
+let run_random ~max_activations t start rng =
+  let node_array = Array.of_list (Spp.nodes t) in
+  if Array.length node_array = 0 then
+    Converged { assignment = start; activations = 0 }
+  else
+    let rec step assignment activations =
+      if Spp.is_stable t assignment then Converged { assignment; activations }
+      else if activations >= max_activations then Exhausted { activations }
+      else
+        let node = Rng.choose rng node_array in
+        let assignment, _ = activate t assignment node in
+        step assignment (activations + 1)
+    in
+    step start 0
+
+let run_from ?(max_activations = 100_000) ~schedule t start =
+  match schedule with
+  | Round_robin -> run_round_robin ~max_activations t start
+  | Random rng -> run_random ~max_activations t start rng
+
+let run ?max_activations ~schedule t =
+  run_from ?max_activations ~schedule t (Spp.initial t)
+
+let converges_deterministically ?(trials = 20) ~seed t =
+  let rec go i reference =
+    if i >= trials then true
+    else
+      match run ~schedule:(Random (Rng.create (seed + i))) t with
+      | Converged { assignment; _ } -> (
+          match reference with
+          | None -> go (i + 1) (Some assignment)
+          | Some r -> Spp.equal_assignment r assignment && go (i + 1) reference
+          )
+      | Oscillation _ | Exhausted _ -> false
+  in
+  go 0 None
+
+let pp_outcome fmt = function
+  | Converged { activations; _ } ->
+      Format.fprintf fmt "converged after %d activations" activations
+  | Oscillation { period; activations } ->
+      Format.fprintf fmt
+        "oscillation with period %d detected after %d activations" period
+        activations
+  | Exhausted { activations } ->
+      Format.fprintf fmt "no convergence within %d activations" activations

@@ -1,0 +1,44 @@
+(** Simple Path Vector Protocol (SPVP) dynamics over an SPP instance.
+
+    SPVP abstracts BGP route propagation: at each {e activation}, one node
+    recomputes its selection as the best permitted route consistent with its
+    neighbors' current selections.  BGP's convergence behaviour on a policy
+    configuration — convergence, non-determinism (DISAGREE / wedgies) or
+    divergence (BAD GADGET) — is exactly the behaviour of these dynamics
+    under fair schedules (§II of the paper). *)
+
+open Pan_numerics
+
+type schedule =
+  | Round_robin  (** sweep nodes in ascending order, deterministically *)
+  | Random of Rng.t  (** fair random activations *)
+
+type outcome =
+  | Converged of { assignment : Spp.assignment; activations : int }
+      (** a stable assignment was reached *)
+  | Oscillation of { period : int; activations : int }
+      (** under [Round_robin], the sweep-level state revisited an earlier
+          state without being stable: a persistent oscillation *)
+  | Exhausted of { activations : int }
+      (** activation budget spent without convergence (only possible under
+          [Random]; round-robin always converges or cycles) *)
+
+val run : ?max_activations:int -> schedule:schedule -> Spp.t -> outcome
+(** Run the dynamics from the empty assignment ([max_activations] defaults
+    to 100,000). *)
+
+val run_from :
+  ?max_activations:int ->
+  schedule:schedule ->
+  Spp.t ->
+  Spp.assignment ->
+  outcome
+(** Same, from a given starting assignment (e.g. to probe recovery after a
+    link failure). *)
+
+val converges_deterministically : ?trials:int -> seed:int -> Spp.t -> bool
+(** Run [trials] (default 20) random-schedule simulations with distinct
+    seeds; [true] iff all converge {e to the same} stable assignment.
+    DISAGREE-style instances converge but return [false] here. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

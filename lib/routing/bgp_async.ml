@@ -1,0 +1,149 @@
+open Pan_topology
+open Pan_numerics
+
+type schedule = Fifo | Random_delivery of Rng.t
+
+type outcome =
+  | Quiesced of { assignment : Spp.assignment; messages : int }
+  | Diverged of { messages : int }
+
+(* An in-flight message: [sender]'s current announcement as seen when it
+   was emitted ([None] = withdrawal). *)
+type message = { sender : Asn.t; receiver : Asn.t; route : Spp.route option }
+
+type node = {
+  mutable rib_in : Spp.route option Asn.Map.t;
+  mutable selected : Spp.route option;
+}
+
+(* Who must hear about [sender]'s selection: every node with a permitted
+   route whose second AS is [sender]. *)
+let listeners t =
+  let add map key v =
+    Asn.Map.update key
+      (function
+        | None -> Some (Asn.Set.singleton v)
+        | Some s -> Some (Asn.Set.add v s))
+      map
+  in
+  List.fold_left
+    (fun acc node ->
+      List.fold_left
+        (fun acc route ->
+          match route with
+          | _ :: next :: _ -> add acc next node
+          | _ -> acc)
+        acc (Spp.permitted t node))
+    Asn.Map.empty (Spp.nodes t)
+
+let listeners_of map x =
+  match Asn.Map.find_opt x map with
+  | Some s -> Asn.Set.elements s
+  | None -> []
+
+(* Selection from the RIB-In alone: the best permitted route whose tail
+   matches the last announcement from its next hop. *)
+let select t node_state node =
+  let available route =
+    match route with
+    | [ _ ] | [] -> false
+    | _ :: (next :: _ as tail) ->
+        (* uniform rule: a route is usable only if its next hop's last
+           announcement matches the tail — including the destination,
+           whose self-announcement seeds the whole computation *)
+        Asn.Map.find_opt next node_state.rib_in = Some (Some tail)
+  in
+  List.find_opt available (Spp.permitted t node)
+
+let run ?(max_messages = 100_000) ~schedule t =
+  let listener_map = listeners t in
+  let nodes = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace nodes n { rib_in = Asn.Map.empty; selected = None })
+    (Spp.nodes t);
+  (* the message pool preserves per-sender order: each sender has a FIFO;
+     the schedule picks which sender's head message to deliver *)
+  let queues : (Asn.t, message Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  let pending = ref 0 in
+  let send sender receiver route =
+    let q =
+      match Hashtbl.find_opt queues sender with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.replace queues sender q;
+          q
+    in
+    Queue.push { sender; receiver; route } q;
+    incr pending
+  in
+  (* cold start: the destination announces itself to its listeners *)
+  let dest = Spp.dest t in
+  List.iter
+    (fun l -> send dest l (Some [ dest ]))
+    (listeners_of listener_map dest);
+  let senders_with_mail () =
+    Hashtbl.fold
+      (fun s q acc -> if Queue.is_empty q then acc else s :: acc)
+      queues []
+    |> List.sort Asn.compare
+  in
+  let deliver m =
+    match Hashtbl.find_opt nodes m.receiver with
+    | None -> () (* announcements to the destination itself are ignored *)
+    | Some state ->
+        state.rib_in <- Asn.Map.add m.sender m.route state.rib_in;
+        let new_selection = select t state m.receiver in
+        if new_selection <> state.selected then begin
+          state.selected <- new_selection;
+          List.iter
+            (fun l -> send m.receiver l new_selection)
+            (listeners_of listener_map m.receiver)
+        end
+  in
+  let rec loop delivered =
+    if !pending = 0 then begin
+      let assignment =
+        List.fold_left
+          (fun acc n -> Asn.Map.add n (Hashtbl.find nodes n).selected acc)
+          Asn.Map.empty (Spp.nodes t)
+      in
+      Quiesced { assignment; messages = delivered }
+    end
+    else if delivered >= max_messages then Diverged { messages = delivered }
+    else begin
+      let senders = senders_with_mail () in
+      let sender =
+        match schedule with
+        | Fifo -> List.hd senders
+        | Random_delivery rng -> Rng.choose rng (Array.of_list senders)
+      in
+      let q = Hashtbl.find queues sender in
+      let m = Queue.pop q in
+      decr pending;
+      deliver m;
+      loop (delivered + 1)
+    end
+  in
+  loop 0
+
+let quiesces_deterministically ?(trials = 20) ~seed t =
+  let rec go i reference =
+    if i >= trials then true
+    else
+      match run ~schedule:(Random_delivery (Rng.create (seed + i))) t with
+      | Quiesced { assignment; _ } -> (
+          match reference with
+          | None -> go (i + 1) (Some assignment)
+          | Some r -> Spp.equal_assignment r assignment && go (i + 1) reference
+          )
+      | Diverged _ -> false
+  in
+  go 0 None
+
+let pp_outcome fmt = function
+  | Quiesced { messages; _ } ->
+      Format.fprintf fmt "quiesced after %d messages" messages
+  | Diverged { messages } ->
+      Format.fprintf fmt "no quiescence within %d messages" messages

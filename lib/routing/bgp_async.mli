@@ -1,0 +1,42 @@
+(** Message-passing SPVP: the asynchronous BGP model.
+
+    {!Bgp} abstracts BGP as node activations over a shared assignment.
+    This module implements the finer-grained standard model: every node
+    keeps a RIB-In of the last announcement received from each neighbor,
+    announcements and withdrawals travel as messages through per-sender
+    FIFO channels, and processing one message may trigger new
+    announcements.  Convergence means the network {e quiesces} — no
+    messages in flight — at which point the selections necessarily form a
+    stable assignment.
+
+    The §II phenomena persist — and sharpen — in this model: GRC
+    configurations quiesce under any delivery schedule; BAD GADGET never
+    quiesces; and DISAGREE not only quiesces to a timing-dependent state
+    but can {e livelock outright} when the initial announcements race
+    (the two peers keep re-announcing flip-flopping routes to each other
+    forever — a fair non-terminating SPVP execution that the
+    coarser activation model of {!Bgp} cannot exhibit). *)
+
+open Pan_numerics
+
+type schedule =
+  | Fifo  (** deliver messages in global send order (deterministic) *)
+  | Random_delivery of Rng.t
+      (** deliver a random pending message each step, preserving
+          per-sender order (models variable link latency) *)
+
+type outcome =
+  | Quiesced of { assignment : Spp.assignment; messages : int }
+      (** no messages in flight; [messages] were delivered in total *)
+  | Diverged of { messages : int }
+      (** the message budget was exhausted without quiescence *)
+
+val run : ?max_messages:int -> schedule:schedule -> Spp.t -> outcome
+(** Start from cold: the destination announces itself; everyone else
+    knows nothing.  [max_messages] defaults to 100,000. *)
+
+val quiesces_deterministically : ?trials:int -> seed:int -> Spp.t -> bool
+(** Run [trials] (default 20) random-delivery simulations; [true] iff all
+    quiesce to the same assignment. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,90 @@
+open Pan_topology
+
+type spoke = { pivot : Asn.t; spoke : Spp.route; rim : Spp.route }
+
+type wheel = spoke list
+
+(* Vertices of the spoke digraph: every (node, permitted route) pair. *)
+type vertex = { node : Asn.t; route : Spp.route; rank : int }
+
+let vertices t =
+  List.concat_map
+    (fun node ->
+      List.mapi (fun rank route -> { node; route; rank }) (Spp.permitted t node))
+    (Spp.nodes t)
+
+let rec proper_suffixes = function
+  | [] | [ _ ] -> []
+  | _ :: rest -> rest :: proper_suffixes rest
+
+(* Arcs out of (u, Q): for each route P permitted at u with
+   rank(P) <= rank(Q) and P <> Q, and each proper suffix S of P that is
+   permitted at its own head w, an arc to (w, S) with rim P. *)
+let arcs t v =
+  let candidates = Spp.permitted t v.node in
+  List.concat
+    (List.mapi
+       (fun rank p ->
+         if rank > v.rank || p = v.route then []
+         else
+           List.filter_map
+             (fun s ->
+               match s with
+               | w :: _ when not (Asn.equal w v.node) -> (
+                   match Spp.rank t w s with
+                   | Some s_rank ->
+                       Some ({ node = w; route = s; rank = s_rank }, p)
+                   | None -> None)
+               | _ -> None)
+             (proper_suffixes p))
+       candidates)
+
+let find_wheel t =
+  let verts = vertices t in
+  (* DFS with an explicit stack of (vertex, rim) steps to reconstruct the
+     cycle when we re-enter a vertex on the current path. *)
+  let module M = Map.Make (struct
+    type nonrec t = Asn.t * Spp.route
+
+    let compare = compare
+  end) in
+  let key v = (v.node, v.route) in
+  let visited = ref M.empty in
+  (* 0 = unvisited, 1 = on stack, 2 = done *)
+  let state v = try M.find (key v) !visited with Not_found -> 0 in
+  let set v s = visited := M.add (key v) s !visited in
+  let exception Found of wheel in
+  let rec dfs path v =
+    set v 1;
+    List.iter
+      (fun (next, rim) ->
+        match state next with
+        | 1 ->
+            (* cycle: unwind the path back to [next] *)
+            let rec unwind acc = function
+              | [] -> acc
+              | (u, r) :: rest ->
+                  let acc = { pivot = u.node; spoke = u.route; rim = r } :: acc in
+                  if key u = key next then acc else unwind acc rest
+            in
+            raise (Found (unwind [] ((v, rim) :: path)))
+        | 0 -> dfs ((v, rim) :: path) next
+        | _ -> ())
+      (arcs t v);
+    set v 2
+  in
+  try
+    List.iter (fun v -> if state v = 0 then dfs [] v) verts;
+    None
+  with Found w -> Some w
+
+let has_wheel t = find_wheel t <> None
+
+let certified_safe t = not (has_wheel t)
+
+let pp_wheel fmt wheel =
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "pivot %a: spoke [%a], rim [%a]@ " Asn.pp s.pivot
+        Spp.pp_route s.spoke Spp.pp_route s.rim)
+    wheel

@@ -1,0 +1,37 @@
+(** Dispute wheels (Griffin, Shepherd, Wilfong).
+
+    A {e dispute wheel} is a cyclic structure of pivot nodes, spoke routes
+    and rim routes in which every pivot weakly prefers the route around the
+    rim (through the next pivot's spoke) to its own spoke.  The absence of
+    a dispute wheel guarantees that an SPP instance has a unique stable
+    solution and that SPVP is safe under every activation schedule — the
+    theoretical backbone of §II: Gao–Rexford configurations have no wheel,
+    whereas the GRC-violating configurations that motivate PAN agreements
+    do (DISAGREE, WEDGIE) or even lack stable solutions entirely
+    (BAD GADGET). *)
+
+open Pan_topology
+
+type spoke = { pivot : Asn.t; spoke : Spp.route; rim : Spp.route }
+(** One wheel segment: the pivot's spoke route [Q_i] and the rim route
+    [R_i·Q_{i+1}] it weakly prefers (both permitted at the pivot; the rim
+    route ends with the next pivot's spoke). *)
+
+type wheel = spoke list
+(** At least two segments, cyclically consistent. *)
+
+val find_wheel : Spp.t -> wheel option
+(** Search for a dispute wheel by cycle detection on the spoke digraph:
+    node [(u, Q)] has an arc to [(w, Q')] when some route permitted at [u]
+    and ranked at least as high as [Q] is of the form [R·Q'] with [w ≠ u].
+    Exhaustive over permitted routes — intended for gadget-sized
+    instances. *)
+
+val has_wheel : Spp.t -> bool
+
+val certified_safe : Spp.t -> bool
+(** [not (has_wheel t)]: true implies a unique stable solution and
+    convergence under any fair schedule; false is inconclusive on its own
+    (wheels are necessary for divergence, not sufficient). *)
+
+val pp_wheel : Format.formatter -> wheel -> unit

@@ -1,0 +1,106 @@
+open Pan_topology
+
+let asn = Asn.of_int
+
+let disagree () =
+  let d = asn 0 and n1 = asn 1 and n2 = asn 2 in
+  Spp.create ~dest:d
+    ~permitted:
+      [
+        (n1, [ [ n1; n2; d ]; [ n1; d ] ]);
+        (n2, [ [ n2; n1; d ]; [ n2; d ] ]);
+      ]
+
+let bad_gadget () =
+  let d = asn 0 and n1 = asn 1 and n2 = asn 2 and n3 = asn 3 in
+  Spp.create ~dest:d
+    ~permitted:
+      [
+        (n1, [ [ n1; n2; d ]; [ n1; d ] ]);
+        (n2, [ [ n2; n3; d ]; [ n2; d ] ]);
+        (n3, [ [ n3; n1; d ]; [ n3; d ] ]);
+      ]
+
+let good_gadget () =
+  let d = asn 0 and n1 = asn 1 and n2 = asn 2 and n3 = asn 3 in
+  Spp.create ~dest:d
+    ~permitted:
+      [
+        (n1, [ [ n1; d ]; [ n1; n2; d ] ]);
+        (n2, [ [ n2; d ]; [ n2; n3; d ] ]);
+        (n3, [ [ n3; d ]; [ n3; n1; d ] ]);
+      ]
+
+let wedgie () =
+  let d = asn 1 and a2 = asn 2 and a3 = asn 3 and a4 = asn 4 in
+  Spp.create ~dest:d
+    ~permitted:
+      [
+        (* AS2 depreferences the backup customer route below the
+           provider-learned one, as signalled by AS1's community. *)
+        (a2, [ [ a2; a3; a4; d ]; [ a2; d ] ]);
+        (* AS3 prefers its customer route via AS2 over the peer route. *)
+        (a3, [ [ a3; a2; d ]; [ a3; a4; d ] ]);
+        (a4, [ [ a4; d ] ]);
+      ]
+
+let wedgie_intended () =
+  let d = asn 1 and a2 = asn 2 and a3 = asn 3 and a4 = asn 4 in
+  Asn.Map.of_seq
+    (List.to_seq
+       [
+         (a2, Some [ a2; a3; a4; d ]);
+         (a3, Some [ a3; a4; d ]);
+         (a4, Some [ a4; d ]);
+       ])
+
+let wedgie_stuck () =
+  let d = asn 1 and a2 = asn 2 and a3 = asn 3 and a4 = asn 4 in
+  Asn.Map.of_seq
+    (List.to_seq
+       [
+         (a2, Some [ a2; d ]);
+         (a3, Some [ a3; a2; d ]);
+         (a4, Some [ a4; d ]);
+       ])
+
+let fig1 = Gen.fig1_asn
+
+let fig1_disagree () =
+  let a = fig1 'A' and b = fig1 'B' and dd = fig1 'D' and e = fig1 'E' in
+  Spp.create ~dest:a
+    ~permitted:
+      [
+        (* D prefers the peer-learned route via E (which E obtained from
+           its provider B, violating the GRC) over its own provider A. *)
+        (dd, [ [ dd; e; b; a ]; [ dd; a ] ]);
+        (e, [ [ e; dd; a ]; [ e; b; a ] ]);
+        (* B is a passive transit towards its peer A. *)
+        (b, [ [ b; a ] ]);
+      ]
+
+let fig1_bad_gadget () =
+  let a = fig1 'A'
+  and b = fig1 'B'
+  and c = fig1 'C'
+  and dd = fig1 'D'
+  and e = fig1 'E' in
+  Spp.create ~dest:a
+    ~permitted:
+      [
+        (c, [ [ c; dd; a ]; [ c; a ] ]);
+        (dd, [ [ dd; e; b; a ]; [ dd; a ] ]);
+        (e, [ [ e; c; a ]; [ e; b; a ] ]);
+        (b, [ [ b; a ] ]);
+      ]
+
+let surprise () =
+  let d = asn 0 and n1 = asn 1 and n2 = asn 2 and n3 = asn 3 and h = asn 4 in
+  Spp.create ~dest:d
+    ~permitted:
+      [
+        (n1, [ [ n1; h; d ]; [ n1; n2; d ]; [ n1; d ] ]);
+        (n2, [ [ n2; h; d ]; [ n2; n3; d ]; [ n2; d ] ]);
+        (n3, [ [ n3; h; d ]; [ n3; n1; d ]; [ n3; d ] ]);
+        (h, [ [ h; d ] ]);
+      ]

@@ -1,0 +1,52 @@
+(** Canonical SPP instances from the BGP-stability literature, plus their
+    incarnations on the paper's Fig. 1 topology (§II).
+
+    - DISAGREE converges, but to one of two stable states depending on
+      message timing ("BGP wedgie" non-determinism);
+    - the BGP WEDGIE (RFC 4264) has an intended and a stuck stable state,
+      reachable from each other only through a failure;
+    - BAD GADGET has no stable state at all: SPVP oscillates forever. *)
+
+
+val disagree : unit -> Spp.t
+(** Two nodes, each preferring the route through the other: two stable
+    solutions, non-deterministic convergence. Destination is AS 0. *)
+
+val bad_gadget : unit -> Spp.t
+(** Three nodes in a cyclic preference (Griffin–Wilfong): no stable
+    solution; round-robin SPVP oscillates. Destination is AS 0. *)
+
+val good_gadget : unit -> Spp.t
+(** Three nodes preferring their direct route: unique stable solution,
+    deterministic convergence. Destination is AS 0. *)
+
+val wedgie : unit -> Spp.t
+(** The RFC 4264 "3/4 wedgie": customer AS 1 dual-homed to backup provider
+    AS 2 (advertisement depreferenced by community) and primary provider
+    AS 4, with AS 2 a customer of AS 3 and AS 4 a peer of AS 3.  Two stable
+    states: the intended one (traffic via AS 4) and a stuck one (traffic
+    via AS 2) that persists after the primary link recovers. *)
+
+val wedgie_intended : unit -> Spp.assignment
+(** The intended stable state of {!wedgie}. *)
+
+val wedgie_stuck : unit -> Spp.assignment
+(** The stuck stable state of {!wedgie}, reached after failure and recovery
+    of the primary link. *)
+
+val fig1_disagree : unit -> Spp.t
+(** §II on Fig. 1: D and E violate the GRC by offering each other their
+    provider routes towards destination A and preferring peer-learned
+    routes.  An instance of DISAGREE: converges non-deterministically. *)
+
+val fig1_bad_gadget : unit -> Spp.t
+(** §II on Fig. 1: AS C concludes similar GRC-violating agreements with
+    both D and E, completing a cyclic preference towards destination A —
+    the BAD GADGET; SPVP oscillates persistently. *)
+
+val surprise : unit -> Spp.t
+(** A "benign-looking" configuration (§II): BAD GADGET's cyclic
+    preferences, masked by a universally preferred detour through helper
+    AS 4.  It converges deterministically — but failing the link (4, 0)
+    (via {!Grc_check.remove_link}) reduces it exactly to BAD GADGET and
+    SPVP starts oscillating. *)

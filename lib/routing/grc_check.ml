@@ -1,0 +1,75 @@
+open Pan_topology
+
+type violation =
+  | Valley of { node : Asn.t; route : Spp.route }
+  | Preference of { node : Asn.t; preferred : Spp.route; over : Spp.route }
+
+let pp_violation fmt = function
+  | Valley { node; route } ->
+      Format.fprintf fmt "%a permits the non-valley-free route [%a]" Asn.pp
+        node Spp.pp_route route
+  | Preference { node; preferred; over } ->
+      Format.fprintf fmt "%a prefers [%a] over the better-class route [%a]"
+        Asn.pp node Spp.pp_route preferred Spp.pp_route over
+
+let next_hop_class g node route =
+  match route with
+  | _ :: next :: _ -> (
+      match Graph.relationship g node next with
+      | Some Graph.Customer -> 0
+      | Some Graph.Peer -> 1
+      | Some Graph.Provider -> 2
+      | None -> 3)
+  | _ -> 3
+
+let violations g t =
+  List.concat_map
+    (fun node ->
+      let permitted = Spp.permitted t node in
+      let valley =
+        List.filter_map
+          (fun route ->
+            match Path.make g route with
+            | Error _ -> Some (Valley { node; route })
+            | Ok p ->
+                if Path.is_valley_free g p then None
+                else Some (Valley { node; route }))
+          permitted
+      in
+      (* preference must never rank a worse next-hop class above a better
+         one *)
+      let rec pref_violations = function
+        | [] -> []
+        | route :: rest ->
+            let cls = next_hop_class g node route in
+            List.filter_map
+              (fun later ->
+                if next_hop_class g node later < cls then
+                  Some (Preference { node; preferred = route; over = later })
+                else None)
+              rest
+            @ pref_violations rest
+      in
+      valley @ pref_violations permitted)
+    (Spp.nodes t)
+
+let conforms g t = violations g t = []
+
+let remove_link t (x, y) =
+  let uses_link route =
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+          (Asn.equal a x && Asn.equal b y)
+          || (Asn.equal a y && Asn.equal b x)
+          || go rest
+      | _ -> false
+    in
+    go route
+  in
+  let permitted =
+    List.map
+      (fun node ->
+        (node, List.filter (fun r -> not (uses_link r)) (Spp.permitted t node)))
+      (Spp.nodes t)
+  in
+  Spp.create ~dest:(Spp.dest t) ~permitted

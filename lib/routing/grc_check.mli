@@ -1,0 +1,30 @@
+(** Conformance checking of SPP policy configurations against the
+    Gao–Rexford conditions, and link-failure surgery on instances.
+
+    §II notes that seemingly benign GRC-violating configurations "may
+    easily reduce to the BAD GADGET in case one network link fails":
+    {!remove_link} models the failure by withdrawing every route that
+    crosses the failed link, so the reduction can be exhibited and tested
+    (see {!Gadgets.surprise}). *)
+
+open Pan_topology
+
+type violation =
+  | Valley of { node : Asn.t; route : Spp.route }
+      (** a permitted route is not valley-free (illegal GRC export chain) *)
+  | Preference of { node : Asn.t; preferred : Spp.route; over : Spp.route }
+      (** a route is ranked above one with a strictly better next-hop
+          class (customer > peer > provider) *)
+
+val violations : Graph.t -> Spp.t -> violation list
+(** All GRC violations of the configuration with respect to the topology.
+    Routes that are not even paths of the graph are reported as [Valley]
+    violations. *)
+
+val conforms : Graph.t -> Spp.t -> bool
+(** No violations: by the Gao–Rexford theorem, SPVP is then safe. *)
+
+val remove_link : Spp.t -> Asn.t * Asn.t -> Spp.t
+(** Withdraw every permitted route that traverses the (undirected) link. *)
+
+val pp_violation : Format.formatter -> violation -> unit

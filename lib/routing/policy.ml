@@ -1,0 +1,58 @@
+open Pan_topology
+
+let all_simple_routes ?(max_len = 5) g ~dest node =
+  if max_len < 2 then invalid_arg "Policy.all_simple_routes: max_len < 2";
+  let rec extend current visited acc =
+    let head = List.hd current in
+    if Asn.equal head dest then List.rev current :: acc
+    else if List.length current >= max_len then acc
+    else
+      Asn.Set.fold
+        (fun next acc ->
+          if Asn.Set.mem next visited then acc
+          else extend (next :: current) (Asn.Set.add next visited) acc)
+        (Graph.neighbors g head)
+        acc
+  in
+  if Asn.equal node dest then [ [ dest ] ]
+  else extend [ node ] (Asn.Set.singleton node) [] |> List.sort compare
+
+let next_hop_class g route =
+  match route with
+  | src :: next :: _ -> (
+      match Graph.relationship g src next with
+      | Some Graph.Customer -> 0
+      | Some Graph.Peer -> 1
+      | Some Graph.Provider -> 2
+      | None -> 3)
+  | _ -> 3
+
+let grc_rank g route =
+  let next = match route with _ :: n :: _ -> Asn.to_int n | _ -> 0 in
+  (next_hop_class g route, List.length route, next)
+
+let instance_of ?max_len g ~dest ~permit ~compare_routes =
+  let nodes = List.filter (fun x -> not (Asn.equal x dest)) (Graph.ases g) in
+  let permitted =
+    List.map
+      (fun node ->
+        let routes =
+          all_simple_routes ?max_len g ~dest node
+          |> List.filter (permit node)
+          |> List.stable_sort (fun r1 r2 ->
+                 match compare_routes node r1 r2 with
+                 | 0 -> compare r1 r2
+                 | c -> c)
+        in
+        (node, routes))
+      nodes
+  in
+  Spp.create ~dest ~permitted
+
+let grc_instance ?max_len g ~dest =
+  instance_of ?max_len g ~dest
+    ~permit:(fun _node route -> Path.is_valley_free g (Path.make_exn g route))
+    ~compare_routes:(fun _node r1 r2 -> compare (grc_rank g r1) (grc_rank g r2))
+
+let custom_instance ?max_len g ~dest ~permit ~prefer =
+  instance_of ?max_len g ~dest ~permit ~compare_routes:prefer

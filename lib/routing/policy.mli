@@ -1,0 +1,37 @@
+(** Deriving SPP instances from an AS topology and a routing policy.
+
+    Permitted routes are enumerated as simple paths up to a length bound and
+    filtered/ranked by the policy.  The standard {!grc_instance} uses the
+    Gao–Rexford configuration: only valley-free routes are permitted
+    (peer/provider routes are exported to customers only), and routes are
+    preferred by next-hop relationship (customer > peer > provider), then by
+    length, then by lowest next-hop AS number.  [custom_instance] supports
+    the GRC-violating configurations of §II. *)
+
+open Pan_topology
+
+val all_simple_routes :
+  ?max_len:int -> Graph.t -> dest:Asn.t -> Asn.t -> Spp.route list
+(** All simple paths from a node to [dest] along links of the graph, with at
+    most [max_len] ASes (default 5), in lexicographic order. Intended for
+    small illustration topologies. *)
+
+val grc_rank : Graph.t -> Spp.route -> int * int * int
+(** The GRC preference key of a route for its source: smaller is better.
+    Exposed for tests and for building custom policies that deviate from
+    GRC in controlled ways. *)
+
+val grc_instance : ?max_len:int -> Graph.t -> dest:Asn.t -> Spp.t
+(** The SPP instance induced by GRC-conforming policies. By the Gao–Rexford
+    theorem its SPVP dynamics converge under any fair schedule. *)
+
+val custom_instance :
+  ?max_len:int ->
+  Graph.t ->
+  dest:Asn.t ->
+  permit:(Asn.t -> Spp.route -> bool) ->
+  prefer:(Asn.t -> Spp.route -> Spp.route -> int) ->
+  Spp.t
+(** Build an instance with arbitrary permit/preference policy. [prefer] is a
+    comparison (negative = first route preferred); ties are broken by the
+    lexicographic order of routes so instances are well-defined. *)

@@ -1,0 +1,136 @@
+open Pan_topology
+
+type route = Asn.t list
+
+type t = { dest : Asn.t; permitted : route list Asn.Map.t }
+
+let validate_route dest node route =
+  let fail msg = invalid_arg ("Spp.create: " ^ msg) in
+  match route with
+  | [] -> fail "empty route"
+  | first :: _ ->
+      if not (Asn.equal first node) then
+        fail
+          (Printf.sprintf "route of AS%d starts at AS%d" (Asn.to_int node)
+             (Asn.to_int first));
+      let rec last = function
+        | [ x ] -> x
+        | _ :: rest -> last rest
+        | [] -> assert false
+      in
+      if not (Asn.equal (last route) dest) then
+        fail
+          (Printf.sprintf "route of AS%d does not end at the destination"
+             (Asn.to_int node));
+      let rec distinct = function
+        | [] -> ()
+        | x :: rest ->
+            if List.exists (Asn.equal x) rest then
+              fail
+                (Printf.sprintf "route of AS%d revisits AS%d"
+                   (Asn.to_int node) (Asn.to_int x));
+            distinct rest
+      in
+      distinct route
+
+let create ~dest ~permitted =
+  let map =
+    List.fold_left
+      (fun acc (node, routes) ->
+        if Asn.equal node dest then
+          invalid_arg "Spp.create: the destination has no permitted list";
+        if Asn.Map.mem node acc then
+          invalid_arg
+            (Printf.sprintf "Spp.create: AS%d listed twice" (Asn.to_int node));
+        List.iter (validate_route dest node) routes;
+        let rec dup_free = function
+          | [] -> ()
+          | r :: rest ->
+              if List.mem r rest then
+                invalid_arg
+                  (Printf.sprintf "Spp.create: duplicate route for AS%d"
+                     (Asn.to_int node));
+              dup_free rest
+        in
+        dup_free routes;
+        Asn.Map.add node routes acc)
+      Asn.Map.empty permitted
+  in
+  { dest; permitted = map }
+
+let dest t = t.dest
+let nodes t = Asn.Map.fold (fun node _ acc -> node :: acc) t.permitted []
+              |> List.rev
+
+let permitted t node =
+  match Asn.Map.find_opt node t.permitted with Some r -> r | None -> []
+
+let rank t node route =
+  let rec find i = function
+    | [] -> None
+    | r :: rest -> if r = route then Some i else find (i + 1) rest
+  in
+  find 0 (permitted t node)
+
+type assignment = route option Asn.Map.t
+
+let initial t = Asn.Map.map (fun _ -> None) t.permitted
+
+let selection t assignment node =
+  if Asn.equal node t.dest then Some [ t.dest ]
+  else Option.join (Asn.Map.find_opt node assignment)
+
+let consistent t assignment route =
+  match route with
+  | [] -> false
+  | [ d ] -> Asn.equal d t.dest
+  | _ :: (next :: _ as tail) -> selection t assignment next = Some tail
+
+let best_available t assignment node =
+  List.find_opt (consistent t assignment) (permitted t node)
+
+let is_stable t assignment =
+  Asn.Map.for_all
+    (fun node _ ->
+      selection t assignment node
+      = best_available t assignment node)
+    t.permitted
+
+let equal_assignment = Asn.Map.equal (Option.equal ( = ))
+
+let stable_solutions ?(max_space = 10_000_000) t =
+  let node_list = nodes t in
+  let space =
+    List.fold_left
+      (fun acc node ->
+        let choices = List.length (permitted t node) + 1 in
+        if acc > max_space / choices then max_space + 1 else acc * choices)
+      1 node_list
+  in
+  if space > max_space then
+    invalid_arg "Spp.stable_solutions: search space too large";
+  let rec enumerate nodes acc =
+    match nodes with
+    | [] -> if is_stable t acc then [ acc ] else []
+    | node :: rest ->
+        let choices = None :: List.map Option.some (permitted t node) in
+        List.concat_map
+          (fun choice -> enumerate rest (Asn.Map.add node choice acc))
+          choices
+  in
+  enumerate node_list Asn.Map.empty
+
+let pp_route fmt route =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+    Asn.pp fmt route
+
+let pp_assignment fmt assignment =
+  Asn.Map.iter
+    (fun node sel ->
+      Format.fprintf fmt "%a: %a@ " Asn.pp node
+        (fun fmt -> function
+          | None -> Format.pp_print_string fmt "-"
+          | Some r -> pp_route fmt r)
+        sel)
+    assignment

@@ -1,0 +1,59 @@
+(** The Stable Paths Problem (SPP) of Griffin, Shepherd and Wilfong, which
+    the paper's §II uses to explain why BGP needs the Gao–Rexford
+    conditions while PANs do not.
+
+    An SPP instance fixes a destination AS and, for every other node, an
+    ordered list of {e permitted routes} (best first).  A {e stable}
+    assignment gives each node a route that is (a) consistent — its tail is
+    the route currently selected by the next hop — and (b) a best response —
+    no higher-ranked permitted route is consistent.  BGP converges exactly
+    when the induced best-response dynamics reach such an assignment. *)
+
+open Pan_topology
+
+type route = Asn.t list
+(** A route from a node to the destination, both inclusive: [u; ...; dest].
+    The destination's own route is [\[dest\]]. *)
+
+type t
+
+val create : dest:Asn.t -> permitted:(Asn.t * route list) list -> t
+(** Build an instance. Each listed node supplies its permitted routes, best
+    first. @raise Invalid_argument if a route is empty, does not start at
+    its node, does not end at [dest], revisits a node, or is listed twice
+    for the same node. *)
+
+val dest : t -> Asn.t
+val nodes : t -> Asn.t list
+(** All nodes except the destination, ascending. *)
+
+val permitted : t -> Asn.t -> route list
+(** Permitted routes of a node, best first (empty for unknown nodes). *)
+
+val rank : t -> Asn.t -> route -> int option
+(** Position of a route in the node's preference list (0 = best). *)
+
+type assignment = route option Asn.Map.t
+(** Current selection of each non-destination node; [None] = no route. *)
+
+val initial : t -> assignment
+(** Every node starts with no route. *)
+
+val consistent : t -> assignment -> route -> bool
+(** Is the route realizable given the neighbors' current selections? *)
+
+val best_available : t -> assignment -> Asn.t -> route option
+(** The node's best permitted route that is consistent, if any. *)
+
+val is_stable : t -> assignment -> bool
+(** Is every node best-responding? *)
+
+val stable_solutions : ?max_space:int -> t -> assignment list
+(** All stable assignments, by exhaustive search over the product of
+    per-node choices.  @raise Invalid_argument if the search space exceeds
+    [max_space] (default [10_000_000]) — the checker is meant for gadgets
+    and other small instances. *)
+
+val equal_assignment : assignment -> assignment -> bool
+val pp_route : Format.formatter -> route -> unit
+val pp_assignment : Format.formatter -> assignment -> unit

@@ -1,0 +1,49 @@
+open Pan_topology
+
+type t = {
+  graph : Graph.t;
+  mas : (Asn.t * Asn.t) list;
+  core_transit : bool;
+}
+
+let normalize (x, y) = if Asn.compare x y <= 0 then (x, y) else (y, x)
+
+let create ?(core_transit = true) ?(mas = []) graph =
+  List.iter
+    (fun (x, y) ->
+      match Graph.relationship graph x y with
+      | Some Graph.Peer -> ()
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Authz.create: MA between AS%d and AS%d without peering link"
+               (Asn.to_int x) (Asn.to_int y)))
+    mas;
+  { graph; mas = List.map normalize mas; core_transit }
+
+let graph t = t.graph
+
+let has_ma t x y = List.mem (normalize (x, y)) t.mas
+
+let allows t ~at ~prev ~next =
+  let adjacent = function
+    | None -> true
+    | Some n -> Graph.connected t.graph at n
+  in
+  if not (adjacent prev && adjacent next) then false
+  else
+    match (prev, next) with
+    | None, _ | _, None -> true
+    | Some p, Some n ->
+        let customers = Graph.customers t.graph at in
+        let grc_ok = Asn.Set.mem p customers || Asn.Set.mem n customers in
+        let ma_ok =
+          has_ma t at p
+          && (Asn.Set.mem n (Graph.providers t.graph at)
+             || Asn.Set.mem n (Graph.peers t.graph at))
+        in
+        let is_core x = Asn.Set.is_empty (Graph.providers t.graph x) in
+        let core_ok = t.core_transit && is_core at && is_core p && is_core n in
+        grc_ok || ma_ok || core_ok
+
+let mas t = t.mas

@@ -1,0 +1,39 @@
+(** Per-AS path-authorization policy.
+
+    In a PAN, paths are {e provider-acknowledged}: an AS cryptographically
+    authorizes each hop through its network during path construction, so
+    end-hosts can only use paths every on-path AS agreed to carry (§I, §II).
+    This module captures the local decision each AS makes when asked to
+    authorize a hop [prev → self → next]:
+
+    - under plain GRC economics, transit is authorized iff the traffic
+      comes from or goes to a customer (the valley-free local condition);
+    - a concluded mutuality-based agreement with a peer additionally
+      authorizes transit from that peer towards the AS's providers and
+      peers (§III-B2). *)
+
+open Pan_topology
+
+type t
+
+val create : ?core_transit:bool -> ?mas:(Asn.t * Asn.t) list -> Graph.t -> t
+(** [create ~mas g]: [mas] lists concluded mutuality-based agreements as
+    unordered peer pairs.  [core_transit] (default [true]) makes
+    provider-less ASes authorize transit between their provider-less peers,
+    as core ASes do in SCION's inter-ISD routing.
+    @raise Invalid_argument if a listed MA pair is not a peering link of
+    [g]. *)
+
+val graph : t -> Graph.t
+
+val has_ma : t -> Asn.t -> Asn.t -> bool
+(** Is there a concluded MA between the two ASes (order-insensitive)? *)
+
+val allows : t -> at:Asn.t -> prev:Asn.t option -> next:Asn.t option -> bool
+(** Does AS [at] authorize the hop?  [prev = None] means [at] originates
+    the traffic, [next = None] means [at] is the destination; both are
+    always authorized.  For transit, [at] checks the GRC rule and any MA it
+    concluded with [prev]. Non-adjacent [prev]/[next] are refused. *)
+
+val mas : t -> (Asn.t * Asn.t) list
+(** The concluded MAs, normalized with the smaller AS number first. *)

@@ -1,0 +1,98 @@
+open Pan_topology
+
+type t = {
+  core : Asn.t list;
+  down : Segment.t list Asn.Map.t;
+  core_segs : Segment.t list;
+}
+
+let register key seg map =
+  Asn.Map.update key
+    (function None -> Some [ seg ] | Some l -> Some (seg :: l))
+    map
+
+let run ?(max_depth = 6) ?(max_core_len = 4) ?(max_segments_per_as = 8) authz
+    =
+  if max_depth < 2 then invalid_arg "Beacon.run: max_depth < 2";
+  if max_core_len < 2 then invalid_arg "Beacon.run: max_core_len < 2";
+  if max_segments_per_as < 1 then
+    invalid_arg "Beacon.run: max_segments_per_as < 1";
+  let g = Authz.graph authz in
+  let core =
+    List.filter (fun x -> Asn.Set.is_empty (Graph.providers g x)) (Graph.ases g)
+  in
+  (* Propagate PCBs down customer links.  [trail] is the reversed AS
+     sequence from the originating core AS to the current AS. *)
+  let down = ref Asn.Map.empty in
+  let rec propagate trail current depth =
+    let seg_ases = List.rev (current :: trail) in
+    (match Segment.make authz seg_ases with
+    | Ok seg -> down := register current seg !down
+    | Error _ -> ());
+    if depth < max_depth then
+      Asn.Set.iter
+        (fun customer ->
+          if not (List.exists (Asn.equal customer) (current :: trail)) then
+            propagate (current :: trail) customer (depth + 1))
+        (Graph.customers g current)
+  in
+  List.iter
+    (fun c ->
+      Asn.Set.iter (fun customer -> propagate [ c ] customer 2)
+        (Graph.customers g c))
+    core;
+  (* Core beaconing: simple paths across the core peering mesh. *)
+  let core_set = Asn.set_of_list core in
+  let core_segs = ref [] in
+  let rec explore trail current len =
+    let seg_ases = List.rev (current :: trail) in
+    (match Segment.make authz seg_ases with
+    | Ok seg -> core_segs := seg :: !core_segs
+    | Error _ -> ());
+    if len < max_core_len then
+      Asn.Set.iter
+        (fun peer ->
+          if
+            Asn.Set.mem peer core_set
+            && not (List.exists (Asn.equal peer) (current :: trail))
+          then explore (current :: trail) peer (len + 1))
+        (Graph.peers g current)
+  in
+  List.iter
+    (fun c ->
+      Asn.Set.iter
+        (fun peer ->
+          if Asn.Set.mem peer core_set then explore [ c ] peer 2)
+        (Graph.peers g c))
+    core;
+  (* keep the shortest segments per AS, with a deterministic tiebreak *)
+  let down =
+    Asn.Map.map
+      (fun segs ->
+        let sorted =
+          List.stable_sort
+            (fun s1 s2 ->
+              match compare (Segment.length s1) (Segment.length s2) with
+              | 0 -> compare (Segment.ases s1) (Segment.ases s2)
+              | c -> c)
+            segs
+        in
+        List.filteri (fun i _ -> i < max_segments_per_as) sorted)
+      !down
+  in
+  { core; down; core_segs = !core_segs }
+
+let core_ases t = t.core
+
+let down_segments t x =
+  match Asn.Map.find_opt x t.down with Some l -> l | None -> []
+
+let core_segments t ~src ~dst =
+  List.filter
+    (fun seg ->
+      Asn.equal (Segment.source seg) src && Asn.equal (Segment.destination seg) dst)
+    t.core_segs
+
+let segment_count t =
+  Asn.Map.fold (fun _ l acc -> acc + List.length l) t.down 0
+  + List.length t.core_segs

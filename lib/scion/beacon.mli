@@ -1,0 +1,40 @@
+(** Path-segment construction by beaconing.
+
+    Core ASes (those without providers) periodically originate path
+    construction beacons (PCBs) that propagate down provider→customer
+    links; every traversed AS authorizes and stamps its hop and the
+    terminal AS registers the accumulated segment as a {e down-segment}
+    (used in reverse as an {e up-segment}).  Core ASes additionally
+    disseminate {e core-segments} between each other across the core
+    peering mesh.
+
+    Beaconing is independent of BGP: path discovery resembles BGP's
+    announcement flooding, but since data packets carry their full path,
+    no convergence of a shared view is required (§II). *)
+
+open Pan_topology
+
+type t
+(** The result of a beaconing run: all registered segments. *)
+
+val run :
+  ?max_depth:int -> ?max_core_len:int -> ?max_segments_per_as:int ->
+  Authz.t -> t
+(** Disseminate PCBs over the policy's graph. [max_depth] bounds the number
+    of ASes in a down-segment (default 6); [max_core_len] bounds core
+    segments (default 4); [max_segments_per_as] keeps only that many
+    registered down-segments per AS, shortest first (default 8) —
+    mirroring how SCION path services cap the segments they serve, and
+    keeping path combination tractable on dense graphs. *)
+
+val core_ases : t -> Asn.t list
+(** The provider-less ASes that originate beacons. *)
+
+val down_segments : t -> Asn.t -> Segment.t list
+(** Segments from some core AS down to the given AS (empty for core ASes
+    themselves and unknown ASes). *)
+
+val core_segments : t -> src:Asn.t -> dst:Asn.t -> Segment.t list
+(** Core segments from one core AS to another. *)
+
+val segment_count : t -> int

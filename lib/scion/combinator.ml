@@ -1,0 +1,188 @@
+open Pan_topology
+
+(* AS sequences of the source's up-paths (source first) and the
+   destination's down-paths (core AS first).  A core AS contributes the
+   trivial one-element sequence. *)
+let up_sequences ps src =
+  let segs = List.map Segment.ases (Path_server.up_segments ps src) in
+  if List.exists (Asn.equal src) (Path_server.core_ases ps) then
+    [ src ] :: segs
+  else segs
+
+let down_sequences ps dst =
+  let segs = List.map Segment.ases (Path_server.down_segments ps dst) in
+  if List.exists (Asn.equal dst) (Path_server.core_ases ps) then
+    [ dst ] :: segs
+  else segs
+
+let rec last = function
+  | [ x ] -> x
+  | _ :: rest -> last rest
+  | [] -> invalid_arg "Combinator.last"
+
+(* src..c1 joined with c2..dst through the core. *)
+let core_combinations ~emit ps ups downs =
+  List.iter
+    (fun up ->
+      let c1 = last up in
+      List.iter
+        (fun down ->
+          match down with
+          | [] -> ()
+          | c2 :: down_rest ->
+              if Asn.equal c1 c2 then emit (up @ down_rest)
+              else
+                List.iter
+                  (fun core_seg ->
+                    match Segment.ases core_seg with
+                    | _ :: core_rest -> emit (up @ core_rest @ down_rest)
+                    | [] -> assert false)
+                  (Path_server.core_segments ps ~src:c1 ~dst:c2))
+        downs)
+    ups
+
+let prefixes seq =
+  let rec go acc rev = function
+    | [] -> List.rev acc
+    | x :: rest ->
+        let rev = x :: rev in
+        go (List.rev rev :: acc) rev rest
+  in
+  go [] [] seq
+
+let rec suffixes = function
+  | [] -> []
+  | _ :: rest as seq -> seq :: suffixes rest
+
+(* Cross from the last AS of an up-prefix to an AS opening a down-suffix
+   over a peering link (standard SCION shortcut). *)
+let peering_combinations ~emit g ups downs =
+  let down_suffixes = List.concat_map suffixes downs in
+  List.iter
+    (fun up ->
+      List.iter
+        (fun pre ->
+          let x = last pre in
+          let x_peers = Graph.peers g x in
+          List.iter
+            (fun suf ->
+              match suf with
+              | y :: _ when Asn.Set.mem y x_peers -> emit (pre @ suf)
+              | _ -> ())
+            down_suffixes)
+        (prefixes up))
+    ups
+
+(* Cross from X to its MA partner Y, then onward to a provider or peer Z
+   of Y opening a down-suffix: the GRC-violating splice the MA enables.
+   Driven by the up-prefixes (not the global MA list) so dense topologies
+   with thousands of concluded MAs stay tractable. *)
+let ma_combinations ~emit g mas ups downs =
+  let partners = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      let add x y =
+        let existing =
+          match Hashtbl.find_opt partners x with Some l -> l | None -> []
+        in
+        Hashtbl.replace partners x (y :: existing)
+      in
+      add a b;
+      add b a)
+    mas;
+  let continuation_cache = Hashtbl.create 16 in
+  let continuations y =
+    match Hashtbl.find_opt continuation_cache y with
+    | Some s -> s
+    | None ->
+        let s = Asn.Set.union (Graph.providers g y) (Graph.peers g y) in
+        Hashtbl.replace continuation_cache y s;
+        s
+  in
+  let down_suffixes = List.concat_map suffixes downs in
+  List.iter
+    (fun up ->
+      List.iter
+        (fun pre ->
+          let x = last pre in
+          match Hashtbl.find_opt partners x with
+          | None -> ()
+          | Some ys ->
+              List.iter
+                (fun y ->
+                  let conts = continuations y in
+                  List.iter
+                    (fun suf ->
+                      match suf with
+                      | z :: _ when Asn.Set.mem z conts ->
+                          emit (pre @ (y :: suf))
+                      | _ -> ())
+                    down_suffixes)
+                ys)
+        (prefixes up))
+    ups
+
+exception Enough
+
+let end_to_end ?(max_paths = 1000) ?(candidate_budget = 50_000) ps ~src ~dst
+    =
+  if Asn.equal src dst then []
+  else begin
+    let authz = Path_server.authz ps in
+    let g = Authz.graph authz in
+    let ups = up_sequences ps src in
+    let downs = down_sequences ps dst in
+    let seen = Hashtbl.create 64 in
+    let collected = ref [] in
+    (* Validate candidates as they are emitted, with a per-stage quota of
+       valid paths and a per-stage scan budget: every stage (core,
+       peering shortcut, MA splice) contributes to the result even on
+       densely peered graphs where the earlier stages alone could fill
+       the whole path set. *)
+    let run_stage stage =
+      let valid_count = ref 0 in
+      let scanned = ref 0 in
+      let emit ases =
+        incr scanned;
+        if not (Hashtbl.mem seen ases) then begin
+          Hashtbl.replace seen ases ();
+          match Segment.make authz ases with
+          | Ok seg ->
+              incr valid_count;
+              collected := (ases, seg) :: !collected
+          | Error _ -> ()
+        end;
+        if !valid_count >= max_paths * 2 || !scanned >= candidate_budget then
+          raise Enough
+      in
+      try stage emit with Enough -> ()
+    in
+    run_stage (fun emit -> core_combinations ~emit ps ups downs);
+    run_stage (fun emit -> peering_combinations ~emit g ups downs);
+    run_stage (fun emit -> ma_combinations ~emit g (Authz.mas authz) ups downs);
+    let sorted =
+      List.stable_sort
+        (fun (a1, _) (a2, _) ->
+          match compare (List.length a1) (List.length a2) with
+          | 0 -> compare a1 a2
+          | c -> c)
+        (List.rev !collected)
+    in
+    List.filteri (fun i _ -> i < max_paths) sorted |> List.map snd
+  end
+
+let best_path ?metric ps ~src ~dst =
+  let score =
+    match metric with
+    | Some m -> m
+    | None -> fun ases -> float_of_int (List.length ases)
+  in
+  let paths = end_to_end ps ~src ~dst in
+  List.fold_left
+    (fun best seg ->
+      let s = score (Segment.ases seg) in
+      match best with
+      | Some (_, bs) when bs <= s -> best
+      | _ -> Some (seg, s))
+    None paths
+  |> Option.map fst

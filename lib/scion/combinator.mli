@@ -1,0 +1,45 @@
+(** Combination of registered segments into end-to-end paths.
+
+    Mirrors SCION path combination: an end-to-end path is an up-segment of
+    the source, optionally a core-segment, and a down-segment of the
+    destination.  Two kinds of shortcut splices are supported:
+
+    - {e peering shortcuts}: cross from an AS on the up-segment to a peer
+      on the down-segment (GRC-conforming, as both sides see customer
+      traffic);
+    - {e MA shortcuts}: where a mutuality-based agreement between peers
+      X and Y has been concluded, cross from X to Y and continue to one of
+      Y's providers or peers — the GRC-violating paths the paper's
+      agreements enable (§III-B3).
+
+    Every returned path is validated and stamped hop-by-hop via
+    {!Segment.make}, so only paths authorized by all on-path ASes are
+    produced. *)
+
+open Pan_topology
+
+val end_to_end :
+  ?max_paths:int ->
+  ?candidate_budget:int ->
+  Path_server.t ->
+  src:Asn.t ->
+  dst:Asn.t ->
+  Segment.t list
+(** Distinct authorized end-to-end paths found by combination, sorted by
+    increasing AS-level length then lexicographically, truncated to
+    [max_paths] (default 1000).  Candidate generation is bounded per
+    stage: each of the three stages (core combinations, peering
+    shortcuts, MA splices) stops after contributing [2 × max_paths] valid
+    paths or scanning [candidate_budget] candidates (default 50,000), so
+    on densely peered graphs the result is a deterministic,
+    shortest-biased, stage-diverse subset rather than the full
+    (potentially huge) path set. *)
+
+val best_path :
+  ?metric:(Asn.t list -> float) ->
+  Path_server.t ->
+  src:Asn.t ->
+  dst:Asn.t ->
+  Segment.t option
+(** The minimum-[metric] path among {!end_to_end} results (default metric:
+    AS-level length) — the "path selection by the packet source". *)

@@ -1,0 +1,73 @@
+open Pan_topology
+
+type t = {
+  authz : Authz.t;
+  path_server : Path_server.t;
+  mutable failed : (Asn.t * Asn.t) list;
+}
+
+let normalize (x, y) = if Asn.compare x y <= 0 then (x, y) else (y, x)
+
+let create authz =
+  let beacons = Beacon.run authz in
+  { authz; path_server = Path_server.build authz beacons; failed = [] }
+
+let authz t = t.authz
+let path_server t = t.path_server
+
+let fail_link t x y =
+  let key = normalize (x, y) in
+  if not (List.mem key t.failed) then t.failed <- key :: t.failed
+
+let restore_link t x y =
+  let key = normalize (x, y) in
+  t.failed <- List.filter (fun k -> k <> key) t.failed
+
+let restore_all t = t.failed <- []
+
+let failed_links t = t.failed
+
+let link_up t x y = not (List.mem (normalize (x, y)) t.failed)
+
+(* Walk the embedded path hop by hop; a failed link drops the packet at
+   the upstream AS, as a border router with a dead interface would. *)
+let send_on_segment t segment ~payload =
+  match
+    Forwarding.send t.authz { Forwarding.segment; payload }
+  with
+  | Error reason ->
+      Error (Format.asprintf "%a" Forwarding.pp_drop_reason reason)
+  | Ok delivery ->
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+            if link_up t a b then check rest
+            else
+              Error
+                (Format.asprintf "link %a-%a is down" Asn.pp a Asn.pp b)
+        | _ -> Ok delivery
+      in
+      check delivery.Forwarding.trace
+
+type outcome = {
+  delivery : Forwarding.delivery;
+  attempts : int;  (** paths tried, including the successful one *)
+}
+
+let send_with_failover ?(max_paths = 32) t ~src ~dst ~payload =
+  let paths = Combinator.end_to_end ~max_paths t.path_server ~src ~dst in
+  let rec try_paths attempts = function
+    | [] ->
+        Error
+          (Printf.sprintf "no live path among %d candidates"
+             (List.length paths))
+    | seg :: rest -> (
+        match send_on_segment t seg ~payload with
+        | Ok delivery -> Ok { delivery; attempts = attempts + 1 }
+        | Error _ -> try_paths (attempts + 1) rest)
+  in
+  try_paths 0 paths
+
+let connectivity ?(max_paths = 32) t ~src ~dst =
+  match send_with_failover ~max_paths t ~src ~dst ~payload:"" with
+  | Ok _ -> true
+  | Error _ -> false

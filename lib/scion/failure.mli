@@ -1,0 +1,51 @@
+(** Link failures and end-host multipath failover.
+
+    One of the paper's motivations for PANs (§I) is that the availability
+    of multiple authorized paths lets end-hosts route around failures
+    without waiting for any control-plane convergence.  This module keeps
+    a mutable set of failed links over an authorization policy, forwards
+    packets with hop-by-hop liveness checks, and implements the end-host
+    strategy of retrying across the path set.
+
+    Mutuality-based agreements enlarge the path set, so they directly
+    improve the failover success rate — quantified by
+    {!Pan_experiments.Resilience}. *)
+
+open Pan_topology
+
+type t
+
+val create : Authz.t -> t
+(** Beacon over the policy's graph and index the segments; all links start
+    up. *)
+
+val authz : t -> Authz.t
+val path_server : t -> Path_server.t
+
+val fail_link : t -> Asn.t -> Asn.t -> unit
+(** Order-insensitive; idempotent. *)
+
+val restore_link : t -> Asn.t -> Asn.t -> unit
+val restore_all : t -> unit
+val failed_links : t -> (Asn.t * Asn.t) list
+val link_up : t -> Asn.t -> Asn.t -> bool
+
+val send_on_segment :
+  t -> Segment.t -> payload:string -> (Forwarding.delivery, string) result
+(** Forward along one embedded path; drops at the upstream AS of a failed
+    link (or on any authorization/MAC error). *)
+
+type outcome = { delivery : Forwarding.delivery; attempts : int }
+
+val send_with_failover :
+  ?max_paths:int ->
+  t ->
+  src:Asn.t ->
+  dst:Asn.t ->
+  payload:string ->
+  (outcome, string) result
+(** Try the combinator's paths shortest-first until one delivers;
+    [attempts] counts the paths tried. *)
+
+val connectivity : ?max_paths:int -> t -> src:Asn.t -> dst:Asn.t -> bool
+(** Does any live authorized path connect the pair right now? *)

@@ -1,0 +1,59 @@
+open Pan_topology
+
+type packet = { segment : Segment.t; payload : string }
+
+type drop_reason = Bad_mac of Asn.t | Link_down of Asn.t * Asn.t
+
+type delivery = { trace : Asn.t list; payload : string }
+
+let pp_drop_reason fmt = function
+  | Bad_mac a -> Format.fprintf fmt "MAC verification failed at %a" Asn.pp a
+  | Link_down (a, b) ->
+      Format.fprintf fmt "no link between %a and %a" Asn.pp a Asn.pp b
+
+(* Each AS verifies its own hop in the chain.  We recompute the chain
+   prefix as the packet progresses; a mismatch at any hop drops the packet
+   there, just as a border router rejecting an invalid hop field would. *)
+let send authz packet =
+  let g = Authz.graph authz in
+  let seg = packet.segment in
+  let ases = Segment.ases seg in
+  let hops = Segment.hops seg in
+  let expected =
+    match Segment.make authz ases with
+    | Ok reference -> Some (Segment.hops reference)
+    | Error _ -> None
+  in
+  let rec walk trace hops expected_hops prev =
+    match (hops, expected_hops) with
+    | [], _ -> Ok { trace = List.rev trace; payload = packet.payload }
+    | (hop : Segment.hop) :: rest, exp ->
+        (* adjacency check before handing over *)
+        let link_ok =
+          match prev with
+          | None -> true
+          | Some p -> Graph.connected g p hop.asn
+        in
+        if not link_ok then
+          Error (Link_down (Option.get prev, hop.asn))
+        else
+          let mac_ok =
+            match exp with
+            | Some ((e : Segment.hop) :: _) -> e.mac = hop.mac
+            | Some [] | None -> false
+          in
+          if not mac_ok then Error (Bad_mac hop.asn)
+          else
+            walk (hop.asn :: trace) rest
+              (Option.map List.tl exp)
+              (Some hop.asn)
+  in
+  walk [] hops expected None
+
+let send_path authz ases ~payload =
+  match Segment.make authz ases with
+  | Error e -> Error (Format.asprintf "%a" Segment.pp_error e)
+  | Ok segment -> (
+      match send authz { segment; payload } with
+      | Ok d -> Ok d
+      | Error reason -> Error (Format.asprintf "%a" pp_drop_reason reason))

@@ -1,0 +1,31 @@
+(** Data-plane forwarding along header-embedded paths.
+
+    A packet carries its full authorized path; each on-path AS verifies its
+    own hop authenticator and hands the packet to the next AS on the path.
+    No forwarding table, no shared view, no convergence: this is the
+    mechanism that makes the Gao–Rexford conditions unnecessary for
+    stability in a PAN (§II). *)
+
+open Pan_topology
+
+type packet = { segment : Segment.t; payload : string }
+
+type drop_reason =
+  | Bad_mac of Asn.t  (** hop authenticator failed verification at this AS *)
+  | Link_down of Asn.t * Asn.t
+      (** the embedded path uses a link absent from the graph *)
+
+type delivery = { trace : Asn.t list; payload : string }
+
+val send : Authz.t -> packet -> (delivery, drop_reason) result
+(** Forward hop by hop.  On success the trace equals the embedded path —
+    in particular it is loop-free, whatever the inter-AS agreements, since
+    every AS simply follows the header. *)
+
+val send_path :
+  Authz.t -> Asn.t list -> payload:string -> (delivery, string) result
+(** Convenience: construct the segment (asking each AS for authorization)
+    and forward. The error string reports either the refused hop or the
+    drop reason. *)
+
+val pp_drop_reason : Format.formatter -> drop_reason -> unit

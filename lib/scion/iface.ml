@@ -1,0 +1,39 @@
+open Pan_topology
+
+type t = {
+  forward : (Asn.t * Asn.t, int) Hashtbl.t;
+  reverse : (Asn.t * int, Asn.t) Hashtbl.t;
+  counts : (Asn.t, int) Hashtbl.t;
+}
+
+let build g =
+  let forward = Hashtbl.create 4096 in
+  let reverse = Hashtbl.create 4096 in
+  let counts = Hashtbl.create 1024 in
+  List.iter
+    (fun x ->
+      let neighbors = Asn.Set.elements (Graph.neighbors g x) in
+      List.iteri
+        (fun i n ->
+          Hashtbl.replace forward (x, n) (i + 1);
+          Hashtbl.replace reverse (x, i + 1) n)
+        neighbors;
+      Hashtbl.replace counts x (List.length neighbors))
+    (Graph.ases g);
+  { forward; reverse; counts }
+
+let id t asn neighbor = Hashtbl.find t.forward (asn, neighbor)
+
+let neighbor t asn iface = Hashtbl.find_opt t.reverse (asn, iface)
+
+let count t asn =
+  match Hashtbl.find_opt t.counts asn with Some c -> c | None -> 0
+
+let hops_with_interfaces t path =
+  let rec go prev = function
+    | [] -> []
+    | [ last ] -> [ (last, Option.map (id t last) prev, None) ]
+    | x :: (next :: _ as rest) ->
+        (x, Option.map (id t x) prev, Some (id t x next)) :: go (Some x) rest
+  in
+  go None path

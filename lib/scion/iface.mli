@@ -1,0 +1,31 @@
+(** Interface numbering.
+
+    SCION hop fields identify links by per-AS {e interface identifiers},
+    not by neighbor AS numbers.  This module assigns each AS a dense,
+    deterministic numbering of its links (sorted by neighbor AS number,
+    starting at 1), providing the translation layer between the AS-level
+    paths used throughout this library and the interface-level hop fields
+    of the wire format ({!Wire}). *)
+
+open Pan_topology
+
+type t
+
+val build : Graph.t -> t
+(** Number every AS's interfaces. Deterministic for a given graph. *)
+
+val id : t -> Asn.t -> Asn.t -> int
+(** [id t asn neighbor] is the interface of [asn] facing [neighbor].
+    @raise Not_found if they are not adjacent. *)
+
+val neighbor : t -> Asn.t -> int -> Asn.t option
+(** Reverse lookup: which neighbor is behind this interface id? *)
+
+val count : t -> Asn.t -> int
+(** Number of interfaces of an AS (= its degree). *)
+
+val hops_with_interfaces :
+  t -> Asn.t list -> (Asn.t * int option * int option) list
+(** Annotate an AS-level path with (ingress, egress) interface ids per
+    AS; [None] at the endpoints.
+    @raise Not_found if consecutive ASes are not adjacent. *)

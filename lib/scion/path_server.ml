@@ -1,0 +1,30 @@
+open Pan_topology
+
+type t = {
+  authz : Authz.t;
+  beacon : Beacon.t;
+  up_cache : (Asn.t, Segment.t list) Hashtbl.t;
+}
+
+let build authz beacon = { authz; beacon; up_cache = Hashtbl.create 256 }
+
+let down_segments t x = Beacon.down_segments t.beacon x
+
+let up_segments t x =
+  match Hashtbl.find_opt t.up_cache x with
+  | Some segs -> segs
+  | None ->
+      let segs =
+        List.filter_map
+          (fun seg ->
+            match Segment.reverse t.authz seg with
+            | Ok up -> Some up
+            | Error _ -> None)
+          (down_segments t x)
+      in
+      Hashtbl.replace t.up_cache x segs;
+      segs
+
+let core_segments t ~src ~dst = Beacon.core_segments t.beacon ~src ~dst
+let core_ases t = Beacon.core_ases t.beacon
+let authz t = t.authz

@@ -1,0 +1,21 @@
+(** Path lookup service.
+
+    Indexes the segments registered by a beaconing run so that end-hosts
+    (and the {!Combinator}) can retrieve the up-, core- and down-segments
+    needed to build end-to-end paths, mirroring SCION's path servers. *)
+
+open Pan_topology
+
+type t
+
+val build : Authz.t -> Beacon.t -> t
+
+val up_segments : t -> Asn.t -> Segment.t list
+(** Authorized segments from the AS up to a core AS (reversals of its
+    registered down-segments). *)
+
+val down_segments : t -> Asn.t -> Segment.t list
+val core_segments : t -> src:Asn.t -> dst:Asn.t -> Segment.t list
+
+val core_ases : t -> Asn.t list
+val authz : t -> Authz.t

@@ -1,0 +1,110 @@
+open Pan_topology
+
+type hop = { asn : Asn.t; mac : int }
+
+type t = { hops : hop list }
+
+type error =
+  | Too_short
+  | Loop of Asn.t
+  | Not_adjacent of Asn.t * Asn.t
+  | Unauthorized of { at : Asn.t; prev : Asn.t option; next : Asn.t option }
+
+(* A deterministic per-AS "secret". A real deployment derives hop
+   authenticators from AS-local symmetric keys; any keyed hash with the
+   same interface would do here. *)
+let key asn = Hashtbl.hash (0x5ec2e7, Asn.to_int asn)
+
+let hop_mac ~prev_mac asn ~prev ~next =
+  let enc = function None -> -1 | Some a -> Asn.to_int a in
+  Hashtbl.hash (key asn, Asn.to_int asn, enc prev, enc next, prev_mac)
+
+let rec window prev = function
+  | [] -> []
+  | [ x ] -> [ (prev, x, None) ]
+  | x :: (y :: _ as rest) -> (prev, x, Some y) :: window (Some x) rest
+
+let make authz ases =
+  match ases with
+  | [] | [ _ ] -> Error Too_short
+  | _ -> (
+      let g = Authz.graph authz in
+      let rec check_distinct = function
+        | [] -> Ok ()
+        | x :: rest ->
+            if List.exists (Asn.equal x) rest then Error (Loop x)
+            else check_distinct rest
+      in
+      let rec check_adjacent = function
+        | a :: (b :: _ as rest) ->
+            if Graph.connected g a b then check_adjacent rest
+            else Error (Not_adjacent (a, b))
+        | [ _ ] | [] -> Ok ()
+      in
+      match (check_distinct ases, check_adjacent ases) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok (), Ok () ->
+          let rec stamp prev_mac acc = function
+            | [] -> Ok { hops = List.rev acc }
+            | (prev, at, next) :: rest ->
+                if not (Authz.allows authz ~at ~prev ~next) then
+                  Error (Unauthorized { at; prev; next })
+                else
+                  let mac = hop_mac ~prev_mac at ~prev ~next in
+                  stamp mac ({ asn = at; mac } :: acc) rest
+          in
+          stamp 0 [] (window None ases))
+
+let make_exn authz ases =
+  match make authz ases with
+  | Ok t -> t
+  | Error _ -> invalid_arg "Segment.make_exn: construction failed"
+
+let ases t = List.map (fun h -> h.asn) t.hops
+let hops t = t.hops
+let source t = match t.hops with h :: _ -> h.asn | [] -> assert false
+
+let rec last = function
+  | [ h ] -> h
+  | _ :: rest -> last rest
+  | [] -> assert false
+
+let destination t = (last t.hops).asn
+let length t = List.length t.hops
+
+let reverse authz t = make authz (List.rev (ases t))
+
+let verify t =
+  let rec go prev_mac = function
+    | [] -> true
+    | (prev, hop, next) :: rest ->
+        let expected = hop_mac ~prev_mac hop.asn ~prev ~next in
+        hop.mac = expected && go hop.mac rest
+  in
+  let triples =
+    window None (ases t)
+    |> List.map2 (fun hop (prev, _, next) -> (prev, hop, next)) t.hops
+  in
+  go 0 triples
+
+let unsafe_of_hops hops = { hops }
+
+let pp fmt t =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ">")
+    Asn.pp fmt (ases t)
+
+let pp_error fmt = function
+  | Too_short -> Format.pp_print_string fmt "segment too short"
+  | Loop a -> Format.fprintf fmt "loop at %a" Asn.pp a
+  | Not_adjacent (a, b) ->
+      Format.fprintf fmt "%a and %a are not adjacent" Asn.pp a Asn.pp b
+  | Unauthorized { at; prev; next } ->
+      let pp_opt fmt = function
+        | None -> Format.pp_print_string fmt "(end)"
+        | Some a -> Asn.pp fmt a
+      in
+      Format.fprintf fmt "%a refused hop %a -> %a -> %a" Asn.pp at pp_opt prev
+        Asn.pp at pp_opt next
+
+let equal t1 t2 = t1.hops = t2.hops

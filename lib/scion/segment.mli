@@ -1,0 +1,54 @@
+(** Authenticated path segments.
+
+    A segment is a sequence of ASes in which every AS has stamped a hop
+    authenticator (a keyed MAC, simulated here with a keyed hash) chained
+    over the preceding hops.  The chain makes a segment tamper-evident: a
+    path not authorized hop-by-hop by the on-path ASes fails verification,
+    which is what distinguishes PAN path selection from end-host source
+    routing (§I). *)
+
+open Pan_topology
+
+type hop = { asn : Asn.t; mac : int }
+
+type t
+
+type error =
+  | Too_short  (** fewer than 2 ASes *)
+  | Loop of Asn.t  (** an AS appears twice *)
+  | Not_adjacent of Asn.t * Asn.t
+  | Unauthorized of { at : Asn.t; prev : Asn.t option; next : Asn.t option }
+      (** the AS refused to authorize the hop under its {!Authz} policy *)
+
+val make : Authz.t -> Asn.t list -> (t, error) result
+(** Construct a segment along the given AS sequence, asking each on-path AS
+    to authorize and stamp its hop. *)
+
+val make_exn : Authz.t -> Asn.t list -> t
+(** @raise Invalid_argument when {!make} fails. *)
+
+val ases : t -> Asn.t list
+val hops : t -> hop list
+val source : t -> Asn.t
+val destination : t -> Asn.t
+val length : t -> int
+
+val reverse : Authz.t -> t -> (t, error) result
+(** Re-authorize the segment in the opposite direction (PAN segments are
+    used bidirectionally when both directions are authorized). *)
+
+val verify : t -> bool
+(** Recompute the MAC chain; [false] if any hop was tampered with. *)
+
+val unsafe_of_hops : hop list -> t
+(** Build a segment from raw hops without authorization — the adversary's
+    constructor, provided so tests and examples can demonstrate that forged
+    segments fail {!verify}. *)
+
+val key : Asn.t -> int
+(** The per-AS secret used by the simulated MAC; deterministic so the whole
+    simulation is reproducible. Exposed for white-box tests only. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_error : Format.formatter -> error -> unit
+val equal : t -> t -> bool

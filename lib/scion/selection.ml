@@ -1,0 +1,70 @@
+open Pan_topology
+
+type application = Voip | File_transfer | Web
+
+type context = { geo : Geo.t; bandwidth : Bandwidth.t }
+
+let per_hop_penalty_km = 100.0
+
+let latency_proxy ctx ases =
+  match ases with
+  | [] | [ _ ] -> invalid_arg "Selection.latency_proxy: path too short"
+  | first :: _ ->
+      (* distance source -> first link -> ... -> last link -> destination,
+         as in the paper's geodistance decomposition, generalized to any
+         length *)
+      let rec link_points = function
+        | a :: (b :: _ as rest) ->
+            Geo.link_location ctx.geo a b :: link_points rest
+        | _ -> []
+      in
+      let links = link_points ases in
+      let src_loc = Geo.as_location ctx.geo first in
+      let rec last = function
+        | [ x ] -> x
+        | _ :: rest -> last rest
+        | [] -> assert false
+      in
+      let dst_loc = Geo.as_location ctx.geo (last ases) in
+      let rec chain acc prev = function
+        | [] -> acc +. Geo.distance_km prev dst_loc
+        | p :: rest -> chain (acc +. Geo.distance_km prev p) p rest
+      in
+      let geodist =
+        match links with
+        | [] -> Geo.distance_km src_loc dst_loc
+        | p :: rest -> chain (Geo.distance_km src_loc p) p rest
+      in
+      geodist +. (per_hop_penalty_km *. float_of_int (List.length ases))
+
+let bandwidth_proxy ctx ases = Bandwidth.path_bandwidth ctx.bandwidth ases
+
+let score ctx app ases =
+  match app with
+  | Voip -> latency_proxy ctx ases
+  | File_transfer -> -.bandwidth_proxy ctx ases
+  | Web ->
+      (* normalize both proxies to comparable magnitudes: latency in
+         thousands of km, bandwidth as its reciprocal *)
+      (latency_proxy ctx ases /. 1000.0)
+      +. (1000.0 /. Float.max 1.0 (bandwidth_proxy ctx ases))
+
+let compare_candidates ctx app s1 s2 =
+  let a1 = Segment.ases s1 and a2 = Segment.ases s2 in
+  match compare (score ctx app a1) (score ctx app a2) with
+  | 0 -> (
+      match compare (List.length a1) (List.length a2) with
+      | 0 -> compare a1 a2
+      | c -> c)
+  | c -> c
+
+let rank ctx app candidates =
+  List.stable_sort (compare_candidates ctx app) candidates
+
+let select ctx app candidates =
+  match rank ctx app candidates with [] -> None | best :: _ -> Some best
+
+let pp_application fmt = function
+  | Voip -> Format.pp_print_string fmt "voip"
+  | File_transfer -> Format.pp_print_string fmt "file-transfer"
+  | Web -> Format.pp_print_string fmt "web"

@@ -1,0 +1,40 @@
+(** Application-aware end-host path selection.
+
+    The paper's opening argument (§I, and again in the conclusion): once
+    multiple paths are available simultaneously, end-hosts choose per
+    application — "low latency for voice-over-IP calls and high bandwidth
+    for file transfers".  This module scores AS-level paths with a latency
+    proxy (geodistance plus a per-hop processing penalty) and a bandwidth
+    proxy (degree-gravity bottleneck capacity) and picks the best
+    authorized path per application class. *)
+
+open Pan_topology
+
+type application =
+  | Voip  (** minimize the latency proxy *)
+  | File_transfer  (** maximize bottleneck bandwidth *)
+  | Web  (** balanced: normalized latency and bandwidth mixed 50/50 *)
+
+type context = { geo : Geo.t; bandwidth : Bandwidth.t }
+
+val latency_proxy : context -> Asn.t list -> float
+(** Sum of great-circle link distances through the interconnection points,
+    in km, plus 100 km of equivalent distance per AS hop (processing /
+    intra-AS detour penalty).  @raise Invalid_argument on paths shorter
+    than 2 ASes. *)
+
+val bandwidth_proxy : context -> Asn.t list -> float
+(** Bottleneck capacity of the path under the degree-gravity model. *)
+
+val score : context -> application -> Asn.t list -> float
+(** Lower is better, for every application class. *)
+
+val select :
+  context -> application -> Segment.t list -> Segment.t option
+(** The best path among the candidates ([None] on an empty list); ties are
+    broken by shorter AS-level length, then lexicographically. *)
+
+val rank : context -> application -> Segment.t list -> Segment.t list
+(** All candidates, best first, same tie-breaking. *)
+
+val pp_application : Format.formatter -> application -> unit

@@ -1,0 +1,108 @@
+open Pan_topology
+
+type t = {
+  graph : Graph.t;
+  loads : (Asn.t * Asn.t, float ref) Hashtbl.t;
+}
+
+let create graph = { graph; loads = Hashtbl.create 4096 }
+
+let key x y = if Asn.compare x y <= 0 then (x, y) else (y, x)
+
+let rec links = function
+  | a :: (b :: _ as rest) -> (a, b) :: links rest
+  | _ -> []
+
+let add_path t path volume =
+  if volume < 0.0 then invalid_arg "Traffic.add_path: negative volume";
+  match path with
+  | [] | [ _ ] -> invalid_arg "Traffic.add_path: path too short"
+  | _ ->
+      List.iter
+        (fun (a, b) ->
+          if not (Graph.connected t.graph a b) then
+            invalid_arg "Traffic.add_path: hop is not a link";
+          let k = key a b in
+          match Hashtbl.find_opt t.loads k with
+          | Some r -> r := !r +. volume
+          | None -> Hashtbl.replace t.loads k (ref volume))
+        (links path)
+
+let link_load t x y =
+  if not (Graph.connected t.graph x y) then
+    invalid_arg "Traffic.link_load: not a link";
+  match Hashtbl.find_opt t.loads (key x y) with
+  | Some r -> !r
+  | None -> 0.0
+
+let utilization t bw x y = link_load t x y /. Bandwidth.link_capacity bw x y
+
+let all_links g =
+  Graph.fold_peering_links (fun x y acc -> (x, y) :: acc) g []
+  @ Graph.fold_provider_customer_links
+      (fun ~provider ~customer acc -> (provider, customer) :: acc)
+      g []
+
+let stats t bw ~loaded_only =
+  let values =
+    if loaded_only then
+      Hashtbl.fold
+        (fun (x, y) r acc ->
+          if !r > 0.0 then (!r /. Bandwidth.link_capacity bw x y) :: acc
+          else acc)
+        t.loads []
+    else List.map (fun (x, y) -> utilization t bw x y) (all_links t.graph)
+  in
+  match values with
+  | [] -> invalid_arg "Traffic.stats: no links to aggregate"
+  | _ ->
+      let arr = Array.of_list values in
+      ( Pan_numerics.Stats.mean arr,
+        Pan_numerics.Stats.percentile arr 95.0,
+        snd (Pan_numerics.Stats.min_max arr) )
+
+let overloaded t bw ~threshold =
+  Hashtbl.fold
+    (fun (x, y) r acc ->
+      if !r /. Bandwidth.link_capacity bw x y > threshold then acc + 1
+      else acc)
+    t.loads 0
+
+let reset t = Hashtbl.reset t.loads
+
+type policy = Single_path | Split of int | Congestion_aware of int
+
+let bottleneck_after t bw path volume =
+  List.fold_left
+    (fun worst (a, b) ->
+      let cap = Bandwidth.link_capacity bw a b in
+      Float.max worst ((link_load t a b +. volume) /. cap))
+    0.0 (links path)
+
+let place t bw policy candidates volume =
+  if volume < 0.0 then invalid_arg "Traffic.place: negative volume";
+  match candidates with
+  | [] -> ()
+  | first :: _ -> (
+      match policy with
+      | Single_path -> add_path t first volume
+      | Split k ->
+          if k < 1 then invalid_arg "Traffic.place: k < 1";
+          let chosen = List.filteri (fun i _ -> i < k) candidates in
+          let share = volume /. float_of_int (List.length chosen) in
+          List.iter (fun p -> add_path t p share) chosen
+      | Congestion_aware k ->
+          if k < 1 then invalid_arg "Traffic.place: k < 1";
+          let chosen = List.filteri (fun i _ -> i < k) candidates in
+          let best =
+            List.fold_left
+              (fun best p ->
+                let cost = bottleneck_after t bw p volume in
+                match best with
+                | Some (_, c) when c <= cost -> best
+                | _ -> Some (p, cost))
+              None chosen
+          in
+          match best with
+          | Some (p, _) -> add_path t p volume
+          | None -> ())

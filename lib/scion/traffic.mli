@@ -1,0 +1,51 @@
+(** Link-load accounting and multipath traffic placement.
+
+    The paper's §I argues that simultaneous multipath use increases the
+    network's overall capacity through the possibility to avoid congested
+    links.  This module provides the bookkeeping to quantify that: an
+    accumulator of per-link volumes, utilization statistics against a
+    capacity model, and three placement policies for a demand over its
+    candidate paths — single-path, even splitting, and congestion-aware
+    (place where the resulting bottleneck utilization is lowest). *)
+
+open Pan_topology
+
+type t
+(** Mutable per-link load accumulator over a fixed topology. *)
+
+val create : Graph.t -> t
+
+val add_path : t -> Asn.t list -> float -> unit
+(** Add volume on every link of the path.
+    @raise Invalid_argument on a negative volume, a path shorter than 2
+    ASes, or a hop that is not a link of the graph. *)
+
+val link_load : t -> Asn.t -> Asn.t -> float
+(** Current volume on the (unordered) link; 0 if never loaded.
+    @raise Invalid_argument if the ASes are not adjacent. *)
+
+val utilization : t -> Bandwidth.t -> Asn.t -> Asn.t -> float
+(** [link_load / capacity] under the given capacity model. *)
+
+val stats : t -> Bandwidth.t -> loaded_only:bool -> float * float * float
+(** [(mean, p95, max)] utilization — over links that carry load when
+    [loaded_only], over every link of the graph otherwise.
+    @raise Invalid_argument when there are no links to aggregate. *)
+
+val overloaded : t -> Bandwidth.t -> threshold:float -> int
+(** Number of links with utilization above the threshold. *)
+
+val reset : t -> unit
+
+type policy =
+  | Single_path  (** all volume on the first candidate *)
+  | Split of int  (** even split over the first [k] candidates *)
+  | Congestion_aware of int
+      (** place the whole demand on whichever of the first [k] candidates
+          minimizes the resulting bottleneck utilization *)
+
+val place :
+  t -> Bandwidth.t -> policy -> Asn.t list list -> float -> unit
+(** Place a demand of the given volume over the candidate paths (best
+    first) according to the policy; no-op on an empty candidate list.
+    @raise Invalid_argument on a negative volume or a [k < 1]. *)

@@ -1,0 +1,104 @@
+open Pan_topology
+
+let header_size = 4
+let hop_size = 16
+
+let encoded_size seg = header_size + (hop_size * Segment.length seg)
+
+let set_u16 b off v =
+  Bytes.set_uint8 b off ((v lsr 8) land 0xff);
+  Bytes.set_uint8 b (off + 1) (v land 0xff)
+
+let get_u16 s off =
+  (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+
+let set_u32 b off v =
+  Bytes.set_uint8 b off ((v lsr 24) land 0xff);
+  Bytes.set_uint8 b (off + 1) ((v lsr 16) land 0xff);
+  Bytes.set_uint8 b (off + 2) ((v lsr 8) land 0xff);
+  Bytes.set_uint8 b (off + 3) (v land 0xff)
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+(* MACs are OCaml ints (Hashtbl.hash output, < 2^30): 8 bytes is ample. *)
+let set_u64 b off v =
+  set_u32 b off ((v lsr 32) land 0xffffffff);
+  set_u32 b (off + 4) (v land 0xffffffff)
+
+let get_u64 s off = (get_u32 s off lsl 32) lor get_u32 s (off + 4)
+
+let encode ifaces seg =
+  let hops = Segment.hops seg in
+  let annotated = Iface.hops_with_interfaces ifaces (Segment.ases seg) in
+  let b = Bytes.create (encoded_size seg) in
+  Bytes.set_uint8 b 0 1;
+  Bytes.set_uint8 b 1 (List.length hops);
+  set_u16 b 2 0;
+  List.iteri
+    (fun i ((hop : Segment.hop), (_, ingress, egress)) ->
+      let off = header_size + (i * hop_size) in
+      set_u32 b off (Asn.to_int hop.Segment.asn);
+      set_u16 b (off + 4) (Option.value ~default:0 ingress);
+      set_u16 b (off + 6) (Option.value ~default:0 egress);
+      set_u64 b (off + 8) hop.Segment.mac)
+    (List.combine hops annotated);
+  Bytes.to_string b
+
+type error =
+  | Truncated
+  | Bad_version of int
+  | Bad_interface of { asn : Asn.t; ingress : int; egress : int }
+
+let decode ifaces s =
+  if String.length s < header_size then Error Truncated
+  else
+    let version = Char.code s.[0] in
+    if version <> 1 then Error (Bad_version version)
+    else
+      let n = Char.code s.[1] in
+      if String.length s < header_size + (n * hop_size) then Error Truncated
+      else begin
+        let hops = ref [] in
+        let bad = ref None in
+        let prev = ref None in
+        for i = 0 to n - 1 do
+          let off = header_size + (i * hop_size) in
+          let asn = Asn.of_int (get_u32 s off) in
+          let ingress = get_u16 s (off + 4) in
+          let egress = get_u16 s (off + 6) in
+          let mac = get_u64 s (off + 8) in
+          (* interface consistency: ingress must point back to the
+             previous AS; the first hop has none *)
+          let ingress_ok =
+            match (!prev, ingress) with
+            | None, 0 -> true
+            | Some p, i when i > 0 -> Iface.neighbor ifaces asn i = Some p
+            | _ -> false
+          in
+          (* egress must exist except on the last hop *)
+          let egress_ok =
+            if i = n - 1 then egress = 0
+            else egress > 0 && Iface.neighbor ifaces asn egress <> None
+          in
+          if not (ingress_ok && egress_ok) && !bad = None then
+            bad := Some (Bad_interface { asn; ingress; egress });
+          (* follow the egress pointer for the next hop's check *)
+          prev := Some asn;
+          hops := { Segment.asn; mac } :: !hops
+        done;
+        match !bad with
+        | Some e -> Error e
+        | None -> Ok (Segment.unsafe_of_hops (List.rev !hops))
+      end
+
+let pp_error fmt = function
+  | Truncated -> Format.pp_print_string fmt "truncated header"
+  | Bad_version v -> Format.fprintf fmt "unsupported version %d" v
+  | Bad_interface { asn; ingress; egress } ->
+      Format.fprintf fmt
+        "inconsistent interfaces at %a (ingress %d, egress %d)" Asn.pp asn
+        ingress egress

@@ -1,0 +1,47 @@
+(** Binary wire format for forwarding headers.
+
+    A compact serialization of an authorized path — what would actually
+    travel in a PAN packet header.  The layout (big-endian) is:
+
+    {v
+    0       1       2       3
+    +-------+-------+-------+-------+
+    | ver=1 | hops  |   reserved    |
+    +-------+-------+-------+-------+      per hop (16 bytes):
+    |          hop 0 ...            |      0..3   AS number
+    +--             --+             |      4..5   ingress interface (0 = none)
+    |     hop 1 ...                 |      6..7   egress interface  (0 = none)
+    +--       ...                 --+      8..15  hop authenticator (MAC)
+    v}
+
+    Encoding requires an {!Iface} numbering so hop fields carry interface
+    identifiers as in SCION; decoding restores the {!Segment.t} (and
+    checks interface consistency against the numbering), after which
+    {!Segment.verify} re-checks the MAC chain. *)
+
+open Pan_topology
+
+val header_size : int
+(** Fixed prefix size in bytes (4). *)
+
+val hop_size : int
+(** Per-hop size in bytes (16). *)
+
+val encoded_size : Segment.t -> int
+
+val encode : Iface.t -> Segment.t -> string
+(** @raise Not_found if consecutive ASes of the segment are not adjacent
+    under the interface numbering's graph. *)
+
+type error =
+  | Truncated
+  | Bad_version of int
+  | Bad_interface of { asn : Asn.t; ingress : int; egress : int }
+      (** an interface id does not match the numbering, or dangling
+          interfaces at the endpoints *)
+
+val decode : Iface.t -> string -> (Segment.t, error) result
+(** Parse and validate a header. The returned segment still needs
+    {!Segment.verify} (MAC chain) before being trusted. *)
+
+val pp_error : Format.formatter -> error -> unit

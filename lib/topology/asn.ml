@@ -1,0 +1,16 @@
+type t = int
+
+let of_int n =
+  if n < 0 then invalid_arg "Asn.of_int: negative AS number";
+  n
+
+let to_int n = n
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp fmt n = Format.fprintf fmt "AS%d" n
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let set_of_list l = Set.of_list l

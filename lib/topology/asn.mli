@@ -1,0 +1,21 @@
+(** Autonomous-system numbers.
+
+    A thin abstraction over [int] so that AS identifiers cannot be confused
+    with counts or indices, with the set/map instances the topology and
+    path-enumeration code needs. *)
+
+type t = private int
+
+val of_int : int -> t
+(** @raise Invalid_argument if the argument is negative. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t

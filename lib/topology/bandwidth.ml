@@ -1,0 +1,23 @@
+type t = { graph : Graph.t; coefficient : float }
+
+let degree_gravity ?(coefficient = 1.0) graph =
+  if coefficient <= 0.0 then invalid_arg "Bandwidth.degree_gravity";
+  { graph; coefficient }
+
+let link_capacity t x y =
+  if not (Graph.connected t.graph x y) then raise Not_found;
+  t.coefficient
+  *. float_of_int (Graph.degree t.graph x)
+  *. float_of_int (Graph.degree t.graph y)
+
+let path3_bandwidth t a1 a2 a3 =
+  Float.min (link_capacity t a1 a2) (link_capacity t a2 a3)
+
+let path_bandwidth t path =
+  let rec go = function
+    | a :: (b :: _ as rest) -> Float.min (link_capacity t a b) (go rest)
+    | [ _ ] | [] -> infinity
+  in
+  match path with
+  | _ :: _ :: _ -> go path
+  | _ -> invalid_arg "Bandwidth.path_bandwidth: path shorter than 2 ASes"

@@ -1,0 +1,240 @@
+open Pan_numerics
+
+type tier = Tier1 | Transit | Stub
+
+type params = {
+  n_tier1 : int;
+  n_transit : int;
+  n_stub : int;
+  transit_max_providers : int;
+  stub_max_providers : int;
+  transit_peering_degree : float;
+  stub_peering_prob : float;
+  route_server_hubs : int;
+  hub_peering_prob : float;
+}
+
+let default_params =
+  {
+    n_tier1 = 12;
+    n_transit = 300;
+    n_stub = 1700;
+    transit_max_providers = 3;
+    stub_max_providers = 2;
+    transit_peering_degree = 40.0;
+    stub_peering_prob = 0.5;
+    route_server_hubs = 10;
+    hub_peering_prob = 0.4;
+  }
+
+type t = {
+  graph : Graph.t;
+  tiers : tier Asn.Map.t;
+  tier1 : Asn.t list;
+  transit : Asn.t list;
+  stubs : Asn.t list;
+}
+
+let graph t = t.graph
+let tier_of t x = Asn.Map.find x t.tiers
+let tier1 t = t.tier1
+let transit t = t.transit
+let stubs t = t.stubs
+
+let pp_tier fmt = function
+  | Tier1 -> Format.pp_print_string fmt "tier1"
+  | Transit -> Format.pp_print_string fmt "transit"
+  | Stub -> Format.pp_print_string fmt "stub"
+
+(* Preferential choice: pick an element of [candidates] with probability
+   proportional to its current customer degree plus one.  The "+1" keeps
+   fresh ASes reachable and bounds the tail. *)
+let preferential_pick rng g candidates =
+  let weights =
+    Array.map
+      (fun x -> float_of_int (Asn.Set.cardinal (Graph.customers g x) + 1))
+      candidates
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let target = Rng.uniform rng 0.0 total in
+  let rec walk i acc =
+    if i >= Array.length candidates - 1 then candidates.(i)
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then candidates.(i) else walk (i + 1) acc
+  in
+  walk 0 0.0
+
+let pick_providers rng g candidates ~max_providers =
+  let count = 1 + Rng.int rng max_providers in
+  let rec collect chosen tries =
+    if Asn.Set.cardinal chosen >= count || tries > 20 then chosen
+    else
+      let p = preferential_pick rng g candidates in
+      collect (Asn.Set.add p chosen) (tries + 1)
+  in
+  collect Asn.Set.empty 0
+
+let validate p =
+  if p.n_tier1 < 1 then invalid_arg "Gen.generate: n_tier1 < 1";
+  if p.n_transit < 0 || p.n_stub < 0 then
+    invalid_arg "Gen.generate: negative tier size";
+  if p.transit_max_providers < 1 || p.stub_max_providers < 1 then
+    invalid_arg "Gen.generate: max_providers < 1";
+  if p.transit_peering_degree < 0.0 then
+    invalid_arg "Gen.generate: negative peering degree";
+  if p.stub_peering_prob < 0.0 || p.stub_peering_prob > 1.0 then
+    invalid_arg "Gen.generate: stub_peering_prob outside [0,1]";
+  if p.route_server_hubs < 0 then
+    invalid_arg "Gen.generate: negative route_server_hubs";
+  if p.hub_peering_prob < 0.0 || p.hub_peering_prob > 1.0 then
+    invalid_arg "Gen.generate: hub_peering_prob outside [0,1]"
+
+let generate ?(params = default_params) ~seed () =
+  validate params;
+  let rng = Rng.create seed in
+  let g = Graph.create () in
+  let next = ref 1 in
+  let fresh () =
+    let a = Asn.of_int !next in
+    incr next;
+    Graph.add_as g a;
+    a
+  in
+  let tier1 = List.init params.n_tier1 (fun _ -> fresh ()) in
+  (* Tier-1 clique: every pair peers. *)
+  List.iteri
+    (fun i x ->
+      List.iteri (fun j y -> if i < j then Graph.add_peering g x y) tier1)
+    tier1;
+  (* Transit tier: providers chosen preferentially among tier-1 and
+     previously created transit ASes. *)
+  let transit = ref [] in
+  for _ = 1 to params.n_transit do
+    let x = fresh () in
+    let candidates = Array.of_list (tier1 @ List.rev !transit) in
+    let providers =
+      pick_providers rng g candidates
+        ~max_providers:params.transit_max_providers
+    in
+    Asn.Set.iter
+      (fun p -> Graph.add_provider_customer g ~provider:p ~customer:x)
+      providers;
+    transit := x :: !transit
+  done;
+  let transit = List.rev !transit in
+  (* Stub tier: providers drawn preferentially among transit ASes (or
+     tier-1 when there is no transit tier). *)
+  let stub_candidates =
+    Array.of_list (if transit = [] then tier1 else transit)
+  in
+  let stubs = ref [] in
+  for _ = 1 to params.n_stub do
+    let x = fresh () in
+    let providers =
+      pick_providers rng g stub_candidates
+        ~max_providers:params.stub_max_providers
+    in
+    Asn.Set.iter
+      (fun p -> Graph.add_provider_customer g ~provider:p ~customer:x)
+      providers;
+    stubs := x :: !stubs
+  done;
+  let stubs = List.rev !stubs in
+  (* Transit peering mesh: each unordered transit pair peers with the
+     probability that yields the requested expected degree. *)
+  let transit_arr = Array.of_list transit in
+  let nt = Array.length transit_arr in
+  if nt > 1 && params.transit_peering_degree > 0.0 then begin
+    let p =
+      Float.min 1.0 (params.transit_peering_degree /. float_of_int (nt - 1))
+    in
+    for i = 0 to nt - 1 do
+      for j = i + 1 to nt - 1 do
+        if Rng.float rng < p
+           && not (Graph.connected g transit_arr.(i) transit_arr.(j))
+        then Graph.add_peering g transit_arr.(i) transit_arr.(j)
+      done
+    done
+  end;
+  (* IXP-like stub peering: a [stub_peering_prob] share of stubs joins an
+     exchange and peers with a geometric number of other members — stubs
+     or transit ASes — which is what gives edge ASes access to
+     mutuality-based agreements in the first place. *)
+  let stub_arr = Array.of_list stubs in
+  let ixp_targets = Array.of_list (transit @ stubs) in
+  if Array.length ixp_targets > 1 then
+    Array.iter
+      (fun x ->
+        if Rng.float rng < params.stub_peering_prob then begin
+          let rec add_links remaining =
+            if remaining > 0 then begin
+              let y = Rng.choose rng ixp_targets in
+              if (not (Asn.equal x y)) && not (Graph.connected g x y) then
+                Graph.add_peering g x y;
+              (* geometric continuation: a heavy-ish tail of sessions per member,
+                 as at an IXP route server *)
+              if Rng.float rng < 0.7 then add_links (remaining - 1)
+            end
+          in
+          add_links 16
+        end)
+      stub_arr;
+  (* Route-server hubs: the highest-degree transit ASes peer very widely
+     across the whole topology, mimicking the few ASes (e.g. large IXP
+     route-server participants) that carry most of the peering-edge mass
+     in measured AS graphs. *)
+  if params.route_server_hubs > 0 && transit <> [] then begin
+    let by_degree =
+      List.sort
+        (fun x y -> compare (Graph.degree g y) (Graph.degree g x))
+        transit
+    in
+    let hubs =
+      List.filteri (fun i _ -> i < params.route_server_hubs) by_degree
+    in
+    let everyone = Array.of_list (transit @ stubs) in
+    List.iter
+      (fun hub ->
+        Array.iter
+          (fun x ->
+            if
+              (not (Asn.equal hub x))
+              && (not (Graph.connected g hub x))
+              && Rng.float rng < params.hub_peering_prob
+            then Graph.add_peering g hub x)
+          everyone)
+      hubs
+  end;
+  let tiers =
+    let add tier acc x = Asn.Map.add x tier acc in
+    let m = List.fold_left (add Tier1) Asn.Map.empty tier1 in
+    let m = List.fold_left (add Transit) m transit in
+    List.fold_left (add Stub) m stubs
+  in
+  { graph = g; tiers; tier1; transit; stubs }
+
+let fig1_asn c =
+  match c with
+  | 'A' .. 'I' -> Asn.of_int (Char.code c - Char.code 'A' + 1)
+  | _ -> invalid_arg "Gen.fig1_asn: expected a letter in A..I"
+
+let fig1 () =
+  let g = Graph.create () in
+  let a c = fig1_asn c in
+  let peer x y = Graph.add_peering g (a x) (a y) in
+  let p2c x y = Graph.add_provider_customer g ~provider:(a x) ~customer:(a y) in
+  peer 'A' 'B';
+  peer 'A' 'C';
+  peer 'B' 'C';
+  peer 'C' 'D';
+  peer 'C' 'E';
+  peer 'D' 'E';
+  peer 'E' 'F';
+  p2c 'A' 'D';
+  p2c 'B' 'E';
+  p2c 'C' 'F';
+  p2c 'D' 'H';
+  p2c 'E' 'I';
+  p2c 'F' 'G';
+  g

@@ -1,0 +1,123 @@
+open Pan_numerics
+
+type point = { lat : float; lon : float }
+
+let earth_radius_km = 6371.0
+
+let rad deg = deg *. Float.pi /. 180.0
+
+let distance_km p1 p2 =
+  let dlat = rad (p2.lat -. p1.lat) and dlon = rad (p2.lon -. p1.lon) in
+  let a =
+    (sin (dlat /. 2.0) ** 2.0)
+    +. (cos (rad p1.lat) *. cos (rad p2.lat) *. (sin (dlon /. 2.0) ** 2.0))
+  in
+  2.0 *. earth_radius_km *. atan2 (sqrt a) (sqrt (1.0 -. a))
+
+type t = {
+  as_loc : (Asn.t, point) Hashtbl.t;
+  link_loc : (Asn.t * Asn.t, point) Hashtbl.t;
+}
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+(* Longitudes are confined to (-150, 150) so naive centroid averaging never
+   crosses the antimeridian. *)
+let random_hub rng =
+  { lat = Rng.uniform rng (-50.0) 65.0; lon = Rng.uniform rng (-145.0) 145.0 }
+
+let centroid points =
+  let n = float_of_int (List.length points) in
+  let lat = List.fold_left (fun a p -> a +. p.lat) 0.0 points /. n in
+  let lon = List.fold_left (fun a p -> a +. p.lon) 0.0 points /. n in
+  { lat; lon }
+
+let jitter rng spread p =
+  {
+    lat = clamp (-85.0) 85.0 (p.lat +. Rng.gaussian rng 0.0 spread);
+    lon = clamp (-150.0) 150.0 (p.lon +. Rng.gaussian rng 0.0 spread);
+  }
+
+let link_key x y = if Asn.compare x y <= 0 then (x, y) else (y, x)
+
+let midpoint p1 p2 =
+  { lat = 0.5 *. (p1.lat +. p2.lat); lon = 0.5 *. (p1.lon +. p2.lon) }
+
+let place_links ?rng g as_loc =
+  let link_loc = Hashtbl.create 4096 in
+  let place x y =
+    let key = link_key x y in
+    if not (Hashtbl.mem link_loc key) then begin
+      let px = Hashtbl.find as_loc x and py = Hashtbl.find as_loc y in
+      let m = midpoint px py in
+      let m = match rng with Some r -> jitter r 1.0 m | None -> m in
+      Hashtbl.replace link_loc key m
+    end
+  in
+  Graph.fold_peering_links (fun x y () -> place x y) g ();
+  Graph.fold_provider_customer_links
+    (fun ~provider ~customer () -> place provider customer)
+    g ();
+  link_loc
+
+let generate ?(hubs = 40) ~seed g =
+  if hubs < 1 then invalid_arg "Geo.generate: hubs < 1";
+  let rng = Rng.create seed in
+  let hub_points = Array.init hubs (fun _ -> random_hub rng) in
+  let as_loc = Hashtbl.create 4096 in
+  (* Place ASes top-down: provider-less ASes at hub centroids, then each
+     remaining AS near the centroid of its already-placed providers.  A
+     worklist pass handles provider cycles (possible in hand-built graphs)
+     by falling back to a random hub. *)
+  let all = Graph.ases g in
+  let placed x = Hashtbl.mem as_loc x in
+  let place_root x =
+    let k = 1 + Rng.int rng 3 in
+    let picks = List.init k (fun _ -> Rng.choose rng hub_points) in
+    Hashtbl.replace as_loc x (centroid picks)
+  in
+  List.iter
+    (fun x -> if Asn.Set.is_empty (Graph.providers g x) then place_root x)
+    all;
+  let pending = ref (List.filter (fun x -> not (placed x)) all) in
+  let progress = ref true in
+  while !pending <> [] && !progress do
+    progress := false;
+    pending :=
+      List.filter
+        (fun x ->
+          let provs = Asn.Set.elements (Graph.providers g x) in
+          let ready = List.filter placed provs in
+          if ready <> [] then begin
+            let base = centroid (List.map (Hashtbl.find as_loc) ready) in
+            Hashtbl.replace as_loc x (jitter rng 4.0 base);
+            progress := true;
+            false
+          end
+          else true)
+        !pending
+  done;
+  List.iter (fun x -> place_root x) !pending;
+  { as_loc; link_loc = place_links ~rng g as_loc }
+
+let of_locations g locations =
+  let as_loc = Hashtbl.create 4096 in
+  List.iter
+    (fun x ->
+      match Asn.Map.find_opt x locations with
+      | Some p -> Hashtbl.replace as_loc x p
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Geo.of_locations: no location for AS%d"
+               (Asn.to_int x)))
+    (Graph.ases g);
+  { as_loc; link_loc = place_links g as_loc }
+
+let as_location t x = Hashtbl.find t.as_loc x
+let link_location t x y = Hashtbl.find t.link_loc (link_key x y)
+
+let path3_geodistance t a1 a2 a3 =
+  let l12 = link_location t a1 a2 and l23 = link_location t a2 a3 in
+  distance_km (as_location t a1) l12
+  +. distance_km l12 l23
+  +. distance_km l23 (as_location t a3)

@@ -1,0 +1,117 @@
+open Pan_numerics
+
+type summary = {
+  ases : int;
+  p2c_links : int;
+  p2p_links : int;
+  peering_share : float;
+  max_degree : int;
+  mean_degree : float;
+  degree_p99 : float;
+  max_hierarchy_depth : int;
+  provider_less : int;
+}
+
+let customer_cone g x =
+  let rec visit acc x =
+    if Asn.Set.mem x acc then acc
+    else
+      Asn.Set.fold
+        (fun c acc -> visit acc c)
+        (Graph.customers g x)
+        (Asn.Set.add x acc)
+  in
+  visit Asn.Set.empty x
+
+let cone_size g x = Asn.Set.cardinal (customer_cone g x)
+
+let cone_sizes g =
+  (* memoized cone sets bottom-up; the provider-customer subgraph is a
+     DAG in well-formed topologies, and the memo table also terminates
+     on (malformed) cyclic inputs because membership is checked before
+     recursion *)
+  let memo = Hashtbl.create 1024 in
+  let rec cone x =
+    match Hashtbl.find_opt memo x with
+    | Some s -> s
+    | None ->
+        (* mark to cut cycles: a cycle member sees itself as empty *)
+        Hashtbl.replace memo x (Asn.Set.singleton x);
+        let s =
+          Asn.Set.fold
+            (fun c acc -> Asn.Set.union acc (cone c))
+            (Graph.customers g x)
+            (Asn.Set.singleton x)
+        in
+        Hashtbl.replace memo x s;
+        s
+  in
+  List.fold_left
+    (fun acc x -> Asn.Map.add x (Asn.Set.cardinal (cone x)) acc)
+    Asn.Map.empty (Graph.ases g)
+
+let hierarchy_depth g x =
+  let memo = Hashtbl.create 256 in
+  let rec depth trail x =
+    if List.exists (Asn.equal x) trail then
+      invalid_arg "Metrics.hierarchy_depth: provider-customer cycle";
+    match Hashtbl.find_opt memo x with
+    | Some d -> d
+    | None ->
+        let d =
+          Asn.Set.fold
+            (fun c acc -> Stdlib.max acc (1 + depth (x :: trail) c))
+            (Graph.customers g x) 0
+        in
+        Hashtbl.replace memo x d;
+        d
+  in
+  depth [] x
+
+let degrees g =
+  Array.of_list
+    (List.map (fun x -> float_of_int (Graph.degree g x)) (Graph.ases g))
+
+let summary g =
+  let ases = Graph.num_ases g in
+  if ases = 0 then invalid_arg "Metrics.summary: empty graph";
+  let degs = degrees g in
+  let p2c = Graph.num_provider_customer_links g in
+  let p2p = Graph.num_peering_links g in
+  let total_links = p2c + p2p in
+  let provider_less =
+    List.length
+      (List.filter
+         (fun x -> Asn.Set.is_empty (Graph.providers g x))
+         (Graph.ases g))
+  in
+  let max_depth =
+    List.fold_left
+      (fun acc x ->
+        if Asn.Set.is_empty (Graph.providers g x) then
+          Stdlib.max acc (hierarchy_depth g x)
+        else acc)
+      0 (Graph.ases g)
+  in
+  {
+    ases;
+    p2c_links = p2c;
+    p2p_links = p2p;
+    peering_share =
+      (if total_links = 0 then 0.0
+       else float_of_int p2p /. float_of_int total_links);
+    max_degree = int_of_float (snd (Stats.min_max degs));
+    mean_degree = Stats.mean degs;
+    degree_p99 = Stats.percentile degs 99.0;
+    max_hierarchy_depth = max_depth;
+    provider_less;
+  }
+
+let degree_histogram ~bins g = Stats.histogram ~bins (degrees g)
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "%d ASes; %d p2c + %d p2p links (peering share %.2f); degree mean \
+     %.1f, p99 %.0f, max %d; hierarchy depth %d; %d provider-less ASes"
+    s.ases s.p2c_links s.p2p_links s.peering_share s.mean_degree s.degree_p99
+    s.max_degree s.max_hierarchy_depth s.provider_less

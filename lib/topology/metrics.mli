@@ -1,0 +1,42 @@
+(** Structural metrics of AS topologies.
+
+    Used to sanity-check the synthetic generator against the features of
+    measured AS graphs (heavy-tailed degrees, peering-dominated link mix,
+    shallow hierarchy) and by the economic model, where an AS's
+    {e customer cone} — everything reachable by walking only
+    provider→customer links — is the classic proxy for its market size. *)
+
+type summary = {
+  ases : int;
+  p2c_links : int;
+  p2p_links : int;
+  peering_share : float;  (** fraction of links that are peering *)
+  max_degree : int;
+  mean_degree : float;
+  degree_p99 : float;
+  max_hierarchy_depth : int;
+      (** longest provider chain from a provider-less AS down to a leaf *)
+  provider_less : int;  (** number of ASes with no providers (the core) *)
+}
+
+val summary : Graph.t -> summary
+(** @raise Invalid_argument on an empty graph. *)
+
+val customer_cone : Graph.t -> Asn.t -> Asn.Set.t
+(** The AS itself plus every AS reachable via provider→customer links. *)
+
+val cone_size : Graph.t -> Asn.t -> int
+
+val cone_sizes : Graph.t -> int Asn.Map.t
+(** Cone size of every AS, computed in one pass over the provider DAG
+    (memoized post-order). *)
+
+val hierarchy_depth : Graph.t -> Asn.t -> int
+(** Length (in links) of the longest customer chain below the AS; 0 for
+    stubs. @raise Invalid_argument if the provider–customer subgraph
+    below the AS contains a cycle. *)
+
+val degree_histogram : bins:int -> Graph.t -> (float * float * int) array
+(** Histogram over AS degrees (see {!Pan_numerics.Stats.histogram}). *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,76 @@
+type t = Asn.t list
+
+type step = Up | Flat | Down
+
+let rec distinct = function
+  | [] -> true
+  | x :: rest -> (not (List.exists (Asn.equal x) rest)) && distinct rest
+
+let make g ases =
+  match ases with
+  | [] | [ _ ] -> Error "path needs at least 2 ASes"
+  | _ ->
+      if not (distinct ases) then Error "path contains a repeated AS"
+      else
+        let rec adjacent = function
+          | a :: (b :: _ as rest) ->
+              if Graph.connected g a b then adjacent rest
+              else
+                Error
+                  (Printf.sprintf "AS%d and AS%d are not adjacent"
+                     (Asn.to_int a) (Asn.to_int b))
+          | [ _ ] | [] -> Ok ases
+        in
+        adjacent ases
+
+let make_exn g ases =
+  match make g ases with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Path.make_exn: " ^ msg)
+
+let ases p = p
+
+let source = function a :: _ -> a | [] -> assert false
+
+let rec destination = function
+  | [ a ] -> a
+  | _ :: rest -> destination rest
+  | [] -> assert false
+
+let length = List.length
+
+let rec links = function
+  | a :: (b :: _ as rest) -> (a, b) :: links rest
+  | [ _ ] | [] -> []
+
+let reverse = List.rev
+
+let steps g p =
+  let step a b =
+    match Graph.relationship g a b with
+    | Some Graph.Provider -> Up
+    | Some Graph.Peer -> Flat
+    | Some Graph.Customer -> Down
+    | None -> assert false (* adjacency was checked at construction *)
+  in
+  List.map (fun (a, b) -> step a b) (links p)
+
+(* up* peer? down*, tracked as a 3-state automaton. *)
+let is_valley_free g p =
+  let rec run state = function
+    | [] -> true
+    | s :: rest -> (
+        match (state, s) with
+        | `Climbing, Up -> run `Climbing rest
+        | `Climbing, Flat -> run `Descending rest
+        | (`Climbing | `Descending), Down -> run `Descending rest
+        | `Descending, (Up | Flat) -> false)
+  in
+  run `Climbing (steps g p)
+
+let grc_usable = is_valley_free
+
+let pp fmt p =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " - ")
+    Asn.pp fmt p

@@ -1,0 +1,44 @@
+(** AS-level paths and Gao–Rexford (valley-free) conformance.
+
+    A path is a sequence of distinct, pairwise-adjacent ASes.  Under the
+    Gao–Rexford export conditions a path is usable by its source iff its
+    step sequence matches [up* peer? down*]: once the path stops climbing
+    (crosses a peering link or descends to a customer) it may only descend.
+    Mutuality-based agreements create exactly the paths that violate this
+    pattern at a peering step. *)
+
+type t = private Asn.t list
+(** At least two ASes, all distinct. *)
+
+type step =
+  | Up  (** customer → provider *)
+  | Flat  (** across a peering link *)
+  | Down  (** provider → customer *)
+
+val make : Graph.t -> Asn.t list -> (t, string) result
+(** Validate a candidate path: length ≥ 2, distinct ASes, consecutive ASes
+    adjacent in the graph. *)
+
+val make_exn : Graph.t -> Asn.t list -> t
+(** @raise Invalid_argument when {!make} would return [Error]. *)
+
+val ases : t -> Asn.t list
+val source : t -> Asn.t
+val destination : t -> Asn.t
+val length : t -> int
+(** Number of ASes (the paper's "length-3 paths" have 3 ASes, 2 links). *)
+
+val links : t -> (Asn.t * Asn.t) list
+val reverse : t -> t
+
+val steps : Graph.t -> t -> step list
+(** One step per link, from the source's perspective. *)
+
+val is_valley_free : Graph.t -> t -> bool
+(** Does the step sequence match [up* peer? down*]? *)
+
+val grc_usable : Graph.t -> t -> bool
+(** Alias of {!is_valley_free}: whether the source could learn and use this
+    path in a BGP internet whose ASes follow the GRC export rules. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+The §II stability comparison is fully deterministic, so its output is a
+stable contract of the CLI:
+
+  $ panagree gadgets
+  # BGP (SPVP) on gadget policy configurations
+  instance           round-robin outcome                           stable   deterministic  wheel
+  DISAGREE           converged after 4 activations                 2        false          true
+  GOOD GADGET        converged after 6 activations                 1        true           false
+  BAD GADGET         oscillation with period 4 detected after 15 activations 0        false          true
+  WEDGIE             converged after 6 activations                 2        false          true
+  Fig.1 DISAGREE     converged after 6 activations                 2        false          true
+  Fig.1 BAD GADGET   oscillation with period 4 detected after 20 activations 0        false          true
+  # SURPRISE: a benign configuration until a link fails
+    before failure: converged after 12 activations (dispute wheel hidden: true)
+    after failing link 4-0: oscillation with period 4 detected after 20 activations (stable solutions: 0)
+  # message-passing SPVP (async): livelock probes over 10 schedules
+  instance           global-FIFO delivery                     livelock found
+  DISAGREE           no quiescence within 20000 messages      true
+  GOOD GADGET        quiesced after 6 messages                false
+  BAD GADGET         no quiescence within 20000 messages      true
+  # PAN forwarding along GRC-violating paths (Fig.1)
+  path                       delivered  loop-free
+  4-5-2                      true       true
+  8-4-5-2                    true       true
+  5-4-1                      true       true
+  3-4-5                      true       true
+  4-5-6                      true       true

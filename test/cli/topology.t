@@ -1,0 +1,16 @@
+Structural metrics of the default synthetic topology (reduced size):
+
+  $ panagree topology --transit 30 --stubs 100
+  # synthetic topology (seed 42): 142 ASes, 202 provider-customer links, 1032 peering links
+  142 ASes; 202 p2c + 1032 p2p links (peering share 0.84); degree mean 17.4, p99 81, max 84; hierarchy depth 4; 12 provider-less ASes
+  largest customer cones:
+    AS1: 78 ASes
+    AS3: 48 ASes
+    AS2: 40 ASes
+    AS12: 33 ASes
+    AS18: 33 ASes
+    AS10: 30 ASes
+    AS5: 27 ASes
+    AS13: 26 ASes
+    AS6: 25 ASes
+    AS37: 21 ASes

@@ -1,0 +1,83 @@
+(* Tests for the degree-gravity bandwidth model. *)
+
+open Pan_topology
+
+let asn = Asn.of_int
+
+(* star: 1 is provider of 2,3,4; 2 peers 3 *)
+let star () =
+  let g = Graph.create () in
+  Graph.add_provider_customer g ~provider:(asn 1) ~customer:(asn 2);
+  Graph.add_provider_customer g ~provider:(asn 1) ~customer:(asn 3);
+  Graph.add_provider_customer g ~provider:(asn 1) ~customer:(asn 4);
+  Graph.add_peering g (asn 2) (asn 3);
+  g
+
+let test_link_capacity () =
+  let g = star () in
+  let bw = Bandwidth.degree_gravity g in
+  (* deg(1)=3, deg(2)=2, deg(3)=2, deg(4)=1 *)
+  Alcotest.(check (float 1e-9)) "1-2" 6.0 (Bandwidth.link_capacity bw (asn 1) (asn 2));
+  Alcotest.(check (float 1e-9)) "1-4" 3.0 (Bandwidth.link_capacity bw (asn 1) (asn 4));
+  Alcotest.(check (float 1e-9)) "2-3" 4.0 (Bandwidth.link_capacity bw (asn 2) (asn 3))
+
+let test_capacity_symmetric () =
+  let g = star () in
+  let bw = Bandwidth.degree_gravity g in
+  Alcotest.(check (float 1e-9)) "symmetric"
+    (Bandwidth.link_capacity bw (asn 1) (asn 2))
+    (Bandwidth.link_capacity bw (asn 2) (asn 1))
+
+let test_coefficient () =
+  let g = star () in
+  let bw = Bandwidth.degree_gravity ~coefficient:2.5 g in
+  Alcotest.(check (float 1e-9)) "scaled" 15.0
+    (Bandwidth.link_capacity bw (asn 1) (asn 2))
+
+let test_invalid_coefficient () =
+  let g = star () in
+  try
+    ignore (Bandwidth.degree_gravity ~coefficient:0.0 g);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_unconnected_raises () =
+  let g = star () in
+  let bw = Bandwidth.degree_gravity g in
+  try
+    ignore (Bandwidth.link_capacity bw (asn 2) (asn 4));
+    Alcotest.fail "expected Not_found"
+  with Not_found -> ()
+
+let test_path3_bottleneck () =
+  let g = star () in
+  let bw = Bandwidth.degree_gravity g in
+  (* 4 - 1 - 2: min(3, 6) = 3 *)
+  Alcotest.(check (float 1e-9)) "bottleneck" 3.0
+    (Bandwidth.path3_bandwidth bw (asn 4) (asn 1) (asn 2))
+
+let test_path_bandwidth () =
+  let g = star () in
+  let bw = Bandwidth.degree_gravity g in
+  Alcotest.(check (float 1e-9)) "3-hop path" 3.0
+    (Bandwidth.path_bandwidth bw [ asn 4; asn 1; asn 2; asn 3 ])
+
+let test_path_too_short () =
+  let g = star () in
+  let bw = Bandwidth.degree_gravity g in
+  try
+    ignore (Bandwidth.path_bandwidth bw [ asn 1 ]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "link capacity" `Quick test_link_capacity;
+    Alcotest.test_case "capacity symmetric" `Quick test_capacity_symmetric;
+    Alcotest.test_case "coefficient" `Quick test_coefficient;
+    Alcotest.test_case "invalid coefficient" `Quick test_invalid_coefficient;
+    Alcotest.test_case "unconnected raises" `Quick test_unconnected_raises;
+    Alcotest.test_case "path3 bottleneck" `Quick test_path3_bottleneck;
+    Alcotest.test_case "path bandwidth" `Quick test_path_bandwidth;
+    Alcotest.test_case "path too short" `Quick test_path_too_short;
+  ]

@@ -1,0 +1,133 @@
+(* Tests for the SPVP (BGP) dynamics: convergence, non-determinism, and
+   oscillation — the §II claims. *)
+
+open Pan_topology
+open Pan_numerics
+open Pan_routing
+
+let asn = Asn.of_int
+
+let test_good_gadget_converges () =
+  match Bgp.run ~schedule:Bgp.Round_robin (Gadgets.good_gadget ()) with
+  | Bgp.Converged { assignment; _ } ->
+      (* every node settles on its direct route *)
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) "direct route" true
+            (Asn.Map.find n assignment = Some [ n; asn 0 ]))
+        (Spp.nodes (Gadgets.good_gadget ()))
+  | other -> Alcotest.failf "expected convergence, got %a" (fun _ -> ignore) other
+
+let test_converged_state_is_stable () =
+  let i = Gadgets.disagree () in
+  match Bgp.run ~schedule:Bgp.Round_robin i with
+  | Bgp.Converged { assignment; _ } ->
+      Alcotest.(check bool) "stable" true (Spp.is_stable i assignment)
+  | _ -> Alcotest.fail "DISAGREE should converge under round-robin"
+
+let test_random_schedule_converges_disagree () =
+  let i = Gadgets.disagree () in
+  for seed = 1 to 10 do
+    match Bgp.run ~schedule:(Bgp.Random (Rng.create seed)) i with
+    | Bgp.Converged { assignment; _ } ->
+        Alcotest.(check bool) "stable endpoint" true
+          (Spp.is_stable i assignment)
+    | _ -> Alcotest.failf "seed %d did not converge" seed
+  done
+
+let test_disagree_nondeterministic () =
+  Alcotest.(check bool) "different schedules, different fixpoints" false
+    (Bgp.converges_deterministically ~seed:1 (Gadgets.disagree ()))
+
+let test_good_gadget_deterministic () =
+  Alcotest.(check bool) "unique outcome" true
+    (Bgp.converges_deterministically ~seed:1 (Gadgets.good_gadget ()))
+
+let test_bad_gadget_oscillates () =
+  match Bgp.run ~schedule:Bgp.Round_robin (Gadgets.bad_gadget ()) with
+  | Bgp.Oscillation { period; _ } ->
+      Alcotest.(check bool) "positive period" true (period > 0)
+  | _ -> Alcotest.fail "BAD GADGET must oscillate under round-robin"
+
+let test_bad_gadget_random_exhausts () =
+  match
+    Bgp.run ~max_activations:5000
+      ~schedule:(Bgp.Random (Rng.create 3))
+      (Gadgets.bad_gadget ())
+  with
+  | Bgp.Exhausted _ -> ()
+  | Bgp.Converged _ -> Alcotest.fail "BAD GADGET cannot converge"
+  | Bgp.Oscillation _ -> Alcotest.fail "random schedule cannot prove cycles"
+
+let test_wedgie_two_states () =
+  let i = Gadgets.wedgie () in
+  let sols = Spp.stable_solutions i in
+  Alcotest.(check int) "two stable states" 2 (List.length sols);
+  let intended = Gadgets.wedgie_intended () in
+  let stuck = Gadgets.wedgie_stuck () in
+  Alcotest.(check bool) "intended is stable" true (Spp.is_stable i intended);
+  Alcotest.(check bool) "stuck is stable" true (Spp.is_stable i stuck);
+  Alcotest.(check bool) "they differ" false
+    (Spp.equal_assignment intended stuck)
+
+let test_wedgie_stuck_persists () =
+  (* restarting the dynamics from the stuck state keeps it stuck: the
+     failure is not repaired by protocol dynamics alone (RFC 4264) *)
+  let i = Gadgets.wedgie () in
+  match Bgp.run_from ~schedule:Bgp.Round_robin i (Gadgets.wedgie_stuck ()) with
+  | Bgp.Converged { assignment; activations } ->
+      Alcotest.(check bool) "still stuck" true
+        (Spp.equal_assignment assignment (Gadgets.wedgie_stuck ()));
+      Alcotest.(check bool) "no changes needed" true (activations <= 6)
+  | _ -> Alcotest.fail "unexpected"
+
+let test_fig1_instances () =
+  Alcotest.(check int) "fig1 DISAGREE: 2 stable" 2
+    (List.length (Spp.stable_solutions (Gadgets.fig1_disagree ())));
+  Alcotest.(check int) "fig1 BAD GADGET: none" 0
+    (List.length (Spp.stable_solutions (Gadgets.fig1_bad_gadget ())));
+  match Bgp.run ~schedule:Bgp.Round_robin (Gadgets.fig1_bad_gadget ()) with
+  | Bgp.Oscillation _ -> ()
+  | _ -> Alcotest.fail "fig1 BAD GADGET must oscillate"
+
+let test_empty_instance () =
+  let i = Spp.create ~dest:(asn 0) ~permitted:[] in
+  match Bgp.run ~schedule:Bgp.Round_robin i with
+  | Bgp.Converged { activations; _ } ->
+      Alcotest.(check int) "trivial convergence" 0 activations
+  | _ -> Alcotest.fail "empty instance must converge immediately"
+
+let qcheck_random_convergence_is_stable =
+  QCheck.Test.make ~count:30
+    ~name:"random-schedule convergence implies stability"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let i = Gadgets.wedgie () in
+      match Bgp.run ~schedule:(Bgp.Random (Rng.create seed)) i with
+      | Bgp.Converged { assignment; _ } -> Spp.is_stable i assignment
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "good gadget converges to direct routes" `Quick
+      test_good_gadget_converges;
+    Alcotest.test_case "converged state is stable" `Quick
+      test_converged_state_is_stable;
+    Alcotest.test_case "random schedules converge on DISAGREE" `Quick
+      test_random_schedule_converges_disagree;
+    Alcotest.test_case "DISAGREE is non-deterministic" `Quick
+      test_disagree_nondeterministic;
+    Alcotest.test_case "GOOD GADGET is deterministic" `Quick
+      test_good_gadget_deterministic;
+    Alcotest.test_case "BAD GADGET oscillates" `Quick
+      test_bad_gadget_oscillates;
+    Alcotest.test_case "BAD GADGET exhausts under random schedule" `Quick
+      test_bad_gadget_random_exhausts;
+    Alcotest.test_case "wedgie has two stable states" `Quick
+      test_wedgie_two_states;
+    Alcotest.test_case "wedgie stuck state persists" `Quick
+      test_wedgie_stuck_persists;
+    Alcotest.test_case "fig1 instances" `Quick test_fig1_instances;
+    Alcotest.test_case "empty instance" `Quick test_empty_instance;
+    QCheck_alcotest.to_alcotest qcheck_random_convergence_is_stable;
+  ]

@@ -1,0 +1,132 @@
+(* Tests for the message-passing (asynchronous) SPVP model. *)
+
+open Pan_topology
+open Pan_numerics
+open Pan_routing
+
+let test_good_gadget_quiesces () =
+  match Bgp_async.run ~schedule:Bgp_async.Fifo (Gadgets.good_gadget ()) with
+  | Bgp_async.Quiesced { assignment; messages } ->
+      Alcotest.(check bool) "messages flowed" true (messages > 0);
+      Alcotest.(check bool) "stable at quiescence" true
+        (Spp.is_stable (Gadgets.good_gadget ()) assignment);
+      (* the unique stable state: direct routes *)
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) "direct route" true
+            (Asn.Map.find n assignment = Some [ n; Asn.of_int 0 ]))
+        (Spp.nodes (Gadgets.good_gadget ()))
+  | Bgp_async.Diverged _ -> Alcotest.fail "GOOD GADGET must quiesce"
+
+let test_quiescence_implies_stability () =
+  (* whenever the network quiesces, the result is a stable assignment;
+     DISAGREE-like instances may instead livelock, which is fine here *)
+  let quiesced = ref 0 in
+  List.iter
+    (fun instance ->
+      for seed = 1 to 5 do
+        match
+          Bgp_async.run ~max_messages:20_000
+            ~schedule:(Bgp_async.Random_delivery (Rng.create seed))
+            instance
+        with
+        | Bgp_async.Quiesced { assignment; _ } ->
+            incr quiesced;
+            Alcotest.(check bool) "stable" true
+              (Spp.is_stable instance assignment)
+        | Bgp_async.Diverged _ -> ()
+      done)
+    [ Gadgets.good_gadget (); Gadgets.disagree (); Gadgets.wedgie () ];
+  Alcotest.(check bool) "some runs quiesced" true (!quiesced > 0)
+
+let test_disagree_can_livelock () =
+  (* the sharper async-only phenomenon: some delivery schedule makes
+     DISAGREE livelock outright *)
+  let livelocked = ref false in
+  for seed = 1 to 10 do
+    match
+      Bgp_async.run ~max_messages:20_000
+        ~schedule:(Bgp_async.Random_delivery (Rng.create seed))
+        (Gadgets.disagree ())
+    with
+    | Bgp_async.Diverged _ -> livelocked := true
+    | Bgp_async.Quiesced _ -> ()
+  done;
+  Alcotest.(check bool) "a livelocking schedule exists" true !livelocked
+
+let test_disagree_timing_dependent () =
+  Alcotest.(check bool) "DISAGREE is timing-dependent" false
+    (Bgp_async.quiesces_deterministically ~seed:1 (Gadgets.disagree ()))
+
+let test_good_gadget_deterministic () =
+  Alcotest.(check bool) "GOOD GADGET deterministic" true
+    (Bgp_async.quiesces_deterministically ~seed:1 (Gadgets.good_gadget ()))
+
+let test_bad_gadget_diverges () =
+  (match
+     Bgp_async.run ~max_messages:20_000 ~schedule:Bgp_async.Fifo
+       (Gadgets.bad_gadget ())
+   with
+  | Bgp_async.Diverged _ -> ()
+  | Bgp_async.Quiesced _ -> Alcotest.fail "BAD GADGET must not quiesce");
+  match
+    Bgp_async.run ~max_messages:20_000
+      ~schedule:(Bgp_async.Random_delivery (Rng.create 3))
+      (Gadgets.bad_gadget ())
+  with
+  | Bgp_async.Diverged _ -> ()
+  | Bgp_async.Quiesced _ -> Alcotest.fail "BAD GADGET must not quiesce (random)"
+
+let test_matches_activation_model_on_grc () =
+  (* on a deterministic GRC instance, both models must reach the same
+     unique stable assignment *)
+  let g = Gen.fig1 () in
+  List.iter
+    (fun dest ->
+      let i = Policy.grc_instance ~max_len:4 g ~dest in
+      match
+        ( Bgp.run ~schedule:Bgp.Round_robin i,
+          Bgp_async.run ~schedule:Bgp_async.Fifo i )
+      with
+      | Bgp.Converged { assignment = a1; _ }, Bgp_async.Quiesced { assignment = a2; _ }
+        ->
+          Alcotest.(check bool) "same fixpoint" true
+            (Spp.equal_assignment a1 a2)
+      | _ -> Alcotest.fail "both models must converge on GRC")
+    (Graph.ases g)
+
+let test_fig1_gadgets_async () =
+  Alcotest.(check bool) "fig1 DISAGREE timing-dependent" false
+    (Bgp_async.quiesces_deterministically ~seed:2 (Gadgets.fig1_disagree ()));
+  match
+    Bgp_async.run ~max_messages:20_000 ~schedule:Bgp_async.Fifo
+      (Gadgets.fig1_bad_gadget ())
+  with
+  | Bgp_async.Diverged _ -> ()
+  | Bgp_async.Quiesced _ -> Alcotest.fail "fig1 BAD GADGET must diverge"
+
+let test_empty_instance () =
+  let i = Spp.create ~dest:(Asn.of_int 0) ~permitted:[] in
+  match Bgp_async.run ~schedule:Bgp_async.Fifo i with
+  | Bgp_async.Quiesced { messages; _ } ->
+      Alcotest.(check int) "no messages" 0 messages
+  | _ -> Alcotest.fail "empty instance must quiesce"
+
+let suite =
+  [
+    Alcotest.test_case "good gadget quiesces to direct routes" `Quick
+      test_good_gadget_quiesces;
+    Alcotest.test_case "quiescence implies stability" `Quick
+      test_quiescence_implies_stability;
+    Alcotest.test_case "DISAGREE timing-dependent" `Quick
+      test_disagree_timing_dependent;
+    Alcotest.test_case "DISAGREE can livelock (async only)" `Quick
+      test_disagree_can_livelock;
+    Alcotest.test_case "GOOD GADGET deterministic" `Quick
+      test_good_gadget_deterministic;
+    Alcotest.test_case "BAD GADGET diverges" `Quick test_bad_gadget_diverges;
+    Alcotest.test_case "matches activation model on GRC" `Quick
+      test_matches_activation_model_on_grc;
+    Alcotest.test_case "fig1 gadgets (async)" `Quick test_fig1_gadgets_async;
+    Alcotest.test_case "empty instance" `Quick test_empty_instance;
+  ]

@@ -1,0 +1,186 @@
+(* Tests for billing conventions and volume-denominated settlement. *)
+
+open Pan_econ
+open Pan_numerics
+open Pan_bosco
+
+let approx = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Billing                                                             *)
+
+let meter_of samples =
+  let m = Billing.create_meter () in
+  List.iter (Billing.sample m) samples;
+  m
+
+let test_conventions () =
+  let m = meter_of [ 1.0; 2.0; 3.0; 4.0; 100.0 ] in
+  approx "median" 3.0 (Billing.billed_volume Billing.Median m);
+  approx "mean" 22.0 (Billing.billed_volume Billing.Mean m);
+  approx "max" 100.0 (Billing.billed_volume Billing.Max m);
+  (* p95 of 5 samples interpolates near the top *)
+  let p95 = Billing.billed_volume Billing.P95 m in
+  Alcotest.(check bool) "p95 between p50 and max" true
+    (p95 > 3.0 && p95 <= 100.0)
+
+let test_p95_discards_bursts () =
+  (* burstable billing: 5% of intervals are free — one huge burst out of
+     100 samples barely moves the bill *)
+  let flat = List.init 99 (fun _ -> 10.0) in
+  let m = meter_of (1000.0 :: flat) in
+  approx "burst discarded" 10.0 (Billing.billed_volume Billing.P95 m);
+  approx "max sees the burst" 1000.0 (Billing.billed_volume Billing.Max m)
+
+let test_empty_and_reset () =
+  let m = Billing.create_meter () in
+  approx "empty" 0.0 (Billing.billed_volume Billing.P95 m);
+  Billing.sample m 5.0;
+  Alcotest.(check int) "count" 1 (Billing.sample_count m);
+  Billing.reset m;
+  Alcotest.(check int) "reset count" 0 (Billing.sample_count m);
+  approx "reset volume" 0.0 (Billing.billed_volume Billing.Mean m)
+
+let test_charge () =
+  let m = meter_of [ 4.0; 6.0 ] in
+  approx "charge via pricing" 10.0
+    (Billing.charge Billing.Mean m (Pricing.per_usage ~unit_price:2.0))
+
+let test_negative_sample () =
+  let m = Billing.create_meter () in
+  try
+    Billing.sample m (-1.0);
+    Alcotest.fail "negative sample accepted"
+  with Invalid_argument _ -> ()
+
+let qcheck_billed_within_range =
+  QCheck.Test.make ~count:200 ~name:"billed volume within sample range"
+    QCheck.(list_of_size Gen.(1 -- 40) (float_range 0.0 100.0))
+    (fun samples ->
+      let m = meter_of samples in
+      let arr = Array.of_list samples in
+      let lo, hi = Stats.min_max arr in
+      List.for_all
+        (fun c ->
+          let v = Billing.billed_volume c m in
+          v >= lo -. 1e-9 && v <= hi +. 1e-9)
+        [ Billing.Median; Billing.Mean; Billing.P95; Billing.Max ])
+
+let qcheck_convention_ordering =
+  QCheck.Test.make ~count:200 ~name:"median <= p95 <= max"
+    QCheck.(list_of_size Gen.(1 -- 40) (float_range 0.0 100.0))
+    (fun samples ->
+      let m = meter_of samples in
+      Billing.billed_volume Billing.Median m
+      <= Billing.billed_volume Billing.P95 m +. 1e-9
+      && Billing.billed_volume Billing.P95 m
+         <= Billing.billed_volume Billing.Max m +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Volume_terms + shift_allowance                                      *)
+
+let test_volume_terms_of_outcome () =
+  let outcome = Game.settle ~u_x:1.0 ~u_y:1.0 ~v_x:0.6 ~v_y:(-0.2) in
+  (match Volume_terms.of_outcome ~rate:2.0 outcome with
+  | Some t ->
+      approx "transfer" 0.4 t.Volume_terms.transfer;
+      approx "volume shift" 0.2 t.Volume_terms.volume_shift
+  | None -> Alcotest.fail "concluded outcome produced no terms");
+  Alcotest.(check bool) "cancelled yields none" true
+    (Volume_terms.of_outcome ~rate:2.0 Game.Cancelled = None)
+
+let test_volume_terms_direction () =
+  (* Y benefits more: negative transfer, Y cedes volume *)
+  let outcome = Game.settle ~u_x:1.0 ~u_y:1.0 ~v_x:(-0.2) ~v_y:0.8 in
+  match Volume_terms.of_outcome ~rate:1.0 outcome with
+  | Some t -> Alcotest.(check bool) "negative shift" true (t.Volume_terms.volume_shift < 0.0)
+  | None -> Alcotest.fail "should conclude"
+
+let test_volume_terms_invalid_rate () =
+  try
+    ignore (Volume_terms.of_outcome ~rate:0.0 Game.Cancelled);
+    Alcotest.fail "rate 0 accepted"
+  with Invalid_argument _ -> ()
+
+let grant holder allowance =
+  {
+    Extension.holder = Pan_topology.Asn.of_int holder;
+    segment =
+      {
+        Extension.via = Pan_topology.Asn.of_int 99;
+        dest = Pan_topology.Asn.of_int 98;
+      };
+    allowance;
+    committed = 0.0;
+  }
+
+let test_shift_allowance () =
+  let gx = grant 1 10.0 and gy = grant 2 5.0 in
+  (match Extension.shift_allowance ~from_:gx ~to_:gy 3.0 with
+  | Error e -> Alcotest.fail e
+  | Ok (gx', gy') ->
+      approx "source reduced" 7.0 gx'.Extension.allowance;
+      approx "sink increased" 8.0 gy'.Extension.allowance;
+      approx "total conserved"
+        (gx.Extension.allowance +. gy.Extension.allowance)
+        (gx'.Extension.allowance +. gy'.Extension.allowance));
+  (match Extension.shift_allowance ~from_:gx ~to_:gy 11.0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "over-shift accepted");
+  match Extension.shift_allowance ~from_:gx ~to_:gy (-1.0) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative shift accepted"
+
+let test_shift_respects_commitments () =
+  let gx = { (grant 1 10.0) with Extension.committed = 8.0 } in
+  match Extension.shift_allowance ~from_:gx ~to_:(grant 2 0.0) 3.0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "shifted committed volume"
+
+let test_settlement_round_trip () =
+  (* the full pipeline: BOSCO outcome -> volume terms -> allowance move;
+     after-settlement "value" at the reference rate matches the cash
+     split *)
+  let outcome = Game.settle ~u_x:2.0 ~u_y:0.5 ~v_x:1.0 ~v_y:0.0 in
+  match Volume_terms.of_outcome ~rate:0.5 outcome with
+  | None -> Alcotest.fail "should conclude"
+  | Some t ->
+      approx "shift = transfer / rate" 1.0 t.Volume_terms.volume_shift;
+      let gx = grant 1 10.0 and gy = grant 2 10.0 in
+      (match
+         Extension.shift_allowance ~from_:gx ~to_:gy
+           t.Volume_terms.volume_shift
+       with
+      | Error e -> Alcotest.fail e
+      | Ok (gx', gy') ->
+          (* value ceded at the reference rate equals the cash transfer *)
+          approx "value ceded"
+            t.Volume_terms.transfer
+            ((gx.Extension.allowance -. gx'.Extension.allowance)
+            *. t.Volume_terms.rate);
+          approx "value gained"
+            t.Volume_terms.transfer
+            ((gy'.Extension.allowance -. gy.Extension.allowance)
+            *. t.Volume_terms.rate))
+
+let suite =
+  [
+    Alcotest.test_case "conventions" `Quick test_conventions;
+    Alcotest.test_case "p95 discards bursts" `Quick test_p95_discards_bursts;
+    Alcotest.test_case "empty and reset" `Quick test_empty_and_reset;
+    Alcotest.test_case "charge" `Quick test_charge;
+    Alcotest.test_case "negative sample" `Quick test_negative_sample;
+    QCheck_alcotest.to_alcotest qcheck_billed_within_range;
+    QCheck_alcotest.to_alcotest qcheck_convention_ordering;
+    Alcotest.test_case "volume terms of outcome" `Quick
+      test_volume_terms_of_outcome;
+    Alcotest.test_case "volume terms direction" `Quick
+      test_volume_terms_direction;
+    Alcotest.test_case "volume terms invalid rate" `Quick
+      test_volume_terms_invalid_rate;
+    Alcotest.test_case "shift allowance" `Quick test_shift_allowance;
+    Alcotest.test_case "shift respects commitments" `Quick
+      test_shift_respects_commitments;
+    Alcotest.test_case "settlement round trip" `Quick
+      test_settlement_round_trip;
+  ]

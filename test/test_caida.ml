@@ -1,0 +1,93 @@
+(* Tests for the CAIDA as-rel2 parser/serializer. *)
+
+open Pan_topology
+
+let sample =
+  "# comment line\n\
+   1|2|-1|bgp\n\
+   2|3|0|mlp\n\
+   \n\
+   1|4|-1|bgp\n"
+
+let test_parse () =
+  let g = Caida.of_string sample in
+  Alcotest.(check int) "ases" 4 (Graph.num_ases g);
+  Alcotest.(check int) "p2c" 2 (Graph.num_provider_customer_links g);
+  Alcotest.(check int) "p2p" 1 (Graph.num_peering_links g);
+  Alcotest.(check bool) "1 provider of 2" true
+    (Graph.relationship g (Asn.of_int 2) (Asn.of_int 1) = Some Graph.Provider);
+  Alcotest.(check bool) "2 peers 3" true
+    (Graph.relationship g (Asn.of_int 2) (Asn.of_int 3) = Some Graph.Peer)
+
+let test_parse_line_variants () =
+  Alcotest.(check bool) "comment is None" true
+    (Caida.parse_line 1 "# foo" = None);
+  Alcotest.(check bool) "blank is None" true (Caida.parse_line 1 "   " = None);
+  (* older serials have no source field *)
+  Alcotest.(check bool) "no source field" true
+    (Caida.parse_line 1 "10|20|0" <> None)
+
+let test_parse_errors () =
+  let expect_error line =
+    match Caida.parse_line 1 line with
+    | exception Caida.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected Parse_error on %S" line
+  in
+  expect_error "1|2|5|bgp";
+  expect_error "x|2|-1|bgp";
+  expect_error "1|-7|-1|bgp";
+  expect_error "1|2"
+
+let test_round_trip () =
+  let g = Caida.of_string sample in
+  let g' = Caida.of_string (Caida.to_string g) in
+  Alcotest.(check int) "ases" (Graph.num_ases g) (Graph.num_ases g');
+  Alcotest.(check int) "p2c"
+    (Graph.num_provider_customer_links g)
+    (Graph.num_provider_customer_links g');
+  Alcotest.(check int) "p2p" (Graph.num_peering_links g)
+    (Graph.num_peering_links g');
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          Alcotest.(check bool) "same relationship" true
+            (Graph.relationship g x y = Graph.relationship g' x y))
+        (Graph.ases g))
+    (Graph.ases g)
+
+let test_file_round_trip () =
+  let g = Caida.of_string sample in
+  let path = Filename.temp_file "panagree" ".as-rel2" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Caida.save path g;
+      let g' = Caida.load path in
+      Alcotest.(check int) "ases survive file round trip" (Graph.num_ases g)
+        (Graph.num_ases g'))
+
+let test_generated_graph_round_trip () =
+  let gen =
+    Gen.generate
+      ~params:{ Gen.default_params with Gen.n_transit = 30; Gen.n_stub = 100 }
+      ~seed:1 ()
+  in
+  let g = Gen.graph gen in
+  let g' = Caida.of_string (Caida.to_string g) in
+  Alcotest.(check int) "p2c preserved"
+    (Graph.num_provider_customer_links g)
+    (Graph.num_provider_customer_links g');
+  Alcotest.(check int) "p2p preserved" (Graph.num_peering_links g)
+    (Graph.num_peering_links g')
+
+let suite =
+  [
+    Alcotest.test_case "parse sample" `Quick test_parse;
+    Alcotest.test_case "parse line variants" `Quick test_parse_line_variants;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "string round trip" `Quick test_round_trip;
+    Alcotest.test_case "file round trip" `Quick test_file_round_trip;
+    Alcotest.test_case "generated graph round trip" `Quick
+      test_generated_graph_round_trip;
+  ]

@@ -1,0 +1,126 @@
+(* Tests for the bounded path-combination machinery: beacon segment caps
+   and the combinator's per-stage budgets. *)
+
+open Pan_topology
+open Pan_scion
+
+let dense_graph =
+  lazy
+    (Gen.graph
+       (Gen.generate
+          ~params:
+            { Gen.default_params with Gen.n_transit = 60; Gen.n_stub = 240 }
+          ~seed:42 ()))
+
+let test_beacon_segment_cap () =
+  let g = Lazy.force dense_graph in
+  let authz = Authz.create g in
+  let capped = Beacon.run ~max_segments_per_as:3 authz in
+  let generous = Beacon.run ~max_segments_per_as:64 authz in
+  List.iter
+    (fun x ->
+      let n = List.length (Beacon.down_segments capped x) in
+      Alcotest.(check bool) "cap respected" true (n <= 3);
+      Alcotest.(check bool) "cap <= generous" true
+        (n <= List.length (Beacon.down_segments generous x)))
+    (Graph.ases g);
+  Alcotest.(check bool) "cap reduces total segments" true
+    (Beacon.segment_count capped <= Beacon.segment_count generous)
+
+let test_beacon_cap_keeps_shortest () =
+  let g = Lazy.force dense_graph in
+  let authz = Authz.create g in
+  let capped = Beacon.run ~max_segments_per_as:2 authz in
+  let generous = Beacon.run ~max_segments_per_as:64 authz in
+  List.iter
+    (fun x ->
+      match (Beacon.down_segments capped x, Beacon.down_segments generous x)
+      with
+      | c :: _, all when all <> [] ->
+          let shortest =
+            List.fold_left
+              (fun acc s -> Stdlib.min acc (Segment.length s))
+              max_int all
+          in
+          Alcotest.(check int) "kept a shortest segment" shortest
+            (Segment.length c)
+      | _ -> ())
+    (Graph.ases g)
+
+let test_beacon_cap_validation () =
+  let g = Lazy.force dense_graph in
+  try
+    ignore (Beacon.run ~max_segments_per_as:0 (Authz.create g));
+    Alcotest.fail "cap 0 accepted"
+  with Invalid_argument _ -> ()
+
+let ps_with_all_mas () =
+  let g = Lazy.force dense_graph in
+  let mas = Graph.fold_peering_links (fun x y acc -> (x, y) :: acc) g [] in
+  let authz = Authz.create ~mas g in
+  (g, Path_server.build authz (Beacon.run authz))
+
+let test_combinator_deterministic () =
+  let g, ps = ps_with_all_mas () in
+  let ases = Array.of_list (Graph.ases g) in
+  let src = ases.(5) and dst = ases.(Array.length ases - 5) in
+  let p1 = Combinator.end_to_end ~max_paths:10 ps ~src ~dst in
+  let p2 = Combinator.end_to_end ~max_paths:10 ps ~src ~dst in
+  Alcotest.(check bool) "same result on repeat" true
+    (List.map Segment.ases p1 = List.map Segment.ases p2)
+
+let test_combinator_max_paths () =
+  let g, ps = ps_with_all_mas () in
+  let ases = Array.of_list (Graph.ases g) in
+  let src = ases.(5) and dst = ases.(Array.length ases - 5) in
+  let few = Combinator.end_to_end ~max_paths:3 ps ~src ~dst in
+  Alcotest.(check bool) "max_paths respected" true (List.length few <= 3);
+  let many = Combinator.end_to_end ~max_paths:50 ps ~src ~dst in
+  Alcotest.(check bool) "more allowed, more found" true
+    (List.length many >= List.length few);
+  (* shortest-first ordering *)
+  let rec sorted = function
+    | s1 :: (s2 :: _ as rest) ->
+        Segment.length s1 <= Segment.length s2 && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by length" true (sorted many)
+
+let test_combinator_budget_monotone () =
+  let g, ps = ps_with_all_mas () in
+  let ases = Array.of_list (Graph.ases g) in
+  let src = ases.(5) and dst = ases.(Array.length ases - 5) in
+  let small =
+    Combinator.end_to_end ~max_paths:50 ~candidate_budget:50 ps ~src ~dst
+  in
+  let large =
+    Combinator.end_to_end ~max_paths:50 ~candidate_budget:50_000 ps ~src ~dst
+  in
+  Alcotest.(check bool) "larger budget finds at least as many" true
+    (List.length large >= List.length small)
+
+let test_path_server_up_cache_consistent () =
+  let g, ps = ps_with_all_mas () in
+  let ases = Array.of_list (Graph.ases g) in
+  let x = ases.(7) in
+  let u1 = Path_server.up_segments ps x in
+  let u2 = Path_server.up_segments ps x in
+  Alcotest.(check bool) "cached result identical" true
+    (List.map Segment.ases u1 = List.map Segment.ases u2)
+
+let suite =
+  [
+    Alcotest.test_case "beacon segment cap" `Quick test_beacon_segment_cap;
+    Alcotest.test_case "beacon cap keeps shortest" `Quick
+      test_beacon_cap_keeps_shortest;
+    Alcotest.test_case "beacon cap validation" `Quick
+      test_beacon_cap_validation;
+    Alcotest.test_case "combinator deterministic" `Quick
+      test_combinator_deterministic;
+    Alcotest.test_case "combinator max_paths / ordering" `Quick
+      test_combinator_max_paths;
+    Alcotest.test_case "combinator budget monotone" `Quick
+      test_combinator_budget_monotone;
+    Alcotest.test_case "path server cache" `Quick
+      test_path_server_up_cache_consistent;
+  ]

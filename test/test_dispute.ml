@@ -1,0 +1,160 @@
+(* Tests for dispute-wheel detection and GRC conformance checking. *)
+
+open Pan_topology
+open Pan_routing
+
+let asn = Asn.of_int
+
+let test_good_gadget_no_wheel () =
+  Alcotest.(check bool) "no wheel" false (Dispute.has_wheel (Gadgets.good_gadget ()));
+  Alcotest.(check bool) "certified safe" true
+    (Dispute.certified_safe (Gadgets.good_gadget ()))
+
+let test_bad_gadget_wheel () =
+  match Dispute.find_wheel (Gadgets.bad_gadget ()) with
+  | None -> Alcotest.fail "BAD GADGET must contain a wheel"
+  | Some wheel ->
+      Alcotest.(check bool) "at least two pivots" true (List.length wheel >= 2);
+      (* every pivot's rim must be permitted and weakly preferred *)
+      let i = Gadgets.bad_gadget () in
+      List.iter
+        (fun (s : Dispute.spoke) ->
+          match
+            ( Spp.rank i s.Dispute.pivot s.Dispute.rim,
+              Spp.rank i s.Dispute.pivot s.Dispute.spoke )
+          with
+          | Some r_rim, Some r_spoke ->
+              Alcotest.(check bool) "rim weakly preferred" true
+                (r_rim <= r_spoke)
+          | _ -> Alcotest.fail "wheel routes not permitted")
+        wheel
+
+let test_disagree_wheel () =
+  Alcotest.(check bool) "DISAGREE has a wheel" true
+    (Dispute.has_wheel (Gadgets.disagree ()))
+
+let test_wedgie_wheel () =
+  (* two stable solutions => a wheel must exist (contrapositive of the
+     GSW uniqueness theorem) *)
+  Alcotest.(check bool) "wedgie has a wheel" true
+    (Dispute.has_wheel (Gadgets.wedgie ()))
+
+let test_fig1_instances_wheel () =
+  Alcotest.(check bool) "fig1 DISAGREE" true
+    (Dispute.has_wheel (Gadgets.fig1_disagree ()));
+  Alcotest.(check bool) "fig1 BAD GADGET" true
+    (Dispute.has_wheel (Gadgets.fig1_bad_gadget ()))
+
+let test_grc_instance_no_wheel () =
+  (* Gao-Rexford configurations contain no dispute wheel *)
+  let g = Gen.fig1 () in
+  List.iter
+    (fun dest ->
+      let i = Policy.grc_instance ~max_len:4 g ~dest in
+      Alcotest.(check bool) "GRC => wheel-free" false (Dispute.has_wheel i))
+    (Graph.ases g)
+
+let test_no_wheel_implies_safe_and_unique () =
+  (* spot-validate the GSW theorem on our instances: wheel-free implies a
+     unique stable solution and deterministic convergence *)
+  let check i =
+    if Dispute.certified_safe i then begin
+      Alcotest.(check int) "unique stable solution" 1
+        (List.length (Spp.stable_solutions i));
+      Alcotest.(check bool) "deterministic" true
+        (Bgp.converges_deterministically ~seed:3 i)
+    end
+  in
+  check (Gadgets.good_gadget ());
+  let g = Gen.fig1 () in
+  check (Policy.grc_instance ~max_len:4 g ~dest:(Gen.fig1_asn 'A'))
+
+(* ------------------------------------------------------------------ *)
+(* Grc_check                                                           *)
+
+let test_conforms () =
+  let g = Gen.fig1 () in
+  let i = Policy.grc_instance ~max_len:4 g ~dest:(Gen.fig1_asn 'A') in
+  Alcotest.(check bool) "GRC instance conforms" true (Grc_check.conforms g i)
+
+let test_violations_detected () =
+  let g = Gen.fig1 () in
+  let i = Gadgets.fig1_disagree () in
+  let vs = Grc_check.violations g i in
+  Alcotest.(check bool) "violations found" true (vs <> []);
+  (* D's route D-E-B-A is a valley violation *)
+  Alcotest.(check bool) "valley violation present" true
+    (List.exists
+       (function Grc_check.Valley _ -> true | _ -> false)
+       vs)
+
+let test_preference_violation () =
+  (* a valley-free configuration that ranks a provider route above a peer
+     route: 1 is provider of 2 and 3, 2-3 peer, destination 3; node 2
+     prefers the provider detour [2;1;3] over the peer route [2;3] *)
+  let g2 = Graph.create () in
+  let n1 = asn 1 and n2 = asn 2 and n3 = asn 3 in
+  Graph.add_provider_customer g2 ~provider:n1 ~customer:n2;
+  Graph.add_provider_customer g2 ~provider:n1 ~customer:n3;
+  Graph.add_peering g2 n2 n3;
+  let i =
+    Spp.create ~dest:n3
+      ~permitted:[ (n2, [ [ n2; n1; n3 ]; [ n2; n3 ] ]); (n1, [ [ n1; n3 ] ]) ]
+  in
+  let vs = Grc_check.violations g2 i in
+  Alcotest.(check bool) "preference violation detected" true
+    (List.exists
+       (function Grc_check.Preference _ -> true | _ -> false)
+       vs)
+
+let test_remove_link () =
+  let i = Gadgets.surprise () in
+  let failed = Grc_check.remove_link i (asn 4, asn 0) in
+  (* all routes through the helper disappear *)
+  List.iter
+    (fun node ->
+      List.iter
+        (fun route ->
+          if List.exists (Asn.equal (asn 4)) route then
+            Alcotest.fail "route through failed link survived")
+        (Spp.permitted failed node))
+    (Spp.nodes failed)
+
+let test_surprise_reduction () =
+  let benign = Gadgets.surprise () in
+  (* benign: converges deterministically *)
+  Alcotest.(check bool) "benign converges deterministically" true
+    (Bgp.converges_deterministically ~seed:2 benign);
+  Alcotest.(check int) "benign has a unique stable state" 1
+    (List.length (Spp.stable_solutions benign));
+  (* but it hides a dispute wheel... *)
+  Alcotest.(check bool) "wheel hidden inside" true (Dispute.has_wheel benign);
+  (* ...exposed by the link failure: BAD GADGET *)
+  let failed = Grc_check.remove_link benign (asn 4, asn 0) in
+  Alcotest.(check int) "no stable state after failure" 0
+    (List.length (Spp.stable_solutions failed));
+  match Bgp.run ~schedule:Bgp.Round_robin failed with
+  | Bgp.Oscillation _ -> ()
+  | _ -> Alcotest.fail "failed SURPRISE must oscillate"
+
+let suite =
+  [
+    Alcotest.test_case "GOOD GADGET wheel-free" `Quick
+      test_good_gadget_no_wheel;
+    Alcotest.test_case "BAD GADGET wheel" `Quick test_bad_gadget_wheel;
+    Alcotest.test_case "DISAGREE wheel" `Quick test_disagree_wheel;
+    Alcotest.test_case "WEDGIE wheel" `Quick test_wedgie_wheel;
+    Alcotest.test_case "fig1 instances have wheels" `Quick
+      test_fig1_instances_wheel;
+    Alcotest.test_case "GRC instances wheel-free" `Quick
+      test_grc_instance_no_wheel;
+    Alcotest.test_case "wheel-free => unique + deterministic" `Quick
+      test_no_wheel_implies_safe_and_unique;
+    Alcotest.test_case "conforms" `Quick test_conforms;
+    Alcotest.test_case "violations detected" `Quick test_violations_detected;
+    Alcotest.test_case "preference violation" `Quick
+      test_preference_violation;
+    Alcotest.test_case "remove_link" `Quick test_remove_link;
+    Alcotest.test_case "SURPRISE reduces to BAD GADGET" `Quick
+      test_surprise_reduction;
+  ]

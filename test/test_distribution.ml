@@ -1,0 +1,132 @@
+(* Tests for Pan_numerics.Distribution: closed-form values, CDF/quantile
+   inverses, sampling consistency, and partial moments. *)
+
+open Pan_numerics
+
+let approx = Alcotest.(check (float 1e-6))
+let loose = Alcotest.(check (float 1e-3))
+
+let test_uniform_basics () =
+  let d = Distribution.uniform 2.0 6.0 in
+  approx "pdf inside" 0.25 (Distribution.pdf d 3.0);
+  approx "pdf outside" 0.0 (Distribution.pdf d 7.0);
+  approx "cdf at lo" 0.0 (Distribution.cdf d 2.0);
+  approx "cdf mid" 0.5 (Distribution.cdf d 4.0);
+  approx "cdf at hi" 1.0 (Distribution.cdf d 6.0);
+  approx "mean" 4.0 (Distribution.mean d);
+  approx "quantile" 5.0 (Distribution.quantile d 0.75)
+
+let test_uniform_invalid () =
+  Alcotest.check_raises "lo >= hi"
+    (Invalid_argument "Distribution.uniform: lo >= hi") (fun () ->
+      ignore (Distribution.uniform 1.0 1.0))
+
+let test_triangular () =
+  let d = Distribution.triangular 0.0 1.0 4.0 in
+  approx "mean" (5.0 /. 3.0) (Distribution.mean d);
+  approx "cdf at mode" 0.25 (Distribution.cdf d 1.0);
+  approx "cdf at hi" 1.0 (Distribution.cdf d 4.0);
+  (* quantile inverts cdf *)
+  let q = Distribution.quantile d 0.25 in
+  approx "quantile of cdf(mode)" 1.0 q
+
+let test_exponential () =
+  let d = Distribution.exponential 0.5 in
+  approx "mean" 2.0 (Distribution.mean d);
+  approx "cdf" (1.0 -. exp (-1.0)) (Distribution.cdf d 2.0);
+  loose "quantile inverse" 2.0 (Distribution.quantile d (1.0 -. exp (-1.0)))
+
+let test_gaussian_cdf () =
+  let d = Distribution.gaussian 0.0 1.0 in
+  loose "cdf at 0" 0.5 (Distribution.cdf d 0.0);
+  loose "cdf at 1.96" 0.975 (Distribution.cdf d 1.96);
+  loose "cdf symmetric" (1.0 -. Distribution.cdf d 1.3)
+    (Distribution.cdf d (-1.3))
+
+let test_gaussian_quantile_bisection () =
+  let d = Distribution.gaussian 2.0 3.0 in
+  loose "median" 2.0 (Distribution.quantile d 0.5);
+  let x = Distribution.quantile d 0.9 in
+  loose "round trip" 0.9 (Distribution.cdf d x)
+
+let test_shifted_scaled () =
+  let d = Distribution.scaled (Distribution.uniform 0.0 1.0) 2.0 in
+  let d = Distribution.shifted d 3.0 in
+  let lo, hi = Distribution.support d in
+  approx "support lo" 3.0 lo;
+  approx "support hi" 5.0 hi;
+  approx "mean" 4.0 (Distribution.mean d);
+  approx "cdf mid" 0.5 (Distribution.cdf d 4.0)
+
+let test_prob_interval () =
+  let d = Distribution.uniform 0.0 10.0 in
+  approx "interval" 0.3 (Distribution.prob_interval d 2.0 5.0);
+  approx "empty interval" 0.0 (Distribution.prob_interval d 5.0 2.0);
+  approx "prob_ge" 0.4 (Distribution.prob_ge d 6.0)
+
+let test_sampling_matches_cdf () =
+  let d = Distribution.uniform (-1.0) 1.0 in
+  let rng = Rng.create 77 in
+  let n = 20_000 in
+  let below = ref 0 in
+  for _ = 1 to n do
+    if Distribution.sample d rng <= 0.5 then incr below
+  done;
+  let freq = float_of_int !below /. float_of_int n in
+  if Float.abs (freq -. 0.75) > 0.01 then
+    Alcotest.failf "sample frequency %f vs cdf 0.75" freq
+
+let test_expectation () =
+  let d = Distribution.uniform 0.0 1.0 in
+  loose "E(x)" 0.5 (Distribution.expectation d Fun.id);
+  loose "E(x^2)" (1.0 /. 3.0) (Distribution.expectation d (fun x -> x *. x))
+
+let test_partial_expectation () =
+  let d = Distribution.uniform 0.0 2.0 in
+  (* ∫_0^1 x/2 dx = 1/4 *)
+  loose "partial" 0.25 (Distribution.partial_expectation d 0.0 1.0);
+  (* whole support = mean *)
+  loose "total = mean" 1.0
+    (Distribution.partial_expectation d neg_infinity infinity);
+  approx "empty" 0.0 (Distribution.partial_expectation d 1.0 0.5)
+
+let test_partial_expectation_infinite_bounds () =
+  let d = Distribution.uniform (-1.0) 1.0 in
+  loose "negative half" (-0.25)
+    (Distribution.partial_expectation d neg_infinity 0.0);
+  loose "positive half" 0.25 (Distribution.partial_expectation d 0.0 infinity)
+
+let qcheck_quantile_inverse =
+  QCheck.Test.make ~count:200 ~name:"quantile inverts cdf (uniform)"
+    QCheck.(pair (float_range (-10.0) 10.0) (float_range 0.01 0.99))
+    (fun (lo, p) ->
+      let d = Distribution.uniform lo (lo +. 5.0) in
+      let x = Distribution.quantile d p in
+      Float.abs (Distribution.cdf d x -. p) < 1e-9)
+
+let qcheck_cdf_monotone =
+  QCheck.Test.make ~count:200 ~name:"cdf is monotone (triangular)"
+    QCheck.(pair (float_range (-5.0) 5.0) (float_range 0.0 3.0))
+    (fun (x, dx) ->
+      let d = Distribution.triangular (-2.0) 0.5 4.0 in
+      Distribution.cdf d x <= Distribution.cdf d (x +. dx) +. 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "uniform basics" `Quick test_uniform_basics;
+    Alcotest.test_case "uniform invalid" `Quick test_uniform_invalid;
+    Alcotest.test_case "triangular" `Quick test_triangular;
+    Alcotest.test_case "exponential" `Quick test_exponential;
+    Alcotest.test_case "gaussian cdf" `Quick test_gaussian_cdf;
+    Alcotest.test_case "gaussian quantile by bisection" `Quick
+      test_gaussian_quantile_bisection;
+    Alcotest.test_case "shifted and scaled" `Quick test_shifted_scaled;
+    Alcotest.test_case "prob_interval / prob_ge" `Quick test_prob_interval;
+    Alcotest.test_case "sampling matches cdf" `Slow test_sampling_matches_cdf;
+    Alcotest.test_case "expectation" `Quick test_expectation;
+    Alcotest.test_case "partial expectation" `Quick test_partial_expectation;
+    Alcotest.test_case "partial expectation with infinite bounds" `Quick
+      test_partial_expectation_infinite_bounds;
+    QCheck_alcotest.to_alcotest qcheck_quantile_inverse;
+    QCheck_alcotest.to_alcotest qcheck_cdf_monotone;
+  ]

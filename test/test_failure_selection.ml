@@ -1,0 +1,183 @@
+(* Tests for link failures / failover and application-aware path
+   selection. *)
+
+open Pan_topology
+open Pan_scion
+
+let a = Gen.fig1_asn
+let g = Gen.fig1 ()
+
+let net_with_mas () =
+  Failure.create (Authz.create ~mas:[ (a 'D', a 'E') ] g)
+
+let test_link_state () =
+  let net = net_with_mas () in
+  Alcotest.(check bool) "up initially" true (Failure.link_up net (a 'A') (a 'D'));
+  Failure.fail_link net (a 'A') (a 'D');
+  Alcotest.(check bool) "down" false (Failure.link_up net (a 'D') (a 'A'));
+  Failure.fail_link net (a 'D') (a 'A');
+  Alcotest.(check int) "idempotent" 1 (List.length (Failure.failed_links net));
+  Failure.restore_link net (a 'A') (a 'D');
+  Alcotest.(check bool) "restored" true (Failure.link_up net (a 'A') (a 'D'));
+  Failure.fail_link net (a 'A') (a 'D');
+  Failure.fail_link net (a 'B') (a 'E');
+  Failure.restore_all net;
+  Alcotest.(check int) "restore_all" 0 (List.length (Failure.failed_links net))
+
+let test_send_on_segment_drops_on_failed_link () =
+  let net = net_with_mas () in
+  let seg =
+    Segment.make_exn (Failure.authz net) (List.map a [ 'H'; 'D'; 'A' ])
+  in
+  (match Failure.send_on_segment net seg ~payload:"x" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "live path dropped: %s" e);
+  Failure.fail_link net (a 'D') (a 'A');
+  match Failure.send_on_segment net seg ~payload:"x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "packet crossed a failed link"
+
+let test_failover_uses_alternate () =
+  (* H -> I has both H-D-E-I (via peering) and H-D-A-B-E-I (via core);
+     failing D-E must shift delivery to the longer path *)
+  let net = net_with_mas () in
+  Failure.fail_link net (a 'D') (a 'E');
+  match Failure.send_with_failover net ~src:(a 'H') ~dst:(a 'I') ~payload:"x" with
+  | Error e -> Alcotest.failf "failover failed: %s" e
+  | Ok outcome ->
+      Alcotest.(check bool) "took more than one attempt" true
+        (outcome.Failure.attempts > 1);
+      let trace = outcome.Failure.delivery.Forwarding.trace in
+      Alcotest.(check bool) "avoids the failed link" true
+        (let rec ok = function
+           | x :: (y :: _ as rest) ->
+               (not
+                  (Asn.equal x (a 'D') && Asn.equal y (a 'E')
+                  || (Asn.equal x (a 'E') && Asn.equal y (a 'D'))))
+               && ok rest
+           | _ -> true
+         in
+         ok trace)
+
+let test_connectivity_lost_when_cut () =
+  let net = net_with_mas () in
+  (* H's only access link is D-H *)
+  Failure.fail_link net (a 'D') (a 'H');
+  Alcotest.(check bool) "H unreachable" false
+    (Failure.connectivity net ~src:(a 'H') ~dst:(a 'I'))
+
+let test_ma_improves_survival () =
+  (* destination B from H: GRC paths go H-D-A-B only; with the MA the
+     H-D-E-B path also exists, so failing A-D cuts GRC but not MA *)
+  let grc_net = Failure.create (Authz.create g) in
+  let ma_net = net_with_mas () in
+  Failure.fail_link grc_net (a 'A') (a 'D');
+  Failure.fail_link ma_net (a 'A') (a 'D');
+  Alcotest.(check bool) "GRC-only loses H->B" false
+    (Failure.connectivity grc_net ~src:(a 'H') ~dst:(a 'B'));
+  Alcotest.(check bool) "MA keeps H->B" true
+    (Failure.connectivity ma_net ~src:(a 'H') ~dst:(a 'B'))
+
+(* ------------------------------------------------------------------ *)
+(* Selection                                                           *)
+
+let ctx () =
+  {
+    Selection.geo = Geo.generate ~seed:3 g;
+    Selection.bandwidth = Bandwidth.degree_gravity g;
+  }
+
+let test_latency_proxy_monotone_in_hops () =
+  let c = ctx () in
+  let short = [ a 'H'; a 'D'; a 'A' ] in
+  let long = [ a 'H'; a 'D'; a 'A'; a 'B' ] in
+  (* the proxy is bounded below by the per-hop penalty *)
+  Alcotest.(check bool) "penalty floor (3 hops)" true
+    (Selection.latency_proxy c short >= 300.0);
+  Alcotest.(check bool) "penalty floor (4 hops)" true
+    (Selection.latency_proxy c long >= 400.0);
+  (* extending a path by one more link can only add distance and penalty *)
+  Alcotest.(check bool) "superpath costs more" true
+    (Selection.latency_proxy c long > Selection.latency_proxy c short)
+
+let test_latency_proxy_invalid () =
+  let c = ctx () in
+  try
+    ignore (Selection.latency_proxy c [ a 'H' ]);
+    Alcotest.fail "short path accepted"
+  with Invalid_argument _ -> ()
+
+let test_bandwidth_proxy () =
+  let c = ctx () in
+  let bw = Selection.bandwidth_proxy c [ a 'H'; a 'D'; a 'A' ] in
+  Alcotest.(check (float 1e-9)) "matches Bandwidth.path_bandwidth"
+    (Bandwidth.path_bandwidth c.Selection.bandwidth [ a 'H'; a 'D'; a 'A' ])
+    bw
+
+let test_selection_prefers_app_metric () =
+  let c = ctx () in
+  let authz = Authz.create ~mas:[ (a 'D', a 'E') ] g in
+  let ps = Path_server.build authz (Beacon.run authz) in
+  let candidates = Combinator.end_to_end ps ~src:(a 'H') ~dst:(a 'I') in
+  Alcotest.(check bool) "multiple candidates" true
+    (List.length candidates >= 2);
+  (match Selection.select c Selection.Voip candidates with
+  | None -> Alcotest.fail "no selection"
+  | Some best ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "voip pick minimizes latency" true
+            (Selection.latency_proxy c (Segment.ases best)
+            <= Selection.latency_proxy c (Segment.ases s) +. 1e-9))
+        candidates);
+  match Selection.select c Selection.File_transfer candidates with
+  | None -> Alcotest.fail "no selection"
+  | Some best ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "ft pick maximizes bandwidth" true
+            (Selection.bandwidth_proxy c (Segment.ases best)
+            >= Selection.bandwidth_proxy c (Segment.ases s) -. 1e-9))
+        candidates
+
+let test_rank_sorted () =
+  let c = ctx () in
+  let authz = Authz.create g in
+  let ps = Path_server.build authz (Beacon.run authz) in
+  let candidates = Combinator.end_to_end ps ~src:(a 'H') ~dst:(a 'G') in
+  let ranked = Selection.rank c Selection.Voip candidates in
+  Alcotest.(check int) "same cardinality" (List.length candidates)
+    (List.length ranked);
+  let rec sorted = function
+    | s1 :: (s2 :: _ as rest) ->
+        Selection.score c Selection.Voip (Segment.ases s1)
+        <= Selection.score c Selection.Voip (Segment.ases s2) +. 1e-9
+        && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by score" true (sorted ranked)
+
+let test_select_empty () =
+  let c = ctx () in
+  Alcotest.(check bool) "none on empty" true
+    (Selection.select c Selection.Web [] = None)
+
+let suite =
+  [
+    Alcotest.test_case "link state management" `Quick test_link_state;
+    Alcotest.test_case "segment drops on failed link" `Quick
+      test_send_on_segment_drops_on_failed_link;
+    Alcotest.test_case "failover uses alternate path" `Quick
+      test_failover_uses_alternate;
+    Alcotest.test_case "connectivity lost when cut" `Quick
+      test_connectivity_lost_when_cut;
+    Alcotest.test_case "MAs improve survival" `Quick test_ma_improves_survival;
+    Alcotest.test_case "latency proxy" `Quick test_latency_proxy_monotone_in_hops;
+    Alcotest.test_case "latency proxy invalid" `Quick
+      test_latency_proxy_invalid;
+    Alcotest.test_case "bandwidth proxy" `Quick test_bandwidth_proxy;
+    Alcotest.test_case "selection per application" `Quick
+      test_selection_prefers_app_metric;
+    Alcotest.test_case "rank sorted" `Quick test_rank_sorted;
+    Alcotest.test_case "select on empty" `Quick test_select_empty;
+  ]

@@ -1,0 +1,74 @@
+(* Tests for the BGP-fragility experiment (E13). *)
+
+open Pan_experiments
+
+let result = lazy (Fragility_exp.run ~topologies:4 ~dests_per_topology:2 ())
+
+let test_shape () =
+  let r = Lazy.force result in
+  Alcotest.(check int) "four densities" 4
+    (List.length r.Fragility_exp.points);
+  List.iter
+    (fun (p : Fragility_exp.point) ->
+      Alcotest.(check int) "cases accounted for" p.Fragility_exp.instances
+        (p.Fragility_exp.converged + p.Fragility_exp.oscillated);
+      Alcotest.(check bool) "nondeterministic within converged" true
+        (p.Fragility_exp.nondeterministic <= p.Fragility_exp.converged))
+    r.Fragility_exp.points
+
+let test_zero_density_is_safe () =
+  (* pure GRC policies: the Gao-Rexford theorem guarantees convergence,
+     and every run must be deterministic *)
+  let r = Lazy.force result in
+  match r.Fragility_exp.points with
+  | p0 :: _ ->
+      Alcotest.(check int) "no oscillation at density 0" 0
+        p0.Fragility_exp.oscillated;
+      Alcotest.(check int) "no nondeterminism at density 0" 0
+        p0.Fragility_exp.nondeterministic
+  | [] -> Alcotest.fail "no points"
+
+let test_violations_create_trouble () =
+  (* at full density, some instance must oscillate or be nondeterministic
+     (if none did, the experiment would show nothing) *)
+  let r = Lazy.force result in
+  let last = List.nth r.Fragility_exp.points
+      (List.length r.Fragility_exp.points - 1) in
+  Alcotest.(check bool) "trouble at density 1" true
+    (last.Fragility_exp.oscillated + last.Fragility_exp.nondeterministic > 0)
+
+let test_monotone_tendency () =
+  (* trouble at the extremes: density 1 must be at least as bad as 0 *)
+  let r = Lazy.force result in
+  let trouble (p : Fragility_exp.point) =
+    p.Fragility_exp.oscillated + p.Fragility_exp.nondeterministic
+  in
+  match r.Fragility_exp.points with
+  | first :: rest ->
+      let last = List.nth rest (List.length rest - 1) in
+      Alcotest.(check bool) "worse with violations" true
+        (trouble last >= trouble first)
+  | [] -> Alcotest.fail "no points"
+
+let test_wheels_track_violations () =
+  let r = Lazy.force result in
+  match r.Fragility_exp.points with
+  | p0 :: rest ->
+      Alcotest.(check int) "no wheels under pure GRC" 0
+        p0.Fragility_exp.with_dispute_wheel;
+      let last = List.nth rest (List.length rest - 1) in
+      Alcotest.(check bool) "wheels appear with violations" true
+        (last.Fragility_exp.with_dispute_wheel > 0)
+  | [] -> Alcotest.fail "no points"
+
+let suite =
+  [
+    Alcotest.test_case "shape" `Slow test_shape;
+    Alcotest.test_case "density 0 safe (Gao-Rexford)" `Slow
+      test_zero_density_is_safe;
+    Alcotest.test_case "violations create trouble" `Slow
+      test_violations_create_trouble;
+    Alcotest.test_case "monotone tendency" `Slow test_monotone_tendency;
+    Alcotest.test_case "wheels track violations" `Slow
+      test_wheels_track_violations;
+  ]

@@ -1,0 +1,171 @@
+(* Tests for the synthetic topology generator and the Fig. 1 builder. *)
+
+open Pan_topology
+
+let small_params =
+  {
+    Gen.default_params with
+    Gen.n_tier1 = 4;
+    n_transit = 40;
+    n_stub = 150;
+  }
+
+let gen ?(seed = 1) () = Gen.generate ~params:small_params ~seed ()
+
+let test_determinism () =
+  let g1 = Gen.graph (gen ()) and g2 = Gen.graph (gen ()) in
+  Alcotest.(check int) "ases" (Graph.num_ases g1) (Graph.num_ases g2);
+  Alcotest.(check int) "p2c"
+    (Graph.num_provider_customer_links g1)
+    (Graph.num_provider_customer_links g2);
+  Alcotest.(check int) "p2p" (Graph.num_peering_links g1)
+    (Graph.num_peering_links g2);
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "same neighbors" true
+        (Asn.Set.equal (Graph.neighbors g1 x) (Graph.neighbors g2 x)))
+    (Graph.ases g1)
+
+let test_seed_changes_topology () =
+  let g1 = Gen.graph (gen ~seed:1 ()) and g2 = Gen.graph (gen ~seed:2 ()) in
+  let differs =
+    List.exists
+      (fun x -> not (Asn.Set.equal (Graph.neighbors g1 x) (Graph.neighbors g2 x)))
+      (Graph.ases g1)
+  in
+  Alcotest.(check bool) "seeds differ" true differs
+
+let test_tier_sizes () =
+  let t = gen () in
+  Alcotest.(check int) "tier1" 4 (List.length (Gen.tier1 t));
+  Alcotest.(check int) "transit" 40 (List.length (Gen.transit t));
+  Alcotest.(check int) "stubs" 150 (List.length (Gen.stubs t));
+  Alcotest.(check int) "total" 194 (Graph.num_ases (Gen.graph t))
+
+let test_tier1_clique_and_no_providers () =
+  let t = gen () in
+  let g = Gen.graph t in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "tier1 has no providers" true
+        (Asn.Set.is_empty (Graph.providers g x));
+      List.iter
+        (fun y ->
+          if not (Asn.equal x y) then
+            Alcotest.(check bool) "clique peering" true
+              (Graph.relationship g x y = Some Graph.Peer))
+        (Gen.tier1 t))
+    (Gen.tier1 t)
+
+let test_everyone_else_has_providers () =
+  let t = gen () in
+  let g = Gen.graph t in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "transit has a provider" false
+        (Asn.Set.is_empty (Graph.providers g x)))
+    (Gen.transit t);
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "stub has a provider" false
+        (Asn.Set.is_empty (Graph.providers g x)))
+    (Gen.stubs t)
+
+let test_stub_has_no_customers () =
+  let t = gen () in
+  let g = Gen.graph t in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "stub childless" true
+        (Asn.Set.is_empty (Graph.customers g x)))
+    (Gen.stubs t)
+
+let test_tier_of () =
+  let t = gen () in
+  List.iter
+    (fun x -> Alcotest.(check bool) "tier1" true (Gen.tier_of t x = Gen.Tier1))
+    (Gen.tier1 t);
+  List.iter
+    (fun x -> Alcotest.(check bool) "stub" true (Gen.tier_of t x = Gen.Stub))
+    (Gen.stubs t)
+
+let test_provider_hierarchy_acyclic () =
+  (* walking up providers must always terminate at tier-1 *)
+  let t = gen () in
+  let g = Gen.graph t in
+  let rec climbs_to_top x depth =
+    if depth > 50 then false
+    else if Asn.Set.is_empty (Graph.providers g x) then true
+    else climbs_to_top (Asn.Set.min_elt (Graph.providers g x)) (depth + 1)
+  in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "provider chain reaches the top" true
+        (climbs_to_top x 0))
+    (Graph.ases g)
+
+let test_invalid_params () =
+  let bad = { small_params with Gen.n_tier1 = 0 } in
+  try
+    ignore (Gen.generate ~params:bad ~seed:1 ());
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_fig1_structure () =
+  let g = Gen.fig1 () in
+  let a = Gen.fig1_asn in
+  Alcotest.(check int) "9 ASes" 9 (Graph.num_ases g);
+  Alcotest.(check bool) "A provider of D" true
+    (Graph.relationship g (a 'D') (a 'A') = Some Graph.Provider);
+  Alcotest.(check bool) "D peers E" true
+    (Graph.relationship g (a 'D') (a 'E') = Some Graph.Peer);
+  Alcotest.(check bool) "E peers F" true
+    (Graph.relationship g (a 'E') (a 'F') = Some Graph.Peer);
+  Alcotest.(check bool) "H customer of D" true
+    (Graph.relationship g (a 'D') (a 'H') = Some Graph.Customer);
+  Alcotest.(check bool) "C peers both D and E" true
+    (Graph.relationship g (a 'C') (a 'D') = Some Graph.Peer
+    && Graph.relationship g (a 'C') (a 'E') = Some Graph.Peer)
+
+let test_fig1_asn_invalid () =
+  try
+    ignore (Gen.fig1_asn 'Z');
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_hub_peering_increases_density () =
+  let without =
+    Gen.graph
+      (Gen.generate
+         ~params:{ small_params with Gen.route_server_hubs = 0 }
+         ~seed:3 ())
+  in
+  let with_hubs =
+    Gen.graph
+      (Gen.generate
+         ~params:{ small_params with Gen.route_server_hubs = 5 }
+         ~seed:3 ())
+  in
+  Alcotest.(check bool) "hubs add peering links" true
+    (Graph.num_peering_links with_hubs > Graph.num_peering_links without)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed changes topology" `Quick
+      test_seed_changes_topology;
+    Alcotest.test_case "tier sizes" `Quick test_tier_sizes;
+    Alcotest.test_case "tier1 clique / no providers" `Quick
+      test_tier1_clique_and_no_providers;
+    Alcotest.test_case "non-tier1 have providers" `Quick
+      test_everyone_else_has_providers;
+    Alcotest.test_case "stubs childless" `Quick test_stub_has_no_customers;
+    Alcotest.test_case "tier_of" `Quick test_tier_of;
+    Alcotest.test_case "provider hierarchy terminates" `Quick
+      test_provider_hierarchy_acyclic;
+    Alcotest.test_case "invalid params" `Quick test_invalid_params;
+    Alcotest.test_case "fig1 structure" `Quick test_fig1_structure;
+    Alcotest.test_case "fig1_asn invalid" `Quick test_fig1_asn_invalid;
+    Alcotest.test_case "hub peering adds density" `Quick
+      test_hub_peering_increases_density;
+  ]

@@ -1,0 +1,159 @@
+(* Tests for the geolocation substrate. *)
+
+open Pan_topology
+
+let loose = Alcotest.(check (float 1.0))
+
+let test_haversine_known_points () =
+  (* London -> Paris is roughly 344 km *)
+  let london = { Geo.lat = 51.5074; lon = -0.1278 } in
+  let paris = { Geo.lat = 48.8566; lon = 2.3522 } in
+  let d = Geo.distance_km london paris in
+  if Float.abs (d -. 344.0) > 10.0 then Alcotest.failf "London-Paris %f km" d
+
+let test_haversine_properties () =
+  let p = { Geo.lat = 10.0; lon = 20.0 } in
+  let q = { Geo.lat = -30.0; lon = 50.0 } in
+  loose "self distance" 0.0 (Geo.distance_km p p);
+  Alcotest.(check (float 1e-6)) "symmetry" (Geo.distance_km p q)
+    (Geo.distance_km q p);
+  Alcotest.(check bool) "positive" true (Geo.distance_km p q > 0.0)
+
+let test_antipodal_bound () =
+  let p = { Geo.lat = 0.0; lon = 0.0 } in
+  let q = { Geo.lat = 0.0; lon = 180.0 } in
+  let d = Geo.distance_km p q in
+  (* half the Earth's circumference, ~20015 km *)
+  if Float.abs (d -. 20015.0) > 30.0 then Alcotest.failf "antipodal %f" d
+
+let graph_and_geo () =
+  let gen =
+    Gen.generate
+      ~params:{ Gen.default_params with Gen.n_transit = 30; Gen.n_stub = 100 }
+      ~seed:5 ()
+  in
+  let g = Gen.graph gen in
+  (g, Geo.generate ~seed:7 g)
+
+let test_every_as_placed () =
+  let g, geo = graph_and_geo () in
+  List.iter
+    (fun x ->
+      let p = Geo.as_location geo x in
+      if p.Geo.lat < -90.0 || p.Geo.lat > 90.0 then Alcotest.fail "bad lat";
+      if p.Geo.lon < -180.0 || p.Geo.lon > 180.0 then Alcotest.fail "bad lon")
+    (Graph.ases g)
+
+let test_every_link_placed () =
+  let g, geo = graph_and_geo () in
+  Graph.fold_peering_links
+    (fun x y () -> ignore (Geo.link_location geo x y))
+    g ();
+  Graph.fold_provider_customer_links
+    (fun ~provider ~customer () ->
+      ignore (Geo.link_location geo provider customer))
+    g ()
+
+let test_link_location_symmetric () =
+  let g, geo = graph_and_geo () in
+  Graph.fold_peering_links
+    (fun x y () ->
+      let p = Geo.link_location geo x y and q = Geo.link_location geo y x in
+      Alcotest.(check (float 1e-9)) "lat" p.Geo.lat q.Geo.lat;
+      Alcotest.(check (float 1e-9)) "lon" p.Geo.lon q.Geo.lon)
+    g ()
+
+let test_unknown_link_raises () =
+  let _, geo = graph_and_geo () in
+  try
+    ignore (Geo.link_location geo (Asn.of_int 9999) (Asn.of_int 9998));
+    Alcotest.fail "expected Not_found"
+  with Not_found -> ()
+
+let test_determinism () =
+  let gen =
+    Gen.generate
+      ~params:{ Gen.default_params with Gen.n_transit = 20; Gen.n_stub = 50 }
+      ~seed:5 ()
+  in
+  let g = Gen.graph gen in
+  let geo1 = Geo.generate ~seed:7 g and geo2 = Geo.generate ~seed:7 g in
+  List.iter
+    (fun x ->
+      let p = Geo.as_location geo1 x and q = Geo.as_location geo2 x in
+      Alcotest.(check (float 0.0)) "lat deterministic" p.Geo.lat q.Geo.lat)
+    (Graph.ases g)
+
+let test_path3_geodistance_triangle () =
+  let g, geo = graph_and_geo () in
+  (* find some 3-AS path *)
+  let found = ref None in
+  List.iter
+    (fun x ->
+      Asn.Set.iter
+        (fun y ->
+          Asn.Set.iter
+            (fun z ->
+              if !found = None && not (Asn.equal z x) then
+                found := Some (x, y, z))
+            (Graph.neighbors g y))
+        (Graph.neighbors g x))
+    (Graph.ases g);
+  match !found with
+  | None -> Alcotest.fail "no length-3 path in test graph"
+  | Some (x, y, z) ->
+      let d = Geo.path3_geodistance geo x y z in
+      Alcotest.(check bool) "non-negative" true (d >= 0.0);
+      (* the decomposed distance is at least the direct distance between
+         the endpoints' link attachment points (triangle inequality) *)
+      let direct =
+        Geo.distance_km (Geo.as_location geo x) (Geo.as_location geo z)
+      in
+      let slack = 1e-6 in
+      (* d(x,l1)+d(l1,l2)+d(l2,z) >= d(x,z) *)
+      Alcotest.(check bool) "triangle inequality" true (d +. slack >= direct)
+
+let test_of_locations () =
+  let g = Gen.fig1 () in
+  let locations =
+    List.fold_left
+      (fun acc x ->
+        Asn.Map.add x
+          { Geo.lat = float_of_int (Asn.to_int x); lon = 0.0 }
+          acc)
+      Asn.Map.empty (Graph.ases g)
+  in
+  let geo = Geo.of_locations g locations in
+  let a = Gen.fig1_asn 'A' in
+  Alcotest.(check (float 1e-9)) "supplied location" 1.0
+    (Geo.as_location geo a).Geo.lat;
+  (* link location defaults to the midpoint *)
+  let d = Gen.fig1_asn 'D' in
+  let link = Geo.link_location geo a d in
+  Alcotest.(check (float 1e-9)) "midpoint" 2.5 link.Geo.lat
+
+let test_of_locations_missing_raises () =
+  let g = Gen.fig1 () in
+  try
+    ignore (Geo.of_locations g Asn.Map.empty);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "haversine known points" `Quick
+      test_haversine_known_points;
+    Alcotest.test_case "haversine properties" `Quick test_haversine_properties;
+    Alcotest.test_case "antipodal bound" `Quick test_antipodal_bound;
+    Alcotest.test_case "every AS placed" `Quick test_every_as_placed;
+    Alcotest.test_case "every link placed" `Quick test_every_link_placed;
+    Alcotest.test_case "link location symmetric" `Quick
+      test_link_location_symmetric;
+    Alcotest.test_case "unknown link raises" `Quick test_unknown_link_raises;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "path3 geodistance" `Quick
+      test_path3_geodistance_triangle;
+    Alcotest.test_case "of_locations" `Quick test_of_locations;
+    Alcotest.test_case "of_locations missing raises" `Quick
+      test_of_locations_missing_raises;
+  ]

@@ -1,0 +1,78 @@
+(* Tests for Pan_numerics.Integrate against closed-form integrals. *)
+
+open Pan_numerics
+
+let loose = Alcotest.(check (float 1e-6))
+
+let test_trapezoid_linear () =
+  (* trapezoid is exact for linear functions *)
+  loose "∫ x on [0,2]" 2.0 (Integrate.trapezoid ~n:4 (fun x -> x) 0.0 2.0)
+
+let test_trapezoid_invalid () =
+  Alcotest.check_raises "n <= 0" (Invalid_argument "Integrate.trapezoid: n <= 0")
+    (fun () -> ignore (Integrate.trapezoid ~n:0 Fun.id 0.0 1.0))
+
+let test_simpson_polynomial () =
+  (* Simpson is exact for cubics *)
+  loose "∫ x^3 on [0,1]" 0.25
+    (Integrate.adaptive_simpson (fun x -> x ** 3.0) 0.0 1.0)
+
+let test_simpson_transcendental () =
+  loose "∫ sin on [0,pi]" 2.0 (Integrate.adaptive_simpson sin 0.0 Float.pi);
+  loose "∫ e^x on [0,1]" (exp 1.0 -. 1.0)
+    (Integrate.adaptive_simpson exp 0.0 1.0)
+
+let test_simpson_degenerate_and_reversed () =
+  loose "empty interval" 0.0 (Integrate.adaptive_simpson sin 1.0 1.0);
+  loose "reversed bounds flip sign" (-2.0)
+    (Integrate.adaptive_simpson sin Float.pi 0.0)
+
+let test_simpson_piecewise () =
+  (* a step function stresses the adaptive subdivision *)
+  let f x = if x < 0.5 then 1.0 else 3.0 in
+  let v = Integrate.adaptive_simpson ~epsabs:1e-10 f 0.0 1.0 in
+  if Float.abs (v -. 2.0) > 1e-3 then Alcotest.failf "step integral %f" v
+
+let test_grid_2d_constant () =
+  loose "area" 6.0
+    (Integrate.grid_2d ~nx:10 ~ny:10 (fun _ _ -> 1.0) (0.0, 2.0) (0.0, 3.0))
+
+let test_grid_2d_bilinear () =
+  (* midpoint rule is exact for bilinear integrands *)
+  loose "∫∫ xy over unit square" 0.25
+    (Integrate.grid_2d ~nx:8 ~ny:8 (fun x y -> x *. y) (0.0, 1.0) (0.0, 1.0))
+
+let test_grid_2d_indicator () =
+  (* the truthful-Nash-product integrand uses an indicator; check the
+     half-plane area converges *)
+  let v =
+    Integrate.grid_2d ~nx:400 ~ny:400
+      (fun x y -> if x +. y >= 0.0 then 1.0 else 0.0)
+      (-1.0, 1.0) (-1.0, 1.0)
+  in
+  if Float.abs (v -. 2.0) > 0.02 then Alcotest.failf "half-plane area %f" v
+
+let qcheck_simpson_linearity =
+  QCheck.Test.make ~count:100 ~name:"adaptive_simpson is linear in f"
+    QCheck.(pair (float_range (-3.0) 3.0) (float_range (-3.0) 3.0))
+    (fun (a, b) ->
+      let f x = (a *. x) +. b in
+      let v = Integrate.adaptive_simpson f 0.0 2.0 in
+      Float.abs (v -. ((2.0 *. a) +. (2.0 *. b))) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "trapezoid linear" `Quick test_trapezoid_linear;
+    Alcotest.test_case "trapezoid invalid" `Quick test_trapezoid_invalid;
+    Alcotest.test_case "simpson exact on cubics" `Quick
+      test_simpson_polynomial;
+    Alcotest.test_case "simpson transcendental" `Quick
+      test_simpson_transcendental;
+    Alcotest.test_case "simpson degenerate / reversed" `Quick
+      test_simpson_degenerate_and_reversed;
+    Alcotest.test_case "simpson piecewise" `Quick test_simpson_piecewise;
+    Alcotest.test_case "grid_2d constant" `Quick test_grid_2d_constant;
+    Alcotest.test_case "grid_2d bilinear exact" `Quick test_grid_2d_bilinear;
+    Alcotest.test_case "grid_2d indicator" `Quick test_grid_2d_indicator;
+    QCheck_alcotest.to_alcotest qcheck_simpson_linearity;
+  ]

@@ -1,0 +1,98 @@
+(* Tests for Pan_numerics.Optimize on functions with known optima. *)
+
+open Pan_numerics
+
+let loose = Alcotest.(check (float 1e-4))
+
+let test_golden_section () =
+  let x, v = Optimize.golden_section_max (fun x -> -.((x -. 2.0) ** 2.0)) 0.0 5.0 in
+  loose "argmax" 2.0 x;
+  loose "max" 0.0 v
+
+let test_golden_section_boundary () =
+  (* monotone function: maximum at the right boundary *)
+  let x, _ = Optimize.golden_section_max (fun x -> x) 0.0 3.0 in
+  if Float.abs (x -. 3.0) > 1e-6 then Alcotest.failf "boundary argmax %f" x
+
+let test_grid_max () =
+  let x, v = Optimize.grid_max ~n:100 (fun x -> -.Float.abs (x -. 0.5)) 0.0 1.0 in
+  loose "argmax" 0.5 x;
+  loose "max" 0.0 v
+
+let test_grid_max_invalid () =
+  Alcotest.check_raises "n <= 0" (Invalid_argument "Optimize.grid_max: n <= 0")
+    (fun () -> ignore (Optimize.grid_max ~n:0 Fun.id 0.0 1.0))
+
+let test_project () =
+  let box = [| (0.0, 1.0); (-2.0, 2.0) |] in
+  let p = Optimize.project box [| 5.0; -3.0 |] in
+  Alcotest.(check (array (float 0.0))) "clamped" [| 1.0; -2.0 |] p;
+  let q = Optimize.project box [| 0.5; 0.5 |] in
+  Alcotest.(check (array (float 0.0))) "inside unchanged" [| 0.5; 0.5 |] q
+
+let test_nelder_mead_quadratic () =
+  let f p = -.(((p.(0) -. 1.0) ** 2.0) +. ((p.(1) +. 0.5) ** 2.0)) in
+  let box = [| (-5.0, 5.0); (-5.0, 5.0) |] in
+  let x, v = Optimize.nelder_mead ~f ~box ~start:[| 0.0; 0.0 |] () in
+  loose "x0" 1.0 x.(0);
+  loose "x1" (-0.5) x.(1);
+  loose "value" 0.0 v
+
+let test_nelder_mead_respects_box () =
+  (* unconstrained max at (3,3), box caps at 1 *)
+  let f p = -.(((p.(0) -. 3.0) ** 2.0) +. ((p.(1) -. 3.0) ** 2.0)) in
+  let box = [| (0.0, 1.0); (0.0, 1.0) |] in
+  let x, _ = Optimize.nelder_mead ~f ~box ~start:[| 0.5; 0.5 |] () in
+  if x.(0) > 1.0 +. 1e-9 || x.(1) > 1.0 +. 1e-9 then
+    Alcotest.fail "left the box";
+  loose "x0 on boundary" 1.0 x.(0);
+  loose "x1 on boundary" 1.0 x.(1)
+
+let test_multistart_escapes_local_max () =
+  (* two bumps: local at x = -2 (height 1), global at x = 2 (height 2) *)
+  let bump c h x = h *. exp (-.((x -. c) ** 2.0)) in
+  let f p = bump (-2.0) 1.0 p.(0) +. bump 2.0 2.0 p.(0) in
+  let box = [| (-5.0, 5.0) |] in
+  let x, v = Optimize.multistart_nelder_mead ~starts_per_dim:5 ~f ~box () in
+  if Float.abs (x.(0) -. 2.0) > 0.01 then
+    Alcotest.failf "stuck at local optimum: x=%f v=%f" x.(0) v
+
+let test_multistart_high_dimensional () =
+  (* exercise the capped-lattice fallback path (spd^n > 243) *)
+  let f p = -.Array.fold_left (fun a x -> a +. (x *. x)) 0.0 p in
+  let box = Array.make 6 (-1.0, 1.0) in
+  let x, _ = Optimize.multistart_nelder_mead ~starts_per_dim:3 ~f ~box () in
+  Array.iter
+    (fun xi -> if Float.abs xi > 0.01 then Alcotest.failf "coordinate %f" xi)
+    x
+
+let qcheck_nelder_mead_within_box =
+  QCheck.Test.make ~count:50 ~name:"nelder_mead result stays in box"
+    QCheck.(pair (float_range (-3.0) 0.0) (float_range 0.1 3.0))
+    (fun (lo, width) ->
+      let hi = lo +. width in
+      let f p = sin (10.0 *. p.(0)) in
+      let x, _ =
+        Optimize.nelder_mead ~f ~box:[| (lo, hi) |]
+          ~start:[| lo +. (width /. 2.0) |] ()
+      in
+      x.(0) >= lo -. 1e-9 && x.(0) <= hi +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "golden section" `Quick test_golden_section;
+    Alcotest.test_case "golden section boundary" `Quick
+      test_golden_section_boundary;
+    Alcotest.test_case "grid max" `Quick test_grid_max;
+    Alcotest.test_case "grid max invalid" `Quick test_grid_max_invalid;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "nelder-mead quadratic" `Quick
+      test_nelder_mead_quadratic;
+    Alcotest.test_case "nelder-mead respects box" `Quick
+      test_nelder_mead_respects_box;
+    Alcotest.test_case "multistart escapes local maximum" `Quick
+      test_multistart_escapes_local_max;
+    Alcotest.test_case "multistart high-dimensional fallback" `Quick
+      test_multistart_high_dimensional;
+    QCheck_alcotest.to_alcotest qcheck_nelder_mead_within_box;
+  ]

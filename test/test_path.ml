@@ -1,0 +1,128 @@
+(* Tests for AS-level paths and valley-free (GRC) conformance. *)
+
+open Pan_topology
+
+let a = Gen.fig1_asn
+
+let g = Gen.fig1 ()
+
+let path cs = Path.make_exn g (List.map a cs)
+
+let test_make_validation () =
+  (match Path.make g [ a 'A' ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "singleton accepted");
+  (match Path.make g [ a 'A'; a 'D'; a 'A' ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "repeated AS accepted");
+  (match Path.make g [ a 'A'; a 'I' ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-adjacent accepted");
+  match Path.make g [ a 'A'; a 'D'; a 'H' ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid path rejected: %s" e
+
+let test_accessors () =
+  let p = path [ 'H'; 'D'; 'E'; 'I' ] in
+  Alcotest.(check int) "length" 4 (Path.length p);
+  Alcotest.(check int) "source" (Asn.to_int (a 'H'))
+    (Asn.to_int (Path.source p));
+  Alcotest.(check int) "destination" (Asn.to_int (a 'I'))
+    (Asn.to_int (Path.destination p));
+  Alcotest.(check int) "links" 3 (List.length (Path.links p));
+  let r = Path.reverse p in
+  Alcotest.(check int) "reverse source" (Asn.to_int (a 'I'))
+    (Asn.to_int (Path.source r))
+
+let test_steps () =
+  let p = path [ 'H'; 'D'; 'E'; 'I' ] in
+  Alcotest.(check bool) "up flat down" true
+    (Path.steps g p = [ Path.Up; Path.Flat; Path.Down ])
+
+let test_valley_free_positive () =
+  List.iter
+    (fun cs ->
+      let p = path cs in
+      Alcotest.(check bool)
+        (Printf.sprintf "valley-free %s"
+           (String.concat "" (List.map (String.make 1) cs)))
+        true (Path.is_valley_free g p))
+    [
+      [ 'H'; 'D'; 'A' ];           (* up up *)
+      [ 'H'; 'D'; 'E'; 'I' ];      (* up peer down *)
+      [ 'A'; 'D'; 'H' ];           (* down down *)
+      [ 'H'; 'D'; 'A'; 'B'; 'E'; 'I' ]; (* up up peer down down *)
+      [ 'D'; 'E' ];                (* single peer step *)
+      [ 'D'; 'E'; 'I' ];           (* peer down *)
+    ]
+
+let test_valley_free_negative () =
+  List.iter
+    (fun cs ->
+      let p = path cs in
+      Alcotest.(check bool)
+        (Printf.sprintf "valley %s"
+           (String.concat "" (List.map (String.make 1) cs)))
+        false (Path.is_valley_free g p))
+    [
+      [ 'D'; 'E'; 'B' ];           (* peer then up: the MA path of Eq. 6 *)
+      [ 'A'; 'D'; 'E' ];           (* down then peer *)
+      [ 'D'; 'E'; 'F' ];           (* peer then peer *)
+      [ 'A'; 'D'; 'E'; 'B' ];      (* down peer up *)
+      [ 'H'; 'D'; 'E'; 'B' ];      (* up peer up *)
+    ]
+
+let test_grc_usable_alias () =
+  let p = path [ 'D'; 'E'; 'B' ] in
+  Alcotest.(check bool) "alias agrees" (Path.is_valley_free g p)
+    (Path.grc_usable g p)
+
+let qcheck_reverse_involution =
+  (* reversing twice restores the path, on arbitrary valid fig1 paths *)
+  let paths =
+    [
+      [ 'H'; 'D'; 'A' ];
+      [ 'H'; 'D'; 'E'; 'I' ];
+      [ 'D'; 'E'; 'B' ];
+      [ 'A'; 'B'; 'C' ];
+      [ 'G'; 'F'; 'E'; 'D' ];
+    ]
+  in
+  QCheck.Test.make ~count:50 ~name:"reverse is an involution"
+    QCheck.(oneofl paths)
+    (fun cs ->
+      let p = path cs in
+      Path.ases (Path.reverse (Path.reverse p)) = Path.ases p)
+
+let qcheck_reverse_valley_free_symmetric =
+  (* a length-3 path through a peering top is valley-free in both
+     directions; the MA paths are valley-free in neither *)
+  QCheck.Test.make ~count:50 ~name:"valley-freeness of reverse (length-3)"
+    QCheck.(oneofl [ [ 'H'; 'D'; 'A' ]; [ 'D'; 'E'; 'B' ]; [ 'I'; 'E'; 'D' ] ])
+    (fun cs ->
+      let p = path cs in
+      match cs with
+      | [ 'H'; 'D'; 'A' ] ->
+          (* up up reversed = down down: both valley-free *)
+          Path.is_valley_free g p
+          && Path.is_valley_free g (Path.reverse p)
+      | [ 'D'; 'E'; 'B' ] ->
+          (* peer-up reversed = down-peer: both violate *)
+          (not (Path.is_valley_free g p))
+          && not (Path.is_valley_free g (Path.reverse p))
+      | _ ->
+          (* I-E-D: up peer; reversed D-E-I: peer down — both fine *)
+          Path.is_valley_free g p
+          && Path.is_valley_free g (Path.reverse p))
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "steps" `Quick test_steps;
+    Alcotest.test_case "valley-free positive" `Quick test_valley_free_positive;
+    Alcotest.test_case "valley-free negative" `Quick test_valley_free_negative;
+    Alcotest.test_case "grc_usable alias" `Quick test_grc_usable_alias;
+    QCheck_alcotest.to_alcotest qcheck_reverse_involution;
+    QCheck_alcotest.to_alcotest qcheck_reverse_valley_free_symmetric;
+  ]

@@ -1,0 +1,129 @@
+(* Tests for deriving SPP instances from topologies with GRC policies. *)
+
+open Pan_topology
+open Pan_routing
+
+let a = Gen.fig1_asn
+let g = Gen.fig1 ()
+
+let test_all_simple_routes () =
+  let routes = Policy.all_simple_routes ~max_len:3 g ~dest:(a 'A') (a 'H') in
+  (* H -> D -> A is the only route within 3 ASes *)
+  Alcotest.(check int) "one route" 1 (List.length routes);
+  Alcotest.(check (list int)) "the route"
+    (List.map (fun c -> Asn.to_int (a c)) [ 'H'; 'D'; 'A' ])
+    (List.map Asn.to_int (List.hd routes))
+
+let test_all_simple_routes_dest_itself () =
+  Alcotest.(check int) "trivial route" 1
+    (List.length (Policy.all_simple_routes g ~dest:(a 'A') (a 'A')))
+
+let test_routes_are_simple_and_terminate () =
+  let routes = Policy.all_simple_routes ~max_len:5 g ~dest:(a 'A') (a 'G') in
+  List.iter
+    (fun r ->
+      let rec distinct = function
+        | [] -> true
+        | x :: rest -> (not (List.exists (Asn.equal x) rest)) && distinct rest
+      in
+      Alcotest.(check bool) "simple" true (distinct r);
+      Alcotest.(check bool) "ends at dest" true
+        (Asn.equal (List.nth r (List.length r - 1)) (a 'A'));
+      Alcotest.(check bool) "length bound" true (List.length r <= 5))
+    routes
+
+let test_grc_rank_ordering () =
+  (* customer routes beat peer routes beat provider routes *)
+  let rank route = Policy.grc_rank g route in
+  let via_customer = [ a 'D'; a 'H' ] in
+  let via_peer = [ a 'D'; a 'E'; a 'I' ] in
+  let via_provider = [ a 'D'; a 'A'; a 'B' ] in
+  Alcotest.(check bool) "customer < peer" true
+    (rank via_customer < rank via_peer);
+  Alcotest.(check bool) "peer < provider" true
+    (rank via_peer < rank via_provider)
+
+let test_grc_instance_permits_only_valley_free () =
+  let i = Policy.grc_instance ~max_len:4 g ~dest:(a 'A') in
+  List.iter
+    (fun node ->
+      List.iter
+        (fun route ->
+          Alcotest.(check bool) "permitted implies valley-free" true
+            (Path.is_valley_free g (Path.make_exn g route)))
+        (Spp.permitted i node))
+    (Spp.nodes i)
+
+let test_grc_instance_converges_deterministically () =
+  (* the Gao-Rexford theorem: GRC policies converge, and on this topology
+     the fixpoint is schedule-independent *)
+  let i = Policy.grc_instance ~max_len:4 g ~dest:(a 'A') in
+  (match Bgp.run ~schedule:Bgp.Round_robin i with
+  | Bgp.Converged _ -> ()
+  | _ -> Alcotest.fail "GRC instance must converge");
+  Alcotest.(check bool) "deterministic" true
+    (Bgp.converges_deterministically ~seed:9 i)
+
+let test_grc_instance_every_dest () =
+  (* GRC instances converge for every possible destination of Fig. 1 *)
+  List.iter
+    (fun dest ->
+      let i = Policy.grc_instance ~max_len:4 g ~dest in
+      match Bgp.run ~schedule:Bgp.Round_robin i with
+      | Bgp.Converged _ -> ()
+      | _ ->
+          Alcotest.failf "no convergence for destination AS%d"
+            (Asn.to_int dest))
+    (Graph.ases g)
+
+let test_custom_instance_recreates_disagree () =
+  (* permit the GRC-violating peer detour and prefer it: DISAGREE *)
+  let d = a 'D' and e = a 'E' and b = a 'B' and dest = a 'A' in
+  let permit node route =
+    match route with
+    | _ when Path.is_valley_free g (Path.make_exn g route) -> true
+    | [ n1; n2; n3; n4 ]
+      when Asn.equal n1 d && Asn.equal n2 e && Asn.equal n3 b
+           && Asn.equal n4 dest ->
+        Asn.equal node d
+    | [ n1; n2; n3 ]
+      when Asn.equal n1 e && Asn.equal n2 d && Asn.equal n3 dest ->
+        Asn.equal node e
+    | _ -> false
+  in
+  let prefer node r1 r2 =
+    (* D and E prefer peer-learned routes; everyone else follows GRC *)
+    let peer_first r =
+      match r with
+      | _ :: next :: _ when Graph.relationship g node next = Some Graph.Peer ->
+          0
+      | _ -> 1
+    in
+    match compare (peer_first r1) (peer_first r2) with
+    | 0 -> compare (Policy.grc_rank g r1) (Policy.grc_rank g r2)
+    | c -> c
+  in
+  let i = Policy.custom_instance ~max_len:4 g ~dest ~permit ~prefer in
+  (* both D and E should now have their GRC-violating route on top *)
+  Alcotest.(check bool) "D prefers the detour" true
+    (Spp.rank i d [ d; e; b; dest ] = Some 0);
+  Alcotest.(check bool) "non-deterministic like DISAGREE" false
+    (Bgp.converges_deterministically ~seed:4 i)
+
+let suite =
+  [
+    Alcotest.test_case "all_simple_routes" `Quick test_all_simple_routes;
+    Alcotest.test_case "route from the destination itself" `Quick
+      test_all_simple_routes_dest_itself;
+    Alcotest.test_case "routes simple, bounded, terminated" `Quick
+      test_routes_are_simple_and_terminate;
+    Alcotest.test_case "grc_rank ordering" `Quick test_grc_rank_ordering;
+    Alcotest.test_case "grc_instance permits only valley-free" `Quick
+      test_grc_instance_permits_only_valley_free;
+    Alcotest.test_case "grc_instance converges deterministically" `Quick
+      test_grc_instance_converges_deterministically;
+    Alcotest.test_case "grc_instance converges for every destination" `Quick
+      test_grc_instance_every_dest;
+    Alcotest.test_case "custom_instance recreates DISAGREE" `Quick
+      test_custom_instance_recreates_disagree;
+  ]

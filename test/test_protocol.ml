@@ -1,0 +1,164 @@
+(* Tests for the BOSCO negotiation protocol state machine. *)
+
+open Pan_numerics
+open Pan_bosco
+
+let u1 = Distribution.uniform (-1.0) 1.0
+
+let published_session ?(seed = 4) ?(w = 15) () =
+  let rng = Rng.create seed in
+  let report = Service.negotiate ~rng ~dist_x:u1 ~dist_y:u1 ~w () in
+  match
+    Protocol.publish (Protocol.propose ()) ~game:report.Service.game
+      ~strategy_x:report.Service.strategy_x
+      ~strategy_y:report.Service.strategy_y
+  with
+  | Ok s -> (report, s)
+  | Error e -> Alcotest.failf "publish failed: %s" e
+
+let expect_error label = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: expected an error" label
+
+let test_happy_path () =
+  let report, s = published_session () in
+  let ( >>= ) r f = Result.bind r f in
+  let result =
+    Protocol.verify s Protocol.Party_x
+    >>= fun s ->
+    Protocol.verify s Protocol.Party_y
+    >>= fun s ->
+    Protocol.commit s Protocol.Party_x
+      ~claim:(Strategy.apply report.Service.strategy_x 0.5)
+    >>= fun s ->
+    Protocol.commit s Protocol.Party_y
+      ~claim:(Strategy.apply report.Service.strategy_y 0.3)
+    >>= Protocol.settle
+  in
+  match result with
+  | Error e -> Alcotest.fail e
+  | Ok s -> (
+      match Protocol.settlement s with
+      | Some r -> Alcotest.(check bool) "settled" true (r.Protocol.concluded || not r.Protocol.concluded)
+      | None -> Alcotest.fail "no settlement after settle")
+
+let test_dishonest_service_rejected () =
+  let report, _ = published_session () in
+  (* swap in a non-equilibrium strategy: truthful rounding generally is
+     not one *)
+  let fake =
+    Strategy.truthful_rounding report.Service.game.Game.claims_x
+  in
+  expect_error "non-equilibrium publish"
+    (Protocol.publish (Protocol.propose ()) ~game:report.Service.game
+       ~strategy_x:fake ~strategy_y:report.Service.strategy_y)
+
+let test_commit_before_verification_rejected () =
+  let report, s = published_session () in
+  expect_error "commit before both verified"
+    (Protocol.commit s Protocol.Party_x
+       ~claim:(Strategy.apply report.Service.strategy_x 0.5));
+  match Protocol.verify s Protocol.Party_x with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      (* still only one verification *)
+      expect_error "commit with one verification"
+        (Protocol.commit s Protocol.Party_x
+           ~claim:(Strategy.apply report.Service.strategy_x 0.5))
+
+let test_foreign_claim_rejected () =
+  let _, s = published_session () in
+  let s =
+    Result.get_ok (Protocol.verify s Protocol.Party_x) |> fun s ->
+    Result.get_ok (Protocol.verify s Protocol.Party_y)
+  in
+  expect_error "claim outside the choice set"
+    (Protocol.commit s Protocol.Party_x ~claim:123.456)
+
+let test_double_commit_rejected () =
+  let report, s = published_session () in
+  let s =
+    Result.get_ok (Protocol.verify s Protocol.Party_x) |> fun s ->
+    Result.get_ok (Protocol.verify s Protocol.Party_y)
+  in
+  let claim = Strategy.apply report.Service.strategy_x 0.5 in
+  let s = Result.get_ok (Protocol.commit s Protocol.Party_x ~claim) in
+  expect_error "double commit" (Protocol.commit s Protocol.Party_x ~claim)
+
+let test_settle_requires_both () =
+  let report, s = published_session () in
+  let s =
+    Result.get_ok (Protocol.verify s Protocol.Party_x) |> fun s ->
+    Result.get_ok (Protocol.verify s Protocol.Party_y)
+  in
+  expect_error "settle with no claims" (Protocol.settle s);
+  let s =
+    Result.get_ok
+      (Protocol.commit s Protocol.Party_x
+         ~claim:(Strategy.apply report.Service.strategy_x 0.5))
+  in
+  expect_error "settle with one claim" (Protocol.settle s)
+
+let test_abort () =
+  let _, s = published_session () in
+  let s = Protocol.abort s ~reason:"changed my mind" in
+  (match Protocol.state s with
+  | Protocol.Aborted _ -> ()
+  | _ -> Alcotest.fail "not aborted");
+  expect_error "no verify after abort" (Protocol.verify s Protocol.Party_x)
+
+let test_run_honest_matches_direct_play () =
+  (* the protocol's end-to-end result must equal playing the game
+     directly with the same service configuration *)
+  let u_x = 0.62 and u_y = -0.18 in
+  let direct =
+    let rng = Rng.create 4 in
+    let report = Service.negotiate ~rng ~dist_x:u1 ~dist_y:u1 ~w:15 () in
+    Game.play report.Service.game ~strategy_x:report.Service.strategy_x
+      ~strategy_y:report.Service.strategy_y ~u_x ~u_y
+  in
+  match
+    Protocol.run_honest ~rng:(Rng.create 4) ~dist_x:u1 ~dist_y:u1 ~w:15 ~u_x
+      ~u_y
+  with
+  | Error e -> Alcotest.fail e
+  | Ok via_protocol ->
+      Alcotest.(check bool) "same outcome" true (direct = via_protocol)
+
+let test_run_honest_rationality () =
+  (* over several sessions, after-negotiation utilities are never
+     negative (Thm 1 carried through the protocol) *)
+  let rng = Rng.create 31 in
+  for seed = 1 to 10 do
+    let u_x = Distribution.sample u1 rng in
+    let u_y = Distribution.sample u1 rng in
+    match
+      Protocol.run_honest ~rng:(Rng.create seed) ~dist_x:u1 ~dist_y:u1 ~w:12
+        ~u_x ~u_y
+    with
+    | Error e -> Alcotest.fail e
+    | Ok Game.Cancelled -> ()
+    | Ok (Game.Concluded { u_x_after; u_y_after; _ }) ->
+        Alcotest.(check bool) "rational" true
+          (u_x_after >= -1e-9 && u_y_after >= -1e-9)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "happy path" `Quick test_happy_path;
+    Alcotest.test_case "dishonest service rejected" `Quick
+      test_dishonest_service_rejected;
+    Alcotest.test_case "commit before verification rejected" `Quick
+      test_commit_before_verification_rejected;
+    Alcotest.test_case "foreign claim rejected" `Quick
+      test_foreign_claim_rejected;
+    Alcotest.test_case "double commit rejected" `Quick
+      test_double_commit_rejected;
+    Alcotest.test_case "settle requires both claims" `Quick
+      test_settle_requires_both;
+    Alcotest.test_case "abort" `Quick test_abort;
+    Alcotest.test_case "run_honest = direct play" `Quick
+      test_run_honest_matches_direct_play;
+    Alcotest.test_case "run_honest rationality" `Quick
+      test_run_honest_rationality;
+  ]

@@ -1,0 +1,190 @@
+(* Tests for Pan_numerics.Rng: determinism, stream independence, and the
+   statistical sanity of each sampler. *)
+
+open Pan_numerics
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false
+    (Rng.int64 a = Rng.int64 b)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  (* advancing b must not advance a: both produce the same next value *)
+  let vb = Rng.int64 b in
+  let va = Rng.int64 a in
+  Alcotest.(check int64) "copy continues the same stream" vb va
+
+let test_split_diverges () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int64 a) in
+  let ys = List.init 10 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "split streams differ" false (xs = ys)
+
+let test_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 4 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 0.5) > 0.01 then
+    Alcotest.failf "uniform mean %f too far from 0.5" mean
+
+let test_int_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.fail "int out of bounds"
+  done
+
+let test_int_uniformity () =
+  let rng = Rng.create 6 in
+  let counts = Array.make 5 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 5 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let freq = float_of_int c /. float_of_int n in
+      if Float.abs (freq -. 0.2) > 0.02 then
+        Alcotest.failf "bucket frequency %f too far from 0.2" freq)
+    counts
+
+let test_int_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound <= 0")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_uniform_range () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng (-3.0) 5.0 in
+    if x < -3.0 || x >= 5.0 then Alcotest.fail "uniform out of range"
+  done
+
+let test_exponential_positive () =
+  let rng = Rng.create 10 in
+  for _ = 1 to 1000 do
+    if Rng.exponential rng 2.0 < 0.0 then Alcotest.fail "negative exponential"
+  done
+
+let test_exponential_mean () =
+  let rng = Rng.create 11 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng 2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 0.5) > 0.02 then
+    Alcotest.failf "Exp(2) mean %f too far from 0.5" mean
+
+let test_gaussian_moments () =
+  let rng = Rng.create 12 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng 1.5 2.0 in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  if Float.abs (mean -. 1.5) > 0.05 then Alcotest.failf "mean %f" mean;
+  if Float.abs (var -. 4.0) > 0.2 then Alcotest.failf "variance %f" var
+
+let test_pareto_minimum () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 1000 do
+    if Rng.pareto rng 2.0 3.0 < 3.0 then Alcotest.fail "below x_min"
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 14 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 15 in
+  let arr = Array.init 20 Fun.id in
+  let s = Rng.sample_without_replacement rng 10 arr in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun x ->
+      if Hashtbl.mem seen x then Alcotest.fail "duplicate in sample";
+      Hashtbl.add seen x ())
+    s
+
+let test_sample_too_many () =
+  let rng = Rng.create 15 in
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Rng.sample_without_replacement: k > n") (fun () ->
+      ignore (Rng.sample_without_replacement rng 5 [| 1; 2 |]))
+
+let test_choose_covers () =
+  let rng = Rng.create 16 in
+  let arr = [| 0; 1; 2 |] in
+  let seen = Array.make 3 false in
+  for _ = 1 to 200 do
+    seen.(Rng.choose rng arr) <- true
+  done;
+  Alcotest.(check (array bool)) "all elements chosen" [| true; true; true |]
+    seen
+
+let qcheck_float_unit =
+  QCheck.Test.make ~count:200 ~name:"Rng.uniform stays within bounds"
+    QCheck.(triple small_int (float_range (-100.) 100.) (float_range 0.0 100.))
+    (fun (seed, lo, width) ->
+      let rng = Rng.create seed in
+      let hi = lo +. width in
+      let x = Rng.uniform rng lo hi in
+      (width = 0.0 && x = lo) || (x >= lo && x < hi))
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy continues stream" `Quick test_copy_independent;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "float in [0,1)" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Slow test_float_mean;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int uniformity" `Slow test_int_uniformity;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "uniform range" `Quick test_uniform_range;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+    Alcotest.test_case "pareto minimum" `Quick test_pareto_minimum;
+    Alcotest.test_case "shuffle is a permutation" `Quick
+      test_shuffle_permutation;
+    Alcotest.test_case "sample without replacement" `Quick
+      test_sample_without_replacement;
+    Alcotest.test_case "sample too many raises" `Quick test_sample_too_many;
+    Alcotest.test_case "choose covers all" `Quick test_choose_covers;
+    QCheck_alcotest.to_alcotest qcheck_float_unit;
+  ]

@@ -1,0 +1,132 @@
+(* Tests for the Stable Paths Problem representation and the exhaustive
+   stability checker. *)
+
+open Pan_topology
+open Pan_routing
+
+let asn = Asn.of_int
+
+let test_create_validation () =
+  let d = asn 0 in
+  let expect_invalid permitted =
+    try
+      ignore (Spp.create ~dest:d ~permitted);
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid [ (asn 1, [ [] ]) ];
+  expect_invalid [ (asn 1, [ [ asn 2; d ] ]) ];
+  (* wrong head *)
+  expect_invalid [ (asn 1, [ [ asn 1; asn 2 ] ]) ];
+  (* wrong tail *)
+  expect_invalid [ (asn 1, [ [ asn 1; asn 2; asn 1; d ] ]) ];
+  (* loop *)
+  expect_invalid [ (asn 1, [ [ asn 1; d ]; [ asn 1; d ] ]) ];
+  (* duplicate route *)
+  expect_invalid [ (asn 1, []); (asn 1, []) ];
+  (* node twice *)
+  expect_invalid [ (d, []) ]
+(* destination listed *)
+
+let test_accessors () =
+  let i = Gadgets.disagree () in
+  Alcotest.(check int) "dest" 0 (Asn.to_int (Spp.dest i));
+  Alcotest.(check (list int)) "nodes" [ 1; 2 ]
+    (List.map Asn.to_int (Spp.nodes i));
+  Alcotest.(check int) "permitted count" 2
+    (List.length (Spp.permitted i (asn 1)));
+  Alcotest.(check (list int)) "unknown node empty" []
+    (List.map List.length (Spp.permitted i (asn 9)))
+
+let test_rank () =
+  let i = Gadgets.disagree () in
+  Alcotest.(check (option int)) "best route rank" (Some 0)
+    (Spp.rank i (asn 1) [ asn 1; asn 2; asn 0 ]);
+  Alcotest.(check (option int)) "fallback rank" (Some 1)
+    (Spp.rank i (asn 1) [ asn 1; asn 0 ]);
+  Alcotest.(check (option int)) "unknown route" None
+    (Spp.rank i (asn 1) [ asn 1; asn 9; asn 0 ])
+
+let test_consistency () =
+  let i = Gadgets.disagree () in
+  let empty = Spp.initial i in
+  (* direct route to dest is always consistent *)
+  Alcotest.(check bool) "direct consistent" true
+    (Spp.consistent i empty [ asn 1; asn 0 ]);
+  (* route via node 2 needs node 2's selection *)
+  Alcotest.(check bool) "indirect inconsistent" false
+    (Spp.consistent i empty [ asn 1; asn 2; asn 0 ]);
+  let with2 = Asn.Map.add (asn 2) (Some [ asn 2; asn 0 ]) empty in
+  Alcotest.(check bool) "indirect consistent" true
+    (Spp.consistent i with2 [ asn 1; asn 2; asn 0 ])
+
+let test_best_available () =
+  let i = Gadgets.disagree () in
+  let empty = Spp.initial i in
+  Alcotest.(check bool) "fallback when peer empty" true
+    (Spp.best_available i empty (asn 1) = Some [ asn 1; asn 0 ]);
+  let with2 = Asn.Map.add (asn 2) (Some [ asn 2; asn 0 ]) empty in
+  Alcotest.(check bool) "preferred when available" true
+    (Spp.best_available i with2 (asn 1) = Some [ asn 1; asn 2; asn 0 ])
+
+let test_stable_solutions_disagree () =
+  let i = Gadgets.disagree () in
+  let sols = Spp.stable_solutions i in
+  Alcotest.(check int) "two stable states" 2 (List.length sols);
+  List.iter
+    (fun s -> Alcotest.(check bool) "is_stable agrees" true (Spp.is_stable i s))
+    sols
+
+let test_stable_solutions_bad_gadget () =
+  Alcotest.(check int) "no stable state" 0
+    (List.length (Spp.stable_solutions (Gadgets.bad_gadget ())))
+
+let test_stable_solutions_good_gadget () =
+  Alcotest.(check int) "unique stable state" 1
+    (List.length (Spp.stable_solutions (Gadgets.good_gadget ())))
+
+let test_empty_assignment_not_stable () =
+  let i = Gadgets.good_gadget () in
+  Alcotest.(check bool) "empty unstable" false (Spp.is_stable i (Spp.initial i))
+
+let test_search_space_guard () =
+  (* 24 nodes with 2 routes each: 3^24 >> 10^7 *)
+  let d = asn 0 in
+  let permitted =
+    List.init 24 (fun k ->
+        let n = asn (k + 1) in
+        (n, [ [ n; d ] ]))
+  in
+  (* each node has 2 choices (route or none): 2^24 > 10^7 *)
+  let i = Spp.create ~dest:d ~permitted in
+  try
+    ignore (Spp.stable_solutions ~max_space:1000 i);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_equal_assignment () =
+  let i = Gadgets.disagree () in
+  let a1 = Spp.initial i in
+  let a2 = Spp.initial i in
+  Alcotest.(check bool) "equal empties" true (Spp.equal_assignment a1 a2);
+  let a3 = Asn.Map.add (asn 1) (Some [ asn 1; asn 0 ]) a1 in
+  Alcotest.(check bool) "different" false (Spp.equal_assignment a1 a3)
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "rank" `Quick test_rank;
+    Alcotest.test_case "consistency" `Quick test_consistency;
+    Alcotest.test_case "best_available" `Quick test_best_available;
+    Alcotest.test_case "DISAGREE has 2 stable states" `Quick
+      test_stable_solutions_disagree;
+    Alcotest.test_case "BAD GADGET has none" `Quick
+      test_stable_solutions_bad_gadget;
+    Alcotest.test_case "GOOD GADGET has one" `Quick
+      test_stable_solutions_good_gadget;
+    Alcotest.test_case "empty assignment not stable" `Quick
+      test_empty_assignment_not_stable;
+    Alcotest.test_case "search-space guard" `Quick test_search_space_guard;
+    Alcotest.test_case "equal_assignment" `Quick test_equal_assignment;
+  ]

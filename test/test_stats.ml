@@ -1,0 +1,109 @@
+(* Tests for Pan_numerics.Stats. *)
+
+open Pan_numerics
+
+let approx = Alcotest.(check (float 1e-9))
+
+let test_mean_variance () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  approx "mean" 2.5 (Stats.mean xs);
+  approx "variance" 1.25 (Stats.variance xs);
+  approx "stddev" (sqrt 1.25) (Stats.stddev xs)
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean of empty"
+    (Invalid_argument "Stats.mean: empty array") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 7.0; 2.0 |] in
+  approx "min" (-1.0) lo;
+  approx "max" 7.0 hi
+
+let test_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  approx "p0" 10.0 (Stats.percentile xs 0.0);
+  approx "p50" 30.0 (Stats.percentile xs 50.0);
+  approx "p100" 50.0 (Stats.percentile xs 100.0);
+  approx "p25 interpolates" 20.0 (Stats.percentile xs 25.0);
+  approx "p10 interpolates" 14.0 (Stats.percentile xs 10.0)
+
+let test_percentile_unsorted_input () =
+  let xs = [| 50.0; 10.0; 40.0; 20.0; 30.0 |] in
+  approx "median of unsorted" 30.0 (Stats.median xs);
+  (* input must not be mutated *)
+  Alcotest.(check (array (float 0.0))) "input untouched"
+    [| 50.0; 10.0; 40.0; 20.0; 30.0 |] xs
+
+let test_ecdf () =
+  let c = Stats.ecdf [| 1.0; 2.0; 2.0; 4.0 |] in
+  approx "below all" 0.0 (Stats.cdf_at c 0.5);
+  approx "at 1" 0.25 (Stats.cdf_at c 1.0);
+  approx "at 2" 0.75 (Stats.cdf_at c 2.0);
+  approx "between" 0.75 (Stats.cdf_at c 3.0);
+  approx "at max" 1.0 (Stats.cdf_at c 4.0);
+  approx "survival" 0.25 (Stats.survival_at c 2.0)
+
+let test_cdf_points () =
+  let c = Stats.ecdf [| 1.0; 2.0; 2.0; 4.0 |] in
+  let points = Stats.cdf_points c in
+  Alcotest.(check int) "knot count" 3 (List.length points);
+  let values = List.map fst points in
+  Alcotest.(check (list (float 0.0))) "knot values" [ 1.0; 2.0; 4.0 ] values;
+  let fractions = List.map snd points in
+  Alcotest.(check (list (float 1e-9))) "knot fractions" [ 0.25; 0.75; 1.0 ]
+    fractions
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:2 [| 0.0; 1.0; 2.0; 3.0 |] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let _, _, c0 = h.(0) and _, _, c1 = h.(1) in
+  Alcotest.(check int) "first cell" 2 c0;
+  Alcotest.(check int) "second cell (right-closed)" 2 c1
+
+let test_histogram_constant () =
+  (* all-equal samples must not divide by zero *)
+  let h = Stats.histogram ~bins:3 [| 5.0; 5.0; 5.0 |] in
+  let total = Array.fold_left (fun a (_, _, c) -> a + c) 0 h in
+  Alcotest.(check int) "all samples counted" 3 total
+
+let test_fraction_where () =
+  approx "fraction" 0.5
+    (Stats.fraction_where (fun x -> x > 0) [| 1; -1; 2; -2 |]);
+  approx "empty" 0.0 (Stats.fraction_where (fun _ -> true) [||])
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~count:200 ~name:"percentile stays within min/max"
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_range (-100.) 100.))
+              (float_range 0.0 100.0))
+    (fun (xs, p) ->
+      let arr = Array.of_list xs in
+      let v = Stats.percentile arr p in
+      let lo, hi = Stats.min_max arr in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let qcheck_ecdf_monotone =
+  QCheck.Test.make ~count:200 ~name:"ecdf is monotone"
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_range (-10.) 10.))
+              (pair (float_range (-12.) 12.) (float_range 0.0 5.0)))
+    (fun (xs, (x, dx)) ->
+      let c = Stats.ecdf (Array.of_list xs) in
+      Stats.cdf_at c x <= Stats.cdf_at c (x +. dx))
+
+let suite =
+  [
+    Alcotest.test_case "mean / variance / stddev" `Quick test_mean_variance;
+    Alcotest.test_case "empty raises" `Quick test_empty_raises;
+    Alcotest.test_case "min_max" `Quick test_min_max;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile leaves input alone" `Quick
+      test_percentile_unsorted_input;
+    Alcotest.test_case "ecdf" `Quick test_ecdf;
+    Alcotest.test_case "cdf_points" `Quick test_cdf_points;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram of constant sample" `Quick
+      test_histogram_constant;
+    Alcotest.test_case "fraction_where" `Quick test_fraction_where;
+    QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+    QCheck_alcotest.to_alcotest qcheck_ecdf_monotone;
+  ]

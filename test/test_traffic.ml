@@ -1,0 +1,148 @@
+(* Tests for link-load accounting, placement policies, and the TE
+   experiment. *)
+
+open Pan_topology
+open Pan_scion
+
+let approx = Alcotest.(check (float 1e-9))
+let a = Gen.fig1_asn
+let g = Gen.fig1 ()
+
+let test_add_and_load () =
+  let t = Traffic.create g in
+  approx "empty" 0.0 (Traffic.link_load t (a 'A') (a 'D'));
+  Traffic.add_path t [ a 'H'; a 'D'; a 'A' ] 5.0;
+  approx "first link" 5.0 (Traffic.link_load t (a 'H') (a 'D'));
+  approx "second link" 5.0 (Traffic.link_load t (a 'D') (a 'A'));
+  Traffic.add_path t [ a 'D'; a 'A' ] 2.0;
+  approx "accumulates" 7.0 (Traffic.link_load t (a 'A') (a 'D'));
+  approx "order-insensitive" 7.0 (Traffic.link_load t (a 'D') (a 'A'))
+
+let test_add_path_validation () =
+  let t = Traffic.create g in
+  (try
+     Traffic.add_path t [ a 'H' ] 1.0;
+     Alcotest.fail "short path accepted"
+   with Invalid_argument _ -> ());
+  (try
+     Traffic.add_path t [ a 'H'; a 'I' ] 1.0;
+     Alcotest.fail "non-link accepted"
+   with Invalid_argument _ -> ());
+  try
+    Traffic.add_path t [ a 'H'; a 'D' ] (-1.0);
+    Alcotest.fail "negative volume accepted"
+  with Invalid_argument _ -> ()
+
+let test_utilization_and_stats () =
+  let t = Traffic.create g in
+  let bw = Bandwidth.degree_gravity g in
+  Traffic.add_path t [ a 'H'; a 'D' ] 10.0;
+  let cap = Bandwidth.link_capacity bw (a 'H') (a 'D') in
+  approx "utilization" (10.0 /. cap) (Traffic.utilization t bw (a 'H') (a 'D'));
+  let _, _, max_u = Traffic.stats t bw ~loaded_only:true in
+  approx "max over loaded links" (10.0 /. cap) max_u;
+  let mean_all, _, _ = Traffic.stats t bw ~loaded_only:false in
+  Alcotest.(check bool) "all-links mean is diluted" true (mean_all < max_u)
+
+let test_overloaded () =
+  let t = Traffic.create g in
+  let bw = Bandwidth.degree_gravity g in
+  let cap = Bandwidth.link_capacity bw (a 'H') (a 'D') in
+  Traffic.add_path t [ a 'H'; a 'D' ] (1.5 *. cap);
+  Alcotest.(check int) "one overloaded" 1
+    (Traffic.overloaded t bw ~threshold:1.0);
+  Alcotest.(check int) "higher threshold" 0
+    (Traffic.overloaded t bw ~threshold:2.0);
+  Traffic.reset t;
+  Alcotest.(check int) "reset clears" 0
+    (Traffic.overloaded t bw ~threshold:0.0)
+
+let test_place_single_and_split () =
+  let bw = Bandwidth.degree_gravity g in
+  let p1 = [ a 'H'; a 'D'; a 'A' ] in
+  let p2 = [ a 'H'; a 'D'; a 'E' ] in
+  let t = Traffic.create g in
+  Traffic.place t bw Traffic.Single_path [ p1; p2 ] 6.0;
+  approx "single: all on first" 6.0 (Traffic.link_load t (a 'D') (a 'A'));
+  approx "single: none on second" 0.0 (Traffic.link_load t (a 'D') (a 'E'));
+  let t2 = Traffic.create g in
+  Traffic.place t2 bw (Traffic.Split 2) [ p1; p2 ] 6.0;
+  approx "split: half" 3.0 (Traffic.link_load t2 (a 'D') (a 'A'));
+  approx "split: other half" 3.0 (Traffic.link_load t2 (a 'D') (a 'E'));
+  approx "split: shared prefix carries all" 6.0
+    (Traffic.link_load t2 (a 'H') (a 'D'))
+
+let test_place_split_fewer_candidates_than_k () =
+  let bw = Bandwidth.degree_gravity g in
+  let t = Traffic.create g in
+  Traffic.place t bw (Traffic.Split 5) [ [ a 'H'; a 'D' ] ] 4.0;
+  approx "all volume despite k > candidates" 4.0
+    (Traffic.link_load t (a 'H') (a 'D'))
+
+let test_place_congestion_aware () =
+  let bw = Bandwidth.degree_gravity g in
+  let p1 = [ a 'H'; a 'D'; a 'A' ] in
+  let p2 = [ a 'H'; a 'D'; a 'E' ] in
+  let t = Traffic.create g in
+  (* preload p1's second link so the aware policy prefers p2 *)
+  Traffic.add_path t [ a 'D'; a 'A' ] 100.0;
+  Traffic.place t bw (Traffic.Congestion_aware 2) [ p1; p2 ] 5.0;
+  approx "avoided the hot link" 100.0 (Traffic.link_load t (a 'D') (a 'A'));
+  approx "placed on the cool path" 5.0 (Traffic.link_load t (a 'D') (a 'E'))
+
+let test_place_empty_candidates () =
+  let bw = Bandwidth.degree_gravity g in
+  let t = Traffic.create g in
+  Traffic.place t bw Traffic.Single_path [] 5.0;
+  Alcotest.(check int) "no-op" 0 (Traffic.overloaded t bw ~threshold:0.0)
+
+let test_te_experiment_shape () =
+  let params =
+    { Gen.default_params with Gen.n_transit = 50; Gen.n_stub = 200 }
+  in
+  let g' = Gen.graph (Gen.generate ~params ~seed:42 ()) in
+  let r = Pan_experiments.Te_exp.run ~demands:100 ~seed:3 g' in
+  Alcotest.(check int) "four regimes" 4
+    (List.length r.Pan_experiments.Te_exp.regimes);
+  let find label =
+    List.find
+      (fun (reg : Pan_experiments.Te_exp.regime) ->
+        reg.Pan_experiments.Te_exp.label = label)
+      r.Pan_experiments.Te_exp.regimes
+  in
+  let grc = find "GRC single-path" in
+  let ma = find "MA split-3" in
+  (* every MA regime routes at least as many demands *)
+  Alcotest.(check bool) "MA routes more demands" true
+    (ma.Pan_experiments.Te_exp.unrouted
+    <= grc.Pan_experiments.Te_exp.unrouted);
+  (* utilizations are positive and finite *)
+  List.iter
+    (fun (reg : Pan_experiments.Te_exp.regime) ->
+      Alcotest.(check bool) "sane stats" true
+        (reg.Pan_experiments.Te_exp.mean_utilization > 0.0
+        && Float.is_finite reg.Pan_experiments.Te_exp.max_utilization
+        && reg.Pan_experiments.Te_exp.p95_utilization
+           <= reg.Pan_experiments.Te_exp.max_utilization +. 1e-9))
+    r.Pan_experiments.Te_exp.regimes;
+  (* the headline: MA multipath lowers peak utilization vs GRC single *)
+  Alcotest.(check bool) "MA multipath lowers max utilization" true
+    (ma.Pan_experiments.Te_exp.max_utilization
+    < grc.Pan_experiments.Te_exp.max_utilization)
+
+let suite =
+  [
+    Alcotest.test_case "add and load" `Quick test_add_and_load;
+    Alcotest.test_case "add_path validation" `Quick test_add_path_validation;
+    Alcotest.test_case "utilization and stats" `Quick
+      test_utilization_and_stats;
+    Alcotest.test_case "overloaded" `Quick test_overloaded;
+    Alcotest.test_case "single vs split placement" `Quick
+      test_place_single_and_split;
+    Alcotest.test_case "split with few candidates" `Quick
+      test_place_split_fewer_candidates_than_k;
+    Alcotest.test_case "congestion-aware placement" `Quick
+      test_place_congestion_aware;
+    Alcotest.test_case "empty candidates" `Quick test_place_empty_candidates;
+    Alcotest.test_case "TE experiment shape" `Quick test_te_experiment_shape;
+  ]

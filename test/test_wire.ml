@@ -1,0 +1,180 @@
+(* Tests for interface numbering and the binary wire format. *)
+
+open Pan_topology
+open Pan_scion
+
+let a = Gen.fig1_asn
+let g = Gen.fig1 ()
+let ifaces = Iface.build g
+
+(* ------------------------------------------------------------------ *)
+(* Iface                                                               *)
+
+let test_iface_ids_dense_and_deterministic () =
+  List.iter
+    (fun x ->
+      let deg = Graph.degree g x in
+      Alcotest.(check int) "count = degree" deg (Iface.count ifaces x);
+      (* ids are exactly 1..deg, each resolving back to a neighbor *)
+      for i = 1 to deg do
+        match Iface.neighbor ifaces x i with
+        | Some n ->
+            Alcotest.(check int) "forward/reverse agree" i
+              (Iface.id ifaces x n)
+        | None -> Alcotest.failf "dangling interface %d" i
+      done;
+      Alcotest.(check bool) "no extra interface" true
+        (Iface.neighbor ifaces x (deg + 1) = None))
+    (Graph.ases g)
+
+let test_iface_unknown_raises () =
+  try
+    ignore (Iface.id ifaces (a 'H') (a 'I'));
+    Alcotest.fail "non-adjacent pair accepted"
+  with Not_found -> ()
+
+let test_hops_with_interfaces () =
+  let annotated =
+    Iface.hops_with_interfaces ifaces [ a 'H'; a 'D'; a 'A' ]
+  in
+  match annotated with
+  | [ (h, i1, e1); (d, i2, e2); (aa, i3, e3) ] ->
+      Alcotest.(check bool) "ASes in order" true
+        (Asn.equal h (a 'H') && Asn.equal d (a 'D') && Asn.equal aa (a 'A'));
+      Alcotest.(check bool) "source has no ingress" true (i1 = None);
+      Alcotest.(check bool) "source egress set" true (e1 <> None);
+      Alcotest.(check bool) "transit has both" true (i2 <> None && e2 <> None);
+      Alcotest.(check bool) "destination has no egress" true (e3 = None);
+      Alcotest.(check bool) "destination ingress set" true (i3 <> None)
+  | _ -> Alcotest.fail "wrong shape"
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+
+let authz = Authz.create ~mas:[ (a 'D', a 'E') ] g
+
+let segment path = Segment.make_exn authz (List.map a path)
+
+let test_encode_size () =
+  let seg = segment [ 'H'; 'D'; 'A' ] in
+  let encoded = Wire.encode ifaces seg in
+  Alcotest.(check int) "size formula" (Wire.encoded_size seg)
+    (String.length encoded);
+  Alcotest.(check int) "4 + 3*16" 52 (String.length encoded)
+
+let test_round_trip () =
+  List.iter
+    (fun path ->
+      let seg = segment path in
+      let encoded = Wire.encode ifaces seg in
+      match Wire.decode ifaces encoded with
+      | Error e -> Alcotest.failf "decode failed: %a" (fun _ -> ignore) e
+      | Ok decoded ->
+          Alcotest.(check bool) "segments equal" true
+            (Segment.equal seg decoded);
+          Alcotest.(check bool) "MAC chain still verifies" true
+            (Segment.verify decoded))
+    [ [ 'H'; 'D'; 'A' ]; [ 'H'; 'D'; 'E'; 'B' ]; [ 'A'; 'B' ] ]
+
+let test_decode_truncated () =
+  let seg = segment [ 'H'; 'D'; 'A' ] in
+  let encoded = Wire.encode ifaces seg in
+  (match Wire.decode ifaces (String.sub encoded 0 2) with
+  | Error Wire.Truncated -> ()
+  | _ -> Alcotest.fail "short header accepted");
+  match Wire.decode ifaces (String.sub encoded 0 (String.length encoded - 1)) with
+  | Error Wire.Truncated -> ()
+  | _ -> Alcotest.fail "short body accepted"
+
+let test_decode_bad_version () =
+  let seg = segment [ 'H'; 'D'; 'A' ] in
+  let b = Bytes.of_string (Wire.encode ifaces seg) in
+  Bytes.set_uint8 b 0 9;
+  match Wire.decode ifaces (Bytes.to_string b) with
+  | Error (Wire.Bad_version 9) -> ()
+  | _ -> Alcotest.fail "bad version accepted"
+
+let test_decode_bad_interface () =
+  let seg = segment [ 'H'; 'D'; 'A' ] in
+  let b = Bytes.of_string (Wire.encode ifaces seg) in
+  (* corrupt the second hop's ingress interface *)
+  Bytes.set_uint8 b (4 + 16 + 4) 0xff;
+  Bytes.set_uint8 b (4 + 16 + 5) 0xff;
+  match Wire.decode ifaces (Bytes.to_string b) with
+  | Error (Wire.Bad_interface _) -> ()
+  | _ -> Alcotest.fail "bad interface accepted"
+
+let test_tampered_mac_fails_verification () =
+  (* wire-level MAC corruption passes structural decoding but fails the
+     MAC chain — the division of labor the header relies on *)
+  let seg = segment [ 'H'; 'D'; 'E'; 'B' ] in
+  let b = Bytes.of_string (Wire.encode ifaces seg) in
+  let mac_off = 4 + 16 + 8 in
+  Bytes.set_uint8 b mac_off (Bytes.get_uint8 b mac_off lxor 1);
+  match Wire.decode ifaces (Bytes.to_string b) with
+  | Error _ -> Alcotest.fail "structurally valid header rejected"
+  | Ok decoded ->
+      Alcotest.(check bool) "MAC chain broken" false (Segment.verify decoded)
+
+let test_rewritten_path_detected () =
+  (* an attacker rewrites the ASes of a valid header: either the
+     interface consistency check or the MAC chain must catch it *)
+  let seg = segment [ 'H'; 'D'; 'A' ] in
+  let b = Bytes.of_string (Wire.encode ifaces seg) in
+  (* overwrite hop 2's AS (A = 1) with B (= 2) *)
+  Bytes.set_uint8 b (4 + 32 + 3) 2;
+  match Wire.decode ifaces (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok decoded ->
+      Alcotest.(check bool) "forgery fails MAC verification" false
+        (Segment.verify decoded)
+
+let test_wire_on_generated_topology () =
+  let g' =
+    Gen.graph
+      (Gen.generate
+         ~params:{ Gen.default_params with Gen.n_transit = 30; Gen.n_stub = 120 }
+         ~seed:7 ())
+  in
+  let ifaces' = Iface.build g' in
+  let authz' = Authz.create g' in
+  let ps = Path_server.build authz' (Beacon.run authz') in
+  let ases = Array.of_list (Graph.ases g') in
+  let count = ref 0 in
+  Array.iteri
+    (fun i src ->
+      if i mod 17 = 0 then
+        let dst = ases.((i + 31) mod Array.length ases) in
+        if not (Asn.equal src dst) then
+          List.iter
+            (fun seg ->
+              incr count;
+              match Wire.decode ifaces' (Wire.encode ifaces' seg) with
+              | Ok decoded ->
+                  Alcotest.(check bool) "round trip on real paths" true
+                    (Segment.equal seg decoded && Segment.verify decoded)
+              | Error _ -> Alcotest.fail "decode failed")
+            (Combinator.end_to_end ~max_paths:5 ps ~src ~dst))
+    ases;
+  Alcotest.(check bool) "exercised some paths" true (!count > 10)
+
+let suite =
+  [
+    Alcotest.test_case "iface ids dense + deterministic" `Quick
+      test_iface_ids_dense_and_deterministic;
+    Alcotest.test_case "iface unknown raises" `Quick test_iface_unknown_raises;
+    Alcotest.test_case "hops with interfaces" `Quick
+      test_hops_with_interfaces;
+    Alcotest.test_case "encode size" `Quick test_encode_size;
+    Alcotest.test_case "round trip" `Quick test_round_trip;
+    Alcotest.test_case "decode truncated" `Quick test_decode_truncated;
+    Alcotest.test_case "decode bad version" `Quick test_decode_bad_version;
+    Alcotest.test_case "decode bad interface" `Quick
+      test_decode_bad_interface;
+    Alcotest.test_case "tampered MAC detected" `Quick
+      test_tampered_mac_fails_verification;
+    Alcotest.test_case "rewritten path detected" `Quick
+      test_rewritten_path_detected;
+    Alcotest.test_case "wire on generated topology" `Quick
+      test_wire_on_generated_topology;
+  ]
