@@ -1,0 +1,22 @@
+.PHONY: all build quick test bench clean
+
+all: build
+
+build:
+	dune build
+
+# Tier-1 gate: build everything and run the quick test cases only
+# (skips the `Slow statistical/Monte-Carlo checks).
+quick:
+	dune build @quick
+
+# Full test suite: unit + property + golden + cram.
+test:
+	dune build
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -8,7 +8,12 @@
    Bechamel — one Test.make per figure/experiment — and prints OLS
    estimates of ns/run.
 
-   Part 3 runs the ablations called out in DESIGN.md §5. *)
+   Part 3 runs the ablations called out in DESIGN.md §5.
+
+   Part 4 measures the parallel experiment engine (lib/runner): wall-clock
+   scaling of the ported experiment kernels over worker-domain counts,
+   verifying on the fly that every parallel run reproduces the sequential
+   result bit-for-bit, plus a sequential-vs-parallel Bechamel pair. *)
 
 open Bechamel
 open Toolkit
@@ -230,8 +235,7 @@ let bench_tests () =
   in
   [ e1; e2; e4; e5; e7; e7b; e7c; e8_cash; e8_fv; e9; e10; e11; e12; e13 ]
 
-let run_benchmarks () =
-  section "Microbenchmarks (Bechamel, OLS ns/run)";
+let run_bechamel tests =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -256,7 +260,11 @@ let run_benchmarks () =
           Format.fprintf fmt "%-48s %14.1f ns/run  (r2=%.3f)@." name estimate
             r2)
         analyses)
-    (bench_tests ())
+    tests
+
+let run_benchmarks () =
+  section "Microbenchmarks (Bechamel, OLS ns/run)";
+  run_bechamel (bench_tests ())
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: ablations                                                   *)
@@ -344,6 +352,103 @@ let ablation_topology_density () =
         agg.Diversity.avg_additional_paths agg.Diversity.max_additional_paths)
     [ 5.0; 20.0; 40.0 ]
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: runner scaling (sequential vs parallel)                     *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let runner_scaling () =
+  section "Runner scaling: wall-clock per worker-domain count";
+  let g = Lazy.force shared_graph in
+  (* Each kernel returns a plain fingerprint (floats only) so bit-for-bit
+     parallel-equals-sequential can be checked with (=). *)
+  let kernels =
+    [
+      ( "E1 fig2 (trials=60, W=20)",
+        fun pool ->
+          let rng = Rng.create 42 in
+          let reports =
+            Service.trials ?pool ~rng ~dist_x:Fig2_pod.u1 ~dist_y:Fig2_pod.u1
+              ~w:20 ~n:60 ()
+          in
+          List.map (fun (r : Service.report) -> r.Service.pod) reports );
+      ( "E2/E3 diversity (sample=300)",
+        fun pool ->
+          let r = Diversity.analyze ?pool ~sample_size:300 ~seed:7 g in
+          List.concat_map
+            (fun pa -> List.map (fun (_, n) -> float_of_int n) pa.Diversity.paths)
+            r.Diversity.sampled );
+      ( "E5 fig6 bandwidth (sample=200)",
+        fun pool ->
+          let r = Bandwidth_exp.run ?pool ~sample_size:200 ~seed:7 g in
+          List.fold_left ( +. ) 0.0 r.Pair_analysis.improvements
+          :: List.map
+               (fun (pc : Pair_analysis.pair_counts) ->
+                 float_of_int pc.Pair_analysis.below_min)
+               r.Pair_analysis.pairs );
+      ( "E8 methods (scenarios=60)",
+        fun pool ->
+          let r = Methods_exp.run ?pool ~scenarios:60 ~seed:3 () in
+          [
+            float_of_int r.Methods_exp.cash_concluded;
+            float_of_int r.Methods_exp.flow_volume_concluded;
+            float_of_int r.Methods_exp.cash_only;
+            r.Methods_exp.mean_cash_joint;
+            r.Methods_exp.mean_flow_volume_joint;
+          ] );
+      ( "Eq.19 MC nash (samples=2e6)",
+        let game, sx, sy =
+          let rng = Rng.create 11 in
+          let r =
+            Service.negotiate ~truthful:0.1 ~rng ~dist_x:Fig2_pod.u1
+              ~dist_y:Fig2_pod.u1 ~w:20 ()
+          in
+          (r.Service.game, r.Service.strategy_x, r.Service.strategy_y)
+        in
+        fun pool ->
+          [
+            Efficiency.mc_expected_nash ?pool ~rng:(Rng.create 5)
+              ~samples:2_000_000 game sx sy;
+          ] );
+    ]
+  in
+  Format.fprintf fmt "%-32s %10s %10s %10s %10s  %s@." "kernel" "seq (s)"
+    "j=2 (s)" "j=4 (s)" "speedup@4" "par=seq";
+  List.iter
+    (fun (name, kernel) ->
+      let seq, t_seq = time (fun () -> kernel None) in
+      let run_jobs jobs =
+        Pan_runner.Pool.with_pool ~domains:jobs (fun pool ->
+            time (fun () -> kernel (Some pool)))
+      in
+      let r2, t2 = run_jobs 2 in
+      let r4, t4 = run_jobs 4 in
+      Format.fprintf fmt "%-32s %10.3f %10.3f %10.3f %9.2fx  %b@." name t_seq
+        t2 t4 (t_seq /. t4)
+        (seq = r2 && seq = r4))
+    kernels
+
+let run_runner_pair () =
+  (* Bechamel pair: the same E1 kernel sequentially and on a reused
+     4-domain pool. *)
+  section "Runner microbenchmark (Bechamel): sequential vs 4-domain pool";
+  let dist = Fig2_pod.u1 in
+  let kernel pool () =
+    let rng = Rng.create 42 in
+    ignore (Service.trials ?pool ~rng ~dist_x:dist ~dist_y:dist ~w:20 ~n:20 ())
+  in
+  Pan_runner.Pool.with_pool ~domains:4 (fun pool ->
+      run_bechamel
+        [
+          Test.make ~name:"runner E1 kernel: sequential"
+            (Staged.stage (kernel None));
+          Test.make ~name:"runner E1 kernel: 4-domain pool"
+            (Staged.stage (kernel (Some pool)));
+        ])
+
 let () =
   reproduce_gadgets ();
   reproduce_methods ();
@@ -360,5 +465,7 @@ let () =
   ablation_dynamics_start ();
   ablation_asymmetric_distributions ();
   ablation_topology_density ();
+  runner_scaling ();
   run_benchmarks ();
+  run_runner_pair ();
   Format.fprintf fmt "@.bench: done@."

@@ -14,6 +14,25 @@ let seed_arg =
   let doc = "Random seed (all experiments are deterministic given it)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel experiment engine.  Seeding is \
+     chunk-deterministic, so the output is identical for any value \
+     (including 1, the sequential path)."
+  in
+  let positive_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok _ -> Error (`Msg "must be at least 1")
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(value & opt positive_int 1 & info [ "j"; "jobs" ] ~doc)
+
+let with_jobs jobs f = Pan_runner.Pool.with_pool ~domains:jobs f
+
 let sample_arg =
   let doc = "Number of sampled source ASes (the paper uses 500)." in
   Arg.(value & opt int 500 & info [ "sample-size" ] ~doc)
@@ -61,25 +80,28 @@ let fig2_cmd =
     Arg.(value & opt (list int) [ 2; 5; 10; 20; 35; 50; 75; 100 ]
          & info [ "ws" ] ~doc:"Choice-set cardinalities to sweep.")
   in
-  let run seed trials ws =
-    List.iter
-      (fun s -> Fig2_pod.pp_series fmt s)
-      (Fig2_pod.run_both ~ws ~trials ~seed ())
+  let run seed jobs trials ws =
+    with_jobs jobs (fun pool ->
+        List.iter
+          (fun s -> Fig2_pod.pp_series fmt s)
+          (Fig2_pod.run_both ~pool ~ws ~trials ~seed ()))
   in
   Cmd.v
     (Cmd.info "fig2" ~doc:"Fig. 2: Price of Dishonesty vs. choice-set size.")
-    Term.(const run $ seed_arg $ trials $ ws)
+    Term.(const run $ seed_arg $ jobs_arg $ trials $ ws)
 
 (* ------------------------------------------------------------------ *)
 (* fig3 / fig4 / summary (one diversity run feeds all three)           *)
 
-let diversity_run caida transit stubs seed sample =
+let diversity_run ~pool caida transit stubs seed sample =
   let g = topology ~caida ~transit ~stubs ~seed in
-  Diversity.analyze ~sample_size:sample ~seed:(seed + 1) g
+  Diversity.analyze ~pool ~sample_size:sample ~seed:(seed + 1) g
 
 let fig34_cmd =
-  let run caida transit stubs seed sample =
-    Diversity.pp_result fmt (diversity_run caida transit stubs seed sample)
+  let run caida transit stubs seed jobs sample =
+    with_jobs jobs (fun pool ->
+        Diversity.pp_result fmt
+          (diversity_run ~pool caida transit stubs seed sample))
   in
   Cmd.v
     (Cmd.info "fig3"
@@ -87,11 +109,15 @@ let fig34_cmd =
          "Figs. 3 & 4 and the §VI-A aggregates: length-3 paths and nearby \
           destinations per MA-conclusion scenario.")
     Term.(
-      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ sample_arg)
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
+      $ sample_arg)
 
 let summary_cmd =
-  let run caida transit stubs seed sample =
-    let result = diversity_run caida transit stubs seed sample in
+  let run caida transit stubs seed jobs sample =
+    let result =
+      with_jobs jobs (fun pool ->
+          diversity_run ~pool caida transit stubs seed sample)
+    in
     let agg = Diversity.aggregate_stats result in
     Format.fprintf fmt
       "additional length-3 paths per AS:      avg %.0f  max %d@.\
@@ -103,33 +129,38 @@ let summary_cmd =
   Cmd.v
     (Cmd.info "summary" ~doc:"§VI-A aggregate path-diversity statistics.")
     Term.(
-      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ sample_arg)
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
+      $ sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fig5 / fig6                                                         *)
 
 let fig5_cmd =
-  let run caida transit stubs seed sample =
-    let g = topology ~caida ~transit ~stubs ~seed in
-    Geodistance.pp fmt
-      (Geodistance.run ~sample_size:sample ~seed:(seed + 1) g)
+  let run caida transit stubs seed jobs sample =
+    with_jobs jobs (fun pool ->
+        let g = topology ~caida ~transit ~stubs ~seed in
+        Geodistance.pp fmt
+          (Geodistance.run ~pool ~sample_size:sample ~seed:(seed + 1) g))
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Fig. 5: geodistance of MA-added paths.")
     Term.(
-      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ sample_arg)
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
+      $ sample_arg)
 
 let fig6_cmd =
-  let run caida transit stubs seed sample =
-    let g = topology ~caida ~transit ~stubs ~seed in
-    Bandwidth_exp.pp fmt
-      (Bandwidth_exp.run ~sample_size:sample ~seed:(seed + 1) g)
+  let run caida transit stubs seed jobs sample =
+    with_jobs jobs (fun pool ->
+        let g = topology ~caida ~transit ~stubs ~seed in
+        Bandwidth_exp.pp fmt
+          (Bandwidth_exp.run ~pool ~sample_size:sample ~seed:(seed + 1) g))
   in
   Cmd.v
     (Cmd.info "fig6"
        ~doc:"Fig. 6: bandwidth of MA-added paths (degree-gravity model).")
     Term.(
-      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ sample_arg)
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
+      $ sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gadgets / methods                                                   *)
@@ -146,11 +177,14 @@ let methods_cmd =
     Arg.(value & opt int 100
          & info [ "scenarios" ] ~doc:"Number of random scenarios.")
   in
-  let run seed n = Methods_exp.pp fmt (Methods_exp.run ~scenarios:n ~seed ()) in
+  let run seed jobs n =
+    with_jobs jobs (fun pool ->
+        Methods_exp.pp fmt (Methods_exp.run ~pool ~scenarios:n ~seed ()))
+  in
   Cmd.v
     (Cmd.info "methods"
        ~doc:"§IV-C: cash compensation vs. flow-volume targets.")
-    Term.(const run $ seed_arg $ n)
+    Term.(const run $ seed_arg $ jobs_arg $ n)
 
 (* ------------------------------------------------------------------ *)
 (* extensions: resilience / chained / export                           *)
@@ -257,22 +291,23 @@ let export_cmd =
     Arg.(value & opt string "export"
          & info [ "out" ] ~doc:"Output directory for CSV files.")
   in
-  let run caida transit stubs seed sample out =
+  let run caida transit stubs seed jobs sample out =
+    with_jobs jobs @@ fun pool ->
     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
     let file name = Filename.concat out name in
     let g = topology ~caida ~transit ~stubs ~seed in
     Export.topology ~path:(file "topology.as-rel2") g;
     Export.fig2 ~path:(file "fig2.csv")
-      (Fig2_pod.run_both ~trials:100 ~seed ());
+      (Fig2_pod.run_both ~pool ~trials:100 ~seed ());
     Export.diversity ~paths_csv:(file "fig3_paths.csv")
       ~dests_csv:(file "fig4_destinations.csv")
-      (Diversity.analyze ~sample_size:sample ~seed:(seed + 1) g);
+      (Diversity.analyze ~pool ~sample_size:sample ~seed:(seed + 1) g);
     Export.pair_metric ~counts_csv:(file "fig5a_counts.csv")
       ~improvements_csv:(file "fig5b_reductions.csv")
-      (Geodistance.run ~sample_size:sample ~seed:(seed + 1) g);
+      (Geodistance.run ~pool ~sample_size:sample ~seed:(seed + 1) g);
     Export.pair_metric ~counts_csv:(file "fig6a_counts.csv")
       ~improvements_csv:(file "fig6b_increases.csv")
-      (Bandwidth_exp.run ~sample_size:sample ~seed:(seed + 1) g);
+      (Bandwidth_exp.run ~pool ~sample_size:sample ~seed:(seed + 1) g);
     Export.resilience ~path:(file "resilience.csv")
       (Resilience.run ~seed:(seed + 1) g);
     Export.chained ~path:(file "chained.csv")
@@ -288,29 +323,30 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Run every experiment and write the raw series as CSV files.")
     Term.(
-      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ sample_arg
-      $ out)
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
+      $ sample_arg $ out)
 
 (* ------------------------------------------------------------------ *)
 (* all                                                                 *)
 
 let all_cmd =
-  let run seed =
+  let run seed jobs =
+    with_jobs jobs @@ fun pool ->
     Format.fprintf fmt "=== E7 gadgets ===@.";
     Gadget_exp.pp fmt (Gadget_exp.run ~seed ());
     Format.fprintf fmt "@.=== E8 methods ===@.";
-    Methods_exp.pp fmt (Methods_exp.run ~scenarios:50 ~seed ());
+    Methods_exp.pp fmt (Methods_exp.run ~pool ~scenarios:50 ~seed ());
     Format.fprintf fmt "@.=== E1 fig2 (reduced) ===@.";
     List.iter
       (fun s -> Fig2_pod.pp_series fmt s)
-      (Fig2_pod.run_both ~ws:[ 2; 10; 50 ] ~trials:50 ~seed ());
+      (Fig2_pod.run_both ~pool ~ws:[ 2; 10; 50 ] ~trials:50 ~seed ());
     Format.fprintf fmt "@.=== E2/E3/E6 diversity ===@.";
     let g = topology ~caida:None ~transit:200 ~stubs:1000 ~seed in
-    Diversity.pp_result fmt (Diversity.analyze ~sample_size:300 ~seed g);
+    Diversity.pp_result fmt (Diversity.analyze ~pool ~sample_size:300 ~seed g);
     Format.fprintf fmt "@.=== E4 fig5 ===@.";
-    Geodistance.pp fmt (Geodistance.run ~sample_size:300 ~seed g);
+    Geodistance.pp fmt (Geodistance.run ~pool ~sample_size:300 ~seed g);
     Format.fprintf fmt "@.=== E5 fig6 ===@.";
-    Bandwidth_exp.pp fmt (Bandwidth_exp.run ~sample_size:300 ~seed g);
+    Bandwidth_exp.pp fmt (Bandwidth_exp.run ~pool ~sample_size:300 ~seed g);
     Format.fprintf fmt "@.=== E9 resilience (extension) ===@.";
     Resilience.pp fmt (Resilience.run ~pairs:60 ~seed g);
     Format.fprintf fmt "@.=== E10 chained agreements (extension) ===@.";
@@ -318,7 +354,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment at reduced scale.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ jobs_arg)
 
 let () =
   let info =

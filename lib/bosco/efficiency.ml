@@ -56,6 +56,37 @@ let expected_nash_truthful ?(grid = 400) (game : Game.t) =
       else 0.0)
     bx by
 
+let mc_expected_nash ?pool ?(chunk = 4096) ~rng ~samples (game : Game.t) sx sy
+    =
+  if samples < 1 then invalid_arg "Efficiency.mc_expected_nash: samples < 1";
+  let open Game in
+  let total =
+    Pan_runner.Task.map_reduce ?pool ~rng ~n:samples ~chunk
+      ~f:(fun crng _ ->
+        let u_x = Distribution.sample game.dist_x crng in
+        let u_y = Distribution.sample game.dist_y crng in
+        let outcome = Game.play game ~strategy_x:sx ~strategy_y:sy ~u_x ~u_y in
+        Game.nash_value ~u_x ~u_y outcome)
+      ~combine:( +. ) ~init:0.0 ()
+  in
+  total /. float_of_int samples
+
+let mc_truthful ?pool ?(chunk = 4096) ~rng ~samples (game : Game.t) =
+  if samples < 1 then invalid_arg "Efficiency.mc_truthful: samples < 1";
+  let open Game in
+  let total =
+    Pan_runner.Task.map_reduce ?pool ~rng ~n:samples ~chunk
+      ~f:(fun crng _ ->
+        let u_x = Distribution.sample game.dist_x crng in
+        let u_y = Distribution.sample game.dist_y crng in
+        if u_x +. u_y >= 0.0 then
+          let half = (u_x +. u_y) /. 2.0 in
+          half *. half
+        else 0.0)
+      ~combine:( +. ) ~init:0.0 ()
+  in
+  total /. float_of_int samples
+
 let price_of_dishonesty ?truthful ?grid game sx sy =
   let benchmark =
     match truthful with

@@ -14,6 +14,30 @@ val expected_nash_truthful : ?grid:int -> Game.t -> float
 (** [E(N | σ^T)] where both parties claim their true utilities; [grid]
     (default 400) is the midpoint-rule resolution per axis. *)
 
+val mc_expected_nash :
+  ?pool:Pan_runner.Pool.t ->
+  ?chunk:int ->
+  rng:Pan_numerics.Rng.t ->
+  samples:int ->
+  Game.t ->
+  Strategy.t ->
+  Strategy.t ->
+  float
+(** Monte-Carlo estimate of {!expected_nash} by direct simulation of the
+    bargaining game ([samples] plays).  Sample chunks ([chunk], default
+    4096) draw from split generators and partial sums are folded in index
+    order, so the estimate is bit-identical for any pool size. *)
+
+val mc_truthful :
+  ?pool:Pan_runner.Pool.t ->
+  ?chunk:int ->
+  rng:Pan_numerics.Rng.t ->
+  samples:int ->
+  Game.t ->
+  float
+(** Monte-Carlo estimate of {!expected_nash_truthful}; same determinism
+    contract as {!mc_expected_nash}. *)
+
 val price_of_dishonesty :
   ?truthful:float -> ?grid:int -> Game.t -> Strategy.t -> Strategy.t -> float
 (** [PoD(σ) = 1 − E(N|σ)/E(N|σ^T)] (Eq. 20).  Pass [truthful] to reuse a

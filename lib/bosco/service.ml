@@ -39,14 +39,24 @@ let negotiate ?(construction = Random_sampling) ?truthful ~rng ~dist_x ~dist_y
     equilibrium_choices_y = Strategy.support_size dist_y eq.Equilibrium.strategy_y;
   }
 
-let trials ?(construction = Random_sampling) ~rng ~dist_x ~dist_y ~w ~n () =
+let trials ?(construction = Random_sampling) ?pool ?(chunk = 8) ~rng ~dist_x
+    ~dist_y ~w ~n () =
   if n < 1 then invalid_arg "Service.trials: n < 1";
   let truthful =
     Efficiency.expected_nash_truthful
       Game.{ dist_x; dist_y; claims_x = Claim.of_list []; claims_y = Claim.of_list [] }
   in
-  List.init n (fun _ ->
-      negotiate ~construction ~truthful ~rng ~dist_x ~dist_y ~w ())
+  (* Each chunk of trials negotiates from its own split generator, so the
+     result is identical for any pool size (and trial chunks are
+     reproducible in isolation). *)
+  let reports =
+    Pan_runner.Task.map_reduce ?pool ~rng ~n ~chunk
+      ~f:(fun crng _ ->
+        negotiate ~construction ~truthful ~rng:crng ~dist_x ~dist_y ~w ())
+      ~combine:(fun acc r -> r :: acc)
+      ~init:[] ()
+  in
+  List.rev reports
 
 let best = function
   | [] -> invalid_arg "Service.best: empty list"

@@ -41,6 +41,8 @@ val negotiate :
 
 val trials :
   ?construction:construction ->
+  ?pool:Pan_runner.Pool.t ->
+  ?chunk:int ->
   rng:Rng.t ->
   dist_x:Distribution.t ->
   dist_y:Distribution.t ->
@@ -49,7 +51,10 @@ val trials :
   unit ->
   report list
 (** [n] independent {!negotiate} runs (the paper uses 200 per choice-set
-    cardinality); the truthful benchmark is computed once and shared. *)
+    cardinality); the truthful benchmark is computed once and shared.
+    Trials are chunked ([chunk], default 8) onto [pool] with a split
+    generator per chunk, so the report list is identical for any pool
+    size; [rng] is advanced by one {!Rng.split} per chunk. *)
 
 val best : report list -> report
 (** Lowest-PoD report. @raise Invalid_argument on an empty list. *)

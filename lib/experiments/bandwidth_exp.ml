@@ -1,8 +1,8 @@
 open Pan_topology
 
-let run ?(sample_size = 500) ?(seed = 7) g =
+let run ?pool ?(sample_size = 500) ?(seed = 7) g =
   let bw = Bandwidth.degree_gravity g in
-  Pair_analysis.analyze ~sample_size ~seed ~graph:g
+  Pair_analysis.analyze ?pool ~sample_size ~seed ~graph:g
     ~metric:(Bandwidth.path3_bandwidth bw) ~better:`Higher ()
 
 let run_default ?(params = Gen.default_params) ?(topology_seed = 42) () =

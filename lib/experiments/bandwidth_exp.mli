@@ -3,10 +3,16 @@
 
 open Pan_topology
 
-val run : ?sample_size:int -> ?seed:int -> Graph.t -> Pair_analysis.result
+val run :
+  ?pool:Pan_runner.Pool.t ->
+  ?sample_size:int ->
+  ?seed:int ->
+  Graph.t ->
+  Pair_analysis.result
 (** A path is "better" when its bottleneck capacity is higher; the
     improvement metric is the relative bandwidth increase of the best MA
-    path over the best GRC path. *)
+    path over the best GRC path.  Sources run on [pool]; the result is
+    bit-identical for any pool size. *)
 
 val run_default : ?params:Gen.params -> ?topology_seed:int -> unit ->
   Graph.t * Pair_analysis.result

@@ -38,7 +38,7 @@ let scenarios_for top_ns =
 
 let scenarios_of config = scenarios_for config.top_ns
 
-let analyze ?(sample_size = 500) ?(seed = 7) ?(top_ns = [ 1; 2; 5 ]) g =
+let analyze ?pool ?(sample_size = 500) ?(seed = 7) ?(top_ns = [ 1; 2; 5 ]) g =
   let scenarios = scenarios_for top_ns in
   let rng = Rng.create seed in
   let all = Array.of_list (Graph.ases g) in
@@ -60,11 +60,18 @@ let analyze ?(sample_size = 500) ?(seed = 7) ?(top_ns = [ 1; 2; 5 ]) g =
           per_scenario;
     }
   in
-  { graph = g; scenarios; sampled = Array.to_list (Array.map analyze_as sample) }
+  (* Sampling above consumes the sequential rng; the per-AS analysis is
+     pure, so running it on the pool leaves the figures bit-identical. *)
+  let sampled =
+    Pan_runner.Task.map ?pool ~chunk:8 ~n:(Array.length sample)
+      ~f:(fun i -> analyze_as sample.(i))
+      ()
+  in
+  { graph = g; scenarios; sampled = Array.to_list sampled }
 
-let run config =
+let run ?pool config =
   let gen = Gen.generate ~params:config.params ~seed:config.topology_seed () in
-  analyze ~sample_size:config.sample_size ~seed:config.sample_seed
+  analyze ?pool ~sample_size:config.sample_size ~seed:config.sample_seed
     ~top_ns:config.top_ns (Gen.graph gen)
 
 let values_for result extract scenario =

@@ -35,10 +35,17 @@ val scenarios_of : config -> Path_enum.scenario list
 (** GRC, MA, MA*, and the configured Top-n scenarios. *)
 
 val analyze :
-  ?sample_size:int -> ?seed:int -> ?top_ns:int list -> Graph.t -> result
-(** Run the analysis on an existing graph (e.g. parsed CAIDA data). *)
+  ?pool:Pan_runner.Pool.t ->
+  ?sample_size:int ->
+  ?seed:int ->
+  ?top_ns:int list ->
+  Graph.t ->
+  result
+(** Run the analysis on an existing graph (e.g. parsed CAIDA data).  The
+    per-AS enumeration runs on [pool]; AS sampling stays on the sequential
+    generator, so the result is bit-identical for any pool size. *)
 
-val run : config -> result
+val run : ?pool:Pan_runner.Pool.t -> config -> result
 (** Generate the synthetic topology and {!analyze} it. *)
 
 val paths_cdf : result -> Path_enum.scenario -> Stats.cdf

@@ -16,13 +16,14 @@ let u2 = Distribution.uniform (-0.5) 1.0
 
 let default_ws = [ 2; 5; 10; 20; 35; 50; 75; 100 ]
 
-let run ?construction ?(ws = default_ws) ?(trials = 200) ~seed ~label dist =
+let run ?construction ?pool ?(ws = default_ws) ?(trials = 200) ~seed ~label
+    dist =
   let rng = Rng.create seed in
   let points =
     List.map
       (fun w ->
         let reports =
-          Service.trials ?construction ~rng ~dist_x:dist ~dist_y:dist ~w
+          Service.trials ?construction ?pool ~rng ~dist_x:dist ~dist_y:dist ~w
             ~n:trials ()
         in
         let eq_choices =
@@ -47,10 +48,10 @@ let run ?construction ?(ws = default_ws) ?(trials = 200) ~seed ~label dist =
   in
   { label; points }
 
-let run_both ?ws ?trials ~seed () =
+let run_both ?pool ?ws ?trials ~seed () =
   [
-    run ?ws ?trials ~seed ~label:"U(1)" u1;
-    run ?ws ?trials ~seed:(seed + 1) ~label:"U(2)" u2;
+    run ?pool ?ws ?trials ~seed ~label:"U(1)" u1;
+    run ?pool ?ws ?trials ~seed:(seed + 1) ~label:"U(2)" u2;
   ]
 
 let pp_series fmt s =

@@ -27,6 +27,7 @@ val u2 : Distribution.t
 
 val run :
   ?construction:Pan_bosco.Service.construction ->
+  ?pool:Pan_runner.Pool.t ->
   ?ws:int list ->
   ?trials:int ->
   seed:int ->
@@ -35,9 +36,17 @@ val run :
   series
 (** Sweep over [ws] (default [2; 5; 10; 20; 35; 50; 75; 100]) with [trials]
     choice-set combinations each (default 200, the paper's setting); both
-    parties share the given marginal distribution. *)
+    parties share the given marginal distribution.  Trials run on [pool]
+    (see {!Pan_bosco.Service.trials}); the series is identical for any
+    pool size. *)
 
-val run_both : ?ws:int list -> ?trials:int -> seed:int -> unit -> series list
+val run_both :
+  ?pool:Pan_runner.Pool.t ->
+  ?ws:int list ->
+  ?trials:int ->
+  seed:int ->
+  unit ->
+  series list
 (** The two series of Fig. 2. *)
 
 val pp_series : Format.formatter -> series -> unit

@@ -1,8 +1,8 @@
 open Pan_topology
 
-let run ?(sample_size = 500) ?(seed = 7) ?(geo_seed = 11) g =
+let run ?pool ?(sample_size = 500) ?(seed = 7) ?(geo_seed = 11) g =
   let geo = Geo.generate ~seed:geo_seed g in
-  Pair_analysis.analyze ~sample_size ~seed ~graph:g
+  Pair_analysis.analyze ?pool ~sample_size ~seed ~graph:g
     ~metric:(Geo.path3_geodistance geo) ~better:`Lower ()
 
 let run_default ?(params = Gen.default_params) ?(topology_seed = 42) () =

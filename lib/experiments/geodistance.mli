@@ -8,13 +8,15 @@
 open Pan_topology
 
 val run :
+  ?pool:Pan_runner.Pool.t ->
   ?sample_size:int ->
   ?seed:int ->
   ?geo_seed:int ->
   Graph.t ->
   Pair_analysis.result
 (** Analyze all pairs with a GRC length-3 path among [sample_size]
-    sampled sources (defaults 500 / seed 7 / geo_seed 11). *)
+    sampled sources (defaults 500 / seed 7 / geo_seed 11).  Sources run
+    on [pool]; the result is bit-identical for any pool size. *)
 
 val run_default : ?params:Gen.params -> ?topology_seed:int -> unit ->
   Graph.t * Pair_analysis.result

@@ -11,37 +11,51 @@ type report = {
   mean_flow_volume_joint : float;
 }
 
-let run ?(scenarios = 100) ?(seed = 3) () =
+(* One scenario's contribution, folded in scenario order below so float
+   sums are reproducible for any pool size. *)
+type outcome = {
+  cash_joint : float option;
+  fv_joint : float option;
+  is_cash_only : bool;
+}
+
+let run ?pool ?(chunk = 4) ?(scenarios = 100) ?(seed = 3) () =
   let g = Gen.fig1 () in
   let d = Gen.fig1_asn 'D' and e = Gen.fig1_asn 'E' in
   let rng = Rng.create seed in
-  let cash_n = ref 0
-  and fv_n = ref 0
-  and cash_only_n = ref 0
-  and cash_joint = ref 0.0
-  and fv_joint = ref 0.0 in
-  for _ = 1 to scenarios do
-    let scenario = Scenario_gen.random_scenario rng g ~x:d ~y:e in
-    let c = Negotiation.compare_methods ~starts_per_dim:2 scenario in
-    if c.Negotiation.cash.Cash_opt.concluded then begin
-      incr cash_n;
-      cash_joint := !cash_joint +. Negotiation.cash_joint c
-    end;
-    if c.Negotiation.flow_volume.Flow_volume_opt.concluded then begin
-      incr fv_n;
-      fv_joint := !fv_joint +. Negotiation.flow_volume_joint c
-    end;
-    if Negotiation.cash_only c then incr cash_only_n
-  done;
+  let cash_n, fv_n, cash_only_n, cash_joint, fv_joint =
+    Pan_runner.Task.map_reduce ?pool ~rng ~n:scenarios ~chunk
+      ~f:(fun crng _ ->
+        let scenario = Scenario_gen.random_scenario crng g ~x:d ~y:e in
+        let c = Negotiation.compare_methods ~starts_per_dim:2 scenario in
+        {
+          cash_joint =
+            (if c.Negotiation.cash.Cash_opt.concluded then
+               Some (Negotiation.cash_joint c)
+             else None);
+          fv_joint =
+            (if c.Negotiation.flow_volume.Flow_volume_opt.concluded then
+               Some (Negotiation.flow_volume_joint c)
+             else None);
+          is_cash_only = Negotiation.cash_only c;
+        })
+      ~combine:(fun (cn, fn, on, cj, fj) o ->
+        ( (match o.cash_joint with Some _ -> cn + 1 | None -> cn),
+          (match o.fv_joint with Some _ -> fn + 1 | None -> fn),
+          (if o.is_cash_only then on + 1 else on),
+          (match o.cash_joint with Some v -> cj +. v | None -> cj),
+          match o.fv_joint with Some v -> fj +. v | None -> fj ))
+      ~init:(0, 0, 0, 0.0, 0.0) ()
+  in
   {
     scenarios;
-    cash_concluded = !cash_n;
-    flow_volume_concluded = !fv_n;
-    cash_only = !cash_only_n;
+    cash_concluded = cash_n;
+    flow_volume_concluded = fv_n;
+    cash_only = cash_only_n;
     mean_cash_joint =
-      (if !cash_n = 0 then 0.0 else !cash_joint /. float_of_int !cash_n);
+      (if cash_n = 0 then 0.0 else cash_joint /. float_of_int cash_n);
     mean_flow_volume_joint =
-      (if !fv_n = 0 then 0.0 else !fv_joint /. float_of_int !fv_n);
+      (if fv_n = 0 then 0.0 else fv_joint /. float_of_int fv_n);
   }
 
 let pp fmt r =

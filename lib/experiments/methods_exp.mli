@@ -13,8 +13,17 @@ type report = {
   mean_flow_volume_joint : float;
 }
 
-val run : ?scenarios:int -> ?seed:int -> unit -> report
+val run :
+  ?pool:Pan_runner.Pool.t ->
+  ?chunk:int ->
+  ?scenarios:int ->
+  ?seed:int ->
+  unit ->
+  report
 (** Randomized scenarios on the Fig. 1 topology between peers D and E
-    (default 100 scenarios). *)
+    (default 100 scenarios).  Scenario chunks ([chunk], default 4) draw
+    from split generators and run on [pool]; counters and utility sums are
+    folded in scenario order, so the report is bit-identical for any pool
+    size. *)
 
 val pp : Format.formatter -> report -> unit

@@ -10,7 +10,8 @@ type pair_counts = {
 
 type result = { pairs : pair_counts list; improvements : float list }
 
-let analyze ?(sample_size = 500) ?(seed = 7) ~graph:g ~metric ~better () =
+let analyze ?pool ?(sample_size = 500) ?(seed = 7) ~graph:g ~metric ~better ()
+    =
   let rng = Rng.create seed in
   let all = Array.of_list (Graph.ases g) in
   let sample =
@@ -22,57 +23,70 @@ let analyze ?(sample_size = 500) ?(seed = 7) ~graph:g ~metric ~better () =
     let v = metric src mid dst in
     match better with `Lower -> v | `Higher -> -.v
   in
-  let pairs = ref [] in
-  let improvements = ref [] in
-  Array.iter
-    (fun src ->
-      let grc = Path_enum.by_destination (Path_enum.grc g src) in
-      let ma =
-        Path_enum.by_destination (Path_enum.additional_paths g Ma_all src)
-      in
-      Asn.Map.iter
-        (fun dst grc_mids ->
-          let grc_scores =
-            Array.of_list
-              (List.map
-                 (fun mid -> score src mid dst)
-                 (Asn.Set.elements grc_mids))
-          in
-          let g_min, g_max = Stats.min_max grc_scores in
-          let g_med = Stats.median grc_scores in
-          let ma_mids =
-            match Asn.Map.find_opt dst ma with
-            | Some mids -> Asn.Set.elements mids
-            | None -> []
-          in
-          let ma_scores = List.map (fun mid -> score src mid dst) ma_mids in
-          let count pred = List.length (List.filter pred ma_scores) in
-          let counts =
-            {
-              below_max = count (fun s -> s < g_max);
-              below_median = count (fun s -> s < g_med);
-              below_min = count (fun s -> s < g_min);
-              ma_paths = List.length ma_scores;
-            }
-          in
-          pairs := counts :: !pairs;
-          match ma_scores with
-          | [] -> ()
-          | _ ->
-              let best_ma = List.fold_left Float.min infinity ma_scores in
-              if best_ma < g_min then begin
-                let improvement =
-                  match better with
-                  | `Lower -> 1.0 -. (best_ma /. g_min)
-                  | `Higher ->
-                      (* scores are negated capacities *)
-                      (best_ma /. g_min) -. 1.0
-                in
-                improvements := improvement :: !improvements
-              end)
-        grc)
-    sample;
-  { pairs = !pairs; improvements = !improvements }
+  (* Per-source analysis is pure, so sources run on the pool; the per-src
+     lists are concatenated in sample order below, reproducing exactly the
+     lists the previous sequential accumulation built. *)
+  let analyze_src src =
+    let pairs = ref [] in
+    let improvements = ref [] in
+    let grc = Path_enum.by_destination (Path_enum.grc g src) in
+    let ma =
+      Path_enum.by_destination (Path_enum.additional_paths g Ma_all src)
+    in
+    Asn.Map.iter
+      (fun dst grc_mids ->
+        let grc_scores =
+          Array.of_list
+            (List.map
+               (fun mid -> score src mid dst)
+               (Asn.Set.elements grc_mids))
+        in
+        let g_min, g_max = Stats.min_max grc_scores in
+        let g_med = Stats.median grc_scores in
+        let ma_mids =
+          match Asn.Map.find_opt dst ma with
+          | Some mids -> Asn.Set.elements mids
+          | None -> []
+        in
+        let ma_scores = List.map (fun mid -> score src mid dst) ma_mids in
+        let count pred = List.length (List.filter pred ma_scores) in
+        let counts =
+          {
+            below_max = count (fun s -> s < g_max);
+            below_median = count (fun s -> s < g_med);
+            below_min = count (fun s -> s < g_min);
+            ma_paths = List.length ma_scores;
+          }
+        in
+        pairs := counts :: !pairs;
+        match ma_scores with
+        | [] -> ()
+        | _ ->
+            let best_ma = List.fold_left Float.min infinity ma_scores in
+            if best_ma < g_min then begin
+              let improvement =
+                match better with
+                | `Lower -> 1.0 -. (best_ma /. g_min)
+                | `Higher ->
+                    (* scores are negated capacities *)
+                    (best_ma /. g_min) -. 1.0
+              in
+              improvements := improvement :: !improvements
+            end)
+      grc;
+    (!pairs, !improvements)
+  in
+  let per_src =
+    Pan_runner.Task.map ?pool ~chunk:4 ~n:(Array.length sample)
+      ~f:(fun i -> analyze_src sample.(i))
+      ()
+  in
+  let pairs, improvements =
+    Array.fold_left
+      (fun (ps, is) (lp, li) -> (lp @ ps, li @ is))
+      ([], []) per_src
+  in
+  { pairs; improvements }
 
 let fraction_pairs_with result ~at_least select =
   let arr = Array.of_list result.pairs in

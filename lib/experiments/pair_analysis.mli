@@ -26,6 +26,7 @@ type result = {
 }
 
 val analyze :
+  ?pool:Pan_runner.Pool.t ->
   ?sample_size:int ->
   ?seed:int ->
   graph:Graph.t ->
@@ -34,7 +35,9 @@ val analyze :
   unit ->
   result
 (** [metric src mid dst] scores a length-3 path; [better] says whether
-    lower (geodistance) or higher (bandwidth) is preferable. *)
+    lower (geodistance) or higher (bandwidth) is preferable.  [metric]
+    must be pure: source ASes are analyzed on [pool], and the result is
+    bit-identical for any pool size. *)
 
 val fraction_pairs_with : result -> at_least:int -> (pair_counts -> int) -> float
 (** Fraction of pairs whose selected counter is at least [at_least] — the

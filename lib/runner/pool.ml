@@ -1,0 +1,79 @@
+type job = unit -> unit
+
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  has_job : Condition.t;
+  jobs : job Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let domains t = t.domains
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if not (Queue.is_empty t.jobs) then Some (Queue.pop t.jobs)
+    else if t.closed then None
+    else begin
+      Condition.wait t.has_job t.mutex;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock t.mutex
+  | Some job ->
+      Mutex.unlock t.mutex;
+      job ();
+      worker_loop t
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let t =
+    {
+      domains;
+      mutex = Mutex.create ();
+      has_job = Condition.create ();
+      jobs = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.closed <- true;
+  t.workers <- [];
+  Condition.broadcast t.has_job;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_jobs t jobs =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.run_jobs: pool is shut down"
+  end;
+  List.iter (fun j -> Queue.push j t.jobs) jobs;
+  Condition.broadcast t.has_job;
+  (* Help drain the queue: the caller is the pool's last worker. *)
+  let rec help () =
+    if Queue.is_empty t.jobs then Mutex.unlock t.mutex
+    else begin
+      let job = Queue.pop t.jobs in
+      Mutex.unlock t.mutex;
+      job ();
+      Mutex.lock t.mutex;
+      help ()
+    end
+  in
+  help ()

@@ -1,0 +1,36 @@
+(** Fixed-size domain pool with a mutex/condition work queue.
+
+    A pool with [domains = d] provides [d]-way parallelism: [d - 1] worker
+    domains are spawned at creation and block on the queue, and the caller
+    of {!run_jobs} participates as the [d]-th worker.  A pool with
+    [domains = 1] spawns no domains at all; {!Task} then takes a purely
+    sequential path.
+
+    Pools are cheap enough to create per experiment but are designed to be
+    reused: {!Task.map_reduce} can be called any number of times on the
+    same pool, including after a job raised. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] worker domains.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+(** Total parallelism of the pool (workers + the submitting caller). *)
+
+val shutdown : t -> unit
+(** Signal all workers to exit once the queue is drained and join them.
+    Idempotent; the pool must not be used afterwards. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] on a fresh pool and shuts it down
+    afterwards, also on exception. *)
+
+val run_jobs : t -> (unit -> unit) list -> unit
+(** Low-level: enqueue jobs and help drain the queue on the calling
+    domain.  Returns when the queue is empty; jobs picked up by other
+    workers may still be executing, so callers must track completion
+    themselves (as {!Task} does).  Jobs must not raise.  Only one
+    [run_jobs] may be in flight per pool at a time.
+    @raise Invalid_argument if the pool has been shut down. *)

@@ -1,0 +1,102 @@
+open Pan_numerics
+
+let chunk_count ~n ~chunk = (n + chunk - 1) / chunk
+
+(* Chunk [c] always receives the [(c+1)]-th split of the master rng; the
+   sequential path below splits lazily in the same order, so both paths
+   consume the master stream identically. *)
+let split_rngs rng m =
+  if m = 0 then [||]
+  else begin
+    let rngs = Array.make m (Rng.split rng) in
+    for c = 1 to m - 1 do
+      rngs.(c) <- Rng.split rng
+    done;
+    rngs
+  end
+
+let seq_map_reduce ~rng ~n ~chunk ~f ~combine ~init =
+  let m = chunk_count ~n ~chunk in
+  let acc = ref init in
+  for c = 0 to m - 1 do
+    let crng = Rng.split rng in
+    let hi = min n ((c + 1) * chunk) - 1 in
+    for i = c * chunk to hi do
+      acc := combine !acc (f crng i)
+    done
+  done;
+  !acc
+
+(* Run [run_chunk 0 .. run_chunk (m-1)] on the pool and return the results
+   in chunk order.  The first exception (in completion order) is re-raised
+   after every chunk has finished, so the pool stays consistent. *)
+let par_chunks pool ~m run_chunk =
+  let results = Array.make m None in
+  let mutex = Mutex.create () in
+  let all_done = Condition.create () in
+  let remaining = ref m in
+  let failure = ref None in
+  let job c () =
+    let outcome =
+      try Ok (run_chunk c)
+      with e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock mutex;
+    (match outcome with
+    | Ok v -> results.(c) <- Some v
+    | Error err -> ( match !failure with None -> failure := Some err | Some _ -> ()));
+    decr remaining;
+    if !remaining = 0 then Condition.signal all_done;
+    Mutex.unlock mutex
+  in
+  Pool.run_jobs pool (List.init m (fun c () -> job c ()));
+  Mutex.lock mutex;
+  while !remaining > 0 do
+    Condition.wait all_done mutex
+  done;
+  Mutex.unlock mutex;
+  (match !failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  Array.map (function Some v -> v | None -> assert false) results
+
+let map_reduce ?pool ~rng ~n ~chunk ~f ~combine ~init () =
+  if n < 0 then invalid_arg "Task.map_reduce: n < 0";
+  if chunk < 1 then invalid_arg "Task.map_reduce: chunk < 1";
+  let m = chunk_count ~n ~chunk in
+  match pool with
+  | Some p when Pool.domains p > 1 && m > 1 ->
+      let rngs = split_rngs rng m in
+      let run_chunk c =
+        let crng = rngs.(c) in
+        let hi = min n ((c + 1) * chunk) - 1 in
+        (* items in reverse index order; re-reversed during the fold *)
+        let items = ref [] in
+        for i = c * chunk to hi do
+          items := f crng i :: !items
+        done;
+        !items
+      in
+      let per_chunk = par_chunks p ~m run_chunk in
+      Array.fold_left
+        (fun acc items -> List.fold_left combine acc (List.rev items))
+        init per_chunk
+  | _ -> seq_map_reduce ~rng ~n ~chunk ~f ~combine ~init
+
+let map ?pool ?(chunk = 16) ~n ~f () =
+  if n < 0 then invalid_arg "Task.map: n < 0";
+  if chunk < 1 then invalid_arg "Task.map: chunk < 1";
+  let m = chunk_count ~n ~chunk in
+  match pool with
+  | Some p when Pool.domains p > 1 && m > 1 ->
+      let run_chunk c =
+        let lo = c * chunk in
+        let len = min chunk (n - lo) in
+        let out = Array.make len (f lo) in
+        for k = 1 to len - 1 do
+          out.(k) <- f (lo + k)
+        done;
+        out
+      in
+      Array.concat (Array.to_list (par_chunks p ~m run_chunk))
+  | _ -> Array.init n f

@@ -1,0 +1,49 @@
+(** Chunked, deterministic fork/join over a {!Pool}.
+
+    The unit of scheduling is a {e chunk} of consecutive item indices.
+    Randomness is assigned per chunk: chunk [c] receives the [(c+1)]-th
+    {!Pan_numerics.Rng.split} of the master generator, regardless of which
+    worker executes it or in which order chunks complete.  Results are
+    therefore bit-for-bit identical for every pool size, including no pool
+    at all — the contract every equivalence test in [test/test_runner.ml]
+    asserts. *)
+
+open Pan_numerics
+
+val map_reduce :
+  ?pool:Pool.t ->
+  rng:Rng.t ->
+  n:int ->
+  chunk:int ->
+  f:(Rng.t -> int -> 'a) ->
+  combine:('b -> 'a -> 'b) ->
+  init:'b ->
+  unit ->
+  'b
+(** [map_reduce ?pool ~rng ~n ~chunk ~f ~combine ~init ()] evaluates
+    [f rng_c i] for every item index [i] in [0 .. n-1], where [rng_c] is
+    the split generator of the chunk [c = i / chunk] containing [i], and
+    folds the results with [combine] in ascending index order (so even
+    non-associative combines such as float accumulation are reproducible).
+
+    [f] must derive all its randomness from its [Rng.t] argument and must
+    not mutate state shared across chunks.  Within a chunk, items are
+    evaluated in ascending order on one domain, sharing [rng_c].
+
+    On success the master [rng] has been advanced by exactly
+    [ceil(n / chunk)] splits, for any pool size.  If some [f] raises, the
+    first exception (in completion order) is re-raised with its backtrace
+    after all chunks have finished; the pool remains usable, but the
+    master [rng] state is unspecified.
+
+    Without [?pool], or when the pool has a single domain, or when there
+    is at most one chunk, the purely sequential path is taken: no queue,
+    no domains, no intermediate buffers.
+    @raise Invalid_argument if [n < 0] or [chunk < 1]. *)
+
+val map :
+  ?pool:Pool.t -> ?chunk:int -> n:int -> f:(int -> 'a) -> unit -> 'a array
+(** [map ?pool ?chunk ~n ~f ()] is [Array.init n f] evaluated chunk-wise on
+    the pool.  [f] must be pure (any randomness would be evaluation-order
+    dependent — use {!map_reduce} instead).  [chunk] defaults to 16.
+    @raise Invalid_argument if [n < 0] or [chunk < 1]. *)

@@ -1,0 +1,31 @@
+The parallel experiment engine assigns randomness per chunk index, so any
+--jobs value must produce byte-identical output.  Run each equivalence pair
+with backtraces enabled to surface worker-domain crashes.
+
+  $ export OCAMLRUNPARAM=b
+
+Fig. 2 (BOSCO trials):
+
+  $ panagree fig2 --jobs 1 --trials 6 --ws 2,5 --seed 3 > fig2.j1
+  $ panagree fig2 --jobs 4 --trials 6 --ws 2,5 --seed 3 > fig2.j4
+  $ cmp fig2.j1 fig2.j4
+
+Fig. 3/4 (path diversity on a reduced topology):
+
+  $ panagree fig3 --jobs 1 --transit 25 --stubs 80 --sample-size 30 > fig3.j1
+  $ panagree fig3 --jobs 4 --transit 25 --stubs 80 --sample-size 30 > fig3.j4
+  $ cmp fig3.j1 fig3.j4
+
+Methods comparison (cash vs. future-value scenarios):
+
+  $ panagree methods --jobs 1 --scenarios 12 --seed 5 > methods.j1
+  $ panagree methods --jobs 4 --scenarios 12 --seed 5 > methods.j4
+  $ cmp methods.j1 methods.j4
+
+--jobs must be positive:
+
+  $ panagree fig2 --jobs 0 --trials 1 --ws 2
+  panagree: option '--jobs': must be at least 1
+  Usage: panagree fig2 [OPTION]…
+  Try 'panagree fig2 --help' or 'panagree --help' for more information.
+  [124]

@@ -1,34 +1,10 @@
 (* Monte-Carlo cross-validation of the semi-analytic efficiency
    computations: Eq. 19's piecewise-exact integral must agree with a
-   direct simulation of the bargaining game, and the PoD with a simulated
-   PoD. *)
+   direct simulation of the bargaining game (Efficiency.mc_expected_nash,
+   shared with the bench suite), and the PoD with a simulated PoD. *)
 
 open Pan_numerics
 open Pan_bosco
-
-let mc_expected_nash ~samples rng (game : Game.t) sx sy =
-  let open Game in
-  let acc = ref 0.0 in
-  for _ = 1 to samples do
-    let u_x = Distribution.sample game.dist_x rng in
-    let u_y = Distribution.sample game.dist_y rng in
-    let outcome = Game.play game ~strategy_x:sx ~strategy_y:sy ~u_x ~u_y in
-    acc := !acc +. Game.nash_value ~u_x ~u_y outcome
-  done;
-  !acc /. float_of_int samples
-
-let mc_truthful ~samples rng (game : Game.t) =
-  let open Game in
-  let acc = ref 0.0 in
-  for _ = 1 to samples do
-    let u_x = Distribution.sample game.dist_x rng in
-    let u_y = Distribution.sample game.dist_y rng in
-    if u_x +. u_y >= 0.0 then begin
-      let half = (u_x +. u_y) /. 2.0 in
-      acc := !acc +. (half *. half)
-    end
-  done;
-  !acc /. float_of_int samples
 
 let equilibrium_game seed w =
   let rng = Rng.create seed in
@@ -40,7 +16,10 @@ let test_expected_nash_vs_mc () =
   for seed = 1 to 5 do
     let game, sx, sy = equilibrium_game seed 15 in
     let exact = Efficiency.expected_nash game sx sy in
-    let mc = mc_expected_nash ~samples:200_000 (Rng.create (seed * 11)) game sx sy in
+    let mc =
+      Efficiency.mc_expected_nash ~rng:(Rng.create (seed * 11))
+        ~samples:200_000 game sx sy
+    in
     let tolerance = 0.02 *. Float.max 0.01 (Float.abs exact) +. 0.002 in
     if Float.abs (exact -. mc) > tolerance then
       Alcotest.failf "seed %d: exact %f vs MC %f" seed exact mc
@@ -49,18 +28,18 @@ let test_expected_nash_vs_mc () =
 let test_truthful_benchmark_vs_mc () =
   let game, _, _ = equilibrium_game 3 10 in
   let exact = Efficiency.expected_nash_truthful ~grid:600 game in
-  let mc = mc_truthful ~samples:400_000 (Rng.create 77) game in
+  let mc = Efficiency.mc_truthful ~rng:(Rng.create 77) ~samples:400_000 game in
   if Float.abs (exact -. mc) > 0.003 then
     Alcotest.failf "truthful: exact %f vs MC %f" exact mc
 
 let test_pod_vs_mc () =
   let game, sx, sy = equilibrium_game 9 20 in
   let pod = Efficiency.price_of_dishonesty ~grid:600 game sx sy in
-  let rng = Rng.create 5 in
   let mc_pod =
     1.0
-    -. mc_expected_nash ~samples:300_000 rng game sx sy
-       /. mc_truthful ~samples:300_000 (Rng.create 6) game
+    -. Efficiency.mc_expected_nash ~rng:(Rng.create 5) ~samples:300_000 game
+         sx sy
+       /. Efficiency.mc_truthful ~rng:(Rng.create 6) ~samples:300_000 game
   in
   if Float.abs (pod -. mc_pod) > 0.03 then
     Alcotest.failf "PoD %f vs MC %f" pod mc_pod

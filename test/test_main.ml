@@ -41,4 +41,6 @@ let () =
       ("scion.wire", Test_wire.suite);
       ("routing.bgp_async", Test_bgp_async.suite);
       ("integration.full_pipeline", Test_full_pipeline.suite);
+      ("runner.equivalence", Test_runner.suite);
+      ("runner.golden", Test_runner_golden.suite);
     ]

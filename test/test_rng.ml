@@ -164,6 +164,59 @@ let qcheck_float_unit =
       let x = Rng.uniform rng lo hi in
       (width = 0.0 && x = lo) || (x >= lo && x < hi))
 
+(* The runner's determinism contract rests on chunk-indexed splits: the
+   c-th split of a master generator must yield the same stream no matter
+   when (or on which domain) chunk c is evaluated, and the streams must
+   not collide.  Draw all split generators up front, consume a prefix of
+   each in a random chunk order, and require (a) the streams to be
+   independent of that order and (b) the prefixes to be pairwise
+   disjoint — 64-bit collisions across a few hundred draws would signal
+   correlated streams, not chance. *)
+let qcheck_split_streams =
+  let prefix_len = 16 in
+  QCheck.Test.make ~count:100
+    ~name:"Rng.split chunk streams are order-independent and disjoint"
+    QCheck.(triple small_int (int_range 2 12) (int_range 0 1000))
+    (fun (seed, chunks, order_seed) ->
+      let streams order =
+        let master = Rng.create seed in
+        let rngs = Array.make chunks master in
+        for c = 0 to chunks - 1 do
+          rngs.(c) <- Rng.split master
+        done;
+        let out = Array.make chunks [||] in
+        Array.iter
+          (fun c ->
+            let prefix = Array.make prefix_len 0L in
+            for i = 0 to prefix_len - 1 do
+              prefix.(i) <- Rng.int64 rngs.(c)
+            done;
+            out.(c) <- prefix)
+          order;
+        out
+      in
+      let ascending = Array.init chunks Fun.id in
+      let shuffled =
+        let a = Array.copy ascending in
+        Rng.shuffle (Rng.create order_seed) a;
+        a
+      in
+      let fwd = streams ascending in
+      let any_order = streams shuffled in
+      let order_independent = fwd = any_order in
+      let disjoint =
+        let seen = Hashtbl.create (chunks * prefix_len) in
+        Array.for_all
+          (Array.for_all (fun v ->
+               if Hashtbl.mem seen v then false
+               else begin
+                 Hashtbl.add seen v ();
+                 true
+               end))
+          fwd
+      in
+      order_independent && disjoint)
+
 let suite =
   [
     Alcotest.test_case "determinism" `Quick test_determinism;
@@ -187,4 +240,5 @@ let suite =
     Alcotest.test_case "sample too many raises" `Quick test_sample_too_many;
     Alcotest.test_case "choose covers all" `Quick test_choose_covers;
     QCheck_alcotest.to_alcotest qcheck_float_unit;
+    QCheck_alcotest.to_alcotest qcheck_split_streams;
   ]

@@ -1,0 +1,269 @@
+(* Determinism-equivalence suite for the parallel experiment engine
+   (lib/runner).  The engine's contract: results are bit-for-bit identical
+   for every pool size — including no pool at all, which takes the purely
+   sequential path — because randomness is assigned per chunk index, not
+   per worker.  Each ported experiment is asserted equal across
+   j ∈ {1, 2, 4, 8} at reduced scale; exception propagation and pool reuse
+   (including reuse after a failed run) are exercised explicitly. *)
+
+open Pan_numerics
+open Pan_runner
+open Pan_topology
+open Pan_bosco
+open Pan_experiments
+
+let jobs = [ 1; 2; 4; 8 ]
+
+let small_graph =
+  lazy
+    (let params =
+       { Gen.default_params with Gen.n_transit = 20; Gen.n_stub = 60 }
+     in
+     Gen.graph (Gen.generate ~params ~seed:42 ()))
+
+(* Run [experiment] sequentially (no pool) and on pools of every size in
+   [jobs]; all results must be structurally equal. *)
+let check_equivalence name experiment =
+  let reference = experiment None in
+  List.iter
+    (fun j ->
+      Pool.with_pool ~domains:j (fun pool ->
+          let result = experiment (Some pool) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: parallel(%d) = sequential" name j)
+            true
+            (result = reference)))
+    jobs
+
+(* ------------------------------------------------------------------ *)
+(* Task primitives                                                     *)
+
+let test_map_reduce_equivalence () =
+  check_equivalence "map_reduce float sum" (fun pool ->
+      let rng = Rng.create 7 in
+      Task.map_reduce ?pool ~rng ~n:100 ~chunk:7
+        ~f:(fun crng i -> Rng.float crng +. (float_of_int i /. 1000.0))
+        ~combine:( +. ) ~init:0.0 ())
+
+let test_map_equivalence () =
+  check_equivalence "map squares" (fun pool ->
+      Task.map ?pool ~chunk:5 ~n:57 ~f:(fun i -> i * i) ())
+
+let test_map_reduce_empty () =
+  check_equivalence "map_reduce n=0" (fun pool ->
+      let rng = Rng.create 7 in
+      Task.map_reduce ?pool ~rng ~n:0 ~chunk:4
+        ~f:(fun _ i -> i)
+        ~combine:( + ) ~init:41 ())
+
+let test_invalid_args () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "chunk < 1"
+    (Invalid_argument "Task.map_reduce: chunk < 1") (fun () ->
+      ignore
+        (Task.map_reduce ~rng ~n:4 ~chunk:0
+           ~f:(fun _ i -> i)
+           ~combine:( + ) ~init:0 ()));
+  Alcotest.check_raises "n < 0" (Invalid_argument "Task.map_reduce: n < 0")
+    (fun () ->
+      ignore
+        (Task.map_reduce ~rng ~n:(-1) ~chunk:4
+           ~f:(fun _ i -> i)
+           ~combine:( + ) ~init:0 ()));
+  Alcotest.check_raises "domains < 1" (Invalid_argument "Pool.create: domains < 1")
+    (fun () -> ignore (Pool.create ~domains:0))
+
+let qcheck_map_reduce =
+  QCheck.Test.make ~count:40
+    ~name:"Task.map_reduce parallel = sequential (random n, chunk, jobs)"
+    QCheck.(
+      quad small_int (int_range 0 60) (int_range 1 9)
+        (QCheck.oneofl [ 1; 2; 4; 8 ]))
+    (fun (seed, n, chunk, j) ->
+      let run pool =
+        let rng = Rng.create seed in
+        Task.map_reduce ?pool ~rng ~n ~chunk
+          ~f:(fun crng i -> Rng.float crng *. float_of_int (i + 1))
+          ~combine:( +. ) ~init:0.0 ()
+      in
+      let seq = run None in
+      Pool.with_pool ~domains:j (fun pool -> run (Some pool) = seq))
+
+(* ------------------------------------------------------------------ *)
+(* Exceptions and pool lifecycle                                       *)
+
+let test_exception_propagation () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let rng = Rng.create 1 in
+      (try
+         ignore
+           (Task.map_reduce ~pool ~rng ~n:64 ~chunk:4
+              ~f:(fun _ i -> if i = 37 then failwith "boom" else i)
+              ~combine:( + ) ~init:0 ());
+         Alcotest.fail "expected Failure to propagate"
+       with Failure msg -> Alcotest.(check string) "message" "boom" msg);
+      (* the pool must survive a failed run *)
+      let rng = Rng.create 1 in
+      let total =
+        Task.map_reduce ~pool ~rng ~n:64 ~chunk:4
+          ~f:(fun _ i -> i)
+          ~combine:( + ) ~init:0 ()
+      in
+      Alcotest.(check int) "pool usable after crash" (64 * 63 / 2) total)
+
+let test_sequential_exception () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "sequential path propagates too" (Failure "boom")
+    (fun () ->
+      ignore
+        (Task.map_reduce ~rng ~n:8 ~chunk:2
+           ~f:(fun _ i -> if i = 5 then failwith "boom" else i)
+           ~combine:( + ) ~init:0 ()))
+
+let test_pool_reuse () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check int) "domains" 4 (Pool.domains pool);
+      for round = 1 to 5 do
+        let run pool =
+          let rng = Rng.create round in
+          Task.map_reduce ?pool ~rng ~n:(10 * round) ~chunk:3
+            ~f:(fun crng _ -> Rng.float crng)
+            ~combine:( +. ) ~init:0.0 ()
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "round %d reuses the pool" round)
+          true
+          (run (Some pool) = run None)
+      done)
+
+let test_shutdown_rejects_work () =
+  let pool = Pool.create ~domains:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Pool.run_jobs: pool is shut down") (fun () ->
+      Pool.run_jobs pool [ (fun () -> ()) ])
+
+(* ------------------------------------------------------------------ *)
+(* Shared-Rng regression (satellite audit)                             *)
+
+(* Service.trials used to thread a single generator through every trial,
+   so trial k's randomness depended on all trials before it.  With
+   per-chunk split generators, any chunk is reproducible in isolation:
+   chunk c draws from the (c+1)-th split of the master generator. *)
+let test_trials_chunk_isolated () =
+  let dist = Fig2_pod.u1 in
+  let rng = Rng.create 31 in
+  let reports =
+    Service.trials ~chunk:1 ~rng ~dist_x:dist ~dist_y:dist ~w:6 ~n:6 ()
+  in
+  let truthful =
+    Efficiency.expected_nash_truthful
+      Game.
+        {
+          dist_x = dist;
+          dist_y = dist;
+          claims_x = Claim.of_list [];
+          claims_y = Claim.of_list [];
+        }
+  in
+  let master = Rng.create 31 in
+  for _ = 1 to 4 do
+    ignore (Rng.split master)
+  done;
+  let crng = Rng.split master in
+  let direct =
+    Service.negotiate ~truthful ~rng:crng ~dist_x:dist ~dist_y:dist ~w:6 ()
+  in
+  let key (r : Service.report) =
+    ( r.Service.pod,
+      r.Service.rounds,
+      r.Service.converged,
+      r.Service.equilibrium_choices_x,
+      r.Service.equilibrium_choices_y )
+  in
+  Alcotest.(check bool)
+    "trial 4 is reproducible in isolation" true
+    (key direct = key (List.nth reports 4))
+
+(* ------------------------------------------------------------------ *)
+(* Ported experiments: parallel(j) = sequential                        *)
+
+let report_keys reports =
+  List.map
+    (fun (r : Service.report) ->
+      ( r.Service.pod,
+        r.Service.rounds,
+        r.Service.converged,
+        r.Service.equilibrium_choices_x,
+        r.Service.equilibrium_choices_y ))
+    reports
+
+let test_service_trials () =
+  check_equivalence "Service.trials" (fun pool ->
+      let rng = Rng.create 5 in
+      report_keys
+        (Service.trials ?pool ~chunk:2 ~rng ~dist_x:Fig2_pod.u1
+           ~dist_y:Fig2_pod.u1 ~w:6 ~n:10 ()))
+
+let test_fig2 () =
+  check_equivalence "Fig2_pod.run_both" (fun pool ->
+      Fig2_pod.run_both ?pool ~ws:[ 2; 4 ] ~trials:6 ~seed:11 ())
+
+let test_diversity () =
+  let g = Lazy.force small_graph in
+  check_equivalence "Diversity.analyze" (fun pool ->
+      (Diversity.analyze ?pool ~sample_size:12 ~seed:7 g).Diversity.sampled)
+
+let test_geodistance () =
+  let g = Lazy.force small_graph in
+  check_equivalence "Geodistance.run" (fun pool ->
+      Geodistance.run ?pool ~sample_size:10 ~seed:7 g)
+
+let test_bandwidth () =
+  let g = Lazy.force small_graph in
+  check_equivalence "Bandwidth_exp.run" (fun pool ->
+      Bandwidth_exp.run ?pool ~sample_size:10 ~seed:7 g)
+
+let test_methods () =
+  check_equivalence "Methods_exp.run" (fun pool ->
+      Methods_exp.run ?pool ~chunk:2 ~scenarios:8 ~seed:3 ())
+
+let test_efficiency_mc () =
+  let rng = Rng.create 3 in
+  let report =
+    Service.negotiate ~rng ~dist_x:Fig2_pod.u1 ~dist_y:Fig2_pod.u1 ~w:8 ()
+  in
+  check_equivalence "Efficiency.mc_expected_nash" (fun pool ->
+      Efficiency.mc_expected_nash ?pool ~chunk:512 ~rng:(Rng.create 9)
+        ~samples:5_000 report.Service.game report.Service.strategy_x
+        report.Service.strategy_y);
+  check_equivalence "Efficiency.mc_truthful" (fun pool ->
+      Efficiency.mc_truthful ?pool ~chunk:512 ~rng:(Rng.create 10)
+        ~samples:5_000 report.Service.game)
+
+let suite =
+  [
+    Alcotest.test_case "map_reduce parallel = sequential" `Quick
+      test_map_reduce_equivalence;
+    Alcotest.test_case "map parallel = sequential" `Quick test_map_equivalence;
+    Alcotest.test_case "map_reduce on n=0" `Quick test_map_reduce_empty;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+    QCheck_alcotest.to_alcotest qcheck_map_reduce;
+    Alcotest.test_case "exception propagation + pool survives" `Quick
+      test_exception_propagation;
+    Alcotest.test_case "sequential exception propagation" `Quick
+      test_sequential_exception;
+    Alcotest.test_case "pool reuse across runs" `Quick test_pool_reuse;
+    Alcotest.test_case "shutdown rejects further work" `Quick
+      test_shutdown_rejects_work;
+    Alcotest.test_case "trials chunk-isolated (shared-Rng regression)" `Quick
+      test_trials_chunk_isolated;
+    Alcotest.test_case "Service.trials equivalence" `Quick test_service_trials;
+    Alcotest.test_case "Fig2_pod equivalence" `Quick test_fig2;
+    Alcotest.test_case "Diversity equivalence" `Quick test_diversity;
+    Alcotest.test_case "Geodistance equivalence" `Quick test_geodistance;
+    Alcotest.test_case "Bandwidth equivalence" `Quick test_bandwidth;
+    Alcotest.test_case "Methods equivalence" `Quick test_methods;
+    Alcotest.test_case "Efficiency MC equivalence" `Quick test_efficiency_mc;
+  ]

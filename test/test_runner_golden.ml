@@ -1,0 +1,119 @@
+(* Golden-output regression tests for the experiments ported onto the
+   parallel runner, at small scale.  The topology experiments (Diversity,
+   Geodistance, Bandwidth) only use randomness for sequential AS sampling,
+   so their goldens are the pre-port figures and guard the port itself.
+   Fig2's golden is the chunk-seeded value introduced together with the
+   runner (the old value depended on one generator threaded through all
+   trials); it pins today's outputs against future regressions, and is
+   asserted on both the sequential path and a 4-domain pool. *)
+
+open Pan_runner
+open Pan_topology
+open Pan_experiments
+
+let graph =
+  lazy
+    (let params =
+       { Gen.default_params with Gen.n_transit = 30; Gen.n_stub = 100 }
+     in
+     Gen.graph (Gen.generate ~params ~seed:42 ()))
+
+let feq = Alcotest.(check (float 1e-9))
+let ieq = Alcotest.(check int)
+
+let sum_counts (r : Pair_analysis.result) =
+  List.fold_left
+    (fun (a, b, c, d) (pc : Pair_analysis.pair_counts) ->
+      ( a + pc.Pair_analysis.below_max,
+        b + pc.Pair_analysis.below_median,
+        c + pc.Pair_analysis.below_min,
+        d + pc.Pair_analysis.ma_paths ))
+    (0, 0, 0, 0) r.Pair_analysis.pairs
+
+let check_pair_result name golden (r : Pair_analysis.result) =
+  let g_pairs, g_max, g_median, g_min, g_ma, g_impr_n, g_impr_sum = golden in
+  let below_max, below_median, below_min, ma_paths = sum_counts r in
+  ieq (name ^ ": pairs") g_pairs (List.length r.Pair_analysis.pairs);
+  ieq (name ^ ": below max") g_max below_max;
+  ieq (name ^ ": below median") g_median below_median;
+  ieq (name ^ ": below min") g_min below_min;
+  ieq (name ^ ": MA paths") g_ma ma_paths;
+  ieq (name ^ ": improving pairs") g_impr_n
+    (List.length r.Pair_analysis.improvements);
+  feq (name ^ ": improvement sum") g_impr_sum
+    (List.fold_left ( +. ) 0.0 r.Pair_analysis.improvements)
+
+let test_diversity () =
+  let r = Diversity.analyze ~sample_size:20 ~seed:7 (Lazy.force graph) in
+  let agg = Diversity.aggregate_stats r in
+  ieq "sampled ASes" 20 (List.length r.Diversity.sampled);
+  feq "avg additional paths" 472.25 agg.Diversity.avg_additional_paths;
+  ieq "max additional paths" 1568 agg.Diversity.max_additional_paths;
+  feq "avg additional destinations" 32.850000000000001
+    agg.Diversity.avg_additional_destinations;
+  ieq "max additional destinations" 68
+    agg.Diversity.max_additional_destinations;
+  let total field =
+    List.fold_left
+      (fun acc pa -> List.fold_left (fun a (_, n) -> a + n) acc (field pa))
+      0 r.Diversity.sampled
+  in
+  ieq "total paths over scenarios" 43830 (total (fun pa -> pa.Diversity.paths));
+  ieq "total destinations over scenarios" 14332
+    (total (fun pa -> pa.Diversity.destinations))
+
+let test_geodistance () =
+  check_pair_result "geodistance"
+    (1465, 2168, 1913, 1433, 5536, 619, 95.7956635198084)
+    (Geodistance.run ~sample_size:15 ~seed:7 (Lazy.force graph))
+
+let test_bandwidth () =
+  check_pair_result "bandwidth"
+    (1465, 2859, 2505, 1841, 5536, 768, 336.61026221092635)
+    (Bandwidth_exp.run ~sample_size:15 ~seed:7 (Lazy.force graph))
+
+(* (label, w, min_pod, mean_pod, mean_equilibrium_choices) *)
+let fig2_golden =
+  [
+    ("U(1)", 2, 0.25323037337940635, 0.61235150267950655, 1.7);
+    ("U(1)", 5, 0.20100004561263318, 0.30766201232541091, 2.2999999999999998);
+    ("U(2)", 2, 0.24411001701014856, 0.44760252187636551, 1.8999999999999999);
+    ("U(2)", 5, 0.13356789656239909, 0.23191017158911881, 2.6499999999999999);
+  ]
+
+let check_fig2 tag series =
+  let points =
+    List.concat_map
+      (fun (s : Fig2_pod.series) ->
+        List.map (fun p -> (s.Fig2_pod.label, p)) s.Fig2_pod.points)
+      series
+  in
+  List.iter2
+    (fun (g_label, g_w, g_min, g_mean, g_eq) ((label, p) : _ * Fig2_pod.point) ->
+      let name = Printf.sprintf "fig2 %s %s w=%d" tag g_label g_w in
+      Alcotest.(check string) (name ^ ": label") g_label label;
+      ieq (name ^ ": w") g_w p.Fig2_pod.w;
+      feq (name ^ ": min PoD") g_min p.Fig2_pod.min_pod;
+      feq (name ^ ": mean PoD") g_mean p.Fig2_pod.mean_pod;
+      feq (name ^ ": mean eq choices") g_eq p.Fig2_pod.mean_equilibrium_choices;
+      Alcotest.(check bool) (name ^ ": converged") true p.Fig2_pod.all_converged)
+    fig2_golden points
+
+let test_fig2_sequential () =
+  check_fig2 "seq" (Fig2_pod.run_both ~ws:[ 2; 5 ] ~trials:10 ~seed:42 ())
+
+let test_fig2_parallel () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      check_fig2 "par"
+        (Fig2_pod.run_both ~pool ~ws:[ 2; 5 ] ~trials:10 ~seed:42 ()))
+
+let suite =
+  [
+    Alcotest.test_case "Diversity.analyze golden" `Quick test_diversity;
+    Alcotest.test_case "Geodistance.run golden" `Quick test_geodistance;
+    Alcotest.test_case "Bandwidth_exp.run golden" `Quick test_bandwidth;
+    Alcotest.test_case "Fig2_pod.run_both golden (sequential)" `Quick
+      test_fig2_sequential;
+    Alcotest.test_case "Fig2_pod.run_both golden (4-domain pool)" `Quick
+      test_fig2_parallel;
+  ]
