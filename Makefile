@@ -1,4 +1,4 @@
-.PHONY: all build quick test bench clean
+.PHONY: all build quick test bench profile clean
 
 all: build
 
@@ -6,9 +6,10 @@ build:
 	dune build
 
 # Tier-1 gate: build everything and run the quick test cases only
-# (skips the `Slow statistical/Monte-Carlo checks).
+# (skips the `Slow statistical/Monte-Carlo checks), plus the
+# observability suites by name.
 quick:
-	dune build @quick
+	dune build @quick @obs
 
 # Full test suite: unit + property + golden + cram.
 test:
@@ -17,6 +18,11 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Real-clock profile of the Fig. 3/4 pipeline on the default synthetic
+# topology: per-chunk durations and per-scenario path counters to stdout.
+profile:
+	dune exec bin/panagree.exe -- fig3 --jobs 4 --metrics -
 
 clean:
 	dune clean

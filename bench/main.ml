@@ -13,7 +13,11 @@
    Part 4 measures the parallel experiment engine (lib/runner): wall-clock
    scaling of the ported experiment kernels over worker-domain counts,
    verifying on the fly that every parallel run reproduces the sequential
-   result bit-for-bit, plus a sequential-vs-parallel Bechamel pair. *)
+   result bit-for-bit, plus a sequential-vs-parallel Bechamel pair.
+
+   Part 5 demonstrates the observability layer (lib/obs): one instrumented
+   diversity run with the real clock, printing the metrics table and the
+   span tree — the same data `panagree --metrics/--trace` exports. *)
 
 open Bechamel
 open Toolkit
@@ -449,6 +453,25 @@ let run_runner_pair () =
             (Staged.stage (kernel (Some pool)));
         ])
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: observability (lib/obs)                                     *)
+
+let obs_profile () =
+  section "Observability: instrumented diversity run (lib/obs)";
+  Pan_obs.Obs.configure ~clock:(Pan_obs.Clock.real ()) ();
+  Fun.protect
+    ~finally:(fun () ->
+      let m = Pan_obs.Obs.metrics () in
+      let spans = Pan_obs.Obs.spans () in
+      Pan_obs.Obs.disable ();
+      Pan_obs.Report.pp_metrics_table fmt m;
+      Format.fprintf fmt "# span tree@.";
+      Pan_obs.Report.pp_span_tree fmt spans)
+    (fun () ->
+      let g = Lazy.force shared_graph in
+      Pan_runner.Pool.with_pool ~domains:2 (fun pool ->
+          ignore (Diversity.analyze ~pool ~sample_size:150 ~seed:7 g)))
+
 let () =
   reproduce_gadgets ();
   reproduce_methods ();
@@ -468,4 +491,5 @@ let () =
   runner_scaling ();
   run_benchmarks ();
   run_runner_pair ();
+  obs_profile ();
   Format.fprintf fmt "@.bench: done@."

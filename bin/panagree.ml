@@ -33,6 +33,60 @@ let jobs_arg =
 
 let with_jobs jobs f = Pan_runner.Pool.with_pool ~domains:jobs f
 
+let metrics_arg =
+  let doc =
+    "After the run, write a metrics snapshot (stable sorted JSON: \
+     counters, high-water gauges, log-bucketed duration histograms) to \
+     $(docv); '-' writes to standard output.  Set the \
+     PANAGREE_VCLOCK environment variable to replace the wall clock \
+     with a deterministic virtual clock, making the snapshot \
+     byte-identical across runs."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
+
+let trace_arg =
+  let doc =
+    "After the run, write the recorded trace spans as JSONL (one \
+     span per line, in start order) to $(docv); '-' writes to \
+     standard output."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let emit_to path pp =
+  match path with
+  | "-" ->
+      pp fmt;
+      Format.pp_print_flush fmt ()
+  | p ->
+      Out_channel.with_open_text p (fun oc ->
+          let f = Format.formatter_of_out_channel oc in
+          pp f;
+          Format.pp_print_flush f ())
+
+(* Observability is off (every probe a no-op) unless --metrics or --trace
+   was given; then the ambient context is configured for the duration of
+   the run and the requested snapshots are emitted afterwards — also when
+   the run raises, so a crashed experiment still leaves its partial
+   metrics behind. *)
+let with_obs ~metrics ~trace f =
+  match (metrics, trace) with
+  | None, None -> f ()
+  | _ ->
+      Pan_obs.Obs.configure ();
+      Fun.protect
+        ~finally:(fun () ->
+          let m = Pan_obs.Obs.metrics () in
+          let spans = Pan_obs.Obs.spans () in
+          Pan_obs.Obs.disable ();
+          Option.iter
+            (fun p -> emit_to p (fun f -> Pan_obs.Report.pp_metrics_json f m))
+            metrics;
+          Option.iter
+            (fun p ->
+              emit_to p (fun f -> Pan_obs.Report.pp_spans_jsonl f spans))
+            trace)
+        f
+
 let sample_arg =
   let doc = "Number of sampled source ASes (the paper uses 500)." in
   Arg.(value & opt int 500 & info [ "sample-size" ] ~doc)
@@ -80,7 +134,8 @@ let fig2_cmd =
     Arg.(value & opt (list int) [ 2; 5; 10; 20; 35; 50; 75; 100 ]
          & info [ "ws" ] ~doc:"Choice-set cardinalities to sweep.")
   in
-  let run seed jobs trials ws =
+  let run seed jobs metrics trace trials ws =
+    with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs (fun pool ->
         List.iter
           (fun s -> Fig2_pod.pp_series fmt s)
@@ -88,7 +143,8 @@ let fig2_cmd =
   in
   Cmd.v
     (Cmd.info "fig2" ~doc:"Fig. 2: Price of Dishonesty vs. choice-set size.")
-    Term.(const run $ seed_arg $ jobs_arg $ trials $ ws)
+    Term.(
+      const run $ seed_arg $ jobs_arg $ metrics_arg $ trace_arg $ trials $ ws)
 
 (* ------------------------------------------------------------------ *)
 (* fig3 / fig4 / summary (one diversity run feeds all three)           *)
@@ -98,7 +154,8 @@ let diversity_run ~pool caida transit stubs seed sample =
   Diversity.analyze ~pool ~sample_size:sample ~seed:(seed + 1) g
 
 let fig34_cmd =
-  let run caida transit stubs seed jobs sample =
+  let run caida transit stubs seed jobs metrics trace sample =
+    with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs (fun pool ->
         Diversity.pp_result fmt
           (diversity_run ~pool caida transit stubs seed sample))
@@ -110,10 +167,11 @@ let fig34_cmd =
           destinations per MA-conclusion scenario.")
     Term.(
       const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
-      $ sample_arg)
+      $ metrics_arg $ trace_arg $ sample_arg)
 
 let summary_cmd =
-  let run caida transit stubs seed jobs sample =
+  let run caida transit stubs seed jobs metrics trace sample =
+    with_obs ~metrics ~trace @@ fun () ->
     let result =
       with_jobs jobs (fun pool ->
           diversity_run ~pool caida transit stubs seed sample)
@@ -130,13 +188,14 @@ let summary_cmd =
     (Cmd.info "summary" ~doc:"§VI-A aggregate path-diversity statistics.")
     Term.(
       const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
-      $ sample_arg)
+      $ metrics_arg $ trace_arg $ sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fig5 / fig6                                                         *)
 
 let fig5_cmd =
-  let run caida transit stubs seed jobs sample =
+  let run caida transit stubs seed jobs metrics trace sample =
+    with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs (fun pool ->
         let g = topology ~caida ~transit ~stubs ~seed in
         Geodistance.pp fmt
@@ -146,10 +205,11 @@ let fig5_cmd =
     (Cmd.info "fig5" ~doc:"Fig. 5: geodistance of MA-added paths.")
     Term.(
       const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
-      $ sample_arg)
+      $ metrics_arg $ trace_arg $ sample_arg)
 
 let fig6_cmd =
-  let run caida transit stubs seed jobs sample =
+  let run caida transit stubs seed jobs metrics trace sample =
+    with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs (fun pool ->
         let g = topology ~caida ~transit ~stubs ~seed in
         Bandwidth_exp.pp fmt
@@ -160,7 +220,7 @@ let fig6_cmd =
        ~doc:"Fig. 6: bandwidth of MA-added paths (degree-gravity model).")
     Term.(
       const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
-      $ sample_arg)
+      $ metrics_arg $ trace_arg $ sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gadgets / methods                                                   *)
@@ -177,14 +237,15 @@ let methods_cmd =
     Arg.(value & opt int 100
          & info [ "scenarios" ] ~doc:"Number of random scenarios.")
   in
-  let run seed jobs n =
+  let run seed jobs metrics trace n =
+    with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs (fun pool ->
         Methods_exp.pp fmt (Methods_exp.run ~pool ~scenarios:n ~seed ()))
   in
   Cmd.v
     (Cmd.info "methods"
        ~doc:"§IV-C: cash compensation vs. flow-volume targets.")
-    Term.(const run $ seed_arg $ jobs_arg $ n)
+    Term.(const run $ seed_arg $ jobs_arg $ metrics_arg $ trace_arg $ n)
 
 (* ------------------------------------------------------------------ *)
 (* extensions: resilience / chained / export                           *)
@@ -291,7 +352,8 @@ let export_cmd =
     Arg.(value & opt string "export"
          & info [ "out" ] ~doc:"Output directory for CSV files.")
   in
-  let run caida transit stubs seed jobs sample out =
+  let run caida transit stubs seed jobs metrics trace sample out =
+    with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs @@ fun pool ->
     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
     let file name = Filename.concat out name in
@@ -324,13 +386,14 @@ let export_cmd =
        ~doc:"Run every experiment and write the raw series as CSV files.")
     Term.(
       const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
-      $ sample_arg $ out)
+      $ metrics_arg $ trace_arg $ sample_arg $ out)
 
 (* ------------------------------------------------------------------ *)
 (* all                                                                 *)
 
 let all_cmd =
-  let run seed jobs =
+  let run seed jobs metrics trace =
+    with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs @@ fun pool ->
     Format.fprintf fmt "=== E7 gadgets ===@.";
     Gadget_exp.pp fmt (Gadget_exp.run ~seed ());
@@ -354,7 +417,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment at reduced scale.")
-    Term.(const run $ seed_arg $ jobs_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
 let () =
   let info =

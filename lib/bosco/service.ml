@@ -1,3 +1,4 @@
+module Obs = Pan_obs.Obs
 
 type construction = Random_sampling | Grid
 
@@ -50,11 +51,18 @@ let trials ?(construction = Random_sampling) ?pool ?(chunk = 8) ~rng ~dist_x
      result is identical for any pool size (and trial chunks are
      reproducible in isolation). *)
   let reports =
-    Pan_runner.Task.map_reduce ?pool ~rng ~n ~chunk
-      ~f:(fun crng _ ->
-        negotiate ~construction ~truthful ~rng:crng ~dist_x ~dist_y ~w ())
-      ~combine:(fun acc r -> r :: acc)
-      ~init:[] ()
+    Obs.with_span "bosco/trials" (fun () ->
+        Pan_runner.Task.map_reduce ?pool ~rng ~n ~chunk
+          ~f:(fun crng _ ->
+            let r =
+              negotiate ~construction ~truthful ~rng:crng ~dist_x ~dist_y ~w ()
+            in
+            Obs.incr "bosco.trials";
+            if r.converged then Obs.incr "bosco.converged";
+            Obs.incr ~by:r.rounds "bosco.rounds";
+            r)
+          ~combine:(fun acc r -> r :: acc)
+          ~init:[] ())
   in
   List.rev reports
 

@@ -1,8 +1,11 @@
 open Pan_topology
 
 let run ?pool ?(sample_size = 500) ?(seed = 7) g =
-  let bw = Bandwidth.degree_gravity g in
-  Pair_analysis.analyze ?pool ~sample_size ~seed ~graph:g
+  let bw =
+    Pan_obs.Obs.with_span "fig6/bw_model" (fun () ->
+        Bandwidth.degree_gravity g)
+  in
+  Pair_analysis.analyze ?pool ~obs_prefix:"fig6" ~sample_size ~seed ~graph:g
     ~metric:(Bandwidth.path3_bandwidth bw) ~better:`Higher ()
 
 let run_default ?(params = Gen.default_params) ?(topology_seed = 42) () =

@@ -1,5 +1,6 @@
 open Pan_topology
 open Pan_numerics
+module Obs = Pan_obs.Obs
 
 type config = {
   params : Gen.params;
@@ -39,33 +40,45 @@ let scenarios_for top_ns =
 let scenarios_of config = scenarios_for config.top_ns
 
 let analyze ?pool ?(sample_size = 500) ?(seed = 7) ?(top_ns = [ 1; 2; 5 ]) g =
+  Obs.with_span "diversity/analyze" @@ fun () ->
   let scenarios = scenarios_for top_ns in
   let rng = Rng.create seed in
   let all = Array.of_list (Graph.ases g) in
   let sample =
-    if Array.length all <= sample_size then all
-    else Rng.sample_without_replacement rng sample_size all
+    Obs.with_span "diversity/sample" (fun () ->
+        if Array.length all <= sample_size then all
+        else Rng.sample_without_replacement rng sample_size all)
   in
   let analyze_as asn =
+    Obs.incr "diversity.sources";
     let per_scenario =
       List.map (fun s -> (s, Path_enum.scenario_paths g s asn)) scenarios
+    in
+    let count label s n =
+      Obs.incr ~by:n
+        ("diversity." ^ label ^ "." ^ Path_enum.scenario_label s);
+      n
     in
     {
       asn;
       paths =
-        List.map (fun (s, m) -> (s, Path_enum.total_count m)) per_scenario;
+        List.map
+          (fun (s, m) -> (s, count "paths" s (Path_enum.total_count m)))
+          per_scenario;
       destinations =
         List.map
-          (fun (s, m) -> (s, Asn.Set.cardinal (Path_enum.dest_set m)))
+          (fun (s, m) ->
+            (s, count "dests" s (Asn.Set.cardinal (Path_enum.dest_set m))))
           per_scenario;
     }
   in
   (* Sampling above consumes the sequential rng; the per-AS analysis is
      pure, so running it on the pool leaves the figures bit-identical. *)
   let sampled =
-    Pan_runner.Task.map ?pool ~chunk:8 ~n:(Array.length sample)
-      ~f:(fun i -> analyze_as sample.(i))
-      ()
+    Obs.with_span "diversity/enumerate" (fun () ->
+        Pan_runner.Task.map ?pool ~chunk:8 ~n:(Array.length sample)
+          ~f:(fun i -> analyze_as sample.(i))
+          ())
   in
   { graph = g; scenarios; sampled = Array.to_list sampled }
 

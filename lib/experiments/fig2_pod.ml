@@ -18,13 +18,16 @@ let default_ws = [ 2; 5; 10; 20; 35; 50; 75; 100 ]
 
 let run ?construction ?pool ?(ws = default_ws) ?(trials = 200) ~seed ~label
     dist =
+  Pan_obs.Obs.with_span ("fig2/" ^ label) @@ fun () ->
   let rng = Rng.create seed in
   let points =
     List.map
       (fun w ->
         let reports =
-          Service.trials ?construction ?pool ~rng ~dist_x:dist ~dist_y:dist ~w
-            ~n:trials ()
+          Pan_obs.Obs.with_span (Printf.sprintf "fig2/%s/w%d" label w)
+            (fun () ->
+              Service.trials ?construction ?pool ~rng ~dist_x:dist
+                ~dist_y:dist ~w ~n:trials ())
         in
         let eq_choices =
           List.fold_left

@@ -1,8 +1,11 @@
 open Pan_topology
 
 let run ?pool ?(sample_size = 500) ?(seed = 7) ?(geo_seed = 11) g =
-  let geo = Geo.generate ~seed:geo_seed g in
-  Pair_analysis.analyze ?pool ~sample_size ~seed ~graph:g
+  let geo =
+    Pan_obs.Obs.with_span "fig5/geo_model" (fun () ->
+        Geo.generate ~seed:geo_seed g)
+  in
+  Pair_analysis.analyze ?pool ~obs_prefix:"fig5" ~sample_size ~seed ~graph:g
     ~metric:(Geo.path3_geodistance geo) ~better:`Lower ()
 
 let run_default ?(params = Gen.default_params) ?(topology_seed = 42) () =

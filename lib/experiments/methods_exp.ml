@@ -1,6 +1,7 @@
 open Pan_topology
 open Pan_numerics
 open Pan_econ
+module Obs = Pan_obs.Obs
 
 type report = {
   scenarios : int;
@@ -20,6 +21,7 @@ type outcome = {
 }
 
 let run ?pool ?(chunk = 4) ?(scenarios = 100) ?(seed = 3) () =
+  Obs.with_span "methods/run" @@ fun () ->
   let g = Gen.fig1 () in
   let d = Gen.fig1_asn 'D' and e = Gen.fig1_asn 'E' in
   let rng = Rng.create seed in
@@ -28,17 +30,25 @@ let run ?pool ?(chunk = 4) ?(scenarios = 100) ?(seed = 3) () =
       ~f:(fun crng _ ->
         let scenario = Scenario_gen.random_scenario crng g ~x:d ~y:e in
         let c = Negotiation.compare_methods ~starts_per_dim:2 scenario in
-        {
-          cash_joint =
-            (if c.Negotiation.cash.Cash_opt.concluded then
-               Some (Negotiation.cash_joint c)
-             else None);
-          fv_joint =
-            (if c.Negotiation.flow_volume.Flow_volume_opt.concluded then
-               Some (Negotiation.flow_volume_joint c)
-             else None);
-          is_cash_only = Negotiation.cash_only c;
-        })
+        let outcome =
+          {
+            cash_joint =
+              (if c.Negotiation.cash.Cash_opt.concluded then
+                 Some (Negotiation.cash_joint c)
+               else None);
+            fv_joint =
+              (if c.Negotiation.flow_volume.Flow_volume_opt.concluded then
+                 Some (Negotiation.flow_volume_joint c)
+               else None);
+            is_cash_only = Negotiation.cash_only c;
+          }
+        in
+        Obs.incr "methods.scenarios";
+        if outcome.cash_joint <> None then Obs.incr "methods.cash_concluded";
+        if outcome.fv_joint <> None then
+          Obs.incr "methods.flow_volume_concluded";
+        if outcome.is_cash_only then Obs.incr "methods.cash_only";
+        outcome)
       ~combine:(fun (cn, fn, on, cj, fj) o ->
         ( (match o.cash_joint with Some _ -> cn + 1 | None -> cn),
           (match o.fv_joint with Some _ -> fn + 1 | None -> fn),

@@ -1,5 +1,6 @@
 open Pan_topology
 open Pan_numerics
+module Obs = Pan_obs.Obs
 
 type pair_counts = {
   below_max : int;
@@ -10,8 +11,9 @@ type pair_counts = {
 
 type result = { pairs : pair_counts list; improvements : float list }
 
-let analyze ?pool ?(sample_size = 500) ?(seed = 7) ~graph:g ~metric ~better ()
-    =
+let analyze ?pool ?(obs_prefix = "pairs") ?(sample_size = 500) ?(seed = 7)
+    ~graph:g ~metric ~better () =
+  Obs.with_span (obs_prefix ^ "/analyze") @@ fun () ->
   let rng = Rng.create seed in
   let all = Array.of_list (Graph.ases g) in
   let sample =
@@ -27,6 +29,7 @@ let analyze ?pool ?(sample_size = 500) ?(seed = 7) ~graph:g ~metric ~better ()
      lists are concatenated in sample order below, reproducing exactly the
      lists the previous sequential accumulation built. *)
   let analyze_src src =
+    Obs.incr (obs_prefix ^ ".sources");
     let pairs = ref [] in
     let improvements = ref [] in
     let grc = Path_enum.by_destination (Path_enum.grc g src) in
@@ -59,6 +62,8 @@ let analyze ?pool ?(sample_size = 500) ?(seed = 7) ~graph:g ~metric ~better ()
           }
         in
         pairs := counts :: !pairs;
+        Obs.incr (obs_prefix ^ ".pairs");
+        Obs.incr ~by:counts.ma_paths (obs_prefix ^ ".ma_paths");
         match ma_scores with
         | [] -> ()
         | _ ->
@@ -71,6 +76,7 @@ let analyze ?pool ?(sample_size = 500) ?(seed = 7) ~graph:g ~metric ~better ()
                     (* scores are negated capacities *)
                     (best_ma /. g_min) -. 1.0
               in
+              Obs.incr (obs_prefix ^ ".improved");
               improvements := improvement :: !improvements
             end)
       grc;

@@ -27,6 +27,7 @@ type result = {
 
 val analyze :
   ?pool:Pan_runner.Pool.t ->
+  ?obs_prefix:string ->
   ?sample_size:int ->
   ?seed:int ->
   graph:Graph.t ->
@@ -37,7 +38,12 @@ val analyze :
 (** [metric src mid dst] scores a length-3 path; [better] says whether
     lower (geodistance) or higher (bandwidth) is preferable.  [metric]
     must be pure: source ASes are analyzed on [pool], and the result is
-    bit-identical for any pool size. *)
+    bit-identical for any pool size.
+
+    When {!Pan_obs.Obs} is configured, the analysis records the counters
+    [<obs_prefix>.sources], [.pairs], [.ma_paths] and [.improved]
+    (default prefix ["pairs"]; Fig. 5 uses ["fig5"], Fig. 6 ["fig6"])
+    under a [<obs_prefix>/analyze] span. *)
 
 val fraction_pairs_with : result -> at_least:int -> (pair_counts -> int) -> float
 (** Fraction of pairs whose selected counter is at least [at_least] — the

@@ -1,0 +1,39 @@
+type t =
+  | Real of float Atomic.t (* last value handed out; never goes backwards *)
+  | Virtual of float Atomic.t
+
+let real () = Real (Atomic.make neg_infinity)
+let virtual_ ?(start = 0.0) () = Virtual (Atomic.make start)
+let is_virtual = function Real _ -> false | Virtual _ -> true
+
+let rec real_now last =
+  let prev = Atomic.get last in
+  let t = Unix.gettimeofday () in
+  let t = if t > prev then t else prev in
+  if Atomic.compare_and_set last prev t then t else real_now last
+
+let now = function Real last -> real_now last | Virtual v -> Atomic.get v
+
+let rec atomic_add v dt =
+  let prev = Atomic.get v in
+  if not (Atomic.compare_and_set v prev (prev +. dt)) then atomic_add v dt
+
+let advance t dt =
+  match t with
+  | Real _ -> invalid_arg "Clock.advance: real clock"
+  | Virtual v ->
+      if dt < 0.0 then invalid_arg "Clock.advance: negative step";
+      atomic_add v dt
+
+let env_var = "PANAGREE_VCLOCK"
+
+let of_env () =
+  match Sys.getenv_opt env_var with
+  | None -> real ()
+  | Some s ->
+      let start =
+        match float_of_string_opt (String.trim s) with
+        | Some f -> f
+        | None -> 0.0
+      in
+      virtual_ ~start ()

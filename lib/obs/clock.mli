@@ -1,0 +1,39 @@
+(** Time sources for the observability layer.
+
+    Two sources exist.  The {e real} source reads wall-clock time and
+    enforces monotonicity (consecutive {!now} calls never go backwards,
+    even across domains or under NTP adjustment).  The {e virtual} source
+    is a plain number that only moves when {!advance} is called, so every
+    duration computed from it is deterministic: tests and cram golden
+    files select it to make metric snapshots bit-for-bit reproducible.
+
+    All operations are domain-safe (lock-free, CAS-based). *)
+
+type t
+
+val real : unit -> t
+(** Wall-clock source.  {!now} returns seconds since the Unix epoch,
+    clamped to be non-decreasing across all domains sharing this value. *)
+
+val virtual_ : ?start:float -> unit -> t
+(** Deterministic source starting at [start] (default [0.]).  {!now}
+    returns the current value; it changes only via {!advance}. *)
+
+val is_virtual : t -> bool
+
+val now : t -> float
+(** Current time in seconds. *)
+
+val advance : t -> float -> unit
+(** [advance c dt] moves a virtual clock forward by [dt] seconds.
+    @raise Invalid_argument on a real clock or if [dt < 0]. *)
+
+val env_var : string
+(** ["PANAGREE_VCLOCK"] — see {!of_env}. *)
+
+val of_env : unit -> t
+(** A real clock, unless {!env_var} is set in the environment, in which
+    case a virtual clock starting at [float_of_string (getenv env_var)]
+    (or [0.] when the value does not parse, e.g. ["1"] parses, [""] does
+    not).  The CLI builds its clock through this, so cram tests export
+    [PANAGREE_VCLOCK=0] to redact every timing to a deterministic [0]. *)

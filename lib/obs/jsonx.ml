@@ -1,0 +1,25 @@
+(* Minimal JSON emission helpers shared by Span and Report.  Hand-rolled
+   so the observability layer adds no dependency; outputs are canonical
+   (sorted keys, "%.9g" floats) so equal data is equal bytes. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float f =
+  if f = infinity then "\"inf\""
+  else if f = neg_infinity then "\"-inf\""
+  else if Float.is_nan f then "\"nan\""
+  else Printf.sprintf "%.9g" f

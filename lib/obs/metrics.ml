@@ -1,0 +1,116 @@
+type t = {
+  counters : (string, int) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  hists : (string, (int, int) Hashtbl.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 8;
+  }
+
+let incr ?(by = 1) t name =
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
+  Hashtbl.replace t.counters name (prev + by)
+
+let gauge t name v =
+  (* NaN is dropped: max is not commutative under NaN, and merge must be. *)
+  if Float.is_nan v then ()
+  else
+    match Hashtbl.find_opt t.gauges name with
+    | Some prev when prev >= v -> ()
+    | _ -> Hashtbl.replace t.gauges name v
+
+let underflow_bucket = min_int
+let overflow_bucket = max_int
+
+let bucket_of v =
+  if Float.is_nan v || v <= 0.0 then underflow_bucket
+  else if v = infinity then overflow_bucket
+  else
+    (* frexp: v = m * 2^e with m in [0.5, 1), so 2^(e-1) <= v < 2^e. *)
+    let _, e = Float.frexp v in
+    e - 1
+
+let bucket_lower i =
+  if i = underflow_bucket then 0.0
+  else if i = overflow_bucket then infinity
+  else Float.ldexp 1.0 i
+
+let hist_for t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.add t.hists name h;
+      h
+
+let observe t name v =
+  let h = hist_for t name in
+  let b = bucket_of v in
+  Hashtbl.replace h b (1 + Option.value ~default:0 (Hashtbl.find_opt h b))
+
+let merge a b =
+  let t = create () in
+  let add_counters src =
+    Hashtbl.iter (fun name v -> incr ~by:v t name) src.counters
+  in
+  let add_gauges src = Hashtbl.iter (fun name v -> gauge t name v) src.gauges in
+  let add_hists src =
+    Hashtbl.iter
+      (fun name h ->
+        let dst = hist_for t name in
+        Hashtbl.iter
+          (fun bucket count ->
+            Hashtbl.replace dst bucket
+              (count + Option.value ~default:0 (Hashtbl.find_opt dst bucket)))
+          h)
+      src.hists
+  in
+  add_counters a; add_counters b;
+  add_gauges a; add_gauges b;
+  add_hists a; add_hists b;
+  t
+
+let is_empty t =
+  Hashtbl.length t.counters = 0
+  && Hashtbl.length t.gauges = 0
+  && Hashtbl.length t.hists = 0
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of (int * int) list
+
+let sorted_hist h =
+  Hashtbl.fold (fun b c acc -> if c > 0 then (b, c) :: acc else acc) h []
+  |> List.sort compare
+
+let bindings t =
+  let kind_rank = function Counter _ -> 0 | Gauge _ -> 1 | Histogram _ -> 2 in
+  let all =
+    Hashtbl.fold (fun n v acc -> (n, Counter v) :: acc) t.counters []
+    |> Hashtbl.fold (fun n v acc -> (n, Gauge v) :: acc) t.gauges
+    |> Hashtbl.fold (fun n h acc -> (n, Histogram (sorted_hist h)) :: acc)
+         t.hists
+  in
+  List.sort
+    (fun (n1, v1) (n2, v2) ->
+      match String.compare n1 n2 with
+      | 0 -> Stdlib.compare (kind_rank v1) (kind_rank v2)
+      | c -> c)
+    all
+
+let equal a b = bindings a = bindings b
+let counter t name = Option.value ~default:0 (Hashtbl.find_opt t.counters name)
+let gauge_value t name = Hashtbl.find_opt t.gauges name
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | None -> []
+  | Some h -> sorted_hist h
+
+let histogram_count t name =
+  List.fold_left (fun acc (_, c) -> acc + c) 0 (histogram t name)

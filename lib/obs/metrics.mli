@@ -1,0 +1,74 @@
+(** Named counters, high-water gauges, and log-bucketed duration
+    histograms.
+
+    A value of type {!t} is a single {e shard}: a plain, unsynchronized
+    store meant to be written by exactly one domain.  Parallel code gives
+    each domain its own shard (see {!Obs}) and combines them with
+    {!merge}, which is {e commutative and associative} — every statistic
+    is chosen so that the merged result is independent of shard count and
+    merge order:
+
+    - counters add;
+    - gauges keep the maximum (high-water marks), both across shards and
+      across repeated {!gauge} calls on one shard;
+    - histograms add per-bucket counts (buckets are powers of two, so the
+      bucket of an observation never depends on other observations).
+
+    No floating-point sums are stored: everything merged is an integer
+    count or a max, which is what makes [merge] exactly associative and
+    snapshots byte-stable for any parallelism. *)
+
+type t
+
+val create : unit -> t
+val incr : ?by:int -> t -> string -> unit
+val gauge : t -> string -> float -> unit
+(** High-water gauge: keeps the max of all values ever set. *)
+
+val observe : t -> string -> float -> unit
+(** Record one duration (seconds) into the named histogram. *)
+
+val merge : t -> t -> t
+(** Pure: neither argument is modified.  Commutative and associative,
+    with {!create}[ ()] as the neutral element. *)
+
+val is_empty : t -> bool
+val equal : t -> t -> bool
+
+(** {2 Log-bucketing}
+
+    Bucket [i] covers durations in [[2{^i}, 2{^i+1})] seconds.
+    Non-positive (and NaN) observations land in a dedicated underflow
+    bucket, [+inf] in an overflow bucket — so a virtual clock that never
+    advances puts every duration in the underflow bucket,
+    deterministically. *)
+
+val underflow_bucket : int
+val overflow_bucket : int
+
+val bucket_of : float -> int
+val bucket_lower : int -> float
+(** Lower bound of bucket [i] ([2.{^i}]; [0.] for the underflow bucket,
+    [infinity] for the overflow bucket). *)
+
+(** {2 Reading} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of (int * int) list
+      (** (bucket index, count), sorted by bucket index, counts > 0. *)
+
+val bindings : t -> (string * value) list
+(** All metrics sorted by name (ties broken counter < gauge < histogram);
+    the canonical order every report uses. *)
+
+val counter : t -> string -> int
+(** [0] if absent. *)
+
+val gauge_value : t -> string -> float option
+val histogram : t -> string -> (int * int) list
+(** [[]] if absent. *)
+
+val histogram_count : t -> string -> int
+(** Total number of observations recorded under the name. *)

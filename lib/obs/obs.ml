@@ -1,0 +1,77 @@
+type ctx = {
+  clk : Clock.t;
+  (* (domain id, shard) pairs; push-only, CAS-guarded.  Each shard is
+     written by exactly one domain, so writes need no further locking. *)
+  shards : (int * Metrics.t) list Atomic.t;
+  collector : Span.collector;
+}
+
+let state : ctx option Atomic.t = Atomic.make None
+
+let configure ?clock () =
+  let clk = match clock with Some c -> c | None -> Clock.of_env () in
+  Atomic.set state
+    (Some { clk; shards = Atomic.make []; collector = Span.collector clk })
+
+let disable () = Atomic.set state None
+let enabled () = Atomic.get state <> None
+
+let clock () =
+  match Atomic.get state with None -> None | Some c -> Some c.clk
+
+let rec shard ctx =
+  let id = (Domain.self () :> int) in
+  let shards = Atomic.get ctx.shards in
+  match List.assoc_opt id shards with
+  | Some m -> m
+  | None ->
+      let m = Metrics.create () in
+      if Atomic.compare_and_set ctx.shards shards ((id, m) :: shards) then m
+      else shard ctx
+
+let incr ?by name =
+  match Atomic.get state with
+  | None -> ()
+  | Some ctx -> Metrics.incr ?by (shard ctx) name
+
+let gauge name v =
+  match Atomic.get state with
+  | None -> ()
+  | Some ctx -> Metrics.gauge (shard ctx) name v
+
+let observe name v =
+  match Atomic.get state with
+  | None -> ()
+  | Some ctx -> Metrics.observe (shard ctx) name v
+
+let time name f =
+  match Atomic.get state with
+  | None -> f ()
+  | Some ctx ->
+      let t0 = Clock.now ctx.clk in
+      Fun.protect
+        ~finally:(fun () ->
+          Metrics.observe (shard ctx) name (Clock.now ctx.clk -. t0))
+        f
+
+let with_span name f =
+  match Atomic.get state with
+  | None -> f ()
+  | Some ctx ->
+      Span.with_span ctx.collector name (fun () -> time ("span." ^ name) f)
+
+let metrics () =
+  match Atomic.get state with
+  | None -> Metrics.create ()
+  | Some ctx ->
+      (* Shards are merged in domain-id order for definiteness, though
+         merge is order-independent anyway. *)
+      Atomic.get ctx.shards
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.fold_left (fun acc (_, m) -> Metrics.merge acc m)
+           (Metrics.create ())
+
+let spans () =
+  match Atomic.get state with
+  | None -> []
+  | Some ctx -> Span.spans ctx.collector

@@ -1,0 +1,53 @@
+(** Ambient observability context.
+
+    Instrumentation points throughout the code base (runner chunks,
+    experiment phases) call into this module unconditionally.  While no
+    context is configured — the default — every call is a no-op costing
+    one atomic load, so instrumented hot loops run at full speed.  The
+    CLI (or a test) turns collection on with {!configure} and reads the
+    results back with {!metrics} / {!spans}.
+
+    Metric updates are {e sharded per domain}: each domain lazily
+    registers a private {!Metrics.t} shard (lock-free, CAS on a shared
+    list), writes to it without any synchronization, and {!metrics}
+    merges the shards.  Because {!Metrics.merge} is order-independent,
+    the merged totals are identical for every pool size — the property
+    [test/test_runner_obs.ml] pins down.
+
+    Spans record on the calling domain; use them for coarse phases on the
+    coordinating domain and counters/histograms inside parallel chunks. *)
+
+val configure : ?clock:Clock.t -> unit -> unit
+(** Install a fresh context (empty metrics, empty trace).  [clock]
+    defaults to {!Clock.of_env}[ ()].  Replaces any previous context. *)
+
+val disable : unit -> unit
+(** Remove the context; subsequent calls are no-ops again. *)
+
+val enabled : unit -> bool
+
+val clock : unit -> Clock.t option
+(** The configured clock, if any (tests advance a virtual one through
+    this). *)
+
+(** {2 Recording} — all no-ops when disabled *)
+
+val incr : ?by:int -> string -> unit
+val gauge : string -> float -> unit
+val observe : string -> float -> unit
+
+val time : string -> (unit -> 'a) -> 'a
+(** Run the function and {!observe} its wall-clock duration under the
+    given histogram name (also on exception). *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Record a {!Span} around the function and additionally {!observe} its
+    duration under the histogram ["span." ^ name]. *)
+
+(** {2 Reading} *)
+
+val metrics : unit -> Metrics.t
+(** Merged snapshot of all domain shards (empty when disabled). *)
+
+val spans : unit -> Span.t list
+(** Recorded spans in start order ([[]] when disabled). *)

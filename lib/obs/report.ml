@@ -1,0 +1,76 @@
+let bucket_key b =
+  if b = Metrics.underflow_bucket then "-inf"
+  else if b = Metrics.overflow_bucket then "inf"
+  else string_of_int b
+
+let partition bindings =
+  List.fold_left
+    (fun (cs, gs, hs) (name, v) ->
+      match (v : Metrics.value) with
+      | Metrics.Counter n -> ((name, n) :: cs, gs, hs)
+      | Metrics.Gauge g -> (cs, (name, g) :: gs, hs)
+      | Metrics.Histogram h -> (cs, gs, (name, h) :: hs))
+    ([], [], []) (List.rev bindings)
+
+let pp_object fmt pp_entry entries =
+  match entries with
+  | [] -> Format.fprintf fmt "{}"
+  | _ ->
+      Format.fprintf fmt "{";
+      List.iteri
+        (fun i (name, v) ->
+          if i > 0 then Format.fprintf fmt ",";
+          Format.fprintf fmt "@.    \"%s\": " (Jsonx.escape name);
+          pp_entry fmt v)
+        entries;
+      Format.fprintf fmt "@.  }"
+
+let pp_hist_json fmt buckets =
+  let count = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+  Format.fprintf fmt "{\"count\": %d, \"buckets\": {" count;
+  List.iteri
+    (fun i (b, c) ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "\"%s\": %d" (bucket_key b) c)
+    buckets;
+  Format.fprintf fmt "}}"
+
+let pp_metrics_json fmt m =
+  let counters, gauges, hists = partition (Metrics.bindings m) in
+  Format.fprintf fmt "{@.  \"counters\": ";
+  pp_object fmt (fun fmt n -> Format.fprintf fmt "%d" n) counters;
+  Format.fprintf fmt ",@.  \"gauges\": ";
+  pp_object fmt (fun fmt g -> Format.fprintf fmt "%s" (Jsonx.float g)) gauges;
+  Format.fprintf fmt ",@.  \"histograms\": ";
+  pp_object fmt pp_hist_json hists;
+  Format.fprintf fmt "@.}@."
+
+let pp_metrics_table fmt m =
+  let counters, gauges, hists = partition (Metrics.bindings m) in
+  if counters <> [] then begin
+    Format.fprintf fmt "# counters@.";
+    List.iter
+      (fun (name, n) -> Format.fprintf fmt "%-40s %12d@." name n)
+      counters
+  end;
+  if gauges <> [] then begin
+    Format.fprintf fmt "# gauges (high-water)@.";
+    List.iter
+      (fun (name, g) -> Format.fprintf fmt "%-40s %12s@." name (Jsonx.float g))
+      gauges
+  end;
+  if hists <> [] then begin
+    Format.fprintf fmt "# duration histograms (bucket = [2^i, 2^i+1) s)@.";
+    List.iter
+      (fun (name, buckets) ->
+        let count = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+        Format.fprintf fmt "%-40s %12d obs @," name count;
+        List.iter
+          (fun (b, c) -> Format.fprintf fmt " [%s]=%d" (bucket_key b) c)
+          buckets;
+        Format.fprintf fmt "@.")
+      hists
+  end
+
+let pp_spans_jsonl = Span.pp_jsonl
+let pp_span_tree = Span.pp_tree

@@ -1,0 +1,21 @@
+(** Stable snapshots of a metrics store and a span trace.
+
+    Every emitter iterates {!Metrics.bindings} (sorted by name) and
+    formats floats canonically, so two runs that produced the same data
+    produce the same bytes — the property the cram tests [cmp] on. *)
+
+val pp_metrics_json : Format.formatter -> Metrics.t -> unit
+(** Pretty-printed JSON object:
+    [{"counters":{…},"gauges":{…},"histograms":{…}}], keys sorted.
+    Histogram buckets are keyed by their exponent ([i] means
+    [[2^i, 2^i+1)] seconds), with ["-inf"]/["inf"] for the
+    underflow/overflow buckets. *)
+
+val pp_metrics_table : Format.formatter -> Metrics.t -> unit
+(** Human-readable aligned table of the same snapshot. *)
+
+val pp_spans_jsonl : Format.formatter -> Span.t list -> unit
+(** Re-export of {!Span.pp_jsonl}. *)
+
+val pp_span_tree : Format.formatter -> Span.t list -> unit
+(** Re-export of {!Span.pp_tree}. *)

@@ -1,0 +1,67 @@
+type t = {
+  name : string;
+  depth : int;
+  start : float;
+  mutable duration : float;
+  mutable closed : bool;
+}
+
+type collector = {
+  clk : Clock.t;
+  mutex : Mutex.t;
+  mutable open_depth : int;
+  mutable recorded : t list; (* reverse start order *)
+}
+
+let collector clk =
+  { clk; mutex = Mutex.create (); open_depth = 0; recorded = [] }
+
+let clock c = c.clk
+
+let locked c f =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
+
+let with_span c name f =
+  let sp =
+    locked c (fun () ->
+        let sp =
+          {
+            name;
+            depth = c.open_depth;
+            start = Clock.now c.clk;
+            duration = 0.0;
+            closed = false;
+          }
+        in
+        c.open_depth <- c.open_depth + 1;
+        c.recorded <- sp :: c.recorded;
+        sp)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      locked c (fun () ->
+          sp.duration <- Clock.now c.clk -. sp.start;
+          sp.closed <- true;
+          c.open_depth <- c.open_depth - 1))
+    f
+
+let spans c = locked c (fun () -> List.rev c.recorded)
+
+let pp_tree fmt spans =
+  List.iter
+    (fun sp ->
+      Format.fprintf fmt "%s%-*s %12.6fs@."
+        (String.make (2 * sp.depth) ' ')
+        (max 1 (36 - (2 * sp.depth)))
+        sp.name sp.duration)
+    spans
+
+let pp_jsonl fmt spans =
+  List.iter
+    (fun sp ->
+      Format.fprintf fmt
+        "{\"name\":\"%s\",\"depth\":%d,\"start\":%s,\"duration\":%s}@."
+        (Jsonx.escape sp.name) sp.depth (Jsonx.float sp.start)
+        (Jsonx.float sp.duration))
+    spans

@@ -1,0 +1,39 @@
+(** Nestable trace spans.
+
+    A {!collector} records every [with_span] call with its start time,
+    duration, and nesting depth, in start order.  Spans are meant to mark
+    the coarse phases of an experiment on the coordinating domain
+    (chunk-level work is better served by {!Metrics} histograms); the
+    collector is nonetheless mutex-guarded so stray recordings from
+    worker domains cannot corrupt it.
+
+    With a virtual {!Clock} that is never advanced, every span has start
+    [0] and duration [0], making the exported trace byte-stable. *)
+
+type t = private {
+  name : string;
+  depth : int;  (** 0 = top level *)
+  start : float;  (** clock reading at entry *)
+  mutable duration : float;
+  mutable closed : bool;  (** [false] only while the span is running *)
+}
+
+type collector
+
+val collector : Clock.t -> collector
+val clock : collector -> Clock.t
+
+val with_span : collector -> string -> (unit -> 'a) -> 'a
+(** Run the function inside a new span nested under the currently open
+    one.  The span is closed (duration recorded) even if the function
+    raises. *)
+
+val spans : collector -> t list
+(** All recorded spans, in start order. *)
+
+val pp_tree : Format.formatter -> t list -> unit
+(** Human-readable indented tree, durations in seconds. *)
+
+val pp_jsonl : Format.formatter -> t list -> unit
+(** One JSON object per line:
+    [{"name":…,"depth":…,"start":…,"duration":…}]. *)

@@ -1,3 +1,5 @@
+module Obs = Pan_obs.Obs
+
 type job = unit -> unit
 
 type t = {
@@ -42,6 +44,8 @@ let create ~domains =
   in
   t.workers <-
     List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  Obs.incr "pool.created";
+  Obs.gauge "pool.domains" (float_of_int domains);
   t
 
 let shutdown t =
@@ -64,6 +68,7 @@ let run_jobs t jobs =
     invalid_arg "Pool.run_jobs: pool is shut down"
   end;
   List.iter (fun j -> Queue.push j t.jobs) jobs;
+  Obs.incr ~by:(List.length jobs) "pool.jobs";
   Condition.broadcast t.has_job;
   (* Help drain the queue: the caller is the pool's last worker. *)
   let rec help () =

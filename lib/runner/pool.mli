@@ -8,7 +8,13 @@
 
     Pools are cheap enough to create per experiment but are designed to be
     reused: {!Task.map_reduce} can be called any number of times on the
-    same pool, including after a job raised. *)
+    same pool, including after a job raised.
+
+    When {!Pan_obs.Obs} is configured, pool creation records the
+    [pool.created] counter and a [pool.domains] high-water gauge, and
+    {!run_jobs} counts enqueued jobs under [pool.jobs].  These are
+    engine-internal metrics: unlike the [runner.*] family they naturally
+    differ between pool sizes (the sequential path never enqueues). *)
 
 type t
 

@@ -1,6 +1,18 @@
 open Pan_numerics
+module Obs = Pan_obs.Obs
 
 let chunk_count ~n ~chunk = (n + chunk - 1) / chunk
+
+(* Every chunk executed — on any path, parallel or sequential — reports
+   the same three metrics, so totals are independent of pool size:
+   runner.chunks (+1), runner.items (+length), and a runner.chunk
+   duration histogram entry.  All are no-ops unless Pan_obs.Obs is
+   configured. *)
+let instrument_chunk ~items body =
+  Obs.time "runner.chunk" (fun () ->
+      Obs.incr "runner.chunks";
+      Obs.incr ~by:items "runner.items";
+      body ())
 
 (* Chunk [c] always receives the [(c+1)]-th split of the master rng; the
    sequential path below splits lazily in the same order, so both paths
@@ -21,9 +33,12 @@ let seq_map_reduce ~rng ~n ~chunk ~f ~combine ~init =
   for c = 0 to m - 1 do
     let crng = Rng.split rng in
     let hi = min n ((c + 1) * chunk) - 1 in
-    for i = c * chunk to hi do
-      acc := combine !acc (f crng i)
-    done
+    instrument_chunk
+      ~items:(hi - (c * chunk) + 1)
+      (fun () ->
+        for i = c * chunk to hi do
+          acc := combine !acc (f crng i)
+        done)
   done;
   !acc
 
@@ -70,12 +85,15 @@ let map_reduce ?pool ~rng ~n ~chunk ~f ~combine ~init () =
       let run_chunk c =
         let crng = rngs.(c) in
         let hi = min n ((c + 1) * chunk) - 1 in
-        (* items in reverse index order; re-reversed during the fold *)
-        let items = ref [] in
-        for i = c * chunk to hi do
-          items := f crng i :: !items
-        done;
-        !items
+        instrument_chunk
+          ~items:(hi - (c * chunk) + 1)
+          (fun () ->
+            (* items in reverse index order; re-reversed during the fold *)
+            let items = ref [] in
+            for i = c * chunk to hi do
+              items := f crng i :: !items
+            done;
+            !items)
       in
       let per_chunk = par_chunks p ~m run_chunk in
       Array.fold_left
@@ -92,11 +110,32 @@ let map ?pool ?(chunk = 16) ~n ~f () =
       let run_chunk c =
         let lo = c * chunk in
         let len = min chunk (n - lo) in
-        let out = Array.make len (f lo) in
-        for k = 1 to len - 1 do
-          out.(k) <- f (lo + k)
-        done;
-        out
+        instrument_chunk ~items:len (fun () ->
+            let out = Array.make len (f lo) in
+            for k = 1 to len - 1 do
+              out.(k) <- f (lo + k)
+            done;
+            out)
       in
       Array.concat (Array.to_list (par_chunks p ~m run_chunk))
-  | _ -> Array.init n f
+  | _ ->
+      (* Sequential path: chunked so the instrumentation reports the same
+         chunk/item counts as the parallel path; evaluation order (f 0,
+         f 1, …) is exactly that of Array.init. *)
+      if n = 0 then [||]
+      else begin
+        let out = ref [||] in
+        for c = 0 to m - 1 do
+          let lo = c * chunk in
+          let hi = min n (lo + chunk) - 1 in
+          instrument_chunk
+            ~items:(hi - lo + 1)
+            (fun () ->
+              if c = 0 then out := Array.make n (f 0);
+              let arr = !out in
+              for i = max 1 lo to hi do
+                arr.(i) <- f i
+              done)
+        done;
+        !out
+      end

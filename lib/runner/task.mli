@@ -6,7 +6,14 @@
     worker executes it or in which order chunks complete.  Results are
     therefore bit-for-bit identical for every pool size, including no pool
     at all — the contract every equivalence test in [test/test_runner.ml]
-    asserts. *)
+    asserts.
+
+    When {!Pan_obs.Obs} is configured, every executed chunk — on the
+    parallel and the sequential path alike — increments the
+    [runner.chunks] and [runner.items] counters and records its duration
+    in the [runner.chunk] histogram, so metric totals are identical for
+    every pool size ([test/test_runner_obs.ml]).  Metric values never
+    feed back into results: collection cannot perturb determinism. *)
 
 open Pan_numerics
 

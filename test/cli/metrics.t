@@ -1,0 +1,73 @@
+Observability flags: --metrics FILE and --trace FILE (``-`` = stdout).
+Under PANAGREE_VCLOCK the CLI uses a virtual clock that is never advanced,
+so every duration is exactly zero and the snapshot is byte-stable — for
+repeated runs and (modulo engine-internal pool.* metrics) across --jobs.
+
+  $ export OCAMLRUNPARAM=b
+  $ export PANAGREE_VCLOCK=0
+
+Repeated runs emit byte-identical metrics and traces:
+
+  $ panagree fig3 --jobs 2 --transit 25 --stubs 80 --sample-size 20 \
+  >   --metrics m.run1 --trace t.run1 > out.run1
+  $ panagree fig3 --jobs 2 --transit 25 --stubs 80 --sample-size 20 \
+  >   --metrics m.run2 --trace t.run2 > out.run2
+  $ cmp out.run1 out.run2
+  $ cmp m.run1 m.run2
+  $ cmp t.run1 t.run2
+
+Counters and histogram shapes (not the engine-internal pool.* metrics)
+are identical for any pool size:
+
+  $ panagree fig3 --jobs 4 --transit 25 --stubs 80 --sample-size 20 \
+  >   --metrics m.j4 --trace t.j4 > /dev/null
+  $ grep -v '"pool\.' m.run1 > m.run1.nopool
+  $ grep -v '"pool\.' m.j4 > m.j4.nopool
+  $ cmp m.run1.nopool m.j4.nopool
+  $ cmp t.run1 t.j4
+
+The snapshot itself: sorted keys, per-scenario path counters, and the
+per-chunk duration histogram with one sample per chunk (20 sources in
+chunks of 8 -> 3 chunks; all durations land in the zero-width "-inf"
+bucket under the frozen clock):
+
+  $ grep -A 99 '"counters"' m.run1 | sed -n '1,/},/p'
+    "counters": {
+      "diversity.dests.GRC": 1681,
+      "diversity.dests.MA": 2141,
+      "diversity.dests.MA*": 2081,
+      "diversity.dests.MA* (Top 1)": 1928,
+      "diversity.dests.MA* (Top 2)": 2020,
+      "diversity.dests.MA* (Top 5)": 2081,
+      "diversity.paths.GRC": 2550,
+      "diversity.paths.MA": 9592,
+      "diversity.paths.MA*": 9010,
+      "diversity.paths.MA* (Top 1)": 3694,
+      "diversity.paths.MA* (Top 2)": 4738,
+      "diversity.paths.MA* (Top 5)": 6701,
+      "diversity.sources": 20,
+      "pool.created": 1,
+      "pool.jobs": 3,
+      "runner.chunks": 3,
+      "runner.items": 20
+    },
+  $ grep -A 6 '"runner.chunk"' m.run1
+      "runner.chunk": {"count": 3, "buckets": {"-inf": 3}},
+      "span.diversity/analyze": {"count": 1, "buckets": {"-inf": 1}},
+      "span.diversity/enumerate": {"count": 1, "buckets": {"-inf": 1}},
+      "span.diversity/sample": {"count": 1, "buckets": {"-inf": 1}}
+    }
+  }
+
+The trace is one JSON object per line, durations frozen at zero:
+
+  $ cat t.run1
+  {"name":"diversity/analyze","depth":0,"start":0,"duration":0}
+  {"name":"diversity/sample","depth":1,"start":0,"duration":0}
+  {"name":"diversity/enumerate","depth":1,"start":0,"duration":0}
+
+--metrics - streams to stdout after the figure output:
+
+  $ panagree methods --jobs 2 --scenarios 4 --seed 3 --metrics - \
+  >   | grep -c 'methods.scenarios'
+  1

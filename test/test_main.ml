@@ -43,4 +43,6 @@ let () =
       ("integration.full_pipeline", Test_full_pipeline.suite);
       ("runner.equivalence", Test_runner.suite);
       ("runner.golden", Test_runner_golden.suite);
+      ("obs.core", Test_obs.suite);
+      ("obs.runner", Test_runner_obs.suite);
     ]

@@ -1,0 +1,271 @@
+(* Unit and property tests for the observability layer (lib/obs).
+
+   The load-bearing properties: a virtual clock makes every duration
+   deterministic (span nesting / elapsed math below), and Metrics.merge
+   is commutative and associative with bucket counts preserved under
+   arbitrary shard splits — which is what makes metric totals independent
+   of pool size and merge order. *)
+
+open Pan_obs
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+
+let test_virtual_clock () =
+  let c = Clock.virtual_ ~start:5.0 () in
+  Alcotest.(check bool) "virtual" true (Clock.is_virtual c);
+  Alcotest.(check (float 0.0)) "start value" 5.0 (Clock.now c);
+  Clock.advance c 1.5;
+  Clock.advance c 0.25;
+  Alcotest.(check (float 1e-12)) "advanced" 6.75 (Clock.now c);
+  Alcotest.check_raises "negative step"
+    (Invalid_argument "Clock.advance: negative step") (fun () ->
+      Clock.advance c (-1.0))
+
+let test_real_clock () =
+  let c = Clock.real () in
+  Alcotest.(check bool) "not virtual" false (Clock.is_virtual c);
+  let a = Clock.now c in
+  let b = Clock.now c in
+  Alcotest.(check bool) "monotonic" true (b >= a);
+  Alcotest.check_raises "advance real"
+    (Invalid_argument "Clock.advance: real clock") (fun () ->
+      Clock.advance c 1.0)
+
+let test_clock_of_env () =
+  (* putenv cannot unset, so only the set cases are testable in-process;
+     the unset (real clock) case is covered by every other CLI test. *)
+  Unix.putenv Clock.env_var "3.5";
+  let c = Clock.of_env () in
+  Alcotest.(check bool) "selected virtual" true (Clock.is_virtual c);
+  Alcotest.(check (float 0.0)) "parsed start" 3.5 (Clock.now c);
+  Unix.putenv Clock.env_var "not-a-float";
+  let c = Clock.of_env () in
+  Alcotest.(check bool) "still virtual" true (Clock.is_virtual c);
+  Alcotest.(check (float 0.0)) "default start" 0.0 (Clock.now c)
+
+(* ------------------------------------------------------------------ *)
+(* Span                                                                *)
+
+let test_span_nesting () =
+  let clk = Clock.virtual_ () in
+  let c = Span.collector clk in
+  Span.with_span c "outer" (fun () ->
+      Clock.advance clk 1.0;
+      Span.with_span c "inner" (fun () -> Clock.advance clk 0.25);
+      Clock.advance clk 0.5);
+  match Span.spans c with
+  | [ outer; inner ] ->
+      Alcotest.(check string) "outer name" "outer" outer.Span.name;
+      Alcotest.(check int) "outer depth" 0 outer.Span.depth;
+      Alcotest.(check (float 0.0)) "outer start" 0.0 outer.Span.start;
+      Alcotest.(check (float 1e-12)) "outer duration" 1.75 outer.Span.duration;
+      Alcotest.(check int) "inner depth" 1 inner.Span.depth;
+      Alcotest.(check (float 1e-12)) "inner start" 1.0 inner.Span.start;
+      Alcotest.(check (float 1e-12)) "inner duration" 0.25 inner.Span.duration;
+      Alcotest.(check bool) "both closed" true
+        (outer.Span.closed && inner.Span.closed)
+  | spans ->
+      Alcotest.failf "expected 2 spans in start order, got %d"
+        (List.length spans)
+
+let test_span_exception_safety () =
+  let clk = Clock.virtual_ () in
+  let c = Span.collector clk in
+  (try
+     Span.with_span c "boom" (fun () ->
+         Clock.advance clk 2.0;
+         failwith "boom")
+   with Failure _ -> ());
+  (* the raising span was closed with its elapsed time and the depth
+     counter unwound, so a subsequent span is top-level again *)
+  Span.with_span c "after" (fun () -> Clock.advance clk 1.0);
+  match Span.spans c with
+  | [ boom; after ] ->
+      Alcotest.(check bool) "closed on raise" true boom.Span.closed;
+      Alcotest.(check (float 1e-12)) "elapsed on raise" 2.0 boom.Span.duration;
+      Alcotest.(check int) "depth unwound" 0 after.Span.depth
+  | _ -> Alcotest.fail "expected 2 spans"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: units                                                      *)
+
+let test_buckets () =
+  Alcotest.(check int) "1.0" 0 (Metrics.bucket_of 1.0);
+  Alcotest.(check int) "1.5" 0 (Metrics.bucket_of 1.5);
+  Alcotest.(check int) "2.0" 1 (Metrics.bucket_of 2.0);
+  Alcotest.(check int) "0.75" (-1) (Metrics.bucket_of 0.75);
+  Alcotest.(check int) "epsilon boundary" (-3) (Metrics.bucket_of 0.125);
+  Alcotest.(check int) "zero underflows" Metrics.underflow_bucket
+    (Metrics.bucket_of 0.0);
+  Alcotest.(check int) "negative underflows" Metrics.underflow_bucket
+    (Metrics.bucket_of (-4.0));
+  Alcotest.(check int) "nan underflows" Metrics.underflow_bucket
+    (Metrics.bucket_of Float.nan);
+  Alcotest.(check int) "inf overflows" Metrics.overflow_bucket
+    (Metrics.bucket_of infinity);
+  Alcotest.(check (float 0.0)) "lower of 3" 8.0 (Metrics.bucket_lower 3);
+  Alcotest.(check (float 0.0)) "lower of -3" 0.125 (Metrics.bucket_lower (-3));
+  Alcotest.(check (float 0.0)) "lower of underflow" 0.0
+    (Metrics.bucket_lower Metrics.underflow_bucket)
+
+let test_metrics_basics () =
+  let t = Metrics.create () in
+  Alcotest.(check bool) "fresh is empty" true (Metrics.is_empty t);
+  Metrics.incr t "c";
+  Metrics.incr ~by:4 t "c";
+  Alcotest.(check int) "counter adds" 5 (Metrics.counter t "c");
+  Alcotest.(check int) "absent counter" 0 (Metrics.counter t "nope");
+  Metrics.gauge t "g" 2.0;
+  Metrics.gauge t "g" 1.0;
+  Alcotest.(check (option (float 0.0))) "gauge keeps max" (Some 2.0)
+    (Metrics.gauge_value t "g");
+  Metrics.observe t "h" 0.3;
+  Metrics.observe t "h" 0.4;
+  Metrics.observe t "h" 3.0;
+  Alcotest.(check int) "histogram count" 3 (Metrics.histogram_count t "h");
+  Alcotest.(check (list (pair int int)))
+    "buckets sorted" [ (-2, 2); (1, 1) ] (Metrics.histogram t "h");
+  let u = Metrics.create () in
+  Metrics.incr ~by:7 u "c";
+  let m = Metrics.merge t u in
+  Alcotest.(check int) "merge adds counters" 12 (Metrics.counter m "c");
+  Alcotest.(check int) "merge keeps operands intact" 5 (Metrics.counter t "c");
+  Alcotest.(check bool) "merge with empty = same" true
+    (Metrics.equal t (Metrics.merge t (Metrics.create ())))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: qcheck properties                                          *)
+
+type op = Incr of int * int | Gauge of int * float | Observe of int * float
+
+let mname i = "m" ^ string_of_int (abs i mod 3)
+
+let apply t = function
+  | Incr (n, by) -> Metrics.incr ~by t (mname n)
+  | Gauge (n, v) -> Metrics.gauge t (mname n) v
+  | Observe (n, v) -> Metrics.observe t (mname n) v
+
+let of_ops ops =
+  let t = Metrics.create () in
+  List.iter (apply t) ops;
+  t
+
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun n by -> Incr (n, by)) small_nat (int_range (-5) 20);
+        map2 (fun n v -> Gauge (n, v)) small_nat (float_bound_inclusive 100.0);
+        map2 (fun n v -> Observe (n, v)) small_nat
+          (float_range (-2.0) 1000.0);
+      ])
+
+let ops_arb =
+  let print ops = Printf.sprintf "<%d ops>" (List.length ops) in
+  QCheck.make ~print QCheck.Gen.(list_size (int_bound 40) op_gen)
+
+let qcheck_merge_commutative =
+  QCheck.Test.make ~count:200 ~name:"Metrics.merge is commutative"
+    QCheck.(pair ops_arb ops_arb)
+    (fun (a, b) ->
+      let ma = of_ops a and mb = of_ops b in
+      Metrics.equal (Metrics.merge ma mb) (Metrics.merge mb ma))
+
+let qcheck_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"Metrics.merge is associative"
+    QCheck.(triple ops_arb ops_arb ops_arb)
+    (fun (a, b, c) ->
+      let ma = of_ops a and mb = of_ops b and mc = of_ops c in
+      Metrics.equal
+        (Metrics.merge (Metrics.merge ma mb) mc)
+        (Metrics.merge ma (Metrics.merge mb mc)))
+
+let qcheck_shard_split =
+  (* Any assignment of observations to shards merges back to the store
+     that saw all of them — histogram bucket counts (and counters) are
+     preserved under arbitrary shard splits. *)
+  QCheck.Test.make ~count:200
+    ~name:"metrics preserved under arbitrary shard splits"
+    QCheck.(
+      pair
+        (list (triple (int_bound 4) small_nat (float_range (-1.0) 500.0)))
+        (int_range 1 5))
+    (fun (obs, shards) ->
+      let split = Array.init shards (fun _ -> Metrics.create ()) in
+      let whole = Metrics.create () in
+      List.iter
+        (fun (s, n, v) ->
+          Metrics.observe split.(s mod shards) (mname n) v;
+          Metrics.incr whole (mname n ^ ".count");
+          Metrics.incr split.(s mod shards) (mname n ^ ".count");
+          Metrics.observe whole (mname n) v)
+        obs;
+      let merged =
+        Array.fold_left Metrics.merge (Metrics.create ()) split
+      in
+      Metrics.equal merged whole)
+
+(* ------------------------------------------------------------------ *)
+(* Ambient context                                                     *)
+
+let with_ctx f =
+  Obs.configure ~clock:(Clock.virtual_ ()) ();
+  Fun.protect ~finally:Obs.disable f
+
+let test_obs_disabled_noop () =
+  Obs.disable ();
+  Alcotest.(check bool) "disabled" false (Obs.enabled ());
+  Obs.incr "x";
+  Obs.gauge "g" 1.0;
+  Obs.observe "h" 1.0;
+  Alcotest.(check int) "passthrough result" 41 (Obs.with_span "s" (fun () -> 41));
+  Alcotest.(check bool) "no metrics recorded" true
+    (Metrics.is_empty (Obs.metrics ()));
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.spans ()))
+
+let test_obs_ambient_collection () =
+  with_ctx (fun () ->
+      Alcotest.(check bool) "enabled" true (Obs.enabled ());
+      Obs.incr ~by:2 "x";
+      Obs.incr "x";
+      let y =
+        Obs.with_span "phase" (fun () ->
+            (match Obs.clock () with
+            | Some c -> Clock.advance c 0.75
+            | None -> Alcotest.fail "clock expected");
+            7)
+      in
+      Alcotest.(check int) "span passthrough" 7 y;
+      let m = Obs.metrics () in
+      Alcotest.(check int) "counter total" 3 (Metrics.counter m "x");
+      Alcotest.(check (list (pair int int)))
+        "span duration bucketed" [ (-1, 1) ]
+        (Metrics.histogram m "span.phase");
+      match Obs.spans () with
+      | [ sp ] ->
+          Alcotest.(check string) "span name" "phase" sp.Span.name;
+          Alcotest.(check (float 1e-12)) "span duration" 0.75 sp.Span.duration
+      | _ -> Alcotest.fail "expected one span");
+  Alcotest.(check bool) "disabled after" false (Obs.enabled ())
+
+let suite =
+  [
+    Alcotest.test_case "virtual clock advance/elapsed" `Quick
+      test_virtual_clock;
+    Alcotest.test_case "real clock monotonic" `Quick test_real_clock;
+    Alcotest.test_case "clock selection from env" `Quick test_clock_of_env;
+    Alcotest.test_case "span nesting + elapsed math" `Quick test_span_nesting;
+    Alcotest.test_case "span closed on exception" `Quick
+      test_span_exception_safety;
+    Alcotest.test_case "log bucket math" `Quick test_buckets;
+    Alcotest.test_case "counter/gauge/histogram basics" `Quick
+      test_metrics_basics;
+    QCheck_alcotest.to_alcotest qcheck_merge_commutative;
+    QCheck_alcotest.to_alcotest qcheck_merge_associative;
+    QCheck_alcotest.to_alcotest qcheck_shard_split;
+    Alcotest.test_case "ambient context no-op when disabled" `Quick
+      test_obs_disabled_noop;
+    Alcotest.test_case "ambient context collects" `Quick
+      test_obs_ambient_collection;
+  ]

@@ -1,0 +1,267 @@
+(* Runner instrumentation under a virtual clock.
+
+   Two contracts are pinned down here.  First, the engine-level
+   [runner.*] metrics (chunk count, item count, per-chunk duration
+   histogram) merge to identical totals for every pool size, because the
+   chunk decomposition — not the worker schedule — drives them.  Second,
+   collecting metrics must not perturb the engine's determinism: every
+   experiment result is bit-identical with observability on and off, and
+   parallel(j) = sequential stays true while metrics are being recorded. *)
+
+open Pan_numerics
+open Pan_runner
+open Pan_topology
+open Pan_bosco
+open Pan_experiments
+open Pan_obs
+
+let jobs = [ 1; 2; 4 ]
+
+let small_graph =
+  lazy
+    (let params =
+       { Gen.default_params with Gen.n_transit = 20; Gen.n_stub = 60 }
+     in
+     Gen.graph (Gen.generate ~params ~seed:42 ()))
+
+(* Run [f] with a fresh virtual-clock context; return (result, metrics
+   snapshot).  Always disables afterwards so suites stay independent. *)
+let observed f =
+  Obs.configure ~clock:(Clock.virtual_ ()) ();
+  Fun.protect ~finally:Obs.disable (fun () ->
+      let r = f () in
+      (r, Obs.metrics ()))
+
+(* ------------------------------------------------------------------ *)
+(* Per-chunk counters from Task                                        *)
+
+let check_runner_counters name ~chunks ~items run =
+  let check label pool =
+    let _, m = observed (fun () -> run pool) in
+    Alcotest.(check int)
+      (Printf.sprintf "%s (%s): runner.chunks" name label)
+      chunks
+      (Metrics.counter m "runner.chunks");
+    Alcotest.(check int)
+      (Printf.sprintf "%s (%s): runner.items" name label)
+      items
+      (Metrics.counter m "runner.items");
+    Alcotest.(check int)
+      (Printf.sprintf "%s (%s): one duration sample per chunk" name label)
+      chunks
+      (Metrics.histogram_count m "runner.chunk")
+  in
+  check "seq" None;
+  List.iter
+    (fun j ->
+      Pool.with_pool ~domains:j (fun pool ->
+          check (Printf.sprintf "j=%d" j) (Some pool)))
+    jobs
+
+let test_map_reduce_counters () =
+  (* n=100, chunk=7 → ceil(100/7) = 15 chunks *)
+  check_runner_counters "map_reduce" ~chunks:15 ~items:100 (fun pool ->
+      let rng = Rng.create 7 in
+      Task.map_reduce ?pool ~rng ~n:100 ~chunk:7
+        ~f:(fun crng i -> Rng.float crng +. (float_of_int i /. 1000.0))
+        ~combine:( +. ) ~init:0.0 ())
+
+let test_map_counters () =
+  (* n=57, chunk=5 → ceil(57/5) = 12 chunks *)
+  check_runner_counters "map" ~chunks:12 ~items:57 (fun pool ->
+      Task.map ?pool ~chunk:5 ~n:57 ~f:(fun i -> i * i) ())
+
+let test_empty_run_counters () =
+  check_runner_counters "map_reduce n=0" ~chunks:0 ~items:0 (fun pool ->
+      let rng = Rng.create 7 in
+      Task.map_reduce ?pool ~rng ~n:0 ~chunk:4
+        ~f:(fun _ i -> i)
+        ~combine:( + ) ~init:41 ())
+
+(* Shards really are written from several domains, and still merge to
+   the same totals: the merged counter is the ground-truth item count. *)
+let test_counters_merge_across_shards () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let _, m =
+        observed (fun () ->
+            Task.map_reduce ~pool ~rng:(Rng.create 1) ~n:96 ~chunk:3
+              ~f:(fun _ i -> Obs.incr "work.units"; i)
+              ~combine:( + ) ~init:0 ())
+      in
+      Alcotest.(check int) "user counter from chunk bodies" 96
+        (Metrics.counter m "work.units");
+      Alcotest.(check int) "runner.items agrees" 96
+        (Metrics.counter m "runner.items"))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics collection does not perturb determinism                     *)
+
+(* [experiment pool] must return a structurally comparable value.  The
+   plain (obs disabled) sequential run is the reference; the observed
+   sequential and observed parallel runs must match it, and the
+   experiment-level metric totals must be identical across pool sizes. *)
+let check_obs_equivalence name experiment =
+  Obs.disable ();
+  let reference = experiment None in
+  let seq_result, seq_metrics = observed (fun () -> experiment None) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: observed sequential = plain sequential" name)
+    true (seq_result = reference);
+  List.iter
+    (fun j ->
+      Pool.with_pool ~domains:j (fun pool ->
+          let result, metrics = observed (fun () -> experiment (Some pool)) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: observed parallel(%d) = plain sequential"
+               name j)
+            true (result = reference);
+          (* pool.* metrics are engine-internal and j-dependent; all
+             others (runner.*, experiment counters, span durations) must
+             merge to the same totals as the sequential run. *)
+          let drop_pool m =
+            List.filter
+              (fun (n, _) -> not (String.starts_with ~prefix:"pool." n))
+              (Metrics.bindings m)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: metric totals at j=%d = sequential" name j)
+            true
+            (drop_pool metrics = drop_pool seq_metrics)))
+    jobs
+
+let test_service_trials_observed () =
+  let report_keys =
+    List.map (fun (r : Service.report) ->
+        ( r.Service.pod,
+          r.Service.rounds,
+          r.Service.converged,
+          r.Service.equilibrium_choices_x,
+          r.Service.equilibrium_choices_y ))
+  in
+  check_obs_equivalence "Service.trials" (fun pool ->
+      let rng = Rng.create 5 in
+      report_keys
+        (Service.trials ?pool ~chunk:2 ~rng ~dist_x:Fig2_pod.u1
+           ~dist_y:Fig2_pod.u1 ~w:6 ~n:10 ()))
+
+let test_diversity_observed () =
+  let g = Lazy.force small_graph in
+  check_obs_equivalence "Diversity.analyze" (fun pool ->
+      (Diversity.analyze ?pool ~sample_size:12 ~seed:7 g).Diversity.sampled)
+
+let test_methods_observed () =
+  check_obs_equivalence "Methods_exp.run" (fun pool ->
+      Methods_exp.run ?pool ~chunk:2 ~scenarios:8 ~seed:3 ())
+
+(* ------------------------------------------------------------------ *)
+(* Experiment counters equal values recomputed from the result         *)
+
+let test_diversity_counters_match_result () =
+  let g = Lazy.force small_graph in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let result, m =
+        observed (fun () -> Diversity.analyze ~pool ~sample_size:12 ~seed:7 g)
+      in
+      let sampled = result.Diversity.sampled in
+      Alcotest.(check int) "diversity.sources = |sampled|"
+        (List.length sampled)
+        (Metrics.counter m "diversity.sources");
+      let total extract scenario =
+        List.fold_left
+          (fun acc pa ->
+            acc + Option.value ~default:0 (List.assoc_opt scenario (extract pa)))
+          0 sampled
+      in
+      List.iter
+        (fun scenario ->
+          let label = Path_enum.scenario_label scenario in
+          Alcotest.(check int)
+            (Printf.sprintf "diversity.paths.%s = recomputed total" label)
+            (total (fun pa -> pa.Diversity.paths) scenario)
+            (Metrics.counter m ("diversity.paths." ^ label));
+          Alcotest.(check int)
+            (Printf.sprintf "diversity.dests.%s = recomputed total" label)
+            (total (fun pa -> pa.Diversity.destinations) scenario)
+            (Metrics.counter m ("diversity.dests." ^ label)))
+        result.Diversity.scenarios)
+
+let test_methods_counters_match_result () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let r, m =
+        observed (fun () ->
+            Methods_exp.run ~pool ~chunk:2 ~scenarios:8 ~seed:3 ())
+      in
+      Alcotest.(check int) "methods.scenarios" r.Methods_exp.scenarios
+        (Metrics.counter m "methods.scenarios");
+      Alcotest.(check int) "methods.cash_concluded"
+        r.Methods_exp.cash_concluded
+        (Metrics.counter m "methods.cash_concluded");
+      Alcotest.(check int) "methods.flow_volume_concluded"
+        r.Methods_exp.flow_volume_concluded
+        (Metrics.counter m "methods.flow_volume_concluded");
+      Alcotest.(check int) "methods.cash_only" r.Methods_exp.cash_only
+        (Metrics.counter m "methods.cash_only"))
+
+(* ------------------------------------------------------------------ *)
+(* Byte-stable snapshots under a never-advanced virtual clock          *)
+
+let snapshot_string () =
+  let buf = Buffer.create 512 in
+  let fmt = Format.formatter_of_buffer buf in
+  Report.pp_metrics_json fmt (Obs.metrics ());
+  Report.pp_spans_jsonl fmt (Obs.spans ());
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let test_snapshot_byte_stable () =
+  let g = Lazy.force small_graph in
+  let run j =
+    Obs.configure ~clock:(Clock.virtual_ ()) ();
+    Fun.protect ~finally:Obs.disable (fun () ->
+        Pool.with_pool ~domains:j (fun pool ->
+            ignore (Diversity.analyze ~pool ~sample_size:12 ~seed:7 g));
+        snapshot_string ())
+  in
+  let a = run 2 and b = run 2 in
+  Alcotest.(check string) "repeated j=2 runs are byte-identical" a b;
+  (* across pool sizes only the pool.* lines may differ *)
+  let contains line needle =
+    let n = String.length needle in
+    let rec has i =
+      i + n <= String.length line
+      && (String.sub line i n = needle || has (i + 1))
+    in
+    has 0
+  in
+  let strip s =
+    String.split_on_char '\n' s
+    |> List.filter (fun line -> not (contains line "\"pool."))
+    |> String.concat "\n"
+  in
+  let c = run 4 in
+  Alcotest.(check string) "j=2 and j=4 agree modulo pool.* lines" (strip a)
+    (strip c)
+
+let suite =
+  [
+    Alcotest.test_case "map_reduce per-chunk counters (seq + j=1,2,4)" `Quick
+      test_map_reduce_counters;
+    Alcotest.test_case "map per-chunk counters (seq + j=1,2,4)" `Quick
+      test_map_counters;
+    Alcotest.test_case "empty run records nothing" `Quick
+      test_empty_run_counters;
+    Alcotest.test_case "shards merge to ground-truth totals" `Quick
+      test_counters_merge_across_shards;
+    Alcotest.test_case "Service.trials unperturbed by metrics" `Quick
+      test_service_trials_observed;
+    Alcotest.test_case "Diversity unperturbed by metrics" `Quick
+      test_diversity_observed;
+    Alcotest.test_case "Methods unperturbed by metrics" `Quick
+      test_methods_observed;
+    Alcotest.test_case "diversity counters = recomputed totals" `Quick
+      test_diversity_counters_match_result;
+    Alcotest.test_case "methods counters = report fields" `Quick
+      test_methods_counters_match_result;
+    Alcotest.test_case "snapshot byte-stable under virtual clock" `Quick
+      test_snapshot_byte_stable;
+  ]
