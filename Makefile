@@ -1,4 +1,4 @@
-.PHONY: all build quick test bench profile clean
+.PHONY: all build quick test bench bench-topo profile clean
 
 all: build
 
@@ -18,6 +18,12 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Compact-core smoke: freeze + legacy-vs-compact sweep on a 1k-AS
+# topology, verifying equal results and --jobs determinism (CI runs
+# this too; `topo-full` adds the 10k and 50k sizes).
+bench-topo:
+	dune exec bench/main.exe -- topo
 
 # Real-clock profile of the Fig. 3/4 pipeline on the default synthetic
 # topology: per-chunk durations and per-scenario path counters to stdout.

@@ -17,7 +17,16 @@
 
    Part 5 demonstrates the observability layer (lib/obs): one instrumented
    diversity run with the real clock, printing the metrics table and the
-   span tree — the same data `panagree --metrics/--trace` exports. *)
+   span tree — the same data `panagree --metrics/--trace` exports.
+
+   Part 6 measures the compact frozen-topology core (lib/topology
+   Compact/Bitset): freeze cost and legacy-vs-compact scenario_paths
+   sweep throughput on generated topologies, verifying equal results and
+   --jobs 1 = --jobs 4 determinism on the fly.
+
+   Invocation: no argument runs everything at moderate scale;
+   `main.exe topo` runs only the Part 6 smoke (1k ASes, used by CI and
+   `make bench-topo`); `main.exe topo-full` runs Part 6 at 1k/10k/50k. *)
 
 open Bechamel
 open Toolkit
@@ -472,7 +481,83 @@ let obs_profile () =
       Pan_runner.Pool.with_pool ~domains:2 (fun pool ->
           ignore (Diversity.analyze ~pool ~sample_size:150 ~seed:7 g)))
 
-let () =
+(* ------------------------------------------------------------------ *)
+(* Part 6: compact frozen-topology core (lib/topology Compact/Bitset)  *)
+
+(* (label, n_transit, n_stub, sampled sources); 12 tier-1 ASes are added
+   by the generator, so n_transit + n_stub + 12 = the label. *)
+let compact_sizes = function
+  | `Smoke -> [ ("1k", 60, 928, 100) ]
+  | `Full ->
+      [ ("1k", 60, 928, 100); ("10k", 500, 9488, 60); ("50k", 1500, 48488, 20) ]
+
+let compact_core_bench sizes =
+  section "Compact core: legacy Path_enum vs Compact+Bitset (MA sweep)";
+  Format.fprintf fmt "%-6s %7s %11s %11s %12s %9s  %s@." "size" "srcs"
+    "freeze (s)" "legacy (s)" "compact (s)" "speedup" "equal";
+  List.iter
+    (fun (label, n_transit, n_stub, sample) ->
+      let params = { Gen.default_params with Gen.n_transit; Gen.n_stub } in
+      let g = Gen.graph (Gen.generate ~params ~seed:42 ()) in
+      let c, t_freeze = time (fun () -> Compact.freeze g) in
+      let ases = Compact.asns c in
+      let n = Array.length ases in
+      (* deterministic stride sample; index i interns ases.(i), so both
+         sweeps enumerate exactly the same sources *)
+      let stride = Stdlib.max 1 (n / sample) in
+      let sources =
+        List.filter (fun i -> i mod stride = 0) (List.init n Fun.id)
+      in
+      let legacy, t_legacy =
+        time (fun () ->
+            List.fold_left
+              (fun (p, d) i ->
+                let m = Path_enum.scenario_paths g Path_enum.Ma_all ases.(i) in
+                ( p + Path_enum.total_count m,
+                  d + Asn.Set.cardinal (Path_enum.dest_set m) ))
+              (0, 0) sources)
+      in
+      let compact, t_compact =
+        time (fun () ->
+            List.fold_left
+              (fun (p, d) i ->
+                let m = Path_enum_compact.scenario_paths c Path_enum.Ma_all i in
+                ( p + Path_enum_compact.total_count m,
+                  d + Bitset.cardinal (Path_enum_compact.dest_set m) ))
+              (0, 0) sources)
+      in
+      Format.fprintf fmt "%-6s %7d %11.3f %11.3f %12.3f %8.2fx  %b@." label
+        (List.length sources) t_freeze t_legacy t_compact
+        (t_legacy /. t_compact) (legacy = compact))
+    sizes
+
+let compact_jobs_check ~n_transit ~n_stub () =
+  section "Compact core: Diversity --jobs 1 vs --jobs 4 over one frozen view";
+  let params = { Gen.default_params with Gen.n_transit; Gen.n_stub } in
+  let g = Gen.graph (Gen.generate ~params ~seed:42 ()) in
+  let fingerprint pool =
+    let r = Diversity.analyze ?pool ~sample_size:200 ~seed:7 g in
+    List.map
+      (fun pa ->
+        (pa.Diversity.asn, pa.Diversity.paths, pa.Diversity.destinations))
+      r.Diversity.sampled
+  in
+  let seq, t_seq = time (fun () -> fingerprint None) in
+  let par, t_par =
+    Pan_runner.Pool.with_pool ~domains:4 (fun pool ->
+        time (fun () -> fingerprint (Some pool)))
+  in
+  Format.fprintf fmt
+    "sequential %.3f s, 4 domains %.3f s (%.2fx); identical: %b@." t_seq t_par
+    (t_seq /. t_par) (seq = par)
+
+let run_compact_core scale =
+  compact_core_bench (compact_sizes scale);
+  match scale with
+  | `Smoke -> compact_jobs_check ~n_transit:60 ~n_stub:928 ()
+  | `Full -> compact_jobs_check ~n_transit:500 ~n_stub:9488 ()
+
+let full_run () =
   reproduce_gadgets ();
   reproduce_methods ();
   reproduce_fig2 ();
@@ -489,7 +574,18 @@ let () =
   ablation_asymmetric_distributions ();
   ablation_topology_density ();
   runner_scaling ();
+  run_compact_core `Smoke;
   run_benchmarks ();
   run_runner_pair ();
-  obs_profile ();
+  obs_profile ()
+
+let () =
+  (match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "all" -> full_run ()
+  | "topo" -> run_compact_core `Smoke
+  | "topo-full" -> run_compact_core `Full
+  | other ->
+      Format.eprintf "usage: %s [topo|topo-full]  (unknown part %S)@."
+        Sys.argv.(0) other;
+      exit 2);
   Format.fprintf fmt "@.bench: done@."

@@ -311,6 +311,7 @@ let topology_cmd =
   let run caida transit stubs seed =
     let g = topology ~caida ~transit ~stubs ~seed in
     Format.fprintf fmt "%a@." Metrics.pp_summary (Metrics.summary g);
+    Format.fprintf fmt "compact core: %a@." Compact.pp_stats (Compact.freeze g);
     let sizes = Metrics.cone_sizes g in
     let top =
       Asn.Map.bindings sizes

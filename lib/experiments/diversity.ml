@@ -42,8 +42,10 @@ let scenarios_of config = scenarios_for config.top_ns
 let analyze ?pool ?(sample_size = 500) ?(seed = 7) ?(top_ns = [ 1; 2; 5 ]) g =
   Obs.with_span "diversity/analyze" @@ fun () ->
   let scenarios = scenarios_for top_ns in
+  (* Freeze once; the read-only view is shared by every pool domain. *)
+  let c = Compact.freeze g in
   let rng = Rng.create seed in
-  let all = Array.of_list (Graph.ases g) in
+  let all = Compact.asns c in
   let sample =
     Obs.with_span "diversity/sample" (fun () ->
         if Array.length all <= sample_size then all
@@ -51,8 +53,11 @@ let analyze ?pool ?(sample_size = 500) ?(seed = 7) ?(top_ns = [ 1; 2; 5 ]) g =
   in
   let analyze_as asn =
     Obs.incr "diversity.sources";
+    let src = Compact.index_of_exn c asn in
     let per_scenario =
-      List.map (fun s -> (s, Path_enum.scenario_paths g s asn)) scenarios
+      List.map
+        (fun s -> (s, Path_enum_compact.scenario_paths c s src))
+        scenarios
     in
     let count label s n =
       Obs.incr ~by:n
@@ -63,12 +68,15 @@ let analyze ?pool ?(sample_size = 500) ?(seed = 7) ?(top_ns = [ 1; 2; 5 ]) g =
       asn;
       paths =
         List.map
-          (fun (s, m) -> (s, count "paths" s (Path_enum.total_count m)))
+          (fun (s, m) ->
+            (s, count "paths" s (Path_enum_compact.total_count m)))
           per_scenario;
       destinations =
         List.map
           (fun (s, m) ->
-            (s, count "dests" s (Asn.Set.cardinal (Path_enum.dest_set m))))
+            ( s,
+              count "dests" s
+                (Bitset.cardinal (Path_enum_compact.dest_set m)) ))
           per_scenario;
     }
   in

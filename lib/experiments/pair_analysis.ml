@@ -11,11 +11,15 @@ type pair_counts = {
 
 type result = { pairs : pair_counts list; improvements : float list }
 
-let analyze ?pool ?(obs_prefix = "pairs") ?(sample_size = 500) ?(seed = 7)
-    ~graph:g ~metric ~better () =
+let analyze ?pool ?compact ?(obs_prefix = "pairs") ?(sample_size = 500)
+    ?(seed = 7) ~graph:g ~metric ~better () =
   Obs.with_span (obs_prefix ^ "/analyze") @@ fun () ->
+  (* Callers that already hold a frozen view (e.g. to build the metric
+     model) pass it in; otherwise freeze here.  Either way the view is
+     shared read-only by every pool domain. *)
+  let c = match compact with Some c -> c | None -> Compact.freeze g in
   let rng = Rng.create seed in
-  let all = Array.of_list (Graph.ases g) in
+  let all = Compact.asns c in
   let sample =
     if Array.length all <= sample_size then all
     else Rng.sample_without_replacement rng sample_size all
@@ -27,31 +31,43 @@ let analyze ?pool ?(obs_prefix = "pairs") ?(sample_size = 500) ?(seed = 7)
   in
   (* Per-source analysis is pure, so sources run on the pool; the per-src
      lists are concatenated in sample order below, reproducing exactly the
-     lists the previous sequential accumulation built. *)
+     lists the previous sequential accumulation built.  Index order equals
+     ascending ASN order, so iterating destinations and mids by index
+     reproduces the legacy Asn.Map / Asn.Set accumulation order. *)
   let analyze_src src =
     Obs.incr (obs_prefix ^ ".sources");
+    let si = Compact.index_of_exn c src in
     let pairs = ref [] in
     let improvements = ref [] in
-    let grc = Path_enum.by_destination (Path_enum.grc g src) in
+    let grc = Path_enum_compact.by_destination (Path_enum_compact.grc c si) in
     let ma =
-      Path_enum.by_destination (Path_enum.additional_paths g Ma_all src)
+      Path_enum_compact.by_destination
+        (Path_enum_compact.additional_paths c Ma_all si)
     in
-    Asn.Map.iter
-      (fun dst grc_mids ->
+    Path_enum_compact.iter_sets
+      (fun dsti grc_mids ->
+        let dst = Compact.id c dsti in
         let grc_scores =
-          Array.of_list
-            (List.map
-               (fun mid -> score src mid dst)
-               (Asn.Set.elements grc_mids))
+          let a = Array.make (Bitset.cardinal grc_mids) 0.0 in
+          let k = ref 0 in
+          Bitset.iter
+            (fun mi ->
+              a.(!k) <- score src (Compact.id c mi) dst;
+              incr k)
+            grc_mids;
+          a
         in
         let g_min, g_max = Stats.min_max grc_scores in
         let g_med = Stats.median grc_scores in
-        let ma_mids =
-          match Asn.Map.find_opt dst ma with
-          | Some mids -> Asn.Set.elements mids
+        let ma_scores =
+          match Path_enum_compact.find ma dsti with
+          | Some mids ->
+              List.rev
+                (Bitset.fold
+                   (fun mi acc -> score src (Compact.id c mi) dst :: acc)
+                   mids [])
           | None -> []
         in
-        let ma_scores = List.map (fun mid -> score src mid dst) ma_mids in
         let count pred = List.length (List.filter pred ma_scores) in
         let counts =
           {

@@ -27,6 +27,7 @@ type result = {
 
 val analyze :
   ?pool:Pan_runner.Pool.t ->
+  ?compact:Compact.t ->
   ?obs_prefix:string ->
   ?sample_size:int ->
   ?seed:int ->
@@ -39,6 +40,11 @@ val analyze :
     lower (geodistance) or higher (bandwidth) is preferable.  [metric]
     must be pure: source ASes are analyzed on [pool], and the result is
     bit-identical for any pool size.
+
+    Path enumeration runs on the frozen {!Compact} view.  Pass [compact]
+    (which must be [Compact.freeze graph], or a view of an equal graph)
+    to share a view the caller already built — e.g. the one its metric
+    model was constructed from — instead of re-freezing.
 
     When {!Pan_obs.Obs} is configured, the analysis records the counters
     [<obs_prefix>.sources], [.pairs], [.ma_paths] and [.improved]

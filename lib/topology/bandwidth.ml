@@ -1,14 +1,19 @@
-type t = { graph : Graph.t; coefficient : float }
+type t = { c : Compact.t; coefficient : float }
 
-let degree_gravity ?(coefficient = 1.0) graph =
+let of_compact ?(coefficient = 1.0) c =
   if coefficient <= 0.0 then invalid_arg "Bandwidth.degree_gravity";
-  { graph; coefficient }
+  { c; coefficient }
+
+let degree_gravity ?coefficient graph =
+  of_compact ?coefficient (Compact.freeze graph)
 
 let link_capacity t x y =
-  if not (Graph.connected t.graph x y) then raise Not_found;
-  t.coefficient
-  *. float_of_int (Graph.degree t.graph x)
-  *. float_of_int (Graph.degree t.graph y)
+  match (Compact.index_of t.c x, Compact.index_of t.c y) with
+  | Some i, Some j when Compact.connected t.c i j ->
+      t.coefficient
+      *. float_of_int (Compact.degree t.c i)
+      *. float_of_int (Compact.degree t.c j)
+  | _ -> raise Not_found
 
 let path3_bandwidth t a1 a2 a3 =
   Float.min (link_capacity t a1 a2) (link_capacity t a2 a3)

@@ -9,8 +9,14 @@ type t
 
 val degree_gravity : ?coefficient:float -> Graph.t -> t
 (** Capacities [coefficient · deg(u) · deg(v)] (default coefficient 1.0).
-    Degrees are total neighbor counts at construction time.
+    Degrees are total neighbor counts at construction time; the graph is
+    frozen into a {!Compact} view, so queries are O(1) degrees plus a
+    binary-search adjacency check.
     @raise Invalid_argument if [coefficient <= 0]. *)
+
+val of_compact : ?coefficient:float -> Compact.t -> t
+(** Same model over an already-frozen topology (shares the view instead
+    of re-freezing). *)
 
 val link_capacity : t -> Asn.t -> Asn.t -> float
 (** @raise Not_found if the ASes are not adjacent in the underlying graph. *)

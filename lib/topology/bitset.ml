@@ -1,0 +1,104 @@
+let bits_per_word = Sys.int_size
+
+type t = { width : int; words : int array }
+
+let create ~width =
+  if width < 0 then invalid_arg "Bitset.create: negative width";
+  { width; words = Array.make ((width + bits_per_word - 1) / bits_per_word) 0 }
+
+let width t = t.width
+let copy t = { t with words = Array.copy t.words }
+
+let check name t i =
+  if i < 0 || i >= t.width then
+    invalid_arg (Printf.sprintf "Bitset.%s: index %d outside [0, %d)" name i
+                   t.width)
+
+let unsafe_add t i =
+  let w = i / bits_per_word in
+  Array.unsafe_set t.words w
+    (Array.unsafe_get t.words w lor (1 lsl (i mod bits_per_word)))
+
+let add t i =
+  check "add" t i;
+  unsafe_add t i
+
+let remove t i =
+  check "remove" t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let mem t i =
+  if i < 0 || i >= t.width then false
+  else t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let same_width name a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bitset.%s: widths %d and %d differ" name
+                   a.width b.width)
+
+let map2 f a b =
+  {
+    width = a.width;
+    words = Array.init (Array.length a.words) (fun i -> f a.words.(i) b.words.(i));
+  }
+
+let union a b = same_width "union" a b; map2 ( lor ) a b
+let inter a b = same_width "inter" a b; map2 ( land ) a b
+let diff a b = same_width "diff" a b; map2 (fun x y -> x land lnot y) a b
+
+let union_into ~into b =
+  same_width "union_into" into b;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) lor b.words.(i)
+  done
+
+let diff_into ~into b =
+  same_width "diff_into" into b;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) land lnot b.words.(i)
+  done
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let equal a b = a.width = b.width && a.words = b.words
+
+(* Kernighan popcount: one iteration per set bit, which is what we want on
+   the sparse destination sets the path algebra produces. *)
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter f t =
+  for wi = 0 to Array.length t.words - 1 do
+    let w = ref t.words.(wi) in
+    let base = wi * bits_per_word in
+    while !w <> 0 do
+      let lsb = !w land - !w in
+      (* index of the isolated bit by binary search — no hardware ctz in
+         the stdlib *)
+      let b = ref 0 and x = ref lsb in
+      if !x land 0xFFFFFFFF = 0 then begin b := !b + 32; x := !x lsr 32 end;
+      if !x land 0xFFFF = 0 then begin b := !b + 16; x := !x lsr 16 end;
+      if !x land 0xFF = 0 then begin b := !b + 8; x := !x lsr 8 end;
+      if !x land 0xF = 0 then begin b := !b + 4; x := !x lsr 4 end;
+      if !x land 0x3 = 0 then begin b := !b + 2; x := !x lsr 2 end;
+      if !x land 0x1 = 0 then b := !b + 1;
+      f (base + !b);
+      w := !w land lnot lsb
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list ~width l =
+  let t = create ~width in
+  List.iter (fun i -> add t i) l;
+  t

@@ -1,0 +1,65 @@
+(** Word-packed sets of small integers (interned AS indices).
+
+    The compact path algebra ({!Path_enum_compact}) replaces the
+    [Asn.Set.t] balanced trees of the legacy implementation with these
+    fixed-width bitsets: a set over the universe [0 .. width-1] stored as
+    an [int array], so union / intersection / difference are straight-line
+    word loops and membership is one load.
+
+    Bitsets are mutable; the binary operators ({!union}, {!inter},
+    {!diff}) allocate a fresh result while the [_into] variants update
+    their first argument in place.  All binary operations require both
+    operands to have the same [width].  Iteration order is always
+    ascending, which is what makes the compact and legacy path
+    enumerations produce identically-ordered results. *)
+
+type t
+
+val create : width:int -> t
+(** Empty set over the universe [0 .. width-1].
+    @raise Invalid_argument if [width < 0]. *)
+
+val width : t -> int
+val copy : t -> t
+
+val add : t -> int -> unit
+(** @raise Invalid_argument if the index is outside the universe. *)
+
+val unsafe_add : t -> int -> unit
+(** [add] without the bounds check — for callers whose indices are valid
+    by construction (CSR adjacency rows). *)
+
+val remove : t -> int -> unit
+(** @raise Invalid_argument if the index is outside the universe. *)
+
+val mem : t -> int -> bool
+(** [false] for indices outside the universe (mirroring [Set.mem] on a
+    value not in the set). *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val union_into : into:t -> t -> unit
+(** [into := into ∪ other]. *)
+
+val diff_into : into:t -> t -> unit
+(** [into := into \ other]. *)
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+(** Same width and same elements. *)
+
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending. *)
+
+val to_list : t -> int list
+(** Ascending. *)
+
+val of_list : width:int -> int list -> t

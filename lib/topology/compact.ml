@@ -1,0 +1,151 @@
+module Obs = Pan_obs.Obs
+
+type t = {
+  ids : Asn.t array;
+  prov_off : int array;
+  prov_adj : int array;
+  peer_off : int array;
+  peer_adj : int array;
+  cust_off : int array;
+  cust_adj : int array;
+  n_p2c : int;
+  n_p2p : int;
+}
+
+let num_ases t = Array.length t.ids
+let num_provider_customer_links t = t.n_p2c
+let num_peering_links t = t.n_p2p
+
+let id t i = t.ids.(i)
+let asns t = Array.copy t.ids
+
+let index_of t x =
+  (* [ids] is sorted ascending, so interning is a binary search — no side
+     table to share between domains. *)
+  let lo = ref 0 and hi = ref (Array.length t.ids - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Asn.compare t.ids.(mid) x in
+    if c = 0 then found := Some mid
+    else if c < 0 then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let index_of_exn t x =
+  match index_of t x with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Compact.index_of_exn: unknown AS%d" (Asn.to_int x))
+
+(* One relationship class as CSR: [off] has n+1 entries; the neighbors of
+   [i] occupy [adj.(off.(i)) .. adj.(off.(i+1) - 1)], sorted ascending. *)
+let csr_of ids index rows =
+  let n = Array.length ids in
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + Asn.Set.cardinal (rows ids.(i))
+  done;
+  let adj = Array.make off.(n) 0 in
+  for i = 0 to n - 1 do
+    let k = ref off.(i) in
+    (* set elements come out ascending by ASN; interning is monotone, so
+       each row is ascending by index too *)
+    Asn.Set.iter
+      (fun y ->
+        adj.(!k) <- index y;
+        incr k)
+      (rows ids.(i))
+  done;
+  (off, adj)
+
+let freeze g =
+  Obs.with_span "topology.freeze" @@ fun () ->
+  let ids = Array.of_list (Graph.ases g) in
+  (* exact interning table for the build only; queries afterwards use the
+     binary search above *)
+  let tbl = Hashtbl.create (2 * Array.length ids) in
+  Array.iteri (fun i x -> Hashtbl.replace tbl x i) ids;
+  let index x = Hashtbl.find tbl x in
+  let prov_off, prov_adj = csr_of ids index (Graph.providers g) in
+  let peer_off, peer_adj = csr_of ids index (Graph.peers g) in
+  let cust_off, cust_adj = csr_of ids index (Graph.customers g) in
+  let t =
+    {
+      ids;
+      prov_off;
+      prov_adj;
+      peer_off;
+      peer_adj;
+      cust_off;
+      cust_adj;
+      n_p2c = Graph.num_provider_customer_links g;
+      n_p2p = Graph.num_peering_links g;
+    }
+  in
+  Obs.incr "topology.freeze";
+  Obs.incr ~by:(num_ases t) "topology.compact.ases";
+  Obs.incr ~by:t.n_p2c "topology.compact.p2c_links";
+  Obs.incr ~by:t.n_p2p "topology.compact.p2p_links";
+  t
+
+let row_iter off adj i f =
+  for k = off.(i) to off.(i + 1) - 1 do
+    f (Array.unsafe_get adj k)
+  done
+
+let iter_providers t i f = row_iter t.prov_off t.prov_adj i f
+let iter_peers t i f = row_iter t.peer_off t.peer_adj i f
+let iter_customers t i f = row_iter t.cust_off t.cust_adj i f
+
+let iter_neighbors t i f =
+  iter_providers t i f;
+  iter_peers t i f;
+  iter_customers t i f
+
+let providers_count t i = t.prov_off.(i + 1) - t.prov_off.(i)
+let peers_count t i = t.peer_off.(i + 1) - t.peer_off.(i)
+let customers_count t i = t.cust_off.(i + 1) - t.cust_off.(i)
+
+let degree t i = providers_count t i + peers_count t i + customers_count t i
+
+let row_mem off adj i j =
+  let lo = ref off.(i) and hi = ref (off.(i + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = adj.(mid) in
+    if v = j then found := true else if v < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let mem_provider t i j = row_mem t.prov_off t.prov_adj i j
+let mem_peer t i j = row_mem t.peer_off t.peer_adj i j
+let mem_customer t i j = row_mem t.cust_off t.cust_adj i j
+
+let connected t i j = mem_provider t i j || mem_peer t i j || mem_customer t i j
+
+let add_providers t i bs = iter_providers t i (fun j -> Bitset.unsafe_add bs j)
+let add_peers t i bs = iter_peers t i (fun j -> Bitset.unsafe_add bs j)
+let add_customers t i bs = iter_customers t i (fun j -> Bitset.unsafe_add bs j)
+
+let iter_peering_links t f =
+  let n = num_ases t in
+  for i = 0 to n - 1 do
+    row_iter t.peer_off t.peer_adj i (fun j -> if i < j then f i j)
+  done
+
+let iter_provider_customer_links t f =
+  let n = num_ases t in
+  for provider = 0 to n - 1 do
+    row_iter t.cust_off t.cust_adj provider (fun customer ->
+        f ~provider ~customer)
+  done
+
+let pp_stats fmt t =
+  Format.fprintf fmt
+    "%d ASes interned, %d provider-customer + %d peering links (CSR)"
+    (num_ases t) t.n_p2c t.n_p2p

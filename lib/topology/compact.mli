@@ -1,0 +1,88 @@
+(** Frozen, immutable view of a {!Graph}: dense [Asn.t ↔ int] interning
+    plus sorted int-array CSR adjacency, segmented by relationship class.
+
+    {!Graph.t} stays the {e builder} — hash tables of functional sets,
+    convenient while a topology is read from a file or generated.  Once
+    the topology stops changing, {!freeze} compacts it into this view:
+
+    - every AS gets a dense index in [0 .. num_ases - 1], assigned in
+      ascending ASN order (so index order = ASN order everywhere);
+    - each relationship class (providers / peers / customers) is one CSR
+      pair [(off, adj)] of int arrays, rows sorted ascending.
+
+    The result is immutable and contains only flat arrays, so a single
+    frozen topology is shared read-only across [pan_runner] worker
+    domains — no per-worker copy, no locks.  {!degree} is O(1) (three
+    offset subtractions) and {!iter_neighbors} allocates nothing, unlike
+    the set-union-based {!Graph.neighbors}.
+
+    When {!Pan_obs.Obs} is configured, {!freeze} records a
+    [topology.freeze] span and the [topology.freeze] /
+    [topology.compact.*] counters, so metric snapshots show how often the
+    compact core was (re)built and at what size. *)
+
+type t
+
+val freeze : Graph.t -> t
+(** Snapshot the builder.  Later mutations of the graph are not seen. *)
+
+val num_ases : t -> int
+val num_provider_customer_links : t -> int
+val num_peering_links : t -> int
+
+val id : t -> int -> Asn.t
+(** The ASN interned at an index ([ids] are ascending). *)
+
+val asns : t -> Asn.t array
+(** All ASNs, ascending — a fresh copy, same contents as
+    {!Graph.ases}. *)
+
+val index_of : t -> Asn.t -> int option
+(** Binary search over the interning table; [None] for unknown ASes. *)
+
+val index_of_exn : t -> Asn.t -> int
+(** @raise Invalid_argument for an AS not in the topology. *)
+
+val degree : t -> int -> int
+(** O(1): providers + peers + customers row lengths. *)
+
+val providers_count : t -> int -> int
+val peers_count : t -> int -> int
+val customers_count : t -> int -> int
+
+val iter_providers : t -> int -> (int -> unit) -> unit
+(** Ascending row iteration; allocation-free. *)
+
+val iter_peers : t -> int -> (int -> unit) -> unit
+val iter_customers : t -> int -> (int -> unit) -> unit
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Providers, then peers, then customers (each row ascending);
+    allocation-free, unlike {!Graph.neighbors} which builds two set
+    unions. *)
+
+val mem_provider : t -> int -> int -> bool
+(** [mem_provider t x y]: is [y] a provider of [x]?  Binary search in the
+    row. *)
+
+val mem_peer : t -> int -> int -> bool
+val mem_customer : t -> int -> int -> bool
+val connected : t -> int -> int -> bool
+
+val add_providers : t -> int -> Bitset.t -> unit
+(** OR the providers row of an AS into a bitset (of width
+    [num_ases]). *)
+
+val add_peers : t -> int -> Bitset.t -> unit
+val add_customers : t -> int -> Bitset.t -> unit
+
+val iter_peering_links : t -> (int -> int -> unit) -> unit
+(** Each undirected peering link once, endpoints ascending, links in
+    deterministic (first endpoint, then second) order. *)
+
+val iter_provider_customer_links :
+  t -> (provider:int -> customer:int -> unit) -> unit
+(** Deterministic: providers ascending, customers ascending within each
+    provider. *)
+
+val pp_stats : Format.formatter -> t -> unit

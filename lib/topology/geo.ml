@@ -43,7 +43,10 @@ let link_key x y = if Asn.compare x y <= 0 then (x, y) else (y, x)
 let midpoint p1 p2 =
   { lat = 0.5 *. (p1.lat +. p2.lat); lon = 0.5 *. (p1.lon +. p2.lon) }
 
-let place_links ?rng g as_loc =
+(* Link placement iterates the frozen CSR link lists, so the jitter RNG is
+   consumed in a fixed, insertion-independent order: peering links first
+   (both endpoints ascending), then provider-customer links. *)
+let place_links ?rng c as_loc =
   let link_loc = Hashtbl.create 4096 in
   let place x y =
     let key = link_key x y in
@@ -54,55 +57,63 @@ let place_links ?rng g as_loc =
       Hashtbl.replace link_loc key m
     end
   in
-  Graph.fold_peering_links (fun x y () -> place x y) g ();
-  Graph.fold_provider_customer_links
-    (fun ~provider ~customer () -> place provider customer)
-    g ();
+  Compact.iter_peering_links c (fun i j -> place (Compact.id c i) (Compact.id c j));
+  Compact.iter_provider_customer_links c (fun ~provider ~customer ->
+      place (Compact.id c provider) (Compact.id c customer));
   link_loc
 
-let generate ?(hubs = 40) ~seed g =
+let of_compact ?(hubs = 40) ~seed c =
   if hubs < 1 then invalid_arg "Geo.generate: hubs < 1";
   let rng = Rng.create seed in
   let hub_points = Array.init hubs (fun _ -> random_hub rng) in
+  let n = Compact.num_ases c in
   let as_loc = Hashtbl.create 4096 in
   (* Place ASes top-down: provider-less ASes at hub centroids, then each
      remaining AS near the centroid of its already-placed providers.  A
      worklist pass handles provider cycles (possible in hand-built graphs)
      by falling back to a random hub. *)
-  let all = Graph.ases g in
-  let placed x = Hashtbl.mem as_loc x in
-  let place_root x =
+  let placed i = Hashtbl.mem as_loc (Compact.id c i) in
+  let place_root i =
     let k = 1 + Rng.int rng 3 in
     let picks = List.init k (fun _ -> Rng.choose rng hub_points) in
-    Hashtbl.replace as_loc x (centroid picks)
+    Hashtbl.replace as_loc (Compact.id c i) (centroid picks)
   in
-  List.iter
-    (fun x -> if Asn.Set.is_empty (Graph.providers g x) then place_root x)
-    all;
-  let pending = ref (List.filter (fun x -> not (placed x)) all) in
+  for i = 0 to n - 1 do
+    if Compact.providers_count c i = 0 then place_root i
+  done;
+  let pending = ref (List.filter (fun i -> not (placed i)) (List.init n Fun.id)) in
   let progress = ref true in
   while !pending <> [] && !progress do
     progress := false;
     pending :=
       List.filter
-        (fun x ->
-          let provs = Asn.Set.elements (Graph.providers g x) in
-          let ready = List.filter placed provs in
-          if ready <> [] then begin
-            let base = centroid (List.map (Hashtbl.find as_loc) ready) in
-            Hashtbl.replace as_loc x (jitter rng 4.0 base);
-            progress := true;
-            false
-          end
-          else true)
+        (fun i ->
+          let ready = ref [] in
+          Compact.iter_providers c i (fun p ->
+              if placed p then ready := p :: !ready);
+          match !ready with
+          | [] -> true
+          | ready ->
+              let base =
+                centroid
+                  (List.rev_map
+                     (fun p -> Hashtbl.find as_loc (Compact.id c p))
+                     ready)
+              in
+              Hashtbl.replace as_loc (Compact.id c i) (jitter rng 4.0 base);
+              progress := true;
+              false)
         !pending
   done;
-  List.iter (fun x -> place_root x) !pending;
-  { as_loc; link_loc = place_links ~rng g as_loc }
+  List.iter (fun i -> place_root i) !pending;
+  { as_loc; link_loc = place_links ~rng c as_loc }
+
+let generate ?hubs ~seed g = of_compact ?hubs ~seed (Compact.freeze g)
 
 let of_locations g locations =
+  let c = Compact.freeze g in
   let as_loc = Hashtbl.create 4096 in
-  List.iter
+  Array.iter
     (fun x ->
       match Asn.Map.find_opt x locations with
       | Some p -> Hashtbl.replace as_loc x p
@@ -110,8 +121,8 @@ let of_locations g locations =
           invalid_arg
             (Printf.sprintf "Geo.of_locations: no location for AS%d"
                (Asn.to_int x)))
-    (Graph.ases g);
-  { as_loc; link_loc = place_links g as_loc }
+    (Compact.asns c);
+  { as_loc; link_loc = place_links c as_loc }
 
 let as_location t x = Hashtbl.find t.as_loc x
 let link_location t x y = Hashtbl.find t.link_loc (link_key x y)

@@ -28,7 +28,14 @@ type t
 (** An embedding of a particular graph. *)
 
 val generate : ?hubs:int -> seed:int -> Graph.t -> t
-(** Deterministic synthetic embedding ([hubs] defaults to 40). *)
+(** Deterministic synthetic embedding ([hubs] defaults to 40).  Freezes
+    the graph into a {!Compact} view internally; use {!of_compact} to
+    share an existing view. *)
+
+val of_compact : ?hubs:int -> seed:int -> Compact.t -> t
+(** Same embedding over an already-frozen topology.  Placement and link
+    jitter consume the RNG in frozen iteration order, so
+    [of_compact ~seed (Compact.freeze g)] equals [generate ~seed g]. *)
 
 val of_locations : Graph.t -> point Asn.Map.t -> t
 (** Build an embedding from externally supplied AS locations (e.g. parsed

@@ -85,20 +85,27 @@ let degree g x =
   + Asn.Set.cardinal (get g.peers x)
   + Asn.Set.cardinal (get g.customers x)
 
+(* Both folds iterate the known-AS set, not the hash tables: Hashtbl.fold
+   visits bindings in an unspecified order, which leaked into everything
+   downstream that threads an RNG through a fold (e.g. Geo link jitter).
+   Folding the sorted AS set makes the order a stable part of the
+   contract: ASes ascending, then neighbors ascending. *)
 let fold_peering_links f g init =
-  Hashtbl.fold
-    (fun x ys acc ->
+  Asn.Set.fold
+    (fun x acc ->
       Asn.Set.fold
         (fun y acc -> if Asn.compare x y < 0 then f x y acc else acc)
-        ys acc)
-    g.peers init
+        (get g.peers x) acc)
+    g.known init
 
 let fold_provider_customer_links f g init =
-  Hashtbl.fold
-    (fun provider customers acc ->
-      Asn.Set.fold (fun customer acc -> f ~provider ~customer acc) customers
+  Asn.Set.fold
+    (fun provider acc ->
+      Asn.Set.fold
+        (fun customer acc -> f ~provider ~customer acc)
+        (get g.customers provider)
         acc)
-    g.customers init
+    g.known init
 
 let copy g =
   {

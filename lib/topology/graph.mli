@@ -65,10 +65,14 @@ val relationship : t -> Asn.t -> Asn.t -> relationship option
 val connected : t -> Asn.t -> Asn.t -> bool
 
 val fold_peering_links : (Asn.t -> Asn.t -> 'a -> 'a) -> t -> 'a -> 'a
-(** Fold over peering links, each visited once with endpoints ascending. *)
+(** Fold over peering links, each visited once with endpoints ascending.
+    Visit order is deterministic and insertion-independent: first
+    endpoints ascending, second endpoints ascending within each first. *)
 
 val fold_provider_customer_links :
   (provider:Asn.t -> customer:Asn.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Deterministic, insertion-independent order: providers ascending,
+    customers ascending within each provider. *)
 
 val copy : t -> t
 

@@ -68,23 +68,28 @@ let hierarchy_depth g x =
   in
   depth [] x
 
-let degrees g =
-  Array.of_list
-    (List.map (fun x -> float_of_int (Graph.degree g x)) (Graph.ases g))
+(* Degrees come from the frozen CSR view: O(1) per AS instead of three
+   hash lookups plus set cardinals.  Index order equals ascending ASN
+   order, matching the previous [Graph.ases] traversal. *)
+let degrees_compact c =
+  Array.init (Compact.num_ases c) (fun i ->
+      float_of_int (Compact.degree c i))
+
+let degrees g = degrees_compact (Compact.freeze g)
 
 let summary g =
-  let ases = Graph.num_ases g in
+  let c = Compact.freeze g in
+  let ases = Compact.num_ases c in
   if ases = 0 then invalid_arg "Metrics.summary: empty graph";
-  let degs = degrees g in
-  let p2c = Graph.num_provider_customer_links g in
-  let p2p = Graph.num_peering_links g in
+  let degs = degrees_compact c in
+  let p2c = Compact.num_provider_customer_links c in
+  let p2p = Compact.num_peering_links c in
   let total_links = p2c + p2p in
-  let provider_less =
-    List.length
-      (List.filter
-         (fun x -> Asn.Set.is_empty (Graph.providers g x))
-         (Graph.ases g))
-  in
+  let provider_less = ref 0 in
+  for i = 0 to ases - 1 do
+    if Compact.providers_count c i = 0 then incr provider_less
+  done;
+  let provider_less = !provider_less in
   let max_depth =
     List.fold_left
       (fun acc x ->
@@ -108,6 +113,7 @@ let summary g =
   }
 
 let degree_histogram ~bins g = Stats.histogram ~bins (degrees g)
+let degree_histogram_compact ~bins c = Stats.histogram ~bins (degrees_compact c)
 
 let pp_summary fmt s =
   Format.fprintf fmt

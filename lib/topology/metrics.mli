@@ -36,7 +36,18 @@ val hierarchy_depth : Graph.t -> Asn.t -> int
     stubs. @raise Invalid_argument if the provider–customer subgraph
     below the AS contains a cycle. *)
 
+val degrees : Graph.t -> float array
+(** Degree of every AS, ascending by ASN — computed on a frozen
+    {!Compact} view (O(1) per AS). *)
+
+val degrees_compact : Compact.t -> float array
+(** Same, over an existing frozen view (no re-freeze). *)
+
 val degree_histogram : bins:int -> Graph.t -> (float * float * int) array
-(** Histogram over AS degrees (see {!Pan_numerics.Stats.histogram}). *)
+(** Histogram over AS degrees (see {!Pan_numerics.Stats.histogram}).
+    Freezes the graph and reads O(1) CSR degrees. *)
+
+val degree_histogram_compact :
+  bins:int -> Compact.t -> (float * float * int) array
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -113,6 +113,7 @@ let economic_paths ~concluded g x =
 type scenario = Grc | Ma_all | Ma_direct_only | Ma_top of int
 
 let scenario_paths g scenario x =
+  Pan_obs.Obs.incr "path_enum.legacy";
   let base = grc g x in
   match scenario with
   | Grc -> base

@@ -74,7 +74,9 @@ type scenario =
 
 val scenario_paths : Graph.t -> scenario -> Asn.t -> mid_sets
 (** Every length-3 path available to the source under the scenario
-    (GRC paths are always included — they remain available). *)
+    (GRC paths are always included — they remain available).  Counts its
+    calls under the [path_enum.legacy] metric; the compact rewrite
+    ({!Path_enum_compact.scenario_paths}) counts [path_enum.compact]. *)
 
 val additional_paths : Graph.t -> scenario -> Asn.t -> mid_sets
 (** [scenario_paths] minus the GRC baseline. *)

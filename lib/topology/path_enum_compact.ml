@@ -1,0 +1,239 @@
+module Obs = Pan_obs.Obs
+
+type mid_sets = { width : int; mids : int array; sets : Bitset.t array }
+
+(* Invariant: [mids] strictly ascending, every set non-empty, every set of
+   width [width]. *)
+
+let of_sorted_rev ~width pairs =
+  let arr = Array.of_list (List.rev pairs) in
+  { width; mids = Array.map fst arr; sets = Array.map snd arr }
+
+let of_assoc ~width pairs =
+  let arr = Array.of_list pairs in
+  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  { width; mids = Array.map fst arr; sets = Array.map snd arr }
+
+let total_count m =
+  let acc = ref 0 in
+  Array.iter (fun s -> acc := !acc + Bitset.cardinal s) m.sets;
+  !acc
+
+let dest_set m =
+  let d = Bitset.create ~width:m.width in
+  Array.iter (fun s -> Bitset.union_into ~into:d s) m.sets;
+  d
+
+let iter_sets f m = Array.iteri (fun k mid -> f mid m.sets.(k)) m.mids
+
+let find m mid =
+  let lo = ref 0 and hi = ref (Array.length m.mids - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let k = (!lo + !hi) / 2 in
+    if m.mids.(k) = mid then found := Some m.sets.(k)
+    else if m.mids.(k) < mid then lo := k + 1
+    else hi := k - 1
+  done;
+  !found
+
+let union a b =
+  if a.width <> b.width then invalid_arg "Path_enum_compact.union";
+  let la = Array.length a.mids and lb = Array.length b.mids in
+  let acc = ref [] and ia = ref 0 and ib = ref 0 in
+  while !ia < la || !ib < lb do
+    if !ib >= lb || (!ia < la && a.mids.(!ia) < b.mids.(!ib)) then begin
+      acc := (a.mids.(!ia), a.sets.(!ia)) :: !acc;
+      incr ia
+    end
+    else if !ia >= la || b.mids.(!ib) < a.mids.(!ia) then begin
+      acc := (b.mids.(!ib), b.sets.(!ib)) :: !acc;
+      incr ib
+    end
+    else begin
+      acc := (a.mids.(!ia), Bitset.union a.sets.(!ia) b.sets.(!ib)) :: !acc;
+      incr ia;
+      incr ib
+    end
+  done;
+  of_sorted_rev ~width:a.width !acc
+
+let diff a b =
+  if a.width <> b.width then invalid_arg "Path_enum_compact.diff";
+  let acc = ref [] in
+  Array.iteri
+    (fun k mid ->
+      match find b mid with
+      | None -> acc := (mid, a.sets.(k)) :: !acc
+      | Some other ->
+          let d = Bitset.diff a.sets.(k) other in
+          if not (Bitset.is_empty d) then acc := (mid, d) :: !acc)
+    a.mids;
+  of_sorted_rev ~width:a.width !acc
+
+let by_destination m =
+  let per_dst = Array.make m.width None in
+  iter_sets
+    (fun mid zs ->
+      Bitset.iter
+        (fun z ->
+          let bs =
+            match per_dst.(z) with
+            | Some bs -> bs
+            | None ->
+                let bs = Bitset.create ~width:m.width in
+                per_dst.(z) <- Some bs;
+                bs
+          in
+          Bitset.unsafe_add bs mid)
+        zs)
+    m;
+  let acc = ref [] in
+  for z = m.width - 1 downto 0 do
+    match per_dst.(z) with Some bs -> acc := (z, bs) :: !acc | None -> ()
+  done;
+  let arr = Array.of_list !acc in
+  { width = m.width; mids = Array.map fst arr; sets = Array.map snd arr }
+
+let iter_paths f m =
+  iter_sets (fun mid zs -> Bitset.iter (fun dst -> f ~mid ~dst) zs) m
+
+let to_mid_sets c m =
+  let acc = ref Asn.Map.empty in
+  iter_sets
+    (fun mid zs ->
+      let set =
+        Bitset.fold (fun z s -> Asn.Set.add (Compact.id c z) s) zs
+          Asn.Set.empty
+      in
+      acc := Asn.Map.add (Compact.id c mid) set !acc)
+    m;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration proper                                                  *)
+
+let grc c x =
+  let n = Compact.num_ases c in
+  let acc = ref [] in
+  let add_mid y zs = if not (Bitset.is_empty zs) then acc := (y, zs) :: !acc in
+  (* Providers export everything they know: customers, peers, their own
+     providers. *)
+  Compact.iter_providers c x (fun y ->
+      let zs = Bitset.create ~width:n in
+      Compact.add_customers c y zs;
+      Compact.add_peers c y zs;
+      Compact.add_providers c y zs;
+      Bitset.remove zs x;
+      add_mid y zs);
+  (* Peers and customers export customer routes only. *)
+  let customer_routes y =
+    if Compact.customers_count c y > 0 then begin
+      let zs = Bitset.create ~width:n in
+      Compact.add_customers c y zs;
+      Bitset.remove zs x;
+      add_mid y zs
+    end
+  in
+  Compact.iter_peers c x customer_routes;
+  Compact.iter_customers c x customer_routes;
+  of_assoc ~width:n !acc
+
+(* [custx] is the pre-built customers(x) bitset, shared across the peers
+   of one source. *)
+let ma_gain_pre c ~custx x y =
+  let zs = Bitset.create ~width:(Compact.num_ases c) in
+  Compact.add_providers c y zs;
+  Compact.add_peers c y zs;
+  Bitset.diff_into ~into:zs custx;
+  Bitset.remove zs x;
+  zs
+
+let customers_bitset c x =
+  let custx = Bitset.create ~width:(Compact.num_ases c) in
+  Compact.add_customers c x custx;
+  custx
+
+let ma_gain c x y = ma_gain_pre c ~custx:(customers_bitset c x) x y
+
+let ma_direct ?partners c x =
+  let n = Compact.num_ases c in
+  let custx = customers_bitset c x in
+  let acc = ref [] in
+  Compact.iter_peers c x (fun y ->
+      let chosen =
+        match partners with None -> true | Some p -> Bitset.mem p y
+      in
+      if chosen then begin
+        let zs = ma_gain_pre c ~custx x y in
+        if not (Bitset.is_empty zs) then acc := (y, zs) :: !acc
+      end);
+  of_assoc ~width:n !acc
+
+let ma_indirect ?concluded c x =
+  let n = Compact.num_ases c in
+  (* z is excluded when z = x or z is a provider of x (then x is a
+     customer of z). *)
+  let excl = Bitset.create ~width:n in
+  Compact.add_providers c x excl;
+  Bitset.add excl x;
+  let acc = ref [] in
+  let from_mid y =
+    match concluded with
+    | None ->
+        (* fast path: one row OR plus one word-wise subtraction *)
+        if Compact.peers_count c y > 0 then begin
+          let zs = Bitset.create ~width:n in
+          Compact.add_peers c y zs;
+          Bitset.diff_into ~into:zs excl;
+          if not (Bitset.is_empty zs) then acc := (y, zs) :: !acc
+        end
+    | Some conc ->
+        let zs = Bitset.create ~width:n in
+        Compact.iter_peers c y (fun z ->
+            if (not (Bitset.mem excl z)) && conc y z then
+              Bitset.unsafe_add zs z);
+        if not (Bitset.is_empty zs) then acc := (y, zs) :: !acc
+  in
+  (* mids = customers(x) ∪ peers(x); the two classes are disjoint, so the
+     two row iterations visit each mid exactly once *)
+  Compact.iter_customers c x from_mid;
+  Compact.iter_peers c x from_mid;
+  of_assoc ~width:n !acc
+
+let top_partners c ~n x =
+  if n < 0 then invalid_arg "Path_enum_compact.top_partners: n < 0";
+  let custx = customers_bitset c x in
+  let scored = ref [] in
+  Compact.iter_peers c x (fun y ->
+      scored := (Bitset.cardinal (ma_gain_pre c ~custx x y), y) :: !scored);
+  let sorted =
+    List.sort
+      (fun (c1, y1) (c2, y2) ->
+        match compare c2 c1 with 0 -> compare y1 y2 | c -> c)
+      !scored
+  in
+  List.filteri (fun i _ -> i < n) sorted |> List.map snd
+
+let economic_paths ~concluded c x =
+  let partners = Bitset.create ~width:(Compact.num_ases c) in
+  Compact.iter_peers c x (fun y ->
+      if concluded x y then Bitset.unsafe_add partners y);
+  union
+    (union (grc c x) (ma_direct ~partners c x))
+    (ma_indirect ~concluded c x)
+
+let scenario_paths c scenario x =
+  Obs.incr "path_enum.compact";
+  let base = grc c x in
+  match (scenario : Path_enum.scenario) with
+  | Grc -> base
+  | Ma_all -> union (union base (ma_direct c x)) (ma_indirect c x)
+  | Ma_direct_only -> union base (ma_direct c x)
+  | Ma_top n ->
+      let partners =
+        Bitset.of_list ~width:(Compact.num_ases c) (top_partners c ~n x)
+      in
+      union base (ma_direct ~partners c x)
+
+let additional_paths c scenario x = diff (scenario_paths c scenario x) (grc c x)

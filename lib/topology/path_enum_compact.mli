@@ -1,0 +1,57 @@
+(** {!Path_enum} rewritten against the frozen {!Compact} core.
+
+    Same algebra as the legacy module — length-3 path sets keyed by
+    middle AS — but over interned int indices, with every destination set
+    a {!Bitset} instead of an [Asn.Set.t].  The union / difference that
+    dominate [scenario_paths] sweeps become word-wise array loops, and
+    sources can be enumerated in parallel over one shared frozen
+    topology.
+
+    Results are element-for-element equal to the legacy implementation
+    (modulo interning), the property [test/test_compact.ml] pins down;
+    iteration order is ascending by index, which equals ascending by ASN.
+
+    The scenario type is shared with {!Path_enum}.  [scenario_paths]
+    counts its calls under the [path_enum.compact] metric (the legacy
+    implementation counts [path_enum.legacy]), so a metrics snapshot
+    shows which core served an experiment. *)
+
+type mid_sets
+(** Map from middle-AS index to the bitset of destination indices, mids
+    ascending. *)
+
+val total_count : mid_sets -> int
+val dest_set : mid_sets -> Bitset.t
+
+val union : mid_sets -> mid_sets -> mid_sets
+val diff : mid_sets -> mid_sets -> mid_sets
+
+val by_destination : mid_sets -> mid_sets
+(** Invert: destination index ↦ set of middle indices. *)
+
+val iter_sets : (int -> Bitset.t -> unit) -> mid_sets -> unit
+(** Visit [(mid, destinations)] rows, mids ascending. *)
+
+val find : mid_sets -> int -> Bitset.t option
+(** Destination set of one mid (binary search). *)
+
+val iter_paths : (mid:int -> dst:int -> unit) -> mid_sets -> unit
+
+val to_mid_sets : Compact.t -> mid_sets -> Path_enum.mid_sets
+(** Convert back to the legacy ASN-keyed representation (tests,
+    interop). *)
+
+val grc : Compact.t -> int -> mid_sets
+val ma_gain : Compact.t -> int -> int -> Bitset.t
+val ma_direct : ?partners:Bitset.t -> Compact.t -> int -> mid_sets
+val ma_indirect : ?concluded:(int -> int -> bool) -> Compact.t -> int ->
+  mid_sets
+
+val top_partners : Compact.t -> n:int -> int -> int list
+(** @raise Invalid_argument if [n < 0]. *)
+
+val economic_paths : concluded:(int -> int -> bool) -> Compact.t -> int ->
+  mid_sets
+
+val scenario_paths : Compact.t -> Path_enum.scenario -> int -> mid_sets
+val additional_paths : Compact.t -> Path_enum.scenario -> int -> mid_sets

@@ -5,6 +5,6 @@ The fragility experiment (E13) is deterministic given its seed:
   # (in a PAN, every case is stable by construction: the embedded path needs no convergence)
   density    cases      converged   oscillated   nondeterministic   dispute_wheel
   0.00       6          6           0            0                  0
-  0.25       6          6           0            5                  6
+  0.25       6          6           0            6                  6
   0.50       6          6           0            5                  6
   1.00       6          6           0            6                  6

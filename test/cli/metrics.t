@@ -46,16 +46,22 @@ bucket under the frozen clock):
       "diversity.paths.MA* (Top 2)": 4738,
       "diversity.paths.MA* (Top 5)": 6701,
       "diversity.sources": 20,
+      "path_enum.compact": 120,
       "pool.created": 1,
       "pool.jobs": 3,
       "runner.chunks": 3,
-      "runner.items": 20
+      "runner.items": 20,
+      "topology.compact.ases": 117,
+      "topology.compact.p2c_links": 165,
+      "topology.compact.p2p_links": 746,
+      "topology.freeze": 1
     },
   $ grep -A 6 '"runner.chunk"' m.run1
       "runner.chunk": {"count": 3, "buckets": {"-inf": 3}},
       "span.diversity/analyze": {"count": 1, "buckets": {"-inf": 1}},
       "span.diversity/enumerate": {"count": 1, "buckets": {"-inf": 1}},
-      "span.diversity/sample": {"count": 1, "buckets": {"-inf": 1}}
+      "span.diversity/sample": {"count": 1, "buckets": {"-inf": 1}},
+      "span.topology.freeze": {"count": 1, "buckets": {"-inf": 1}}
     }
   }
 
@@ -63,6 +69,7 @@ The trace is one JSON object per line, durations frozen at zero:
 
   $ cat t.run1
   {"name":"diversity/analyze","depth":0,"start":0,"duration":0}
+  {"name":"topology.freeze","depth":1,"start":0,"duration":0}
   {"name":"diversity/sample","depth":1,"start":0,"duration":0}
   {"name":"diversity/enumerate","depth":1,"start":0,"duration":0}
 

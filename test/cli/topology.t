@@ -3,6 +3,7 @@ Structural metrics of the default synthetic topology (reduced size):
   $ panagree topology --transit 30 --stubs 100
   # synthetic topology (seed 42): 142 ASes, 202 provider-customer links, 1032 peering links
   142 ASes; 202 p2c + 1032 p2p links (peering share 0.84); degree mean 17.4, p99 81, max 84; hierarchy depth 4; 12 provider-less ASes
+  compact core: 142 ASes interned, 202 provider-customer + 1032 peering links (CSR)
   largest customer cones:
     AS1: 78 ASes
     AS3: 48 ASes

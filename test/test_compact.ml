@@ -1,0 +1,364 @@
+(* Tests for the compact frozen-topology core: Bitset laws against an
+   Int-set reference model, Compact.freeze structural agreement with the
+   Graph builder, and qcheck equivalence of the compact path algebra with
+   the legacy Path_enum on random generated topologies — the property
+   that lets every experiment driver run on the frozen core without
+   changing a single figure. *)
+
+open Pan_topology
+
+let asn = Asn.of_int
+
+module IS = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset vs reference model                                           *)
+
+(* (width, elements) with elements < width *)
+let bitset_input =
+  QCheck.(
+    make
+      ~print:(fun (w, l) ->
+        Printf.sprintf "width=%d [%s]" w
+          (String.concat ";" (List.map string_of_int l)))
+      Gen.(
+        int_range 1 200 >>= fun w ->
+        list_size (int_range 0 80) (int_range 0 (w - 1)) >|= fun l -> (w, l)))
+
+let qcheck_bitset_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"Bitset.of_list/to_list = sorted dedup"
+    bitset_input (fun (w, l) ->
+      Bitset.to_list (Bitset.of_list ~width:w l)
+      = IS.elements (IS.of_list l))
+
+let qcheck_bitset_ops =
+  QCheck.Test.make ~count:200
+    ~name:"Bitset union/inter/diff/cardinal = model"
+    QCheck.(pair bitset_input (list_of_size (QCheck.Gen.int_range 0 80) (int_range 0 199)))
+    (fun ((w, l1), l2) ->
+      let l2 = List.filter (fun x -> x < w) l2 in
+      let b1 = Bitset.of_list ~width:w l1
+      and b2 = Bitset.of_list ~width:w l2 in
+      let m1 = IS.of_list l1 and m2 = IS.of_list l2 in
+      let agrees op mop =
+        Bitset.to_list (op b1 b2) = IS.elements (mop m1 m2)
+      in
+      agrees Bitset.union IS.union
+      && agrees Bitset.inter IS.inter
+      && agrees Bitset.diff IS.diff
+      && Bitset.cardinal b1 = IS.cardinal m1
+      && Bitset.is_empty b1 = IS.is_empty m1
+      && List.for_all (fun x -> Bitset.mem b1 x = IS.mem x m1)
+           (List.init w Fun.id))
+
+let qcheck_bitset_into =
+  QCheck.Test.make ~count:200 ~name:"Bitset union_into/diff_into = pure ops"
+    QCheck.(pair bitset_input (list_of_size (QCheck.Gen.int_range 0 80) (int_range 0 199)))
+    (fun ((w, l1), l2) ->
+      let l2 = List.filter (fun x -> x < w) l2 in
+      let b1 () = Bitset.of_list ~width:w l1 in
+      let b2 = Bitset.of_list ~width:w l2 in
+      let u = b1 () in
+      Bitset.union_into ~into:u b2;
+      let d = b1 () in
+      Bitset.diff_into ~into:d b2;
+      Bitset.equal u (Bitset.union (b1 ()) b2)
+      && Bitset.equal d (Bitset.diff (b1 ()) b2))
+
+let test_bitset_mutation () =
+  let b = Bitset.create ~width:130 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 64;
+  Bitset.add b 129;
+  Bitset.add b 129;
+  Alcotest.(check (list int)) "word-boundary elements" [ 0; 63; 64; 129 ]
+    (Bitset.to_list b);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  Bitset.remove b 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 63);
+  Alcotest.(check bool) "out of range mem is false" false (Bitset.mem b 500);
+  Alcotest.check_raises "add out of range"
+    (Invalid_argument "Bitset.add: index 130 outside [0, 130)") (fun () ->
+      Bitset.add b 130);
+  let acc = ref [] in
+  Bitset.iter (fun i -> acc := i :: !acc) b;
+  Alcotest.(check (list int)) "iter ascending" [ 0; 64; 129 ]
+    (List.rev !acc);
+  Alcotest.(check int) "fold" (0 + 64 + 129)
+    (Bitset.fold (fun i a -> i + a) b 0)
+
+(* ------------------------------------------------------------------ *)
+(* Compact.freeze vs the Graph builder                                 *)
+
+let gen_graph ?(n_transit = 25) ?(n_stub = 80) seed =
+  let params = { Gen.default_params with Gen.n_transit; Gen.n_stub } in
+  Gen.graph (Gen.generate ~params ~seed ())
+
+let test_index_roundtrip () =
+  let g = gen_graph 42 in
+  let c = Compact.freeze g in
+  Alcotest.(check int) "num_ases" (Graph.num_ases g) (Compact.num_ases c);
+  for i = 0 to Compact.num_ases c - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "index_of (id %d)" i)
+      (Some i)
+      (Compact.index_of c (Compact.id c i));
+    Alcotest.(check int) "index_of_exn" i
+      (Compact.index_of_exn c (Compact.id c i))
+  done;
+  Alcotest.(check (option int)) "unknown AS" None
+    (Compact.index_of c (asn 999_999));
+  Alcotest.check_raises "index_of_exn unknown"
+    (Invalid_argument "Compact.index_of_exn: unknown AS999999") (fun () ->
+      ignore (Compact.index_of_exn c (asn 999_999)));
+  Alcotest.(check (list int)) "asns = Graph.ases"
+    (List.map Asn.to_int (Graph.ases g))
+    (Array.to_list (Array.map Asn.to_int (Compact.asns c)))
+
+let test_degrees_and_neighbors () =
+  let g = gen_graph 7 in
+  let c = Compact.freeze g in
+  for i = 0 to Compact.num_ases c - 1 do
+    let x = Compact.id c i in
+    Alcotest.(check int)
+      (Printf.sprintf "degree of AS%d" (Asn.to_int x))
+      (Graph.degree g x) (Compact.degree c i);
+    let collect iter =
+      let acc = ref [] in
+      iter c i (fun j -> acc := Compact.id c j :: !acc);
+      List.rev !acc
+    in
+    Alcotest.(check (list int)) "providers row"
+      (List.map Asn.to_int (Asn.Set.elements (Graph.providers g x)))
+      (List.map Asn.to_int (collect Compact.iter_providers));
+    Alcotest.(check (list int)) "peers row"
+      (List.map Asn.to_int (Asn.Set.elements (Graph.peers g x)))
+      (List.map Asn.to_int (collect Compact.iter_peers));
+    Alcotest.(check (list int)) "customers row"
+      (List.map Asn.to_int (Asn.Set.elements (Graph.customers g x)))
+      (List.map Asn.to_int (collect Compact.iter_customers));
+    Alcotest.(check int) "neighbors count (allocation-free iter)"
+      (Asn.Set.cardinal (Graph.neighbors g x))
+      (let n = ref 0 in
+       Compact.iter_neighbors c i (fun _ -> incr n);
+       !n)
+  done
+
+let test_membership_and_links () =
+  let g = gen_graph 11 in
+  let c = Compact.freeze g in
+  let n = Compact.num_ases c in
+  (* spot-check relationship membership on a grid of pairs *)
+  let step = Stdlib.max 1 (n / 17) in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref 0 in
+    while !j < n do
+      let x = Compact.id c !i and y = Compact.id c !j in
+      Alcotest.(check bool) "mem_provider"
+        (Asn.Set.mem y (Graph.providers g x))
+        (Compact.mem_provider c !i !j);
+      Alcotest.(check bool) "mem_peer"
+        (Asn.Set.mem y (Graph.peers g x))
+        (Compact.mem_peer c !i !j);
+      Alcotest.(check bool) "mem_customer"
+        (Asn.Set.mem y (Graph.customers g x))
+        (Compact.mem_customer c !i !j);
+      Alcotest.(check bool) "connected" (Graph.connected g x y)
+        (Compact.connected c !i !j);
+      j := !j + step
+    done;
+    i := !i + step
+  done;
+  (* link iteration must reproduce the (sorted) Graph folds exactly *)
+  let fold_peering =
+    List.rev
+      (Graph.fold_peering_links
+         (fun x y acc -> (Asn.to_int x, Asn.to_int y) :: acc)
+         g [])
+  in
+  let compact_peering =
+    let acc = ref [] in
+    Compact.iter_peering_links c (fun i j ->
+        acc :=
+          (Asn.to_int (Compact.id c i), Asn.to_int (Compact.id c j)) :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list (pair int int))) "peering links order" fold_peering
+    compact_peering;
+  let fold_p2c =
+    List.rev
+      (Graph.fold_provider_customer_links
+         (fun ~provider ~customer acc ->
+           (Asn.to_int provider, Asn.to_int customer) :: acc)
+         g [])
+  in
+  let compact_p2c =
+    let acc = ref [] in
+    Compact.iter_provider_customer_links c (fun ~provider ~customer ->
+        acc :=
+          ( Asn.to_int (Compact.id c provider),
+            Asn.to_int (Compact.id c customer) )
+          :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list (pair int int))) "p2c links order" fold_p2c compact_p2c;
+  Alcotest.(check int) "p2p count" (Graph.num_peering_links g)
+    (Compact.num_peering_links c);
+  Alcotest.(check int) "p2c count" (Graph.num_provider_customer_links g)
+    (Compact.num_provider_customer_links c)
+
+let test_freeze_is_snapshot () =
+  let g = gen_graph 3 in
+  let c = Compact.freeze g in
+  let before = Compact.num_peering_links c in
+  Graph.add_peering g (asn 888_888) (asn 888_889);
+  Alcotest.(check int) "later mutation invisible" before
+    (Compact.num_peering_links c);
+  Alcotest.(check (option int)) "new AS unknown to the frozen view" None
+    (Compact.index_of c (asn 888_888))
+
+(* ------------------------------------------------------------------ *)
+(* Path algebra equivalence: compact = legacy                          *)
+
+let mid_sets_equal = Asn.Map.equal Asn.Set.equal
+
+let check_equiv name legacy compact_back =
+  if not (mid_sets_equal legacy compact_back) then
+    Alcotest.failf "%s: compact and legacy mid-sets differ" name
+
+let qcheck_scenario_equivalence =
+  QCheck.Test.make ~count:12
+    ~name:"Path_enum_compact.scenario_paths = Path_enum.scenario_paths"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let g = gen_graph ~n_transit:15 ~n_stub:50 seed in
+      let c = Compact.freeze g in
+      let scenarios =
+        Path_enum.[ Grc; Ma_all; Ma_direct_only; Ma_top 1; Ma_top 3 ]
+      in
+      List.for_all
+        (fun x ->
+          let i = Compact.index_of_exn c x in
+          List.for_all
+            (fun s ->
+              mid_sets_equal
+                (Path_enum.scenario_paths g s x)
+                (Path_enum_compact.to_mid_sets c
+                   (Path_enum_compact.scenario_paths c s i))
+              && mid_sets_equal
+                   (Path_enum.additional_paths g s x)
+                   (Path_enum_compact.to_mid_sets c
+                      (Path_enum_compact.additional_paths c s i)))
+            scenarios)
+        (Graph.ases g))
+
+let qcheck_primitive_equivalence =
+  QCheck.Test.make ~count:12
+    ~name:"compact grc/ma_direct/ma_indirect/by_destination = legacy"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let g = gen_graph ~n_transit:15 ~n_stub:50 seed in
+      let c = Compact.freeze g in
+      List.for_all
+        (fun x ->
+          let i = Compact.index_of_exn c x in
+          mid_sets_equal (Path_enum.grc g x)
+            (Path_enum_compact.to_mid_sets c (Path_enum_compact.grc c i))
+          && mid_sets_equal
+               (Path_enum.ma_direct g x)
+               (Path_enum_compact.to_mid_sets c
+                  (Path_enum_compact.ma_direct c i))
+          && mid_sets_equal
+               (Path_enum.ma_indirect g x)
+               (Path_enum_compact.to_mid_sets c
+                  (Path_enum_compact.ma_indirect c i))
+          && mid_sets_equal
+               (Path_enum.by_destination (Path_enum.grc g x))
+               (Path_enum_compact.to_mid_sets c
+                  (Path_enum_compact.by_destination
+                     (Path_enum_compact.grc c i))))
+        (Graph.ases g))
+
+let qcheck_concluded_equivalence =
+  QCheck.Test.make ~count:12
+    ~name:"ma_indirect ?concluded and ma_direct ?partners = legacy"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let g = gen_graph ~n_transit:15 ~n_stub:50 seed in
+      let c = Compact.freeze g in
+      (* an arbitrary but deterministic MA subset *)
+      let concluded_asn y z = (Asn.to_int y + Asn.to_int z) mod 3 = 0 in
+      let concluded_idx y z = concluded_asn (Compact.id c y) (Compact.id c z) in
+      List.for_all
+        (fun x ->
+          let i = Compact.index_of_exn c x in
+          let partners_legacy =
+            Asn.Set.filter
+              (fun y -> concluded_asn x y)
+              (Graph.peers g x)
+          in
+          let partners_compact =
+            let b = Bitset.create ~width:(Compact.num_ases c) in
+            Compact.iter_peers c i (fun y ->
+                if concluded_idx i y then Bitset.add b y);
+            b
+          in
+          mid_sets_equal
+            (Path_enum.ma_indirect ~concluded:concluded_asn g x)
+            (Path_enum_compact.to_mid_sets c
+               (Path_enum_compact.ma_indirect ~concluded:concluded_idx c i))
+          && mid_sets_equal
+               (Path_enum.ma_direct ~partners:partners_legacy g x)
+               (Path_enum_compact.to_mid_sets c
+                  (Path_enum_compact.ma_direct ~partners:partners_compact c i)))
+        (Graph.ases g))
+
+let qcheck_top_partners_equivalence =
+  QCheck.Test.make ~count:12 ~name:"compact top_partners = legacy"
+    QCheck.(pair (int_range 1 1000) (int_range 0 6))
+    (fun (seed, n) ->
+      let g = gen_graph ~n_transit:15 ~n_stub:50 seed in
+      let c = Compact.freeze g in
+      List.for_all
+        (fun x ->
+          let i = Compact.index_of_exn c x in
+          List.map Asn.to_int (Path_enum.top_partners g ~n x)
+          = List.map
+              (fun j -> Asn.to_int (Compact.id c j))
+              (Path_enum_compact.top_partners c ~n i))
+        (Graph.ases g))
+
+let test_counts_on_fig1 () =
+  let g = Gen.fig1 () in
+  let c = Compact.freeze g in
+  let d = Compact.index_of_exn c (Gen.fig1_asn 'D') in
+  let m = Path_enum_compact.grc c d in
+  Alcotest.(check int) "total_count" 4 (Path_enum_compact.total_count m);
+  Alcotest.(check int) "dest_set" 4
+    (Bitset.cardinal (Path_enum_compact.dest_set m));
+  check_equiv "fig1 D grc"
+    (Path_enum.grc g (Gen.fig1_asn 'D'))
+    (Path_enum_compact.to_mid_sets c m)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_bitset_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_bitset_ops;
+    QCheck_alcotest.to_alcotest qcheck_bitset_into;
+    Alcotest.test_case "bitset mutation / word boundaries" `Quick
+      test_bitset_mutation;
+    Alcotest.test_case "index round trip" `Quick test_index_roundtrip;
+    Alcotest.test_case "degrees and adjacency rows" `Quick
+      test_degrees_and_neighbors;
+    Alcotest.test_case "membership and link iteration" `Quick
+      test_membership_and_links;
+    Alcotest.test_case "freeze is a snapshot" `Quick test_freeze_is_snapshot;
+    QCheck_alcotest.to_alcotest qcheck_scenario_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_primitive_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_concluded_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_top_partners_equivalence;
+    Alcotest.test_case "fig1 counts (hand-checked)" `Quick test_counts_on_fig1;
+  ]

@@ -115,6 +115,48 @@ let test_copy_isolation () =
   Alcotest.(check bool) "original untouched" false (Graph.mem g (asn 50));
   Alcotest.(check int) "original peering count" 1 (Graph.num_peering_links g)
 
+let test_fold_order_insertion_independent () =
+  (* The folds iterate the sorted AS set, not the underlying hash tables,
+     so two graphs with the same links added in different orders must
+     produce byte-identical link sequences. *)
+  let links =
+    [ (1, 2, `P2c); (1, 3, `P2c); (2, 3, `P2p); (5, 2, `P2p); (3, 9, `P2c);
+      (9, 5, `P2p); (1, 9, `P2p); (5, 6, `P2c); (6, 7, `P2p) ]
+  in
+  let build order =
+    let g = Graph.create () in
+    List.iter
+      (fun (x, y, kind) ->
+        match kind with
+        | `P2c -> Graph.add_provider_customer g ~provider:(asn x) ~customer:(asn y)
+        | `P2p -> Graph.add_peering g (asn x) (asn y))
+      order;
+    g
+  in
+  let peering g =
+    Graph.fold_peering_links
+      (fun x y acc -> (Asn.to_int x, Asn.to_int y) :: acc)
+      g []
+  in
+  let p2c g =
+    Graph.fold_provider_customer_links
+      (fun ~provider ~customer acc ->
+        (Asn.to_int provider, Asn.to_int customer) :: acc)
+      g []
+  in
+  let g1 = build links in
+  let g2 = build (List.rev links) in
+  let g3 =
+    build
+      (List.sort (fun (x1, y1, _) (x2, y2, _) -> compare (y1, x1) (y2, x2)) links)
+  in
+  Alcotest.(check (list (pair int int))) "peering order g2" (peering g1)
+    (peering g2);
+  Alcotest.(check (list (pair int int))) "peering order g3" (peering g1)
+    (peering g3);
+  Alcotest.(check (list (pair int int))) "p2c order g2" (p2c g1) (p2c g2);
+  Alcotest.(check (list (pair int int))) "p2c order g3" (p2c g1) (p2c g3)
+
 let test_ases_sorted () =
   let g = Graph.create () in
   Graph.add_as g (asn 5);
@@ -138,5 +180,7 @@ let suite =
     Alcotest.test_case "fold peering links" `Quick test_fold_peering_links;
     Alcotest.test_case "fold p2c links" `Quick test_fold_p2c_links;
     Alcotest.test_case "copy isolation" `Quick test_copy_isolation;
+    Alcotest.test_case "fold order insertion-independent" `Quick
+      test_fold_order_insertion_independent;
     Alcotest.test_case "ases sorted" `Quick test_ases_sorted;
   ]

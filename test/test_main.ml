@@ -13,6 +13,7 @@ let () =
       ("topology.gen", Test_gen.suite);
       ("topology.geo", Test_geo.suite);
       ("topology.bandwidth", Test_bandwidth.suite);
+      ("topology.compact", Test_compact.suite);
       ("topology.path", Test_path.suite);
       ("topology.path_enum", Test_path_enum.suite);
       ("routing.spp", Test_spp.suite);

@@ -63,8 +63,11 @@ let test_diversity () =
     (total (fun pa -> pa.Diversity.destinations))
 
 let test_geodistance () =
+  (* Golden recomputed when the link folds (and hence the geo jitter RNG
+     stream) became insertion-order independent; pair/MA-path totals are
+     unchanged because path enumeration is geo-independent. *)
   check_pair_result "geodistance"
-    (1465, 2168, 1913, 1433, 5536, 619, 95.7956635198084)
+    (1465, 2134, 1879, 1456, 5536, 631, 102.151275271114)
     (Geodistance.run ~sample_size:15 ~seed:7 (Lazy.force graph))
 
 let test_bandwidth () =
