@@ -1,4 +1,4 @@
-.PHONY: all build quick test bench bench-topo profile clean
+.PHONY: all build quick test bench bench-topo bench-bosco profile clean
 
 all: build
 
@@ -24,6 +24,13 @@ bench:
 # this too; `topo-full` adds the 10k and 50k sizes).
 bench-topo:
 	dune exec bench/main.exe -- topo
+
+# BOSCO best-response kernel sweep: fast O(W log W) vs reference O(W²)
+# dynamics at W ∈ {8..2048} plus the Service.trials --jobs determinism
+# check; exits non-zero on any fingerprint mismatch (CI runs the
+# `bosco-smoke` variant, capped at W = 128).
+bench-bosco:
+	dune exec bench/main.exe -- bosco
 
 # Real-clock profile of the Fig. 3/4 pipeline on the default synthetic
 # topology: per-chunk durations and per-scenario path counters to stdout.

@@ -24,9 +24,20 @@
    sweep throughput on generated topologies, verifying equal results and
    --jobs 1 = --jobs 4 determinism on the fly.
 
+   Part 7 measures the BOSCO best-response kernel (lib/bosco
+   Strategy/Workspace): best-response dynamics with the fast
+   O(W log W) kernel vs the O(W²) reference across choice-set sizes,
+   verifying fingerprint equality (thresholds, rounds, convergence,
+   support) and --jobs 1 = --jobs 4 determinism of Service.trials on
+   the fly.
+
    Invocation: no argument runs everything at moderate scale;
    `main.exe topo` runs only the Part 6 smoke (1k ASes, used by CI and
-   `make bench-topo`); `main.exe topo-full` runs Part 6 at 1k/10k/50k. *)
+   `make bench-topo`); `main.exe topo-full` runs Part 6 at 1k/10k/50k;
+   `main.exe bosco` runs only Part 7 at W ∈ {8..2048} (used by
+   `make bench-bosco`); `main.exe bosco-smoke` caps Part 7 at W = 128
+   (used by CI).  The bosco parts exit non-zero on any fingerprint or
+   determinism mismatch. *)
 
 open Bechamel
 open Toolkit
@@ -557,6 +568,94 @@ let run_compact_core scale =
   | `Smoke -> compact_jobs_check ~n_transit:60 ~n_stub:928 ()
   | `Full -> compact_jobs_check ~n_transit:500 ~n_stub:9488 ()
 
+(* ------------------------------------------------------------------ *)
+(* Part 7: BOSCO best-response kernel (lib/bosco Strategy/Workspace)   *)
+
+let bosco_sizes = function
+  | `Smoke -> [ 8; 32; 128 ]
+  | `Full -> [ 8; 32; 128; 512; 2048 ]
+
+(* Everything the dynamics decide, with thresholds rounded to 9
+   significant digits: the fast kernel reassociates prefix sums, so its
+   floats may differ from the reference in the last couple of ulps, but
+   both kernels must agree on every decision at this resolution. *)
+let dynamics_fingerprint (eq : Equilibrium.result) =
+  let th s =
+    Array.to_list
+      (Array.map (Printf.sprintf "%.9g") (Strategy.thresholds s))
+  in
+  ( th eq.Equilibrium.strategy_x,
+    th eq.Equilibrium.strategy_y,
+    eq.Equilibrium.rounds,
+    eq.Equilibrium.converged )
+
+let bosco_kernel_bench sizes =
+  section "BOSCO kernel: fast O(W log W) vs reference O(W^2) dynamics";
+  Format.fprintf fmt "%-6s %5s %12s %12s %9s  %s@." "W" "reps" "ref (s)"
+    "fast (s)" "speedup" "equal";
+  let ok = ref true in
+  List.iter
+    (fun w ->
+      (* Fresh claims per size, same seed: both kernels see the same
+         game.  Repetitions keep small-W timings above clock noise. *)
+      let rng = Rng.create 42 in
+      let dist = Fig2_pod.u1 in
+      let claims_x = Claim.sample rng dist w in
+      let claims_y = Claim.sample rng dist w in
+      let game = Game.{ dist_x = dist; dist_y = dist; claims_x; claims_y } in
+      let reps = if w <= 32 then 100 else if w <= 128 then 10 else 1 in
+      let run kernel =
+        let eq = ref None in
+        let _, t =
+          time (fun () ->
+              for _ = 1 to reps do
+                eq := Some (Equilibrium.best_response_dynamics ~kernel game)
+              done)
+        in
+        (Option.get !eq, t)
+      in
+      let eq_ref, t_ref = run Equilibrium.Reference in
+      let eq_fast, t_fast = run Equilibrium.Fast in
+      let equal = dynamics_fingerprint eq_ref = dynamics_fingerprint eq_fast in
+      if not equal then ok := false;
+      Format.fprintf fmt "%-6d %5d %12.4f %12.4f %8.2fx  %b@." w reps t_ref
+        t_fast (t_ref /. t_fast) equal)
+    sizes;
+  !ok
+
+let bosco_jobs_check () =
+  section "BOSCO kernel: Service.trials --jobs 1 vs --jobs 4";
+  let fingerprint pool =
+    let rng = Rng.create 42 in
+    let reports =
+      Service.trials ?pool ~rng ~dist_x:Fig2_pod.u1 ~dist_y:Fig2_pod.u1 ~w:32
+        ~n:24 ()
+    in
+    List.map
+      (fun (r : Service.report) ->
+        ( r.Service.pod,
+          r.Service.rounds,
+          r.Service.converged,
+          r.Service.equilibrium_choices_x,
+          r.Service.equilibrium_choices_y ))
+      reports
+  in
+  let seq, t_seq = time (fun () -> fingerprint None) in
+  let par, t_par =
+    Pan_runner.Pool.with_pool ~domains:4 (fun pool ->
+        time (fun () -> fingerprint (Some pool)))
+  in
+  let ok = seq = par in
+  Format.fprintf fmt
+    "sequential %.3f s, 4 domains %.3f s (%.2fx); identical: %b@." t_seq t_par
+    (t_seq /. t_par) ok;
+  ok
+
+let run_bosco scale =
+  let ok_kernel = bosco_kernel_bench (bosco_sizes scale) in
+  let ok_jobs = bosco_jobs_check () in
+  ok_kernel && ok_jobs
+
 let full_run () =
   reproduce_gadgets ();
   reproduce_methods ();
@@ -575,6 +674,7 @@ let full_run () =
   ablation_topology_density ();
   runner_scaling ();
   run_compact_core `Smoke;
+  ignore (run_bosco `Smoke : bool);
   run_benchmarks ();
   run_runner_pair ();
   obs_profile ()
@@ -584,8 +684,11 @@ let () =
   | "all" -> full_run ()
   | "topo" -> run_compact_core `Smoke
   | "topo-full" -> run_compact_core `Full
+  | "bosco" -> if not (run_bosco `Full) then exit 1
+  | "bosco-smoke" -> if not (run_bosco `Smoke) then exit 1
   | other ->
-      Format.eprintf "usage: %s [topo|topo-full]  (unknown part %S)@."
+      Format.eprintf
+        "usage: %s [topo|topo-full|bosco|bosco-smoke]  (unknown part %S)@."
         Sys.argv.(0) other;
       exit 2);
   Format.fprintf fmt "@.bench: done@."

@@ -16,6 +16,12 @@ let of_list claims =
 let values t = t
 let cardinality t = Array.length t
 
+let equal ?(tol = 0.0) t1 t2 =
+  Array.length t1 = Array.length t2
+  && Array.for_all2
+       (fun a b -> a = b || Float.abs (a -. b) <= tol)
+       t1 t2
+
 let sample rng dist w =
   if w < 1 then invalid_arg "Claim.sample: w < 1";
   of_list (List.init w (fun _ -> Distribution.sample dist rng))

@@ -17,6 +17,13 @@ val values : t -> float array
 val cardinality : t -> int
 (** [W_Z = |V_Z|], counting the cancel option. *)
 
+val equal : ?tol:float -> t -> t -> bool
+(** Same cardinality and claims pairwise equal within [tol] (default [0.],
+    i.e. IEEE equality, under which [-0. = 0.] and the infinite cancel
+    claims match).  Unlike structural [(=)] on the value arrays, this
+    applies the same comparison the threshold tolerance uses, so it can
+    never disagree with it on signed zeros or non-finite values. *)
+
 val cancel : float
 (** The cancel claim, [−∞]. *)
 

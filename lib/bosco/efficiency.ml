@@ -3,13 +3,18 @@ open Pan_numerics
 (* E[N | σ] = Σ_{i,j : v_i + v_j ≥ 0} ∫_{I_i} (u_x − Π_ij) dU_X ·
    ∫_{J_j} (u_y + Π_ij) dU_Y, because N factorizes once the claims (and
    hence the transfer) are fixed by the interval pair. *)
-let expected_nash (game : Game.t) sx sy =
+let expected_nash ?workspace (game : Game.t) sx sy =
   let open Game in
   let vx = Claim.values (Strategy.claims sx) in
   let vy = Claim.values (Strategy.claims sy) in
   let thx = Strategy.thresholds sx and thy = Strategy.thresholds sy in
-  let px = Strategy.choice_probabilities game.dist_x sx in
-  let py = Strategy.choice_probabilities game.dist_y sy in
+  let probabilities dist s =
+    match workspace with
+    | Some ws -> Workspace.choice_probabilities ws dist (Strategy.thresholds s)
+    | None -> Strategy.choice_probabilities dist s
+  in
+  let px = probabilities game.dist_x sx in
+  let py = probabilities game.dist_y sy in
   let pex =
     Array.init (Array.length vx) (fun i ->
         if px.(i) = 0.0 then 0.0
@@ -87,7 +92,7 @@ let mc_truthful ?pool ?(chunk = 4096) ~rng ~samples (game : Game.t) =
   in
   total /. float_of_int samples
 
-let price_of_dishonesty ?truthful ?grid game sx sy =
+let price_of_dishonesty ?workspace ?truthful ?grid game sx sy =
   let benchmark =
     match truthful with
     | Some v -> v
@@ -95,4 +100,4 @@ let price_of_dishonesty ?truthful ?grid game sx sy =
   in
   if benchmark <= 0.0 then
     invalid_arg "Efficiency.price_of_dishonesty: unviable agreement";
-  1.0 -. (expected_nash game sx sy /. benchmark)
+  1.0 -. (expected_nash ?workspace game sx sy /. benchmark)

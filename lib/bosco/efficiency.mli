@@ -7,8 +7,11 @@
     each interval).  The truthful benchmark [E(N | σ^T)] integrates
     [((u_X + u_Y)/2)²] over the viable quadrant on a 2-D grid. *)
 
-val expected_nash : Game.t -> Strategy.t -> Strategy.t -> float
-(** [E(N | (σ_X, σ_Y))] of Eq. 19. *)
+val expected_nash :
+  ?workspace:Workspace.t -> Game.t -> Strategy.t -> Strategy.t -> float
+(** [E(N | (σ_X, σ_Y))] of Eq. 19.  [workspace] reuses choice
+    probabilities cached during the preceding best-response dynamics
+    (identical values, no recomputation). *)
 
 val expected_nash_truthful : ?grid:int -> Game.t -> float
 (** [E(N | σ^T)] where both parties claim their true utilities; [grid]
@@ -39,7 +42,13 @@ val mc_truthful :
     contract as {!mc_expected_nash}. *)
 
 val price_of_dishonesty :
-  ?truthful:float -> ?grid:int -> Game.t -> Strategy.t -> Strategy.t -> float
+  ?workspace:Workspace.t ->
+  ?truthful:float ->
+  ?grid:int ->
+  Game.t ->
+  Strategy.t ->
+  Strategy.t ->
+  float
 (** [PoD(σ) = 1 − E(N|σ)/E(N|σ^T)] (Eq. 20).  Pass [truthful] to reuse a
     precomputed benchmark across many equilibria for the same
     distributions.

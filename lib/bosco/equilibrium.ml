@@ -1,3 +1,5 @@
+module Obs = Pan_obs.Obs
+
 type result = {
   strategy_x : Strategy.t;
   strategy_y : Strategy.t;
@@ -6,6 +8,7 @@ type result = {
 }
 
 type start = Truthful | All_cancel
+type kernel = Fast | Reference
 
 (* The always-cancel strategy: every true utility maps to the cancel
    claim, i.e. the whole real line is claim 0's interval. *)
@@ -16,39 +19,67 @@ let all_cancel claims =
   in
   Strategy.of_thresholds claims thresholds
 
-let best_response_dynamics ?(start = Truthful) ?(max_rounds = 2000)
-    ?(tol = 1e-9) (game : Game.t) =
+(* The one fixed-point predicate shared by the dynamics' convergence
+   check and {!is_equilibrium}'s verification, so the two cannot drift:
+   a candidate pair is accepted exactly when each candidate strategy
+   equals the corresponding best response within [tol]. *)
+let fixed_point ~tol ~candidate_x ~candidate_y ~response_x ~response_y =
+  Strategy.equal ~tol response_x candidate_x
+  && Strategy.equal ~tol response_y candidate_y
+
+let response ~workspace ~kernel ~opponent_dist ~opponent claims =
+  Obs.time "bosco.br.response" (fun () ->
+      match kernel with
+      | Fast -> Strategy.best_response ~workspace ~opponent_dist ~opponent claims
+      | Reference ->
+          Strategy.best_response_reference ~opponent_dist ~opponent claims)
+
+let best_response_dynamics ?workspace ?(kernel = Fast) ?(start = Truthful)
+    ?(max_rounds = 2000) ?(tol = 1e-9) (game : Game.t) =
   let open Game in
+  let workspace =
+    match workspace with Some ws -> ws | None -> Workspace.create ()
+  in
   let initial claims =
     match start with
     | Truthful -> Strategy.truthful_rounding claims
     | All_cancel -> all_cancel claims
   in
+  let finish sx sy rounds converged =
+    Obs.incr ~by:rounds "bosco.br.rounds";
+    { strategy_x = sx; strategy_y = sy; rounds; converged }
+  in
   let rec iterate sx sy round =
     let sx' =
-      Strategy.best_response ~opponent_dist:game.dist_y ~opponent:sy
+      response ~workspace ~kernel ~opponent_dist:game.dist_y ~opponent:sy
         game.claims_x
     in
     let sy' =
-      Strategy.best_response ~opponent_dist:game.dist_x ~opponent:sx'
+      response ~workspace ~kernel ~opponent_dist:game.dist_x ~opponent:sx'
         game.claims_y
     in
-    if Strategy.equal ~tol sx sx' && Strategy.equal ~tol sy sy' then
-      { strategy_x = sx'; strategy_y = sy'; rounds = round; converged = true }
-    else if round >= max_rounds then
-      { strategy_x = sx'; strategy_y = sy'; rounds = round; converged = false }
+    if
+      fixed_point ~tol ~candidate_x:sx ~candidate_y:sy ~response_x:sx'
+        ~response_y:sy'
+    then finish sx' sy' round true
+    else if round >= max_rounds then finish sx' sy' round false
     else iterate sx' sy' (round + 1)
   in
   iterate (initial game.claims_x) (initial game.claims_y) 1
 
-let is_equilibrium ?(tol = 1e-9) (game : Game.t) sx sy =
+let is_equilibrium ?workspace ?(kernel = Fast) ?(tol = 1e-9) (game : Game.t)
+    sx sy =
   let open Game in
+  let workspace =
+    match workspace with Some ws -> ws | None -> Workspace.create ()
+  in
   let brx =
-    Strategy.best_response ~opponent_dist:game.dist_y ~opponent:sy
+    response ~workspace ~kernel ~opponent_dist:game.dist_y ~opponent:sy
       game.claims_x
   in
   let bry =
-    Strategy.best_response ~opponent_dist:game.dist_x ~opponent:sx
+    response ~workspace ~kernel ~opponent_dist:game.dist_x ~opponent:sx
       game.claims_y
   in
-  Strategy.equal ~tol brx sx && Strategy.equal ~tol bry sy
+  fixed_point ~tol ~candidate_x:sx ~candidate_y:sy ~response_x:brx
+    ~response_y:bry

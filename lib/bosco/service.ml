@@ -18,16 +18,22 @@ let build_claims construction rng dist w =
   | Random_sampling -> Claim.sample rng dist w
   | Grid -> Claim.grid dist w
 
-let negotiate ?(construction = Random_sampling) ?truthful ~rng ~dist_x ~dist_y
-    ~w () =
+let negotiate ?(construction = Random_sampling) ?truthful ?workspace ?kernel
+    ~rng ~dist_x ~dist_y ~w () =
   if w < 1 then invalid_arg "Service.negotiate: w < 1";
   let claims_x = build_claims construction rng dist_x w in
   let claims_y = build_claims construction rng dist_y w in
   let game = Game.{ dist_x; dist_y; claims_x; claims_y } in
-  let eq = Equilibrium.best_response_dynamics game in
+  (* One workspace per negotiation: buffers and the CDF cache live across
+     every dynamics round and the efficiency scoring, and cache traffic
+     stays independent of how trials are scheduled onto domains. *)
+  let workspace =
+    match workspace with Some ws -> ws | None -> Workspace.create ()
+  in
+  let eq = Equilibrium.best_response_dynamics ~workspace ?kernel game in
   let pod =
-    Efficiency.price_of_dishonesty ?truthful game eq.Equilibrium.strategy_x
-      eq.Equilibrium.strategy_y
+    Efficiency.price_of_dishonesty ~workspace ?truthful game
+      eq.Equilibrium.strategy_x eq.Equilibrium.strategy_y
   in
   {
     game;
@@ -36,12 +42,14 @@ let negotiate ?(construction = Random_sampling) ?truthful ~rng ~dist_x ~dist_y
     pod;
     rounds = eq.Equilibrium.rounds;
     converged = eq.Equilibrium.converged;
-    equilibrium_choices_x = Strategy.support_size dist_x eq.Equilibrium.strategy_x;
-    equilibrium_choices_y = Strategy.support_size dist_y eq.Equilibrium.strategy_y;
+    equilibrium_choices_x =
+      Strategy.support_size ~workspace dist_x eq.Equilibrium.strategy_x;
+    equilibrium_choices_y =
+      Strategy.support_size ~workspace dist_y eq.Equilibrium.strategy_y;
   }
 
-let trials ?(construction = Random_sampling) ?pool ?(chunk = 8) ~rng ~dist_x
-    ~dist_y ~w ~n () =
+let trials ?(construction = Random_sampling) ?kernel ?pool ?(chunk = 8) ~rng
+    ~dist_x ~dist_y ~w ~n () =
   if n < 1 then invalid_arg "Service.trials: n < 1";
   let truthful =
     Efficiency.expected_nash_truthful
@@ -55,7 +63,8 @@ let trials ?(construction = Random_sampling) ?pool ?(chunk = 8) ~rng ~dist_x
         Pan_runner.Task.map_reduce ?pool ~rng ~n ~chunk
           ~f:(fun crng _ ->
             let r =
-              negotiate ~construction ~truthful ~rng:crng ~dist_x ~dist_y ~w ()
+              negotiate ~construction ~truthful ?kernel ~rng:crng ~dist_x
+                ~dist_y ~w ()
             in
             Obs.incr "bosco.trials";
             if r.converged then Obs.incr "bosco.converged";

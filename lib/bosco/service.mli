@@ -29,6 +29,8 @@ type report = {
 val negotiate :
   ?construction:construction ->
   ?truthful:float ->
+  ?workspace:Workspace.t ->
+  ?kernel:Equilibrium.kernel ->
   rng:Rng.t ->
   dist_x:Distribution.t ->
   dist_y:Distribution.t ->
@@ -37,10 +39,14 @@ val negotiate :
   report
 (** Build one choice-set combination with [w] claims per party, run
     best-response dynamics, and score the equilibrium.  [truthful]
-    optionally reuses a precomputed truthful benchmark. *)
+    optionally reuses a precomputed truthful benchmark.  A fresh
+    {!Workspace.t} is created per negotiation unless [workspace] is
+    given; [kernel] selects the best-response kernel (default
+    {!Equilibrium.Fast}). *)
 
 val trials :
   ?construction:construction ->
+  ?kernel:Equilibrium.kernel ->
   ?pool:Pan_runner.Pool.t ->
   ?chunk:int ->
   rng:Rng.t ->

@@ -70,8 +70,10 @@ let line_coefficients ~opponent_dist ~opponent own_claims =
 
 (* Upper envelope of the lines (m_i, q_i): since m is non-decreasing in i,
    the envelope assigns claims with larger index to larger utilities.  This
-   is Algorithm 1 with an explicit left-to-right walk. *)
-let best_response ~opponent_dist ~opponent own_claims =
+   is Algorithm 1 with an explicit left-to-right walk — the original
+   O(W²) kernel, kept verbatim as the oracle the fast kernel is tested
+   against (and benchmarked over). *)
+let best_response_reference ~opponent_dist ~opponent own_claims =
   let lines = line_coefficients ~opponent_dist ~opponent own_claims in
   let w = Array.length lines in
   (* A line is dominated if a parallel line lies strictly above it, or is a
@@ -153,19 +155,134 @@ let best_response ~opponent_dist ~opponent own_claims =
   done;
   { claims = own_claims; thresholds = th }
 
+(* Fast kernel: same envelope, computed in O(W log W).
+
+   Eq. 16/17 for own claim v against the opponent's sorted claims v_y and
+   choice probabilities p: the qualifying set {j : v_y(j) >= -v} is a
+   suffix, so
+     m(v) = Σ_suffix p_j            and
+     q(v) = ½ (Σ_suffix p_j·v_y(j)  −  v·m(v))
+   are suffix sums accumulated from the tail, with the suffix boundary
+   found by binary search (own claims need one search each).  Suffix
+   sums — not differences of prefix sums: a tail of tiny probability
+   mass would be cancelled away by [total − prefix] (absolute error of
+   the total, catastrophic relative error of the tail), whereas a
+   right-to-left accumulation of non-negative terms keeps every suffix
+   to full relative precision, like the reference's per-claim sums over
+   the same terms.  The upper envelope
+   of the resulting lines is a single monotone pass: slopes are
+   non-decreasing in the claim index, so a stack walk pops every line
+   whose interval the next line empties — the convex-hull trick.  The
+   parallel-line dominance rule matches the reference exactly: equal
+   slopes form a contiguous run (slopes are monotone), within which only
+   the first maximal-intercept line survives.
+
+   All buffers and the opponent CDF evaluations come from the workspace,
+   so a best-response-dynamics round allocates nothing but the returned
+   threshold array.  Results agree with the reference kernel to the
+   reassociation error of the suffix sums (thresholds within ~1e-12;
+   test/test_strategy_fast.ml pins this down). *)
+let best_response ?workspace ~opponent_dist ~opponent own_claims =
+  let ws =
+    match workspace with Some ws -> ws | None -> Workspace.create ()
+  in
+  let vx = Claim.values own_claims in
+  let w = Array.length vx in
+  let vy = Claim.values opponent.claims in
+  let ny = Array.length vy in
+  let probs =
+    Workspace.choice_probabilities ws opponent_dist opponent.thresholds
+  in
+  (* pv.(0) is forced to 0: the opponent's cancel claim (-inf) never
+     qualifies (k >= 1 below), and p·(-inf) would poison the sums. *)
+  let pv = Workspace.pv_scratch ws ny in
+  pv.(0) <- 0.0;
+  for j = 1 to ny - 1 do
+    pv.(j) <- probs.(j) *. vy.(j)
+  done;
+  let suf_p, suf_pv = Workspace.suffix_scratch ws (ny + 1) in
+  suf_p.(ny) <- 0.0;
+  suf_pv.(ny) <- 0.0;
+  for j = ny - 1 downto 0 do
+    suf_p.(j) <- probs.(j) +. suf_p.(j + 1);
+    suf_pv.(j) <- pv.(j) +. suf_pv.(j + 1)
+  done;
+  let slope, intercept = Workspace.line_scratch ws w in
+  for i = 0 to w - 1 do
+    let v = vx.(i) in
+    if v = neg_infinity then begin
+      slope.(i) <- 0.0;
+      intercept.(i) <- 0.0
+    end
+    else begin
+      let k = Prefix.lower_bound ~lo:1 ~hi:ny vy (-.v) in
+      let m = suf_p.(k) in
+      slope.(i) <- m;
+      intercept.(i) <- 0.5 *. (suf_pv.(k) -. (v *. m))
+    end
+  done;
+  (* Monotone envelope: stack of (line, interval start). *)
+  let stack_line, stack_from = Workspace.stack_scratch ws w in
+  let top = ref (-1) in
+  for i = 0 to w - 1 do
+    let mi = slope.(i) and qi = intercept.(i) in
+    let keep = ref true in
+    if !top >= 0 && slope.(stack_line.(!top)) = mi then
+      if intercept.(stack_line.(!top)) >= qi then keep := false
+      else decr top;
+    if !keep then begin
+      while
+        !top >= 0
+        &&
+        let t = stack_line.(!top) in
+        (intercept.(t) -. qi) /. (mi -. slope.(t)) <= stack_from.(!top)
+      do
+        decr top
+      done;
+      let from =
+        if !top < 0 then neg_infinity
+        else
+          let t = stack_line.(!top) in
+          (intercept.(t) -. qi) /. (mi -. slope.(t))
+      in
+      incr top;
+      stack_line.(!top) <- i;
+      stack_from.(!top) <- from
+    end
+  done;
+  (* Same record-to-threshold conversion as the reference: visited claims
+     get their interval start, unvisited ones empty intervals. *)
+  let unset = Float.nan in
+  let th = Array.make (w + 1) unset in
+  th.(0) <- neg_infinity;
+  th.(w) <- infinity;
+  for s = 0 to !top do
+    let idx = stack_line.(s) in
+    if idx > 0 then th.(idx) <- stack_from.(s)
+  done;
+  for i = w - 1 downto 1 do
+    if Float.is_nan th.(i) then th.(i) <- th.(i + 1)
+  done;
+  for i = 1 to w - 1 do
+    if th.(i) < th.(i - 1) then th.(i) <- th.(i - 1)
+  done;
+  { claims = own_claims; thresholds = th }
+
 let equal ?(tol = 1e-9) t1 t2 =
-  Claim.values t1.claims = Claim.values t2.claims
+  Claim.equal ~tol t1.claims t2.claims
   && Array.length t1.thresholds = Array.length t2.thresholds
   && Array.for_all2
        (fun a b ->
          a = b || Float.abs (a -. b) <= tol)
        t1.thresholds t2.thresholds
 
-let support_size dist t =
-  Array.fold_left
-    (fun acc p -> if p > 0.0 then acc + 1 else acc)
-    0
-    (choice_probabilities dist t)
+let support_size ?workspace dist t =
+  let probs =
+    match workspace with
+    | Some ws -> Workspace.choice_probabilities ws dist t.thresholds
+    | None -> choice_probabilities dist t
+  in
+  Array.fold_left (fun acc p -> if p > 0.0 then acc + 1 else acc) 0 probs
 
 let pp fmt t =
   let values = Claim.values t.claims in

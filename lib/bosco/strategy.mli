@@ -41,14 +41,31 @@ val line_coefficients :
     opponent's strategy. The cancel claim has coefficients [(0, 0)]. *)
 
 val best_response :
+  ?workspace:Workspace.t ->
+  opponent_dist:Distribution.t ->
+  opponent:t ->
+  Claim.t ->
+  t
+(** Algorithm 1, fast kernel: the upper-envelope best response in
+    O(W log W) — per-claim sums read off precomputed suffix sums with the
+    suffix boundary found by binary search, and the envelope by one
+    monotone stack pass over the slope-sorted lines.  [workspace] supplies
+    reusable buffers and the opponent-CDF cache; without it a private
+    workspace is allocated per call.  Agrees with
+    {!best_response_reference} up to the suffix sums' reassociation error
+    (thresholds within ~1e-12). *)
+
+val best_response_reference :
   opponent_dist:Distribution.t -> opponent:t -> Claim.t -> t
-(** Algorithm 1: the exact upper-envelope best response. *)
+(** The original O(W²) kernel (per-claim rescans of the opponent's choice
+    set, quadratic dominance check, candidate-scanning envelope walk),
+    kept as the test oracle and benchmark baseline for {!best_response}. *)
 
 val equal : ?tol:float -> t -> t -> bool
-(** Same claim set and thresholds pointwise within [tol] (default
-    [1e-9]). *)
+(** Same claim set ({!Claim.equal} with the same [tol]) and thresholds
+    pointwise within [tol] (default [1e-9]). *)
 
-val support_size : Distribution.t -> t -> int
+val support_size : ?workspace:Workspace.t -> Distribution.t -> t -> int
 (** Number of claims played with positive probability — the paper's
     "equilibrium choices" count (§V-E). *)
 

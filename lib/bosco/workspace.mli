@@ -1,0 +1,41 @@
+(** Scratch buffers and CDF caching for the fast best-response kernel.
+
+    One workspace serves one best-response-dynamics run (and the
+    efficiency scoring that follows it): it owns every float array the
+    kernel needs per round, so after the first round no further
+    allocation happens, and it memoizes opponent choice probabilities —
+    the CDF evaluated at the opponent's threshold points — keyed by
+    (distribution, thresholds).  Entries are invalidated only by the
+    thresholds changing, which is exactly when the cached CDF values stop
+    being the right ones.
+
+    A workspace is scratch state only: every value it hands out is
+    bit-identical to the uncached computation, so reusing (or not
+    reusing) a workspace can never change results.  It is not
+    thread-safe; use one workspace per domain (the service allocates one
+    per negotiation, which trivially satisfies this and keeps the
+    [bosco.br.cdf_cache_*] counters independent of worker scheduling). *)
+
+open Pan_numerics
+
+type t
+
+val create : unit -> t
+
+val choice_probabilities : t -> Distribution.t -> float array -> float array
+(** [choice_probabilities ws dist thresholds] is
+    [P(σ(u) = v_i)] for each strategy interval (Eq. 15), cached.
+    The returned array is owned by the workspace and valid until the
+    next cache eviction — read it before the next series of calls, do
+    not retain or mutate it.  Distributions are keyed by physical
+    identity; thresholds by [==] or element-wise IEEE equality.
+    Increments [bosco.br.cdf_cache_hits]/[misses]. *)
+
+(** {2 Kernel scratch} — buffers grown geometrically, contents
+    unspecified; each call returns arrays of length at least the request.
+    Internal to {!Strategy.best_response}. *)
+
+val pv_scratch : t -> int -> float array
+val suffix_scratch : t -> int -> float array * float array
+val line_scratch : t -> int -> float array * float array
+val stack_scratch : t -> int -> int array * float array

@@ -1,0 +1,45 @@
+let exclusive_sums_into ~dst xs =
+  let n = Array.length xs in
+  if Array.length dst < n + 1 then
+    invalid_arg "Prefix.exclusive_sums_into: dst too short";
+  dst.(0) <- 0.0;
+  for i = 0 to n - 1 do
+    dst.(i + 1) <- dst.(i) +. xs.(i)
+  done
+
+let exclusive_sums xs =
+  let dst = Array.make (Array.length xs + 1) 0.0 in
+  exclusive_sums_into ~dst xs;
+  dst
+
+let suffix_sums_into ~dst xs =
+  let n = Array.length xs in
+  if Array.length dst < n + 1 then
+    invalid_arg "Prefix.suffix_sums_into: dst too short";
+  dst.(n) <- 0.0;
+  for i = n - 1 downto 0 do
+    dst.(i) <- xs.(i) +. dst.(i + 1)
+  done
+
+let suffix_sums xs =
+  let dst = Array.make (Array.length xs + 1) 0.0 in
+  suffix_sums_into ~dst xs;
+  dst
+
+let range_sum sums i j =
+  if i < 0 || j > Array.length sums - 1 || i > j then
+    invalid_arg "Prefix.range_sum: bad range";
+  sums.(j) -. sums.(i)
+
+let lower_bound ?(lo = 0) ?hi xs x =
+  let hi = match hi with Some h -> h | None -> Array.length xs in
+  if lo < 0 || hi > Array.length xs || lo > hi then
+    invalid_arg "Prefix.lower_bound: bad range";
+  (* invariant: xs.(i) < x for i < lo', and xs.(i) >= x for i >= hi' *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = lo + ((hi - lo) / 2) in
+      if xs.(mid) < x then go (mid + 1) hi else go lo mid
+  in
+  go lo hi

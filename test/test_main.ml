@@ -25,6 +25,7 @@ let () =
       ("econ.traffic_model", Test_traffic_model.suite);
       ("econ.nash_opt", Test_nash_opt.suite);
       ("bosco", Test_bosco.suite);
+      ("bosco.strategy_fast", Test_strategy_fast.suite);
       ("experiments", Test_experiments.suite);
       ("routing.dispute", Test_dispute.suite);
       ("scion.failure_selection", Test_failure_selection.suite);
