@@ -1,4 +1,5 @@
-.PHONY: all build quick test bench bench-topo bench-bosco profile clean
+.PHONY: all build quick test bench bench-topo bench-bosco bench-faults \
+	profile clean
 
 all: build
 
@@ -31,6 +32,13 @@ bench-topo:
 # `bosco-smoke` variant, capped at W = 128).
 bench-bosco:
 	dune exec bench/main.exe -- bosco
+
+# Supervised-runner smoke: the E1 kernel under injected faults (rate
+# 0.1) with 5 retries must reproduce the fault-free fingerprint at -j1
+# and -j4 and must actually exercise retries; exits non-zero otherwise
+# (CI runs this too).
+bench-faults:
+	dune exec bench/main.exe -- faults
 
 # Real-clock profile of the Fig. 3/4 pipeline on the default synthetic
 # topology: per-chunk durations and per-scenario path counters to stdout.

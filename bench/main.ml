@@ -31,13 +31,20 @@
    support) and --jobs 1 = --jobs 4 determinism of Service.trials on
    the fly.
 
+   Part 8 measures the supervised runner (lib/runner Supervise/Fault):
+   the E1 kernel fault-free vs supervised-with-retries vs under injected
+   faults (rate 0.1, retries 5), verifying that every recovered run
+   reproduces the fault-free fingerprint bit-for-bit at -j1 and -j4 and
+   that the faulty runs actually exercised retries.
+
    Invocation: no argument runs everything at moderate scale;
    `main.exe topo` runs only the Part 6 smoke (1k ASes, used by CI and
    `make bench-topo`); `main.exe topo-full` runs Part 6 at 1k/10k/50k;
    `main.exe bosco` runs only Part 7 at W ∈ {8..2048} (used by
    `make bench-bosco`); `main.exe bosco-smoke` caps Part 7 at W = 128
-   (used by CI).  The bosco parts exit non-zero on any fingerprint or
-   determinism mismatch. *)
+   (used by CI); `main.exe faults` runs only Part 8 (used by CI and
+   `make bench-faults`).  The bosco and faults parts exit non-zero on
+   any fingerprint or determinism mismatch. *)
 
 open Bechamel
 open Toolkit
@@ -656,6 +663,70 @@ let run_bosco scale =
   let ok_jobs = bosco_jobs_check () in
   ok_kernel && ok_jobs
 
+(* ------------------------------------------------------------------ *)
+(* Part 8: supervised runner (lib/runner Supervise/Fault)              *)
+
+(* Seed chosen so the 0.1 rate actually fires (twice) across the E1
+   kernel's chunk grid — the trailing retries-exercised check guards the
+   choice against drifting chunk counts. *)
+let fault_spec =
+  { Pan_runner.Fault.seed = 8; rate = 0.1; delay = 0.0; delay_rate = 0.0 }
+
+let run_supervised () =
+  section "Supervised runner: fault-injection recovery overhead (E1 kernel)";
+  (* Same E1 fingerprint as Part 4.  A run that recovers from injected
+     faults via retries replays each failed chunk's RNG split, so every
+     row must reproduce the fault-free fingerprint bit-for-bit. *)
+  let fingerprint ?pool ~retries () =
+    let rng = Rng.create 42 in
+    List.map
+      (fun (r : Service.report) -> r.Service.pod)
+      (Service.trials ?pool ~retries ~rng ~dist_x:Fig2_pod.u1
+         ~dist_y:Fig2_pod.u1 ~w:20 ~n:60 ())
+  in
+  let saved = Pan_runner.Fault.get () in
+  let run ~faults ~retries pool =
+    Pan_runner.Fault.set (if faults then Some fault_spec else None);
+    Fun.protect
+      ~finally:(fun () -> Pan_runner.Fault.set saved)
+      (fun () -> time (fun () -> fingerprint ?pool ~retries ()))
+  in
+  let baseline, t_base = run ~faults:false ~retries:0 None in
+  let ok = ref true in
+  Format.fprintf fmt "%-36s %10s %10s %10s  %s@." "configuration" "seq (s)"
+    "j=4 (s)" "overhead" "par=seq=base";
+  Format.fprintf fmt "%-36s %10.3f %10s %10s  %b@." "fault-free (fast path)"
+    t_base "-" "-" true;
+  List.iter
+    (fun (label, faults, retries) ->
+      let seq, t_seq = run ~faults ~retries None in
+      let par, t_par =
+        Pan_runner.Pool.with_pool ~domains:4 (fun pool ->
+            run ~faults ~retries (Some pool))
+      in
+      let equal = seq = baseline && par = baseline in
+      if not equal then ok := false;
+      Format.fprintf fmt "%-36s %10.3f %10.3f %9.1f%%  %b@." label t_seq t_par
+        ((t_seq /. t_base -. 1.0) *. 100.0)
+        equal)
+    [
+      ("supervised, no faults (retries=5)", false, 5);
+      ("faults rate=0.1 + retries=5", true, 5);
+    ];
+  (* The faulty rows only prove recovery if faults actually fired: re-run
+     the sequential faulty case instrumented and demand retries > 0. *)
+  Pan_obs.Obs.configure ();
+  let retried =
+    Fun.protect
+      ~finally:(fun () -> Pan_obs.Obs.disable ())
+      (fun () ->
+        ignore (run ~faults:true ~retries:5 None);
+        Pan_obs.Metrics.counter (Pan_obs.Obs.metrics ()) "runner.retries")
+  in
+  Format.fprintf fmt "injected-fault retries exercised: %d@." retried;
+  if retried <= 0 then ok := false;
+  !ok
+
 let full_run () =
   reproduce_gadgets ();
   reproduce_methods ();
@@ -675,6 +746,7 @@ let full_run () =
   runner_scaling ();
   run_compact_core `Smoke;
   ignore (run_bosco `Smoke : bool);
+  ignore (run_supervised () : bool);
   run_benchmarks ();
   run_runner_pair ();
   obs_profile ()
@@ -686,9 +758,11 @@ let () =
   | "topo-full" -> run_compact_core `Full
   | "bosco" -> if not (run_bosco `Full) then exit 1
   | "bosco-smoke" -> if not (run_bosco `Smoke) then exit 1
+  | "faults" -> if not (run_supervised ()) then exit 1
   | other ->
       Format.eprintf
-        "usage: %s [topo|topo-full|bosco|bosco-smoke]  (unknown part %S)@."
+        "usage: %s [topo|topo-full|bosco|bosco-smoke|faults]  (unknown part \
+         %S)@."
         Sys.argv.(0) other;
       exit 2);
   Format.fprintf fmt "@.bench: done@."

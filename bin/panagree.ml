@@ -33,6 +33,70 @@ let jobs_arg =
 
 let with_jobs jobs f = Pan_runner.Pool.with_pool ~domains:jobs f
 
+(* Supervision options, shared by every --jobs subcommand.  --faults is
+   applied as a side effect of term evaluation (equivalent to setting
+   PANAGREE_FAULTS), so the experiment code only sees retries/deadline. *)
+
+type supervision = { retries : int; deadline : float option }
+
+let retries_arg =
+  let doc =
+    "Retry each failed chunk up to $(docv) extra times.  Retried chunks \
+     replay their deterministic RNG split, so a run that recovers from \
+     (injected) faults is byte-identical to a fault-free run."
+  in
+  let nonneg_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 0 -> Ok n
+      | Ok _ -> Error (`Msg "must be non-negative")
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(value & opt nonneg_int 0 & info [ "retries" ] ~doc ~docv:"N")
+
+let deadline_arg =
+  let doc =
+    "Abort the run once $(docv) seconds of wall clock have elapsed \
+     (checked cooperatively at chunk boundaries; honors \
+     PANAGREE_VCLOCK)."
+  in
+  let pos_float =
+    let parse s =
+      match Arg.conv_parser Arg.float s with
+      | Ok d when d > 0.0 -> Ok d
+      | Ok _ -> Error (`Msg "must be positive")
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.float)
+  in
+  Arg.(value & opt (some pos_float) None
+       & info [ "deadline" ] ~doc ~docv:"SECONDS")
+
+let faults_arg =
+  let doc =
+    "Inject deterministic faults at chunk boundaries.  $(docv) is \
+     comma-separated key=value pairs: seed= (draw seed), rate= (failure \
+     probability per chunk attempt), delay= (seconds), delay-rate=.  \
+     Equivalent to setting the PANAGREE_FAULTS environment variable; \
+     combine with --retries to exercise recovery."
+  in
+  let fault_conv =
+    Arg.conv
+      ( Pan_runner.Fault.parse,
+        fun ppf s -> Format.pp_print_string ppf (Pan_runner.Fault.to_string s)
+      )
+  in
+  Arg.(value & opt (some fault_conv) None & info [ "faults" ] ~doc ~docv:"SPEC")
+
+let sup_term =
+  let make retries deadline faults =
+    Option.iter (fun spec -> Pan_runner.Fault.set (Some spec)) faults;
+    { retries; deadline }
+  in
+  Term.(const make $ retries_arg $ deadline_arg $ faults_arg)
+
 let metrics_arg =
   let doc =
     "After the run, write a metrics snapshot (stable sorted JSON: \
@@ -134,31 +198,34 @@ let fig2_cmd =
     Arg.(value & opt (list int) [ 2; 5; 10; 20; 35; 50; 75; 100 ]
          & info [ "ws" ] ~doc:"Choice-set cardinalities to sweep.")
   in
-  let run seed jobs metrics trace trials ws =
+  let run seed jobs sup metrics trace trials ws =
     with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs (fun pool ->
         List.iter
           (fun s -> Fig2_pod.pp_series fmt s)
-          (Fig2_pod.run_both ~pool ~ws ~trials ~seed ()))
+          (Fig2_pod.run_both ~pool ~retries:sup.retries ?deadline:sup.deadline
+             ~ws ~trials ~seed ()))
   in
   Cmd.v
     (Cmd.info "fig2" ~doc:"Fig. 2: Price of Dishonesty vs. choice-set size.")
     Term.(
-      const run $ seed_arg $ jobs_arg $ metrics_arg $ trace_arg $ trials $ ws)
+      const run $ seed_arg $ jobs_arg $ sup_term $ metrics_arg $ trace_arg
+      $ trials $ ws)
 
 (* ------------------------------------------------------------------ *)
 (* fig3 / fig4 / summary (one diversity run feeds all three)           *)
 
-let diversity_run ~pool caida transit stubs seed sample =
+let diversity_run ~pool ~sup caida transit stubs seed sample =
   let g = topology ~caida ~transit ~stubs ~seed in
-  Diversity.analyze ~pool ~sample_size:sample ~seed:(seed + 1) g
+  Diversity.analyze ~pool ~retries:sup.retries ?deadline:sup.deadline
+    ~sample_size:sample ~seed:(seed + 1) g
 
 let fig34_cmd =
-  let run caida transit stubs seed jobs metrics trace sample =
+  let run caida transit stubs seed jobs sup metrics trace sample =
     with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs (fun pool ->
         Diversity.pp_result fmt
-          (diversity_run ~pool caida transit stubs seed sample))
+          (diversity_run ~pool ~sup caida transit stubs seed sample))
   in
   Cmd.v
     (Cmd.info "fig3"
@@ -167,14 +234,14 @@ let fig34_cmd =
           destinations per MA-conclusion scenario.")
     Term.(
       const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
-      $ metrics_arg $ trace_arg $ sample_arg)
+      $ sup_term $ metrics_arg $ trace_arg $ sample_arg)
 
 let summary_cmd =
-  let run caida transit stubs seed jobs metrics trace sample =
+  let run caida transit stubs seed jobs sup metrics trace sample =
     with_obs ~metrics ~trace @@ fun () ->
     let result =
       with_jobs jobs (fun pool ->
-          diversity_run ~pool caida transit stubs seed sample)
+          diversity_run ~pool ~sup caida transit stubs seed sample)
     in
     let agg = Diversity.aggregate_stats result in
     Format.fprintf fmt
@@ -188,39 +255,41 @@ let summary_cmd =
     (Cmd.info "summary" ~doc:"§VI-A aggregate path-diversity statistics.")
     Term.(
       const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
-      $ metrics_arg $ trace_arg $ sample_arg)
+      $ sup_term $ metrics_arg $ trace_arg $ sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fig5 / fig6                                                         *)
 
 let fig5_cmd =
-  let run caida transit stubs seed jobs metrics trace sample =
+  let run caida transit stubs seed jobs sup metrics trace sample =
     with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs (fun pool ->
         let g = topology ~caida ~transit ~stubs ~seed in
         Geodistance.pp fmt
-          (Geodistance.run ~pool ~sample_size:sample ~seed:(seed + 1) g))
+          (Geodistance.run ~pool ~retries:sup.retries ?deadline:sup.deadline
+             ~sample_size:sample ~seed:(seed + 1) g))
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Fig. 5: geodistance of MA-added paths.")
     Term.(
       const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
-      $ metrics_arg $ trace_arg $ sample_arg)
+      $ sup_term $ metrics_arg $ trace_arg $ sample_arg)
 
 let fig6_cmd =
-  let run caida transit stubs seed jobs metrics trace sample =
+  let run caida transit stubs seed jobs sup metrics trace sample =
     with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs (fun pool ->
         let g = topology ~caida ~transit ~stubs ~seed in
         Bandwidth_exp.pp fmt
-          (Bandwidth_exp.run ~pool ~sample_size:sample ~seed:(seed + 1) g))
+          (Bandwidth_exp.run ~pool ~retries:sup.retries ?deadline:sup.deadline
+             ~sample_size:sample ~seed:(seed + 1) g))
   in
   Cmd.v
     (Cmd.info "fig6"
        ~doc:"Fig. 6: bandwidth of MA-added paths (degree-gravity model).")
     Term.(
       const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
-      $ metrics_arg $ trace_arg $ sample_arg)
+      $ sup_term $ metrics_arg $ trace_arg $ sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gadgets / methods                                                   *)
@@ -237,15 +306,18 @@ let methods_cmd =
     Arg.(value & opt int 100
          & info [ "scenarios" ] ~doc:"Number of random scenarios.")
   in
-  let run seed jobs metrics trace n =
+  let run seed jobs sup metrics trace n =
     with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs (fun pool ->
-        Methods_exp.pp fmt (Methods_exp.run ~pool ~scenarios:n ~seed ()))
+        Methods_exp.pp fmt
+          (Methods_exp.run ~pool ~retries:sup.retries ?deadline:sup.deadline
+             ~scenarios:n ~seed ()))
   in
   Cmd.v
     (Cmd.info "methods"
        ~doc:"§IV-C: cash compensation vs. flow-volume targets.")
-    Term.(const run $ seed_arg $ jobs_arg $ metrics_arg $ trace_arg $ n)
+    Term.(
+      const run $ seed_arg $ jobs_arg $ sup_term $ metrics_arg $ trace_arg $ n)
 
 (* ------------------------------------------------------------------ *)
 (* extensions: resilience / chained / export                           *)
@@ -353,24 +425,28 @@ let export_cmd =
     Arg.(value & opt string "export"
          & info [ "out" ] ~doc:"Output directory for CSV files.")
   in
-  let run caida transit stubs seed jobs metrics trace sample out =
+  let run caida transit stubs seed jobs sup metrics trace sample out =
     with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs @@ fun pool ->
+    let retries = sup.retries and deadline = sup.deadline in
     if not (Sys.file_exists out) then Sys.mkdir out 0o755;
     let file name = Filename.concat out name in
     let g = topology ~caida ~transit ~stubs ~seed in
     Export.topology ~path:(file "topology.as-rel2") g;
     Export.fig2 ~path:(file "fig2.csv")
-      (Fig2_pod.run_both ~pool ~trials:100 ~seed ());
+      (Fig2_pod.run_both ~pool ~retries ?deadline ~trials:100 ~seed ());
     Export.diversity ~paths_csv:(file "fig3_paths.csv")
       ~dests_csv:(file "fig4_destinations.csv")
-      (Diversity.analyze ~pool ~sample_size:sample ~seed:(seed + 1) g);
+      (Diversity.analyze ~pool ~retries ?deadline ~sample_size:sample
+         ~seed:(seed + 1) g);
     Export.pair_metric ~counts_csv:(file "fig5a_counts.csv")
       ~improvements_csv:(file "fig5b_reductions.csv")
-      (Geodistance.run ~pool ~sample_size:sample ~seed:(seed + 1) g);
+      (Geodistance.run ~pool ~retries ?deadline ~sample_size:sample
+         ~seed:(seed + 1) g);
     Export.pair_metric ~counts_csv:(file "fig6a_counts.csv")
       ~improvements_csv:(file "fig6b_increases.csv")
-      (Bandwidth_exp.run ~pool ~sample_size:sample ~seed:(seed + 1) g);
+      (Bandwidth_exp.run ~pool ~retries ?deadline ~sample_size:sample
+         ~seed:(seed + 1) g);
     Export.resilience ~path:(file "resilience.csv")
       (Resilience.run ~seed:(seed + 1) g);
     Export.chained ~path:(file "chained.csv")
@@ -387,30 +463,36 @@ let export_cmd =
        ~doc:"Run every experiment and write the raw series as CSV files.")
     Term.(
       const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
-      $ metrics_arg $ trace_arg $ sample_arg $ out)
+      $ sup_term $ metrics_arg $ trace_arg $ sample_arg $ out)
 
 (* ------------------------------------------------------------------ *)
 (* all                                                                 *)
 
 let all_cmd =
-  let run seed jobs metrics trace =
+  let run seed jobs sup metrics trace =
     with_obs ~metrics ~trace @@ fun () ->
     with_jobs jobs @@ fun pool ->
+    let retries = sup.retries and deadline = sup.deadline in
     Format.fprintf fmt "=== E7 gadgets ===@.";
     Gadget_exp.pp fmt (Gadget_exp.run ~seed ());
     Format.fprintf fmt "@.=== E8 methods ===@.";
-    Methods_exp.pp fmt (Methods_exp.run ~pool ~scenarios:50 ~seed ());
+    Methods_exp.pp fmt
+      (Methods_exp.run ~pool ~retries ?deadline ~scenarios:50 ~seed ());
     Format.fprintf fmt "@.=== E1 fig2 (reduced) ===@.";
     List.iter
       (fun s -> Fig2_pod.pp_series fmt s)
-      (Fig2_pod.run_both ~pool ~ws:[ 2; 10; 50 ] ~trials:50 ~seed ());
+      (Fig2_pod.run_both ~pool ~retries ?deadline ~ws:[ 2; 10; 50 ] ~trials:50
+         ~seed ());
     Format.fprintf fmt "@.=== E2/E3/E6 diversity ===@.";
     let g = topology ~caida:None ~transit:200 ~stubs:1000 ~seed in
-    Diversity.pp_result fmt (Diversity.analyze ~pool ~sample_size:300 ~seed g);
+    Diversity.pp_result fmt
+      (Diversity.analyze ~pool ~retries ?deadline ~sample_size:300 ~seed g);
     Format.fprintf fmt "@.=== E4 fig5 ===@.";
-    Geodistance.pp fmt (Geodistance.run ~pool ~sample_size:300 ~seed g);
+    Geodistance.pp fmt
+      (Geodistance.run ~pool ~retries ?deadline ~sample_size:300 ~seed g);
     Format.fprintf fmt "@.=== E5 fig6 ===@.";
-    Bandwidth_exp.pp fmt (Bandwidth_exp.run ~pool ~sample_size:300 ~seed g);
+    Bandwidth_exp.pp fmt
+      (Bandwidth_exp.run ~pool ~retries ?deadline ~sample_size:300 ~seed g);
     Format.fprintf fmt "@.=== E9 resilience (extension) ===@.";
     Resilience.pp fmt (Resilience.run ~pairs:60 ~seed g);
     Format.fprintf fmt "@.=== E10 chained agreements (extension) ===@.";
@@ -418,7 +500,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment at reduced scale.")
-    Term.(const run $ seed_arg $ jobs_arg $ metrics_arg $ trace_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ sup_term $ metrics_arg $ trace_arg)
 
 let () =
   let info =

@@ -48,8 +48,8 @@ let negotiate ?(construction = Random_sampling) ?truthful ?workspace ?kernel
       Strategy.support_size ~workspace dist_y eq.Equilibrium.strategy_y;
   }
 
-let trials ?(construction = Random_sampling) ?kernel ?pool ?(chunk = 8) ~rng
-    ~dist_x ~dist_y ~w ~n () =
+let trials ?(construction = Random_sampling) ?kernel ?pool ?(chunk = 8)
+    ?retries ?deadline ~rng ~dist_x ~dist_y ~w ~n () =
   if n < 1 then invalid_arg "Service.trials: n < 1";
   let truthful =
     Efficiency.expected_nash_truthful
@@ -60,7 +60,7 @@ let trials ?(construction = Random_sampling) ?kernel ?pool ?(chunk = 8) ~rng
      reproducible in isolation). *)
   let reports =
     Obs.with_span "bosco/trials" (fun () ->
-        Pan_runner.Task.map_reduce ?pool ~rng ~n ~chunk
+        Pan_runner.Task.map_reduce ?pool ?retries ?deadline ~rng ~n ~chunk
           ~f:(fun crng _ ->
             let r =
               negotiate ~construction ~truthful ?kernel ~rng:crng ~dist_x

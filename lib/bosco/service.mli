@@ -49,6 +49,8 @@ val trials :
   ?kernel:Equilibrium.kernel ->
   ?pool:Pan_runner.Pool.t ->
   ?chunk:int ->
+  ?retries:int ->
+  ?deadline:float ->
   rng:Rng.t ->
   dist_x:Distribution.t ->
   dist_y:Distribution.t ->
@@ -60,7 +62,10 @@ val trials :
     cardinality); the truthful benchmark is computed once and shared.
     Trials are chunked ([chunk], default 8) onto [pool] with a split
     generator per chunk, so the report list is identical for any pool
-    size; [rng] is advanced by one {!Rng.split} per chunk. *)
+    size; [rng] is advanced by one {!Rng.split} per chunk.
+    [retries]/[deadline] supervise the chunks as in
+    {!Pan_runner.Task.map_reduce}: a chunk recovered by retry replays
+    the same split generator, leaving the reports bit-identical. *)
 
 val best : report list -> report
 (** Lowest-PoD report. @raise Invalid_argument on an empty list. *)

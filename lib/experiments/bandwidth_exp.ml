@@ -1,13 +1,14 @@
 open Pan_topology
 
-let run ?pool ?(sample_size = 500) ?(seed = 7) g =
+let run ?pool ?retries ?deadline ?(sample_size = 500) ?(seed = 7) g =
   (* One freeze serves both the capacity model and the pair analysis. *)
   let c = Compact.freeze g in
   let bw =
     Pan_obs.Obs.with_span "fig6/bw_model" (fun () -> Bandwidth.of_compact c)
   in
-  Pair_analysis.analyze ?pool ~compact:c ~obs_prefix:"fig6" ~sample_size ~seed
-    ~graph:g ~metric:(Bandwidth.path3_bandwidth bw) ~better:`Higher ()
+  Pair_analysis.analyze ?pool ?retries ?deadline ~compact:c ~obs_prefix:"fig6"
+    ~sample_size ~seed ~graph:g ~metric:(Bandwidth.path3_bandwidth bw)
+    ~better:`Higher ()
 
 let run_default ?(params = Gen.default_params) ?(topology_seed = 42) () =
   let g = Gen.graph (Gen.generate ~params ~seed:topology_seed ()) in

@@ -5,6 +5,8 @@ open Pan_topology
 
 val run :
   ?pool:Pan_runner.Pool.t ->
+  ?retries:int ->
+  ?deadline:float ->
   ?sample_size:int ->
   ?seed:int ->
   Graph.t ->
@@ -12,7 +14,8 @@ val run :
 (** A path is "better" when its bottleneck capacity is higher; the
     improvement metric is the relative bandwidth increase of the best MA
     path over the best GRC path.  Sources run on [pool]; the result is
-    bit-identical for any pool size. *)
+    bit-identical for any pool size.  [retries]/[deadline] supervise as
+    in {!Pair_analysis.analyze}. *)
 
 val run_default : ?params:Gen.params -> ?topology_seed:int -> unit ->
   Graph.t * Pair_analysis.result

@@ -39,7 +39,8 @@ let scenarios_for top_ns =
 
 let scenarios_of config = scenarios_for config.top_ns
 
-let analyze ?pool ?(sample_size = 500) ?(seed = 7) ?(top_ns = [ 1; 2; 5 ]) g =
+let analyze ?pool ?retries ?deadline ?(sample_size = 500) ?(seed = 7)
+    ?(top_ns = [ 1; 2; 5 ]) g =
   Obs.with_span "diversity/analyze" @@ fun () ->
   let scenarios = scenarios_for top_ns in
   (* Freeze once; the read-only view is shared by every pool domain. *)
@@ -84,16 +85,17 @@ let analyze ?pool ?(sample_size = 500) ?(seed = 7) ?(top_ns = [ 1; 2; 5 ]) g =
      pure, so running it on the pool leaves the figures bit-identical. *)
   let sampled =
     Obs.with_span "diversity/enumerate" (fun () ->
-        Pan_runner.Task.map ?pool ~chunk:8 ~n:(Array.length sample)
+        Pan_runner.Task.map ?pool ?retries ?deadline ~chunk:8
+          ~n:(Array.length sample)
           ~f:(fun i -> analyze_as sample.(i))
           ())
   in
   { graph = g; scenarios; sampled = Array.to_list sampled }
 
-let run ?pool config =
+let run ?pool ?retries ?deadline config =
   let gen = Gen.generate ~params:config.params ~seed:config.topology_seed () in
-  analyze ?pool ~sample_size:config.sample_size ~seed:config.sample_seed
-    ~top_ns:config.top_ns (Gen.graph gen)
+  analyze ?pool ?retries ?deadline ~sample_size:config.sample_size
+    ~seed:config.sample_seed ~top_ns:config.top_ns (Gen.graph gen)
 
 let values_for result extract scenario =
   Array.of_list

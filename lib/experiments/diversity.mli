@@ -36,6 +36,8 @@ val scenarios_of : config -> Path_enum.scenario list
 
 val analyze :
   ?pool:Pan_runner.Pool.t ->
+  ?retries:int ->
+  ?deadline:float ->
   ?sample_size:int ->
   ?seed:int ->
   ?top_ns:int list ->
@@ -43,9 +45,16 @@ val analyze :
   result
 (** Run the analysis on an existing graph (e.g. parsed CAIDA data).  The
     per-AS enumeration runs on [pool]; AS sampling stays on the sequential
-    generator, so the result is bit-identical for any pool size. *)
+    generator, so the result is bit-identical for any pool size.
+    [retries]/[deadline] supervise the enumeration chunks as in
+    {!Pan_runner.Task.map}. *)
 
-val run : ?pool:Pan_runner.Pool.t -> config -> result
+val run :
+  ?pool:Pan_runner.Pool.t ->
+  ?retries:int ->
+  ?deadline:float ->
+  config ->
+  result
 (** Generate the synthetic topology and {!analyze} it. *)
 
 val paths_cdf : result -> Path_enum.scenario -> Stats.cdf

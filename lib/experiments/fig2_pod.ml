@@ -16,8 +16,8 @@ let u2 = Distribution.uniform (-0.5) 1.0
 
 let default_ws = [ 2; 5; 10; 20; 35; 50; 75; 100 ]
 
-let run ?construction ?pool ?(ws = default_ws) ?(trials = 200) ~seed ~label
-    dist =
+let run ?construction ?pool ?retries ?deadline ?(ws = default_ws)
+    ?(trials = 200) ~seed ~label dist =
   Pan_obs.Obs.with_span ("fig2/" ^ label) @@ fun () ->
   let rng = Rng.create seed in
   let points =
@@ -26,8 +26,8 @@ let run ?construction ?pool ?(ws = default_ws) ?(trials = 200) ~seed ~label
         let reports =
           Pan_obs.Obs.with_span (Printf.sprintf "fig2/%s/w%d" label w)
             (fun () ->
-              Service.trials ?construction ?pool ~rng ~dist_x:dist
-                ~dist_y:dist ~w ~n:trials ())
+              Service.trials ?construction ?pool ?retries ?deadline ~rng
+                ~dist_x:dist ~dist_y:dist ~w ~n:trials ())
         in
         let eq_choices =
           List.fold_left
@@ -51,10 +51,10 @@ let run ?construction ?pool ?(ws = default_ws) ?(trials = 200) ~seed ~label
   in
   { label; points }
 
-let run_both ?pool ?ws ?trials ~seed () =
+let run_both ?pool ?retries ?deadline ?ws ?trials ~seed () =
   [
-    run ?pool ?ws ?trials ~seed ~label:"U(1)" u1;
-    run ?pool ?ws ?trials ~seed:(seed + 1) ~label:"U(2)" u2;
+    run ?pool ?retries ?deadline ?ws ?trials ~seed ~label:"U(1)" u1;
+    run ?pool ?retries ?deadline ?ws ?trials ~seed:(seed + 1) ~label:"U(2)" u2;
   ]
 
 let pp_series fmt s =

@@ -28,6 +28,8 @@ val u2 : Distribution.t
 val run :
   ?construction:Pan_bosco.Service.construction ->
   ?pool:Pan_runner.Pool.t ->
+  ?retries:int ->
+  ?deadline:float ->
   ?ws:int list ->
   ?trials:int ->
   seed:int ->
@@ -37,11 +39,13 @@ val run :
 (** Sweep over [ws] (default [2; 5; 10; 20; 35; 50; 75; 100]) with [trials]
     choice-set combinations each (default 200, the paper's setting); both
     parties share the given marginal distribution.  Trials run on [pool]
-    (see {!Pan_bosco.Service.trials}); the series is identical for any
-    pool size. *)
+    (see {!Pan_bosco.Service.trials}, also for the [retries]/[deadline]
+    supervision semantics); the series is identical for any pool size. *)
 
 val run_both :
   ?pool:Pan_runner.Pool.t ->
+  ?retries:int ->
+  ?deadline:float ->
   ?ws:int list ->
   ?trials:int ->
   seed:int ->

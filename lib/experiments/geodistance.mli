@@ -9,6 +9,8 @@ open Pan_topology
 
 val run :
   ?pool:Pan_runner.Pool.t ->
+  ?retries:int ->
+  ?deadline:float ->
   ?sample_size:int ->
   ?seed:int ->
   ?geo_seed:int ->
@@ -16,7 +18,8 @@ val run :
   Pair_analysis.result
 (** Analyze all pairs with a GRC length-3 path among [sample_size]
     sampled sources (defaults 500 / seed 7 / geo_seed 11).  Sources run
-    on [pool]; the result is bit-identical for any pool size. *)
+    on [pool]; the result is bit-identical for any pool size.
+    [retries]/[deadline] supervise as in {!Pair_analysis.analyze}. *)
 
 val run_default : ?params:Gen.params -> ?topology_seed:int -> unit ->
   Graph.t * Pair_analysis.result

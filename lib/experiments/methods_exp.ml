@@ -20,13 +20,14 @@ type outcome = {
   is_cash_only : bool;
 }
 
-let run ?pool ?(chunk = 4) ?(scenarios = 100) ?(seed = 3) () =
+let run ?pool ?retries ?deadline ?(chunk = 4) ?(scenarios = 100) ?(seed = 3) ()
+    =
   Obs.with_span "methods/run" @@ fun () ->
   let g = Gen.fig1 () in
   let d = Gen.fig1_asn 'D' and e = Gen.fig1_asn 'E' in
   let rng = Rng.create seed in
   let cash_n, fv_n, cash_only_n, cash_joint, fv_joint =
-    Pan_runner.Task.map_reduce ?pool ~rng ~n:scenarios ~chunk
+    Pan_runner.Task.map_reduce ?pool ?retries ?deadline ~rng ~n:scenarios ~chunk
       ~f:(fun crng _ ->
         let scenario = Scenario_gen.random_scenario crng g ~x:d ~y:e in
         let c = Negotiation.compare_methods ~starts_per_dim:2 scenario in

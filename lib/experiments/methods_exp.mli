@@ -15,6 +15,8 @@ type report = {
 
 val run :
   ?pool:Pan_runner.Pool.t ->
+  ?retries:int ->
+  ?deadline:float ->
   ?chunk:int ->
   ?scenarios:int ->
   ?seed:int ->
@@ -24,6 +26,7 @@ val run :
     (default 100 scenarios).  Scenario chunks ([chunk], default 4) draw
     from split generators and run on [pool]; counters and utility sums are
     folded in scenario order, so the report is bit-identical for any pool
-    size. *)
+    size.  [retries]/[deadline] supervise as in
+    {!Pan_runner.Task.map_reduce}. *)
 
 val pp : Format.formatter -> report -> unit

@@ -11,8 +11,8 @@ type pair_counts = {
 
 type result = { pairs : pair_counts list; improvements : float list }
 
-let analyze ?pool ?compact ?(obs_prefix = "pairs") ?(sample_size = 500)
-    ?(seed = 7) ~graph:g ~metric ~better () =
+let analyze ?pool ?retries ?deadline ?compact ?(obs_prefix = "pairs")
+    ?(sample_size = 500) ?(seed = 7) ~graph:g ~metric ~better () =
   Obs.with_span (obs_prefix ^ "/analyze") @@ fun () ->
   (* Callers that already hold a frozen view (e.g. to build the metric
      model) pass it in; otherwise freeze here.  Either way the view is
@@ -99,7 +99,8 @@ let analyze ?pool ?compact ?(obs_prefix = "pairs") ?(sample_size = 500)
     (!pairs, !improvements)
   in
   let per_src =
-    Pan_runner.Task.map ?pool ~chunk:4 ~n:(Array.length sample)
+    Pan_runner.Task.map ?pool ?retries ?deadline ~chunk:4
+      ~n:(Array.length sample)
       ~f:(fun i -> analyze_src sample.(i))
       ()
   in

@@ -27,6 +27,8 @@ type result = {
 
 val analyze :
   ?pool:Pan_runner.Pool.t ->
+  ?retries:int ->
+  ?deadline:float ->
   ?compact:Compact.t ->
   ?obs_prefix:string ->
   ?sample_size:int ->
@@ -39,7 +41,8 @@ val analyze :
 (** [metric src mid dst] scores a length-3 path; [better] says whether
     lower (geodistance) or higher (bandwidth) is preferable.  [metric]
     must be pure: source ASes are analyzed on [pool], and the result is
-    bit-identical for any pool size.
+    bit-identical for any pool size.  [retries]/[deadline] supervise the
+    source chunks as in {!Pan_runner.Task.map}.
 
     Path enumeration runs on the frozen {!Compact} view.  Pass [compact]
     (which must be [Compact.freeze graph], or a view of an equal graph)

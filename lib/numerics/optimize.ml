@@ -143,11 +143,22 @@ let multistart_nelder_mead ?(starts_per_dim = 3) ?(max_iter = 2000) ~f ~box ()
     let lo, hi = box.(i) in
     lo +. ((hi -. lo) *. (float_of_int j +. 0.5) /. float_of_int spd)
   in
-  let total = int_of_float (float_of_int spd ** float_of_int n) in
+  (* Lattice size spd^n as a capped integer product: int_of_float (spd **
+     n) overflows (and saturates arbitrarily) for high-dimensional boxes,
+     whereas stopping the product at the cap is exact for every n. *)
+  let lattice_cap = 243 in
+  let total =
+    let rec go acc i =
+      if i = 0 then acc
+      else if acc > lattice_cap / spd then lattice_cap + 1
+      else go (acc * spd) (i - 1)
+    in
+    go 1 n
+  in
   (* Cap the lattice to keep high-dimensional problems tractable; fall back
      to axis midpoints plus the box center when the full grid is too big. *)
   let starts =
-    if total <= 243 then
+    if total <= lattice_cap then
       List.init total (fun flat ->
           let p = Array.make n 0.0 in
           let rest = ref flat in

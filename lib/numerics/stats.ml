@@ -20,11 +20,21 @@ let min_max xs =
     (xs.(0), xs.(0))
     xs
 
+(* Monomorphic Float.compare keeps the sort fast (no polymorphic-compare
+   dispatch per element) and gives NaN a defined position — first — so
+   one O(1) post-sort check rejects NaN input instead of silently
+   returning order-dependent quantiles. *)
+let sorted_copy name xs =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  if Float.is_nan sorted.(0) then
+    invalid_arg ("Stats." ^ name ^ ": NaN input");
+  sorted
+
 let percentile xs p =
   check_nonempty "percentile" xs;
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  let sorted = sorted_copy "percentile" xs in
   let n = Array.length sorted in
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
@@ -40,9 +50,7 @@ type cdf = { sorted : float array }
 
 let ecdf xs =
   check_nonempty "ecdf" xs;
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
-  { sorted }
+  { sorted = sorted_copy "ecdf" xs }
 
 (* Number of elements <= x, via binary search for the rightmost such index. *)
 let count_le sorted x =

@@ -19,7 +19,9 @@ val min_max : float array -> float * float
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in [\[0, 100\]], linear interpolation between
     order statistics (the common "type 7" estimate). Does not mutate [xs].
-    @raise Invalid_argument on an empty array or out-of-range [p]. *)
+    Sorting uses [Float.compare], so the result is deterministic.
+    @raise Invalid_argument on an empty array, out-of-range [p], or NaN
+    input. *)
 
 val median : float array -> float
 (** [median xs = percentile xs 50.0]. *)
@@ -29,7 +31,7 @@ type cdf
 
 val ecdf : float array -> cdf
 (** Build the empirical CDF of a sample.
-    @raise Invalid_argument on an empty array. *)
+    @raise Invalid_argument on an empty array or NaN input. *)
 
 val cdf_at : cdf -> float -> float
 (** [cdf_at c x] is the fraction of sample points [<= x]. *)

@@ -1,0 +1,111 @@
+open Pan_numerics
+module Obs = Pan_obs.Obs
+module Clock = Pan_obs.Clock
+
+type spec = { seed : int; rate : float; delay : float; delay_rate : float }
+
+exception Injected of { chunk : int; attempt : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { chunk; attempt } ->
+        Some (Printf.sprintf "Fault.Injected(chunk=%d, attempt=%d)" chunk attempt)
+    | _ -> None)
+
+let probability name v =
+  if Float.is_nan v || v < 0.0 || v > 1.0 then
+    Error (`Msg (Printf.sprintf "%s must be in [0,1], got %g" name v))
+  else Ok v
+
+let parse s =
+  let ( let* ) = Result.bind in
+  let field acc kv =
+    let* acc = acc in
+    match String.index_opt kv '=' with
+    | None -> Error (`Msg (Printf.sprintf "expected key=value, got %S" kv))
+    | Some i ->
+        let key = String.sub kv 0 i in
+        let value = String.sub kv (i + 1) (String.length kv - i - 1) in
+        let* f =
+          match float_of_string_opt value with
+          | Some f -> Ok f
+          | None -> Error (`Msg (Printf.sprintf "%s: not a number: %S" key value))
+        in
+        (match key with
+        | "seed" -> Ok { acc with seed = int_of_float f }
+        | "rate" ->
+            let* r = probability "rate" f in
+            Ok { acc with rate = r }
+        | "delay" ->
+            if Float.is_nan f || f < 0.0 then
+              Error (`Msg (Printf.sprintf "delay must be >= 0, got %g" f))
+            else Ok { acc with delay = f }
+        | "delay-rate" ->
+            let* r = probability "delay-rate" f in
+            Ok { acc with delay_rate = r }
+        | k -> Error (`Msg (Printf.sprintf "unknown key %S" k)))
+  in
+  let parts =
+    List.filter (fun p -> p <> "")
+      (String.split_on_char ',' (String.trim s))
+  in
+  if parts = [] then Error (`Msg "empty fault spec")
+  else
+    let* spec =
+      List.fold_left field
+        (Ok { seed = 0; rate = 0.0; delay = 0.0; delay_rate = Float.nan })
+        parts
+    in
+    (* delay-rate defaults to 1 once a delay is requested, 0 otherwise *)
+    let delay_rate =
+      if Float.is_nan spec.delay_rate then if spec.delay > 0.0 then 1.0 else 0.0
+      else spec.delay_rate
+    in
+    Ok { spec with delay_rate }
+
+let to_string s =
+  Printf.sprintf "rate=%g,seed=%d,delay=%g,delay-rate=%g" s.rate s.seed s.delay
+    s.delay_rate
+
+let env_var = "PANAGREE_FAULTS"
+
+let of_env () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some s -> (
+      match parse s with
+      | Ok spec -> Some spec
+      | Error (`Msg m) -> invalid_arg (env_var ^ ": " ^ m))
+
+(* Written by the coordinating domain before a run, read by every worker:
+   an Atomic publishes the spec safely across domains. *)
+let current : spec option Atomic.t = Atomic.make (of_env ())
+let set spec = Atomic.set current spec
+let get () = Atomic.get current
+
+(* One independent uniform draw per (seed, chunk, attempt, purpose):
+   Rng.create scrambles the combined key through SplitMix64, so nearby
+   keys give unrelated streams. *)
+let draw ~seed ~chunk ~attempt ~purpose =
+  let key =
+    seed
+    + (chunk * 1_000_003)
+    + (attempt * 7_368_787)
+    + (purpose * 97_001_837)
+  in
+  Rng.float (Rng.create key)
+
+let inject ~clock ~chunk ~attempt =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+      if s.delay > 0.0 && draw ~seed:s.seed ~chunk ~attempt ~purpose:1 < s.delay_rate
+      then begin
+        Obs.incr "fault.delays";
+        if Clock.is_virtual clock then Clock.advance clock s.delay
+        else Unix.sleepf s.delay
+      end;
+      if draw ~seed:s.seed ~chunk ~attempt ~purpose:2 < s.rate then begin
+        Obs.incr "fault.injected";
+        raise (Injected { chunk; attempt })
+      end

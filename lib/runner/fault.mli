@@ -1,0 +1,55 @@
+(** Deterministic, seed-driven fault injection at chunk boundaries.
+
+    The supervised runner ({!Supervise}) calls {!inject} at the start of
+    every chunk attempt.  When a spec is active, the injection decision is
+    a pure function of [(spec.seed, chunk, attempt)] — independent of pool
+    size, scheduling, and wall-clock time — so a faulty run with enough
+    retries reproduces the fault-free result bit-for-bit (the property
+    [test/test_supervise.ml] and [test/cli/faults.t] pin down).  A given
+    [(chunk, attempt)] pair either always faults or never does; retrying
+    moves to the next attempt index and therefore to an independent draw.
+
+    Injection is disabled unless a spec is installed, either explicitly
+    ({!set}, the CLI's [--faults] flag) or through the {!env_var}
+    environment variable read at program start. *)
+
+type spec = {
+  seed : int;  (** stream selector; same seed = same faults *)
+  rate : float;  (** probability in [\[0,1\]] that an attempt raises *)
+  delay : float;  (** seconds of injected delay per delayed attempt *)
+  delay_rate : float;
+      (** probability that an attempt is delayed (default [1.0] when a
+          [delay] is given, [0.0] otherwise) *)
+}
+
+exception Injected of { chunk : int; attempt : int }
+(** The injected failure.  A [Printexc] printer is registered, so an
+    uncaught injection prints deterministically as
+    [Fault.Injected(chunk=C, attempt=A)]. *)
+
+val parse : string -> (spec, [ `Msg of string ]) result
+(** Parse a comma-separated [key=value] spec: [rate=0.2,seed=7] with
+    optional [delay=0.01] and [delay-rate=0.5].  Unknown keys, malformed
+    numbers, and out-of-range probabilities are errors. *)
+
+val to_string : spec -> string
+(** Canonical round-trippable form of a spec. *)
+
+val env_var : string
+(** ["PANAGREE_FAULTS"] — parsed once at program start; a malformed value
+    raises [Invalid_argument] immediately rather than silently running
+    fault-free. *)
+
+val set : spec option -> unit
+(** Install ([Some]) or clear ([None]) the active spec.  Overrides the
+    environment.  Not meant to be called while a run is in flight. *)
+
+val get : unit -> spec option
+(** The active spec, if any. *)
+
+val inject : clock:Pan_obs.Clock.t -> chunk:int -> attempt:int -> unit
+(** Apply the active spec to one chunk attempt: first the delay draw
+    (advancing a virtual [clock] or sleeping on a real one, counted under
+    the [fault.delays] counter), then the failure draw
+    (@raise Injected, counted under [fault.injected]).  A no-op when no
+    spec is active. *)

@@ -13,6 +13,14 @@ type t = {
 
 let domains t = t.domains
 
+(* Jobs report success/failure through their own channel (as Task's
+   completion barrier does); an exception escaping a job must not take a
+   pool domain down with it, or an N-domain pool silently degrades to
+   N-1 for the rest of the process.  Absorb and count instead. *)
+let run_job_absorbing job =
+  try job ()
+  with _ -> Obs.incr "pool.job_failures"
+
 let rec worker_loop t =
   Mutex.lock t.mutex;
   let rec next () =
@@ -27,7 +35,12 @@ let rec worker_loop t =
   | None -> Mutex.unlock t.mutex
   | Some job ->
       Mutex.unlock t.mutex;
-      job ();
+      (try job ()
+       with _ ->
+         (* the worker survives: count the failure, count the loop
+            restart, and go back to the queue *)
+         Obs.incr "pool.job_failures";
+         Obs.incr "pool.worker_restarts");
       worker_loop t
 
 let create ~domains =
@@ -70,13 +83,16 @@ let run_jobs t jobs =
   List.iter (fun j -> Queue.push j t.jobs) jobs;
   Obs.incr ~by:(List.length jobs) "pool.jobs";
   Condition.broadcast t.has_job;
-  (* Help drain the queue: the caller is the pool's last worker. *)
+  (* Help drain the queue: the caller is the pool's last worker.  A
+     raising job must not abort the drain — queued jobs would be
+     stranded and Task's completion barrier would deadlock — so absorb,
+     count, re-lock, and keep draining. *)
   let rec help () =
     if Queue.is_empty t.jobs then Mutex.unlock t.mutex
     else begin
       let job = Queue.pop t.jobs in
       Mutex.unlock t.mutex;
-      job ();
+      run_job_absorbing job;
       Mutex.lock t.mutex;
       help ()
     end

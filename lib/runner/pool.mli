@@ -10,11 +10,21 @@
     reused: {!Task.map_reduce} can be called any number of times on the
     same pool, including after a job raised.
 
+    The pool is exception-safe: a job that raises cannot kill the worker
+    domain that ran it (the domain absorbs the exception and returns to
+    the queue) or abort the caller-helps drain in {!run_jobs}.  Jobs are
+    expected to report failures through their own channel, as
+    {!Task}'s completion barrier and the {!Supervise} engine do; an
+    exception that nevertheless escapes is counted, not propagated.
+
     When {!Pan_obs.Obs} is configured, pool creation records the
     [pool.created] counter and a [pool.domains] high-water gauge, and
-    {!run_jobs} counts enqueued jobs under [pool.jobs].  These are
-    engine-internal metrics: unlike the [runner.*] family they naturally
-    differ between pool sizes (the sequential path never enqueues). *)
+    {!run_jobs} counts enqueued jobs under [pool.jobs].  Absorbed job
+    exceptions count under [pool.job_failures], and each worker-domain
+    loop that survives one counts under [pool.worker_restarts].  These
+    are engine-internal metrics: unlike the [runner.*] family they
+    naturally differ between pool sizes (the sequential path never
+    enqueues). *)
 
 type t
 
@@ -37,6 +47,9 @@ val run_jobs : t -> (unit -> unit) list -> unit
 (** Low-level: enqueue jobs and help drain the queue on the calling
     domain.  Returns when the queue is empty; jobs picked up by other
     workers may still be executing, so callers must track completion
-    themselves (as {!Task} does).  Jobs must not raise.  Only one
-    [run_jobs] may be in flight per pool at a time.
+    themselves (as {!Task} does).  Jobs should report failures through
+    their own channel: an exception escaping a job is absorbed and
+    counted under [pool.job_failures], never propagated, and the
+    executing domain stays alive.  Only one [run_jobs] may be in flight
+    per pool at a time.
     @raise Invalid_argument if the pool has been shut down. *)

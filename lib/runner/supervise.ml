@@ -1,0 +1,159 @@
+module Obs = Pan_obs.Obs
+module Clock = Pan_obs.Clock
+
+type policy = { retries : int; deadline : float option }
+
+let default = { retries = 0; deadline = None }
+
+let policy ?(retries = 0) ?deadline () =
+  if retries < 0 then invalid_arg "Supervise.policy: retries < 0";
+  (match deadline with
+  | Some d when not (d > 0.0) -> invalid_arg "Supervise.policy: deadline <= 0"
+  | _ -> ());
+  { retries; deadline }
+
+type failure = { chunk : int; attempts : int; error : string }
+
+type manifest = {
+  total_chunks : int;
+  completed_chunks : int;
+  retried_chunks : int;
+  failures : failure list;
+  deadline_expired : bool;
+}
+
+let complete m = m.failures = []
+
+let pp_manifest fmt m =
+  Format.fprintf fmt
+    "# supervision: %d/%d chunks completed, %d retried, %d failed%s@."
+    m.completed_chunks m.total_chunks m.retried_chunks (List.length m.failures)
+    (if m.deadline_expired then ", deadline expired" else "");
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "#   chunk %d after %d attempts: %s@." f.chunk
+        f.attempts f.error)
+    m.failures
+
+exception Incomplete of manifest
+
+(* Per-chunk outcome, written by whichever domain ran the chunk and read
+   by the coordinator after the completion barrier. *)
+type 'a outcome =
+  | Done of 'a * int (* attempts used *)
+  | Failed of failure * (exn * Printexc.raw_backtrace) option
+
+let run_chunks ?pool ~policy ~partial ~m run =
+  let clock =
+    match Obs.clock () with Some c -> c | None -> Clock.of_env ()
+  in
+  let t0 = Clock.now clock in
+  let expired () =
+    match policy.deadline with
+    | None -> false
+    | Some d -> Clock.now clock -. t0 >= d
+  in
+  let outcomes : 'a outcome option array = Array.make m None in
+  let hit_deadline = Atomic.make false in
+  (* The whole attempt loop runs on one domain, so retries are immediate
+     and the (chunk, attempt) fault/replay keys never depend on
+     scheduling.  Never raises. *)
+  let attempt_chunk c =
+    let rec go attempt last_err =
+      if expired () then begin
+        Atomic.set hit_deadline true;
+        Obs.incr "runner.chunks_cancelled";
+        let error, exn_bt =
+          match last_err with
+          | Some ((e, _) as eb) -> (Printexc.to_string e, Some eb)
+          | None -> ("deadline expired", None)
+        in
+        outcomes.(c) <-
+          Some (Failed ({ chunk = c; attempts = attempt - 1; error }, exn_bt))
+      end
+      else
+        match
+          try
+            Fault.inject ~clock ~chunk:c ~attempt;
+            Ok (run c)
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        with
+        | Ok v ->
+            if attempt > 1 then Obs.incr "runner.chunks_recovered";
+            outcomes.(c) <- Some (Done (v, attempt))
+        | Error ((e, _) as eb) ->
+            Obs.incr "runner.attempt_failures";
+            if attempt <= policy.retries then begin
+              Obs.incr "runner.retries";
+              go (attempt + 1) (Some eb)
+            end
+            else begin
+              Obs.incr "runner.chunks_failed";
+              outcomes.(c) <-
+                Some
+                  (Failed
+                     ( {
+                         chunk = c;
+                         attempts = attempt;
+                         error = Printexc.to_string e;
+                       },
+                       Some eb ))
+            end
+    in
+    go 1 None
+  in
+  (match pool with
+  | Some p when Pool.domains p > 1 && m > 1 ->
+      let mutex = Mutex.create () in
+      let all_done = Condition.create () in
+      let remaining = ref m in
+      let job c =
+        attempt_chunk c;
+        Mutex.lock mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.signal all_done;
+        Mutex.unlock mutex
+      in
+      Pool.run_jobs p (List.init m (fun c () -> job c));
+      Mutex.lock mutex;
+      while !remaining > 0 do
+        Condition.wait all_done mutex
+      done;
+      Mutex.unlock mutex
+  | _ ->
+      for c = 0 to m - 1 do
+        attempt_chunk c
+      done);
+  let results = Array.make m None in
+  let completed = ref 0 and retried = ref 0 in
+  let failures = ref [] and first_exn = ref None in
+  for c = m - 1 downto 0 do
+    match outcomes.(c) with
+    | Some (Done (v, attempts)) ->
+        results.(c) <- Some v;
+        incr completed;
+        if attempts > 1 then incr retried
+    | Some (Failed (f, exn_bt)) ->
+        failures := f :: !failures;
+        first_exn := exn_bt
+    | None -> assert false
+  done;
+  let deadline_expired = Atomic.get hit_deadline in
+  if deadline_expired then Obs.incr "runner.deadline_expired";
+  let manifest =
+    {
+      total_chunks = m;
+      completed_chunks = !completed;
+      retried_chunks = !retried;
+      failures = !failures;
+      deadline_expired;
+    }
+  in
+  if (not partial) && manifest.failures <> [] then
+    (* All-or-nothing: surface the lowest failed chunk — deterministic,
+       unlike completion order.  first_exn holds that chunk's exception
+       because the loop above walks chunks in descending order. *)
+    match !first_exn with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> raise (Incomplete manifest)
+  else (results, manifest)

@@ -75,67 +75,148 @@ let par_chunks pool ~m run_chunk =
   | None -> ());
   Array.map (function Some v -> v | None -> assert false) results
 
-let map_reduce ?pool ~rng ~n ~chunk ~f ~combine ~init () =
+(* A run is supervised when the caller asked for retry/deadline policy,
+   or when fault injection is active (faults must also hit -j 1 runs so
+   the cram tests can exercise the sequential path).  Only the
+   supervised path pays for buffering and per-attempt Rng copies. *)
+let supervision ~retries ~deadline =
+  if retries = 0 && deadline = None && Fault.get () = None then None
+  else Some (Supervise.policy ~retries ?deadline ())
+
+(* Supervised map_reduce: chunk results are buffered and folded only
+   after the chunk succeeds, so a retried attempt never leaks partial
+   items into the accumulator; every attempt of chunk [c] re-runs on a
+   pristine Rng.copy of the chunk's split generator (retry determinism). *)
+let supervised_map_reduce ?pool ~policy ~partial ~rng ~n ~chunk ~f ~combine
+    ~init () =
+  let m = chunk_count ~n ~chunk in
+  let rngs = split_rngs rng m in
+  let run_chunk c =
+    let crng = Rng.copy rngs.(c) in
+    let hi = min n ((c + 1) * chunk) - 1 in
+    instrument_chunk
+      ~items:(hi - (c * chunk) + 1)
+      (fun () ->
+        (* items in reverse index order; re-reversed during the fold *)
+        let items = ref [] in
+        for i = c * chunk to hi do
+          items := f crng i :: !items
+        done;
+        !items)
+  in
+  let per_chunk, manifest =
+    Supervise.run_chunks ?pool ~policy ~partial ~m run_chunk
+  in
+  let acc =
+    Array.fold_left
+      (fun acc -> function
+        | Some items -> List.fold_left combine acc (List.rev items)
+        | None -> acc)
+      init per_chunk
+  in
+  (acc, manifest)
+
+let map_reduce ?pool ?(retries = 0) ?deadline ~rng ~n ~chunk ~f ~combine ~init
+    () =
   if n < 0 then invalid_arg "Task.map_reduce: n < 0";
   if chunk < 1 then invalid_arg "Task.map_reduce: chunk < 1";
-  let m = chunk_count ~n ~chunk in
-  match pool with
-  | Some p when Pool.domains p > 1 && m > 1 ->
-      let rngs = split_rngs rng m in
-      let run_chunk c =
-        let crng = rngs.(c) in
-        let hi = min n ((c + 1) * chunk) - 1 in
-        instrument_chunk
-          ~items:(hi - (c * chunk) + 1)
-          (fun () ->
-            (* items in reverse index order; re-reversed during the fold *)
-            let items = ref [] in
-            for i = c * chunk to hi do
-              items := f crng i :: !items
-            done;
-            !items)
-      in
-      let per_chunk = par_chunks p ~m run_chunk in
-      Array.fold_left
-        (fun acc items -> List.fold_left combine acc (List.rev items))
-        init per_chunk
-  | _ -> seq_map_reduce ~rng ~n ~chunk ~f ~combine ~init
+  match supervision ~retries ~deadline with
+  | Some policy ->
+      fst
+        (supervised_map_reduce ?pool ~policy ~partial:false ~rng ~n ~chunk ~f
+           ~combine ~init ())
+  | None -> (
+      let m = chunk_count ~n ~chunk in
+      match pool with
+      | Some p when Pool.domains p > 1 && m > 1 ->
+          let rngs = split_rngs rng m in
+          let run_chunk c =
+            let crng = rngs.(c) in
+            let hi = min n ((c + 1) * chunk) - 1 in
+            instrument_chunk
+              ~items:(hi - (c * chunk) + 1)
+              (fun () ->
+                (* items in reverse index order; re-reversed during the fold *)
+                let items = ref [] in
+                for i = c * chunk to hi do
+                  items := f crng i :: !items
+                done;
+                !items)
+          in
+          let per_chunk = par_chunks p ~m run_chunk in
+          Array.fold_left
+            (fun acc items -> List.fold_left combine acc (List.rev items))
+            init per_chunk
+      | _ -> seq_map_reduce ~rng ~n ~chunk ~f ~combine ~init)
 
-let map ?pool ?(chunk = 16) ~n ~f () =
+let map_reduce_partial ?pool ~policy ~rng ~n ~chunk ~f ~combine ~init () =
+  if n < 0 then invalid_arg "Task.map_reduce_partial: n < 0";
+  if chunk < 1 then invalid_arg "Task.map_reduce_partial: chunk < 1";
+  supervised_map_reduce ?pool ~policy ~partial:true ~rng ~n ~chunk ~f ~combine
+    ~init ()
+
+let supervised_map ?pool ~policy ~partial ~chunk ~n ~f () =
+  let m = chunk_count ~n ~chunk in
+  let run_chunk c =
+    let lo = c * chunk in
+    let len = min chunk (n - lo) in
+    instrument_chunk ~items:len (fun () ->
+        let out = Array.make len (f lo) in
+        for k = 1 to len - 1 do
+          out.(k) <- f (lo + k)
+        done;
+        out)
+  in
+  let per_chunk, manifest =
+    Supervise.run_chunks ?pool ~policy ~partial ~m run_chunk
+  in
+  let completed = List.filter_map Fun.id (Array.to_list per_chunk) in
+  (Array.concat completed, manifest)
+
+let map ?pool ?(chunk = 16) ?(retries = 0) ?deadline ~n ~f () =
   if n < 0 then invalid_arg "Task.map: n < 0";
   if chunk < 1 then invalid_arg "Task.map: chunk < 1";
-  let m = chunk_count ~n ~chunk in
-  match pool with
-  | Some p when Pool.domains p > 1 && m > 1 ->
-      let run_chunk c =
-        let lo = c * chunk in
-        let len = min chunk (n - lo) in
-        instrument_chunk ~items:len (fun () ->
-            let out = Array.make len (f lo) in
-            for k = 1 to len - 1 do
-              out.(k) <- f (lo + k)
+  match supervision ~retries ~deadline with
+  | Some policy ->
+      fst (supervised_map ?pool ~policy ~partial:false ~chunk ~n ~f ())
+  | None -> (
+      let m = chunk_count ~n ~chunk in
+      match pool with
+      | Some p when Pool.domains p > 1 && m > 1 ->
+          let run_chunk c =
+            let lo = c * chunk in
+            let len = min chunk (n - lo) in
+            instrument_chunk ~items:len (fun () ->
+                let out = Array.make len (f lo) in
+                for k = 1 to len - 1 do
+                  out.(k) <- f (lo + k)
+                done;
+                out)
+          in
+          Array.concat (Array.to_list (par_chunks p ~m run_chunk))
+      | _ ->
+          (* Sequential path: chunked so the instrumentation reports the same
+             chunk/item counts as the parallel path; evaluation order (f 0,
+             f 1, …) is exactly that of Array.init. *)
+          if n = 0 then [||]
+          else begin
+            let out = ref [||] in
+            for c = 0 to m - 1 do
+              let lo = c * chunk in
+              let hi = min n (lo + chunk) - 1 in
+              instrument_chunk
+                ~items:(hi - lo + 1)
+                (fun () ->
+                  if c = 0 then out := Array.make n (f 0);
+                  let arr = !out in
+                  for i = max 1 lo to hi do
+                    arr.(i) <- f i
+                  done)
             done;
-            out)
-      in
-      Array.concat (Array.to_list (par_chunks p ~m run_chunk))
-  | _ ->
-      (* Sequential path: chunked so the instrumentation reports the same
-         chunk/item counts as the parallel path; evaluation order (f 0,
-         f 1, …) is exactly that of Array.init. *)
-      if n = 0 then [||]
-      else begin
-        let out = ref [||] in
-        for c = 0 to m - 1 do
-          let lo = c * chunk in
-          let hi = min n (lo + chunk) - 1 in
-          instrument_chunk
-            ~items:(hi - lo + 1)
-            (fun () ->
-              if c = 0 then out := Array.make n (f 0);
-              let arr = !out in
-              for i = max 1 lo to hi do
-                arr.(i) <- f i
-              done)
-        done;
-        !out
-      end
+            !out
+          end)
+
+let map_partial ?pool ?(chunk = 16) ~policy ~n ~f () =
+  if n < 0 then invalid_arg "Task.map_partial: n < 0";
+  if chunk < 1 then invalid_arg "Task.map_partial: chunk < 1";
+  supervised_map ?pool ~policy ~partial:true ~chunk ~n ~f ()

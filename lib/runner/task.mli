@@ -13,12 +13,24 @@
     [runner.chunks] and [runner.items] counters and records its duration
     in the [runner.chunk] histogram, so metric totals are identical for
     every pool size ([test/test_runner_obs.ml]).  Metric values never
-    feed back into results: collection cannot perturb determinism. *)
+    feed back into results: collection cannot perturb determinism.
+
+    {b Supervision.}  [?retries] and [?deadline] put the run under the
+    {!Supervise} engine: failed chunk attempts are retried with a fresh
+    {!Pan_numerics.Rng.copy} of the chunk's split generator (so a
+    recovered run is bit-identical to a fault-free one, for any pool
+    size), and the deadline cancels chunks not yet started.  Runs with
+    neither — and no active {!Fault} spec — take the original
+    zero-overhead paths.  The [_partial] variants never raise on chunk
+    failure: they return the completed portion plus the failure
+    manifest (graceful degradation for long sweeps). *)
 
 open Pan_numerics
 
 val map_reduce :
   ?pool:Pool.t ->
+  ?retries:int ->
+  ?deadline:float ->
   rng:Rng.t ->
   n:int ->
   chunk:int ->
@@ -38,19 +50,58 @@ val map_reduce :
     evaluated in ascending order on one domain, sharing [rng_c].
 
     On success the master [rng] has been advanced by exactly
-    [ceil(n / chunk)] splits, for any pool size.  If some [f] raises, the
-    first exception (in completion order) is re-raised with its backtrace
-    after all chunks have finished; the pool remains usable, but the
-    master [rng] state is unspecified.
+    [ceil(n / chunk)] splits, for any pool size.  If some [f] raises and
+    [retries] (default [0]) are exhausted for its chunk, the failed
+    chunk with the lowest index re-raises its exception with backtrace
+    after all chunks have finished; chunks cancelled by [deadline]
+    (seconds, measured on the ambient {!Pan_obs.Obs} clock when
+    configured) raise {!Supervise.Incomplete} instead.  Either way the
+    pool remains usable, but the master [rng] state is unspecified.
 
     Without [?pool], or when the pool has a single domain, or when there
     is at most one chunk, the purely sequential path is taken: no queue,
     no domains, no intermediate buffers.
     @raise Invalid_argument if [n < 0] or [chunk < 1]. *)
 
+val map_reduce_partial :
+  ?pool:Pool.t ->
+  policy:Supervise.policy ->
+  rng:Rng.t ->
+  n:int ->
+  chunk:int ->
+  f:(Rng.t -> int -> 'a) ->
+  combine:('b -> 'a -> 'b) ->
+  init:'b ->
+  unit ->
+  'b * Supervise.manifest
+(** Like {!map_reduce} under [policy], but failures never raise: the
+    fold covers completed chunks only (still in ascending index order)
+    and the manifest names every failed or cancelled chunk.  With a
+    complete manifest the result equals {!map_reduce}'s. *)
+
 val map :
-  ?pool:Pool.t -> ?chunk:int -> n:int -> f:(int -> 'a) -> unit -> 'a array
+  ?pool:Pool.t ->
+  ?chunk:int ->
+  ?retries:int ->
+  ?deadline:float ->
+  n:int ->
+  f:(int -> 'a) ->
+  unit ->
+  'a array
 (** [map ?pool ?chunk ~n ~f ()] is [Array.init n f] evaluated chunk-wise on
     the pool.  [f] must be pure (any randomness would be evaluation-order
     dependent — use {!map_reduce} instead).  [chunk] defaults to 16.
+    [retries]/[deadline] behave as in {!map_reduce}.
     @raise Invalid_argument if [n < 0] or [chunk < 1]. *)
+
+val map_partial :
+  ?pool:Pool.t ->
+  ?chunk:int ->
+  policy:Supervise.policy ->
+  n:int ->
+  f:(int -> 'a) ->
+  unit ->
+  'a array * Supervise.manifest
+(** Like {!map} under [policy], but failures never raise: the returned
+    array concatenates the completed chunks in index order (failed
+    chunks' items are simply missing) alongside the manifest. *)

@@ -44,6 +44,7 @@ let () =
       ("routing.bgp_async", Test_bgp_async.suite);
       ("integration.full_pipeline", Test_full_pipeline.suite);
       ("runner.equivalence", Test_runner.suite);
+      ("runner.supervise", Test_supervise.suite);
       ("runner.golden", Test_runner_golden.suite);
       ("obs.core", Test_obs.suite);
       ("obs.runner", Test_runner_obs.suite);
