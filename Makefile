@@ -1,5 +1,5 @@
 .PHONY: all build quick test bench bench-topo bench-bosco bench-faults \
-	profile clean
+	bench-snapshots profile clean
 
 all: build
 
@@ -39,6 +39,13 @@ bench-bosco:
 # (CI runs this too).
 bench-faults:
 	dune exec bench/main.exe -- faults
+
+# Machine-readable bench trajectory: run the econ-kernel, topology-
+# snapshot, and BOSCO parts at smoke scale, emit BENCH_<part>.json for
+# each, and re-validate the files through the schema checker (CI runs
+# the same alias).
+bench-snapshots:
+	dune build @bench/bench-snapshot-smoke
 
 # Real-clock profile of the Fig. 3/4 pipeline on the default synthetic
 # topology: per-chunk durations and per-scenario path counters to stdout.

@@ -37,14 +37,32 @@
    reproduces the fault-free fingerprint bit-for-bit at -j1 and -j4 and
    that the faulty runs actually exercised retries.
 
+   Part 9 measures the econ fast kernel (lib/econ Model_fast): the E8
+   method-comparison sweep with the flat SoA utility kernel vs the
+   map-based reference, verifying bit-identical reports and -j1 = -j4
+   fingerprints.
+
+   Part 10 measures versioned topology snapshots (lib/topology
+   Snapshot): Snapshot.load of a frozen graph vs re-parsing and
+   re-freezing its CAIDA serialization, verifying byte-identical frozen
+   cores.
+
+   Parts 7, 9 and 10 also emit machine-readable BENCH_<part>.json
+   snapshots (Pan_obs.Bench_snap) recording wall-clock, throughput,
+   speedup and a result fingerprint; `main.exe validate-bench FILE...`
+   re-parses and schema-checks emitted files.
+
    Invocation: no argument runs everything at moderate scale;
    `main.exe topo` runs only the Part 6 smoke (1k ASes, used by CI and
    `make bench-topo`); `main.exe topo-full` runs Part 6 at 1k/10k/50k;
+   `main.exe topo-snapshot[-smoke]` runs Part 10 (full: 1k/10k/50k);
    `main.exe bosco` runs only Part 7 at W ∈ {8..2048} (used by
    `make bench-bosco`); `main.exe bosco-smoke` caps Part 7 at W = 128
-   (used by CI); `main.exe faults` runs only Part 8 (used by CI and
-   `make bench-faults`).  The bosco and faults parts exit non-zero on
-   any fingerprint or determinism mismatch. *)
+   and emits BENCH_bosco.json (used by CI); `main.exe econ[-smoke]`
+   runs Part 9 (60/24 scenarios); `main.exe faults` runs only Part 8
+   (used by CI and `make bench-faults`).  The bosco, econ,
+   topo-snapshot and faults parts exit non-zero on any fingerprint or
+   determinism mismatch. *)
 
 open Bechamel
 open Toolkit
@@ -664,6 +682,215 @@ let run_bosco scale =
   ok_kernel && ok_jobs
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_<part>.json emission (Pan_obs.Bench_snap)                     *)
+
+let emit_snapshot snap =
+  let path = Pan_obs.Bench_snap.write snap in
+  Format.fprintf fmt "bench snapshot: %s@." path
+
+(* Part 7 again, instrumented for a snapshot: the -j1/-j4 trial
+   fingerprints must agree, and the fast/reference speedup at the largest
+   smoke size is recorded. *)
+let run_bosco_snapshot () =
+  let ok_kernel = bosco_kernel_bench (bosco_sizes `Smoke) in
+  section "BOSCO kernel: snapshot (BENCH_bosco.json)";
+  let trials pool =
+    let rng = Rng.create 42 in
+    Service.trials ?pool ~rng ~dist_x:Fig2_pod.u1 ~dist_y:Fig2_pod.u1 ~w:32
+      ~n:24 ()
+  in
+  let render reports =
+    String.concat ";"
+      (List.map
+         (fun (r : Service.report) ->
+           Printf.sprintf "%.17g,%d,%b" r.Service.pod r.Service.rounds
+             r.Service.converged)
+         reports)
+  in
+  let seq, t_seq = time (fun () -> render (trials None)) in
+  let par, t_par =
+    Pan_runner.Pool.with_pool ~domains:4 (fun pool ->
+        time (fun () -> render (trials (Some pool))))
+  in
+  let fp_seq = Pan_obs.Bench_snap.fingerprint_of_string seq in
+  let fp_par = Pan_obs.Bench_snap.fingerprint_of_string par in
+  let ok = fp_seq = fp_par in
+  Format.fprintf fmt "fingerprint -j1 %s  -j4 %s  equal %b@." fp_seq fp_par ok;
+  emit_snapshot
+    (Pan_obs.Bench_snap.make ~part:"bosco" ~wall_s:t_par
+       ~throughput:(24.0 /. t_par) ~speedup:(t_seq /. t_par)
+       ~fingerprint:fp_seq ~jobs:4
+       ~meta:[ ("fingerprint_j1", fp_seq); ("fingerprint_j4", fp_par) ]
+       ());
+  ok_kernel && ok
+
+(* ------------------------------------------------------------------ *)
+(* Part 9: econ fast kernel (lib/econ Model_fast)                      *)
+
+let methods_fingerprint (r : Methods_exp.report) =
+  Pan_obs.Bench_snap.fingerprint_of_string
+    (Printf.sprintf "%d,%d,%d,%d,%.17g,%.17g" r.Methods_exp.scenarios
+       r.Methods_exp.cash_concluded r.Methods_exp.flow_volume_concluded
+       r.Methods_exp.cash_only r.Methods_exp.mean_cash_joint
+       r.Methods_exp.mean_flow_volume_joint)
+
+let run_econ ~scenarios () =
+  section "Econ kernel: flat Model_fast vs map-based reference (E8 sweep)";
+  (* Single-scenario microbench: the Nelder-Mead inner loop dominated by
+     utility evaluation. *)
+  let _, scenario = Pan_econ.Scenario_gen.fig1_scenario () in
+  let reps = 20 in
+  let run kernel =
+    let r = ref None in
+    let _, t =
+      time (fun () ->
+          for _ = 1 to reps do
+            r :=
+              Some
+                (Pan_econ.Flow_volume_opt.optimize ~kernel ~starts_per_dim:2
+                   scenario)
+          done)
+    in
+    (Option.get !r, t)
+  in
+  let r_ref, t_ref1 = run Pan_econ.Model_fast.Reference in
+  let r_fast, t_fast1 = run Pan_econ.Model_fast.Fast in
+  let single_equal =
+    r_ref.Pan_econ.Flow_volume_opt.u_x = r_fast.Pan_econ.Flow_volume_opt.u_x
+    && r_ref.Pan_econ.Flow_volume_opt.u_y = r_fast.Pan_econ.Flow_volume_opt.u_y
+    && r_ref.Pan_econ.Flow_volume_opt.nash
+       = r_fast.Pan_econ.Flow_volume_opt.nash
+  in
+  Format.fprintf fmt
+    "fig1 flow-volume opt (%d reps): ref %.3f s, fast %.3f s (%.2fx); \
+     bit-identical: %b@."
+    reps t_ref1 t_fast1 (t_ref1 /. t_fast1) single_equal;
+  (* The full E8 sweep, both kernels, then -j1 vs -j4 on the fast one. *)
+  let run_methods ?pool kernel =
+    time (fun () -> Methods_exp.run ?pool ~scenarios ~seed:3 ~kernel ())
+  in
+  let rep_ref, t_ref = run_methods Pan_econ.Model_fast.Reference in
+  let rep_fast, t_fast = run_methods Pan_econ.Model_fast.Fast in
+  let kernels_equal = rep_ref = rep_fast in
+  Format.fprintf fmt
+    "E8 sweep (%d scenarios): ref %.3f s, fast %.3f s (%.2fx); reports \
+     identical: %b@."
+    scenarios t_ref t_fast (t_ref /. t_fast) kernels_equal;
+  let rep_par, t_par =
+    Pan_runner.Pool.with_pool ~domains:4 (fun pool ->
+        run_methods ~pool Pan_econ.Model_fast.Fast)
+  in
+  let fp_j1 = methods_fingerprint rep_fast in
+  let fp_j4 = methods_fingerprint rep_par in
+  let jobs_equal = fp_j1 = fp_j4 in
+  Format.fprintf fmt
+    "fast -j1 %.3f s, -j4 %.3f s (%.2fx); fingerprint -j1 %s -j4 %s equal \
+     %b@."
+    t_fast t_par (t_fast /. t_par) fp_j1 fp_j4 jobs_equal;
+  emit_snapshot
+    (Pan_obs.Bench_snap.make ~part:"econ" ~wall_s:t_fast
+       ~throughput:(float_of_int scenarios /. t_fast)
+       ~speedup:(t_ref /. t_fast) ~fingerprint:fp_j1 ~jobs:4
+       ~meta:
+         [
+           ("fingerprint_j1", fp_j1);
+           ("fingerprint_j4", fp_j4);
+           ("scenarios", string_of_int scenarios);
+         ]
+       ());
+  single_equal && kernels_equal && jobs_equal
+
+(* ------------------------------------------------------------------ *)
+(* Part 10: versioned topology snapshots (lib/topology Snapshot)       *)
+
+let snapshot_sizes = function
+  | `Smoke -> [ ("1k", 60, 928) ]
+  | `Full -> [ ("1k", 60, 928); ("10k", 500, 9488); ("50k", 1500, 48488) ]
+
+(* Generate-and-serialize in its own function so the legacy Graph (large
+   Asn.Map adjacency) is dead before the timed phases; otherwise every
+   load's allocations pay major-GC slices marking it. *)
+let write_caida_file ~n_transit ~n_stub file =
+  let params = { Gen.default_params with Gen.n_transit; Gen.n_stub } in
+  Caida.save file (Gen.graph (Gen.generate ~params ~seed:42 ()))
+
+let run_topo_snapshot scale =
+  section "Topology snapshots: parse+freeze vs Snapshot.load";
+  Format.fprintf fmt "%-6s %8s %15s %13s %9s  %s@." "size" "ases"
+    "parse+freeze(s)" "snap load (s)" "speedup" "equal";
+  let ok = ref true in
+  let last_fp = ref "" and last_speedup = ref 0.0 and last_wall = ref 0.0 in
+  let last_ases = ref 0 in
+  List.iter
+    (fun (label, n_transit, n_stub) ->
+      let caida_file = Filename.temp_file "panagree_bench" ".caida" in
+      let snap_file = Filename.temp_file "panagree_bench" ".snap" in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Sys.remove caida_file with Sys_error _ -> ());
+          try Sys.remove snap_file with Sys_error _ -> ())
+        (fun () ->
+          write_caida_file ~n_transit ~n_stub caida_file;
+          (* Steady-state cost for both paths: best of [reps], a
+             [Gc.full_major] before each so one rep's garbage is not
+             charged to the next rep's timed region. *)
+          let best_of reps f =
+            let result = ref None and best = ref infinity in
+            for _ = 1 to reps do
+              Gc.full_major ();
+              let r, t = time f in
+              result := Some r;
+              if t < !best then best := t
+            done;
+            (Option.get !result, !best)
+          in
+          (* the cold-start path a snapshot replaces: parse the serialized
+             topology and freeze it *)
+          let frozen, t_parse =
+            best_of 2 (fun () -> Compact.freeze (Caida.load caida_file))
+          in
+          Compact.Snapshot.save snap_file frozen;
+          let loaded, t_load =
+            best_of 5 (fun () -> Compact.Snapshot.load snap_file)
+          in
+          let loaded = ref loaded in
+          let bytes_frozen = Compact.Snapshot.to_string frozen in
+          let bytes_loaded = Compact.Snapshot.to_string !loaded in
+          let equal = String.equal bytes_frozen bytes_loaded in
+          if not equal then ok := false;
+          let speedup = t_parse /. t_load in
+          Format.fprintf fmt "%-6s %8d %15.4f %13.5f %8.1fx  %b@." label
+            (Compact.num_ases frozen) t_parse t_load speedup equal;
+          last_fp := Pan_obs.Bench_snap.fingerprint_of_string bytes_frozen;
+          last_speedup := speedup;
+          last_wall := t_load;
+          last_ases := Compact.num_ases frozen))
+    (snapshot_sizes scale);
+  emit_snapshot
+    (Pan_obs.Bench_snap.make ~part:"topo-snapshot" ~wall_s:!last_wall
+       ~throughput:(float_of_int !last_ases /. !last_wall)
+       ~speedup:!last_speedup ~fingerprint:!last_fp ~jobs:1
+       ~meta:[ ("ases", string_of_int !last_ases) ]
+       ());
+  !ok
+
+let validate_bench files =
+  let ok =
+    List.fold_left
+      (fun ok file ->
+        match Pan_obs.Bench_snap.read file with
+        | Ok snap ->
+            Format.fprintf fmt "%s: ok (part %s, fingerprint %s)@." file
+              snap.Pan_obs.Bench_snap.part snap.Pan_obs.Bench_snap.fingerprint;
+            ok
+        | Error e ->
+            Format.eprintf "%s: INVALID: %s@." file e;
+            false)
+      true files
+  in
+  if not ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Part 8: supervised runner (lib/runner Supervise/Fault)              *)
 
 (* Seed chosen so the 0.1 rate actually fires (twice) across the E1
@@ -746,6 +973,8 @@ let full_run () =
   runner_scaling ();
   run_compact_core `Smoke;
   ignore (run_bosco `Smoke : bool);
+  ignore (run_econ ~scenarios:24 () : bool);
+  ignore (run_topo_snapshot `Smoke : bool);
   ignore (run_supervised () : bool);
   run_benchmarks ();
   run_runner_pair ();
@@ -756,13 +985,21 @@ let () =
   | "all" -> full_run ()
   | "topo" -> run_compact_core `Smoke
   | "topo-full" -> run_compact_core `Full
+  | "topo-snapshot" -> if not (run_topo_snapshot `Full) then exit 1
+  | "topo-snapshot-smoke" -> if not (run_topo_snapshot `Smoke) then exit 1
   | "bosco" -> if not (run_bosco `Full) then exit 1
-  | "bosco-smoke" -> if not (run_bosco `Smoke) then exit 1
+  | "bosco-smoke" -> if not (run_bosco_snapshot ()) then exit 1
+  | "econ" -> if not (run_econ ~scenarios:60 ()) then exit 1
+  | "econ-smoke" -> if not (run_econ ~scenarios:24 ()) then exit 1
   | "faults" -> if not (run_supervised ()) then exit 1
+  | "validate-bench" ->
+      validate_bench
+        (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)))
   | other ->
       Format.eprintf
-        "usage: %s [topo|topo-full|bosco|bosco-smoke|faults]  (unknown part \
-         %S)@."
+        "usage: %s \
+         [topo|topo-full|topo-snapshot|topo-snapshot-smoke|bosco|bosco-smoke|\
+         econ|econ-smoke|faults|validate-bench FILE...]  (unknown part %S)@."
         Sys.argv.(0) other;
       exit 2);
   Format.fprintf fmt "@.bench: done@."

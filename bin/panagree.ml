@@ -379,26 +379,96 @@ let fragility_cmd =
           GRC-violating agreements.")
     Term.(const run $ seed_arg $ topologies)
 
-let topology_cmd =
-  let run caida transit stubs seed =
-    let g = topology ~caida ~transit ~stubs ~seed in
-    Format.fprintf fmt "%a@." Metrics.pp_summary (Metrics.summary g);
-    Format.fprintf fmt "compact core: %a@." Compact.pp_stats (Compact.freeze g);
-    let sizes = Metrics.cone_sizes g in
-    let top =
-      Asn.Map.bindings sizes
-      |> List.sort (fun (_, s1) (_, s2) -> compare s2 s1)
-      |> List.filteri (fun i _ -> i < 10)
-    in
-    Format.fprintf fmt "largest customer cones:@.";
-    List.iter
-      (fun (x, size) -> Format.fprintf fmt "  %a: %d ASes@." Asn.pp x size)
-      top
+let snapshot_arg =
+  let doc =
+    "Load the frozen topology (and any geo/bandwidth sections) from a \
+     versioned binary snapshot written by $(b,topology snapshot), \
+     instead of generating or parsing one.  Stale or corrupt snapshots \
+     are rejected with a diagnostic."
   in
-  Cmd.v
+  Arg.(value & opt (some file) None & info [ "snapshot" ] ~doc ~docv:"FILE")
+
+let pp_bundle path (b : Snapshot.bundle) =
+  Format.fprintf fmt "# loaded snapshot %s: %a@." path Compact.pp_stats
+    b.Snapshot.topo;
+  (match b.Snapshot.geo with
+  | Some geo ->
+      let as_rows, link_rows = Geo.bindings geo in
+      Format.fprintf fmt "geo section: %d AS locations, %d link locations@."
+        (List.length as_rows) (List.length link_rows)
+  | None -> Format.fprintf fmt "geo section: absent@.");
+  match b.Snapshot.bandwidth with
+  | Some bw ->
+      Format.fprintf fmt "bandwidth section: coefficient %g@."
+        (Bandwidth.coefficient bw)
+  | None -> Format.fprintf fmt "bandwidth section: absent@."
+
+let topology_cmd =
+  let show_run caida transit stubs seed metrics trace snapshot =
+    with_obs ~metrics ~trace @@ fun () ->
+    match snapshot with
+    | Some path -> (
+        match Snapshot.load path with
+        | b -> pp_bundle path b
+        | exception Invalid_argument msg ->
+            Format.eprintf "panagree: %s@." msg;
+            exit 1)
+    | None ->
+        let g = topology ~caida ~transit ~stubs ~seed in
+        Format.fprintf fmt "%a@." Metrics.pp_summary (Metrics.summary g);
+        Format.fprintf fmt "compact core: %a@." Compact.pp_stats
+          (Compact.freeze g);
+        let sizes = Metrics.cone_sizes g in
+        let top =
+          Asn.Map.bindings sizes
+          |> List.sort (fun (_, s1) (_, s2) -> compare s2 s1)
+          |> List.filteri (fun i _ -> i < 10)
+        in
+        Format.fprintf fmt "largest customer cones:@.";
+        List.iter
+          (fun (x, size) -> Format.fprintf fmt "  %a: %d ASes@." Asn.pp x size)
+          top
+  in
+  let snapshot_cmd =
+    let out =
+      let doc = "Output snapshot file." in
+      Arg.(value & opt string "topology.snap" & info [ "out" ] ~doc ~docv:"FILE")
+    in
+    let run caida transit stubs seed metrics trace out =
+      with_obs ~metrics ~trace @@ fun () ->
+      let g = topology ~caida ~transit ~stubs ~seed in
+      let frozen = Compact.freeze g in
+      (* The geo embedding consumes the RNG in frozen iteration order, so
+         the snapshot is deterministic given the topology and seed. *)
+      let geo = Geo.of_compact ~seed:(seed + 1) frozen in
+      let bandwidth = Bandwidth.of_compact frozen in
+      Snapshot.save out ~geo ~bandwidth frozen;
+      let bytes =
+        In_channel.with_open_bin out (fun ic ->
+            Int64.to_int (In_channel.length ic))
+      in
+      Format.fprintf fmt
+        "wrote %s (%d bytes): %a; geo + bandwidth sections included@." out
+        bytes Compact.pp_stats frozen
+    in
+    Cmd.v
+      (Cmd.info "snapshot"
+         ~doc:
+           "Freeze the topology and save it (with geo and bandwidth \
+            tables) as a versioned, checksummed binary snapshot for \
+            instant reload via $(b,--snapshot).")
+      Term.(
+        const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg
+        $ metrics_arg $ trace_arg $ out)
+  in
+  Cmd.group
+    ~default:
+      Term.(
+        const show_run $ caida_arg $ transit_arg $ stub_arg $ seed_arg
+        $ metrics_arg $ trace_arg $ snapshot_arg)
     (Cmd.info "topology"
        ~doc:"Structural metrics of the (synthetic or loaded) topology.")
-    Term.(const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg)
+    [ snapshot_cmd ]
 
 let te_cmd =
   let n =

@@ -55,6 +55,10 @@ let utility t flows = revenue t flows -. cost t flows
 let providers t = List.map fst (Asn.Map.bindings t.provider_prices)
 let customers t = List.map fst (Asn.Map.bindings t.customer_prices)
 
+let internal_cost t = t.internal_cost
+let provider_pricing t = Asn.Map.bindings t.provider_prices
+let customer_pricing t = Asn.Map.bindings t.customer_prices
+
 let of_graph ?default_transit ?default_internal ?stub_price g x =
   let transit =
     match default_transit with

@@ -63,3 +63,15 @@ val internal_cost_at : t -> Flows.t -> float
 val provider_charges : t -> Flows.t -> float
 (** The provider-charge component [Σ_{Y ∈ π(X)} p_YX(f_XY)] of Eq. 1b
     alone. *)
+
+val internal_cost : t -> Cost.t
+(** The internal-cost function [i_X] itself, for kernels that evaluate it
+    on precomputed totals. *)
+
+val provider_pricing : t -> (Asn.t * Pricing.t) list
+(** Provider pricing functions in ascending ASN order — the fold order of
+    {!cost}, so kernels iterating this list reproduce its charge sum. *)
+
+val customer_pricing : t -> (Asn.t * Pricing.t) list
+(** Customer pricing functions in ascending ASN order ({!revenue}'s fold
+    order). *)

@@ -7,8 +7,7 @@ type result = {
   concluded : bool;
 }
 
-let optimize_at scenario choices =
-  let u_x, u_y = Traffic_model.utilities_exn scenario choices in
+let settle (u_x, u_y) =
   match Nash.after_transfer ~u_x ~u_y with
   | Some (u_x_after, u_y_after) ->
       let transfer = u_x -. u_x_after in
@@ -23,8 +22,24 @@ let optimize_at scenario choices =
         concluded = false;
       }
 
-let optimize scenario =
-  optimize_at scenario (Traffic_model.full_choice scenario)
+let optimize_at ?(kernel = Model_fast.Fast) ?workspace scenario choices =
+  match kernel with
+  | Model_fast.Reference ->
+      settle (Traffic_model.utilities_exn scenario choices)
+  | Model_fast.Fast ->
+      settle
+        (Model_fast.utilities_exn ?workspace (Model_fast.compile scenario)
+           choices)
+
+let optimize_at_compiled ?workspace model choices =
+  settle (Model_fast.utilities_exn ?workspace model choices)
+
+let optimize_compiled ?workspace model =
+  optimize_at_compiled ?workspace model
+    (Traffic_model.full_choice (Model_fast.scenario model))
+
+let optimize ?kernel ?workspace scenario =
+  optimize_at ?kernel ?workspace scenario (Traffic_model.full_choice scenario)
 
 let pp fmt r =
   if r.concluded then

@@ -14,11 +14,30 @@ type result = {
   concluded : bool;
 }
 
-val optimize : Traffic_model.scenario -> result
+val optimize :
+  ?kernel:Model_fast.kernel ->
+  ?workspace:Econ_workspace.t ->
+  Traffic_model.scenario ->
+  result
 (** Estimate utilities at {!Traffic_model.full_choice} and settle with the
-    Nash transfer. *)
+    Nash transfer.  [kernel] (default [Fast]) picks the utility evaluator;
+    both kernels produce identical results (see {!Model_fast}). *)
 
-val optimize_at : Traffic_model.scenario -> Traffic_model.choice list -> result
+val optimize_at :
+  ?kernel:Model_fast.kernel ->
+  ?workspace:Econ_workspace.t ->
+  Traffic_model.scenario ->
+  Traffic_model.choice list ->
+  result
 (** Same, with an explicit expected-volume forecast. *)
+
+val optimize_compiled : ?workspace:Econ_workspace.t -> Model_fast.t -> result
+(** {!optimize} on an already-compiled scenario. *)
+
+val optimize_at_compiled :
+  ?workspace:Econ_workspace.t ->
+  Model_fast.t ->
+  Traffic_model.choice list ->
+  result
 
 val pp : Format.formatter -> result -> unit

@@ -1,0 +1,21 @@
+type t = {
+  mutable vals_x : float array;
+  mutable vals_y : float array;
+  mutable batch_x : float array;
+  mutable batch_y : float array;
+}
+
+let create () = { vals_x = [||]; vals_y = [||]; batch_x = [||]; batch_y = [||] }
+
+let grown a n =
+  if Array.length a >= n then a else Array.make (Stdlib.max 8 (2 * n)) 0.0
+
+let flow_scratch ws ~n_x ~n_y =
+  ws.vals_x <- grown ws.vals_x n_x;
+  ws.vals_y <- grown ws.vals_y n_y;
+  (ws.vals_x, ws.vals_y)
+
+let batch_scratch ws n =
+  ws.batch_x <- grown ws.batch_x n;
+  ws.batch_y <- grown ws.batch_y n;
+  (ws.batch_x, ws.batch_y)

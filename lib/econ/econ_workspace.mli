@@ -1,0 +1,16 @@
+(** Reusable scratch buffers for the fast econ kernels ({!Model_fast}).
+
+    Same discipline as [Pan_bosco.Workspace]: buffers grow geometrically
+    and are never shrunk, so a workspace threaded through an optimizer
+    loop allocates only on the first few evaluations.  A workspace is not
+    thread-safe; give each domain its own. *)
+
+type t
+
+val create : unit -> t
+
+val flow_scratch : t -> n_x:int -> n_y:int -> float array * float array
+(** Per-party flow-slot buffers with at least the requested lengths. *)
+
+val batch_scratch : t -> int -> float array * float array
+(** Paired utility buffers for batch evaluation. *)

@@ -25,7 +25,7 @@ let objective scenario demands v =
       let worst = Float.min ux uy in
       if worst < 0.0 then worst else ux *. uy
 
-let optimize ?starts_per_dim ?max_iter scenario =
+let optimize_with ~objective scenario ?starts_per_dim ?max_iter () =
   let demands = Traffic_model.demands scenario in
   if demands = [] then
     let u_x, u_y =
@@ -47,8 +47,7 @@ let optimize ?starts_per_dim ?max_iter scenario =
            demands)
     in
     let best, _ =
-      Optimize.multistart_nelder_mead ?starts_per_dim ?max_iter
-        ~f:(objective scenario demands)
+      Optimize.multistart_nelder_mead ?starts_per_dim ?max_iter ~f:objective
         ~box ()
     in
     let choices = choices_of_vector demands best in
@@ -64,6 +63,26 @@ let optimize ?starts_per_dim ?max_iter scenario =
     let concluded = u_x >= -1e-9 && u_y >= -1e-9 && total_allowance > 1e-6 in
     { choices; u_x; u_y; nash = Nash.product u_x u_y; concluded }
   end
+
+let optimize_compiled ?workspace ?starts_per_dim ?max_iter model =
+  let workspace =
+    match workspace with Some ws -> ws | None -> Econ_workspace.create ()
+  in
+  optimize_with
+    ~objective:(Model_fast.nash_objective ~workspace model)
+    (Model_fast.scenario model) ?starts_per_dim ?max_iter ()
+
+let optimize ?(kernel = Model_fast.Fast) ?workspace ?starts_per_dim ?max_iter
+    scenario =
+  match kernel with
+  | Model_fast.Reference ->
+      let demands = Traffic_model.demands scenario in
+      optimize_with
+        ~objective:(objective scenario demands)
+        scenario ?starts_per_dim ?max_iter ()
+  | Model_fast.Fast ->
+      optimize_compiled ?workspace ?starts_per_dim ?max_iter
+        (Model_fast.compile scenario)
 
 let pp fmt r =
   Format.fprintf fmt "%s: u_x=%g u_y=%g nash=%g targets=[%a]"

@@ -34,6 +34,32 @@ let neighbors t =
 
 let fold f t init = Asn.Map.fold f t init
 
+(* SoA view for the fast kernels: parallel (neighbor, volume) arrays in
+   ascending ASN order, the same order every Map fold above uses, so
+   array sums reproduce map sums bit for bit. *)
+let to_sorted_arrays t =
+  let n = Asn.Map.cardinal t in
+  let keys = Array.make n (Asn.of_int 0) and vals = Array.make n 0.0 in
+  let i = ref 0 in
+  Asn.Map.iter
+    (fun y f ->
+      keys.(!i) <- y;
+      vals.(!i) <- f;
+      incr i)
+    t;
+  (keys, vals)
+
+let of_sorted_arrays keys vals =
+  let n = Array.length keys in
+  if Array.length vals <> n then
+    invalid_arg "Flows.of_sorted_arrays: length mismatch";
+  let t = ref Asn.Map.empty in
+  for i = 0 to n - 1 do
+    if vals.(i) < 0.0 then invalid_arg "Flows.of_sorted_arrays: negative flow";
+    if vals.(i) <> 0.0 then t := Asn.Map.add keys.(i) vals.(i) !t
+  done;
+  !t
+
 let pp fmt t =
   Format.pp_print_list
     ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")

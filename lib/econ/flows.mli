@@ -39,4 +39,16 @@ val neighbors : t -> Asn.t list
 (** Neighbors with non-zero flow, ascending. *)
 
 val fold : (Asn.t -> float -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_sorted_arrays : t -> Asn.t array * float array
+(** Structure-of-arrays view: parallel (neighbor, volume) arrays in
+    ascending ASN order — the iteration order of {!fold} and {!total}, so
+    summing the volume array left to right reproduces {!total}'s sum bit
+    for bit.  Listed zero flows (allowed by {!of_list}) are included. *)
+
+val of_sorted_arrays : Asn.t array -> float array -> t
+(** Rebuild a distribution from parallel arrays; zero entries are dropped
+    (as {!set} would).  Keys need not be sorted or unique — later entries
+    win.  @raise Invalid_argument on length mismatch or a negative flow. *)
+
 val pp : Format.formatter -> t -> unit

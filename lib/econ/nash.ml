@@ -11,3 +11,42 @@ let after_transfer ~u_x ~u_y =
   Option.map
     (fun pi -> (u_x -. pi, u_y +. pi))
     (transfer ~u_x ~u_y)
+
+(* Batch (SoA) entry points over flat utility buffers.  Each slot applies
+   exactly the scalar definition above, so batch and scalar results are
+   bit-identical. *)
+
+let check_batch name n u_x u_y =
+  if n < 0 || n > Array.length u_x || n > Array.length u_y then
+    invalid_arg ("Nash." ^ name ^ ": bad batch length")
+
+let product_into ~n ~u_x ~u_y out =
+  check_batch "product_into" n u_x u_y;
+  if n > Array.length out then invalid_arg "Nash.product_into: out too short";
+  for i = 0 to n - 1 do
+    out.(i) <- product u_x.(i) u_y.(i)
+  done
+
+let surplus_into ~n ~u_x ~u_y out =
+  check_batch "surplus_into" n u_x u_y;
+  if n > Array.length out then invalid_arg "Nash.surplus_into: out too short";
+  for i = 0 to n - 1 do
+    out.(i) <- surplus ~u_x:u_x.(i) ~u_y:u_y.(i)
+  done
+
+let after_transfer_into ~n ~u_x ~u_y ~out_x ~out_y =
+  check_batch "after_transfer_into" n u_x u_y;
+  if n > Array.length out_x || n > Array.length out_y then
+    invalid_arg "Nash.after_transfer_into: out too short";
+  let concluded = ref 0 in
+  for i = 0 to n - 1 do
+    match after_transfer ~u_x:u_x.(i) ~u_y:u_y.(i) with
+    | Some (ax, ay) ->
+        out_x.(i) <- ax;
+        out_y.(i) <- ay;
+        incr concluded
+    | None ->
+        out_x.(i) <- 0.0;
+        out_y.(i) <- 0.0
+  done;
+  !concluded

@@ -23,3 +23,25 @@ val after_transfer : u_x:float -> u_y:float -> (float * float) option
 (** Post-transfer utilities [(u_X − Π, u_Y + Π)]; both equal half the
     surplus — the equal-split property of the Nash solution under
     transferable utility. *)
+
+val product_into :
+  n:int -> u_x:float array -> u_y:float array -> float array -> unit
+(** [product_into ~n ~u_x ~u_y out] writes [product u_x.(i) u_y.(i)] into
+    [out.(i)] for [i < n] — the batch form used by the fast kernels;
+    bit-identical to the scalar {!product} slot by slot.
+    @raise Invalid_argument if any array is shorter than [n]. *)
+
+val surplus_into :
+  n:int -> u_x:float array -> u_y:float array -> float array -> unit
+(** Batch {!surplus}. *)
+
+val after_transfer_into :
+  n:int ->
+  u_x:float array ->
+  u_y:float array ->
+  out_x:float array ->
+  out_y:float array ->
+  int
+(** Batch {!after_transfer}: viable slots get their post-transfer utility
+    pair, non-viable slots get [(0, 0)] (the "not concluded" convention of
+    {!Cash_opt}).  Returns the number of viable slots. *)

@@ -12,7 +12,15 @@ type comparison = {
 }
 
 val compare_methods :
-  ?starts_per_dim:int -> Traffic_model.scenario -> comparison
+  ?kernel:Model_fast.kernel ->
+  ?workspace:Econ_workspace.t ->
+  ?starts_per_dim:int ->
+  Traffic_model.scenario ->
+  comparison
+(** [kernel] (default [Fast]) selects the utility-evaluation kernel for
+    both methods; the fast path compiles the scenario once and shares the
+    flat model between them.  Results are kernel-independent
+    ({!Model_fast} is bit-identical to the reference). *)
 
 val cash_joint : comparison -> float
 (** Joint utility achieved by the cash method (0 if not concluded). *)

@@ -33,7 +33,11 @@ let sorted_copy name xs =
 
 let percentile xs p =
   check_nonempty "percentile" xs;
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  (* NaN slips through the range comparison (both compare false), then
+     propagates through [rank] and truncates to index 0 — reject it
+     explicitly. *)
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p out of range";
   let sorted = sorted_copy "percentile" xs in
   let n = Array.length sorted in
   let rank = p /. 100.0 *. float_of_int (n - 1) in

@@ -1,0 +1,311 @@
+(* Machine-readable bench snapshots: one BENCH_<part>.json per bench
+   part, canonical bytes (sorted keys, Jsonx floats) so reruns with
+   identical results diff clean.  The parser below is deliberately
+   minimal — just enough JSON to validate what we emit — so the
+   observability layer keeps its zero-dependency rule. *)
+
+type t = {
+  part : string;
+  wall_s : float;
+  throughput : float;
+  speedup : float;
+  fingerprint : string;
+  jobs : int;
+  meta : (string * string) list;
+}
+
+let fingerprint_of_string s = Digest.to_hex (Digest.string s)
+
+let valid_part p =
+  p <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_')
+       p
+
+let make ~part ~wall_s ~throughput ~speedup ~fingerprint ~jobs ?(meta = []) ()
+    =
+  if not (valid_part part) then
+    invalid_arg "Bench_snap.make: part must be non-empty [A-Za-z0-9_-]";
+  { part; wall_s; throughput; speedup; fingerprint; jobs; meta }
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  let str s = Buffer.add_string buf (Printf.sprintf "\"%s\"" (Jsonx.escape s)) in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"fingerprint\": ";
+  str t.fingerprint;
+  Buffer.add_string buf (Printf.sprintf ",\n  \"jobs\": %d" t.jobs);
+  Buffer.add_string buf ",\n  \"meta\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      str k;
+      Buffer.add_string buf ": ";
+      str v)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) t.meta);
+  Buffer.add_string buf "}";
+  Buffer.add_string buf ",\n  \"part\": ";
+  str t.part;
+  Buffer.add_string buf
+    (Printf.sprintf ",\n  \"speedup\": %s" (Jsonx.float t.speedup));
+  Buffer.add_string buf
+    (Printf.sprintf ",\n  \"throughput\": %s" (Jsonx.float t.throughput));
+  Buffer.add_string buf
+    (Printf.sprintf ",\n  \"wall_s\": %s" (Jsonx.float t.wall_s));
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let default_dir () =
+  match Sys.getenv_opt "PANAGREE_BENCH_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> "."
+
+let path ?dir t =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  Filename.concat dir ("BENCH_" ^ t.part ^ ".json")
+
+let write ?dir t =
+  let p = path ?dir t in
+  Out_channel.with_open_bin p (fun oc ->
+      Out_channel.output_string oc (to_json t));
+  p
+
+(* --- minimal JSON --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("bad literal " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let hex = String.sub s (!pos + 1) 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* emitted escapes only cover control chars; keep it simple *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else fail "non-ASCII \\u escape unsupported";
+              pos := !pos + 4
+          | _ -> fail "bad escape");
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ((k, v) :: acc)
+            | Some '}' ->
+                incr pos;
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elems (v :: acc)
+            | Some ']' ->
+                incr pos;
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elems [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing bytes at offset %d" !pos)
+    else Ok v
+  with Bad msg -> Error msg
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  match j with
+  | Obj fields ->
+      let find k = List.assoc_opt k fields in
+      let str k =
+        match find k with
+        | Some (Str s) -> Ok s
+        | Some _ -> Error (Printf.sprintf "field %S is not a string" k)
+        | None -> Error (Printf.sprintf "missing field %S" k)
+      in
+      let num k =
+        match find k with
+        | Some (Num f) -> Ok f
+        | Some _ -> Error (Printf.sprintf "field %S is not a number" k)
+        | None -> Error (Printf.sprintf "missing field %S" k)
+      in
+      let* part = str "part" in
+      let* fingerprint = str "fingerprint" in
+      let* wall_s = num "wall_s" in
+      let* throughput = num "throughput" in
+      let* speedup = num "speedup" in
+      let* jobs = num "jobs" in
+      let* meta =
+        match find "meta" with
+        | None -> Ok []
+        | Some (Obj kvs) ->
+            List.fold_left
+              (fun acc (k, v) ->
+                let* acc = acc in
+                match v with
+                | Str s -> Ok ((k, s) :: acc)
+                | _ -> Error (Printf.sprintf "meta field %S is not a string" k))
+              (Ok []) kvs
+            |> Result.map List.rev
+        | Some _ -> Error "field \"meta\" is not an object"
+      in
+      Ok
+        {
+          part;
+          wall_s;
+          throughput;
+          speedup;
+          fingerprint;
+          jobs = int_of_float jobs;
+          meta;
+        }
+  | _ -> Error "snapshot is not a JSON object"
+
+let validate t =
+  if not (valid_part t.part) then Error "invalid part name"
+  else if String.length t.fingerprint <> 32
+          || not
+               (String.for_all
+                  (fun c ->
+                    (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+                  t.fingerprint)
+  then Error "fingerprint is not a 32-hex-digit MD5"
+  else if Float.is_nan t.wall_s || t.wall_s < 0.0 then Error "negative wall_s"
+  else if Float.is_nan t.throughput || t.throughput < 0.0 then
+    Error "negative throughput"
+  else if Float.is_nan t.speedup || t.speedup < 0.0 then
+    Error "negative speedup"
+  else if t.jobs < 1 then Error "jobs < 1"
+  else Ok ()
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let* j = parse s in
+  let* t = of_json j in
+  let* () = validate t in
+  Ok t
+
+let read path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error e -> Error e

@@ -1,0 +1,69 @@
+(** Machine-readable bench snapshots.
+
+    Each bench part emits one [BENCH_<part>.json] capturing its
+    wall-clock, throughput, speedup over the reference path, and an MD5
+    fingerprint of the part's results.  Emission is canonical (sorted
+    keys, ["%.9g"] floats), so a rerun with identical results produces
+    identical bytes; the fingerprint lets CI assert that parallel and
+    sequential runs computed the same thing.  A minimal parser/validator
+    pair keeps the files honest without adding a JSON dependency. *)
+
+type t = {
+  part : string;  (** bench part name, [[A-Za-z0-9_-]+] *)
+  wall_s : float;  (** wall-clock of the measured section, seconds *)
+  throughput : float;  (** part-defined items per second *)
+  speedup : float;  (** measured speedup over the reference/baseline *)
+  fingerprint : string;  (** MD5 hex of the part's result summary *)
+  jobs : int;  (** worker count the part ran with *)
+  meta : (string * string) list;  (** extra string-valued context *)
+}
+
+val make :
+  part:string ->
+  wall_s:float ->
+  throughput:float ->
+  speedup:float ->
+  fingerprint:string ->
+  jobs:int ->
+  ?meta:(string * string) list ->
+  unit ->
+  t
+(** @raise Invalid_argument on a part name unusable in a filename. *)
+
+val fingerprint_of_string : string -> string
+(** MD5 of the argument, lowercase hex — the fingerprint convention. *)
+
+val to_json : t -> string
+(** Canonical JSON: equal snapshots are equal bytes. *)
+
+val path : ?dir:string -> t -> string
+(** [dir/BENCH_<part>.json]; [dir] defaults to [$PANAGREE_BENCH_DIR] or
+    the current directory. *)
+
+val write : ?dir:string -> t -> string
+(** Write {!to_json} to {!path} and return the path. *)
+
+(** A just-enough JSON representation for validating emitted files. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+
+val of_json : json -> (t, string) result
+(** Check the schema: required fields [part], [wall_s], [throughput],
+    [speedup], [fingerprint], [jobs] with the right types. *)
+
+val validate : t -> (unit, string) result
+(** Value-level checks: sane part name, 32-hex-digit fingerprint,
+    non-negative timings, [jobs >= 1]. *)
+
+val of_string : string -> (t, string) result
+(** [parse] + [of_json] + [validate]. *)
+
+val read : string -> (t, string) result
+(** {!of_string} on a file's contents; I/O errors become [Error]. *)

@@ -149,3 +149,197 @@ let pp_stats fmt t =
   Format.fprintf fmt
     "%d ASes interned, %d provider-customer + %d peering links (CSR)"
     (num_ases t) t.n_p2c t.n_p2p
+
+(* ------------------------------------------------------------------ *)
+(* Versioned binary snapshots                                          *)
+
+module Snapshot = struct
+  let format_version = 1
+  let magic = "PANSNAPS"
+
+  (* Layout (all integers little-endian):
+       0   8  magic "PANSNAPS"
+       8   4  format version (u32)
+      12   4  section count (u32)
+      16   8  payload length in bytes (u64)
+      24  16  MD5 digest of the payload region
+      40  ..  payload: per section u16 tag length, tag bytes,
+              u64 body length, body bytes
+     The "core" section holds the interned-ASN table and the three CSR
+     relationship classes; extra sections (geo, bandwidth, ...) ride in
+     the same container and are covered by the same checksum. *)
+
+  let header_len = 40
+  let core_tag = "core"
+
+  let err fmt = Printf.ksprintf invalid_arg ("Compact.Snapshot.load: " ^^ fmt)
+
+  let add_u64 buf n = Buffer.add_int64_le buf (Int64.of_int n)
+
+  let add_int_array buf a =
+    add_u64 buf (Array.length a);
+    Array.iter (fun v -> add_u64 buf v) a
+
+  (* Decoding reads straight off the full snapshot string through a
+     bounded cursor — no payload/body substring copies, which matter at
+     CAIDA scale (a copy per load would triple the allocation the GC has
+     to chew through). *)
+  type cursor = { s : string; mutable pos : int; limit : int }
+
+  let read_u64 cur =
+    if cur.pos + 8 > cur.limit then
+      err "truncated payload (need 8 bytes at offset %d, have %d)" cur.pos
+        (cur.limit - cur.pos);
+    let v = Int64.to_int (String.get_int64_le cur.s cur.pos) in
+    cur.pos <- cur.pos + 8;
+    if v < 0 then err "negative length field at offset %d" (cur.pos - 8);
+    v
+
+  let read_int_array cur =
+    let n = read_u64 cur in
+    if cur.pos + (8 * n) > cur.limit then
+      err "truncated payload (array of %d words at offset %d)" n cur.pos;
+    Array.init n (fun _ -> read_u64 cur)
+
+  let encode_core t =
+    let buf = Buffer.create (64 * Array.length t.ids) in
+    add_u64 buf (Array.length t.ids);
+    Array.iter (fun x -> add_u64 buf (Asn.to_int x)) t.ids;
+    List.iter
+      (fun (off, adj) ->
+        add_int_array buf off;
+        add_int_array buf adj)
+      [
+        (t.prov_off, t.prov_adj);
+        (t.peer_off, t.peer_adj);
+        (t.cust_off, t.cust_adj);
+      ];
+    add_u64 buf t.n_p2c;
+    add_u64 buf t.n_p2p;
+    Buffer.contents buf
+
+  let decode_core s pos limit =
+    let cur = { s; pos; limit } in
+    let n = read_u64 cur in
+    if cur.pos + (8 * n) > cur.limit then
+      err "truncated payload (ASN table of %d entries)" n;
+    let ids = Array.init n (fun _ -> Asn.of_int (read_u64 cur)) in
+    let read_csr name =
+      let off = read_int_array cur in
+      let adj = read_int_array cur in
+      if Array.length off <> n + 1 then
+        err "%s offsets: expected %d entries, found %d" name (n + 1)
+          (Array.length off);
+      if n >= 0 && (off.(0) <> 0 || off.(n) <> Array.length adj) then
+        err "%s offsets do not cover the adjacency array" name;
+      (off, adj)
+    in
+    let prov_off, prov_adj = read_csr "provider" in
+    let peer_off, peer_adj = read_csr "peer" in
+    let cust_off, cust_adj = read_csr "customer" in
+    let n_p2c = read_u64 cur in
+    let n_p2p = read_u64 cur in
+    if cur.pos <> cur.limit then
+      err "core section has %d trailing bytes" (cur.limit - cur.pos);
+    {
+      ids;
+      prov_off;
+      prov_adj;
+      peer_off;
+      peer_adj;
+      cust_off;
+      cust_adj;
+      n_p2c;
+      n_p2p;
+    }
+
+  let to_string ?(sections = []) t =
+    let payload = Buffer.create 4096 in
+    let add_section (tag, body) =
+      Buffer.add_int16_le payload (String.length tag);
+      Buffer.add_string payload tag;
+      add_u64 payload (String.length body);
+      Buffer.add_string payload body
+    in
+    let sections = (core_tag, encode_core t) :: sections in
+    List.iter add_section sections;
+    let payload = Buffer.contents payload in
+    let out = Buffer.create (header_len + String.length payload) in
+    Buffer.add_string out magic;
+    Buffer.add_int32_le out (Int32.of_int format_version);
+    Buffer.add_int32_le out (Int32.of_int (List.length sections));
+    add_u64 out (String.length payload);
+    Buffer.add_string out (Digest.string payload);
+    Buffer.add_string out payload;
+    Buffer.contents out
+
+  let of_string s =
+    if String.length s < header_len then
+      err "truncated header (%d bytes, need at least %d)" (String.length s)
+        header_len;
+    if String.sub s 0 8 <> magic then
+      err "bad magic %S (not a panagree snapshot)" (String.sub s 0 8);
+    let version = Int32.to_int (String.get_int32_le s 8) in
+    if version <> format_version then
+      err "unsupported format version %d (this build reads version %d)"
+        version format_version;
+    let n_sections = Int32.to_int (String.get_int32_le s 12) in
+    let payload_len = Int64.to_int (String.get_int64_le s 16) in
+    let digest = String.sub s 24 16 in
+    if String.length s - header_len <> payload_len then
+      err "truncated payload (header declares %d bytes, found %d)" payload_len
+        (String.length s - header_len);
+    if not (String.equal (Digest.substring s header_len payload_len) digest)
+    then err "checksum mismatch (corrupt snapshot)";
+    let limit = header_len + payload_len in
+    (* Section bodies are located in place; only non-core sections (geo,
+       bandwidth — small) are materialised as substrings.  The core body
+       is decoded directly out of [s]. *)
+    let cur = { s; pos = header_len; limit } in
+    let read_section () =
+      if cur.pos + 2 > limit then err "truncated section header";
+      let tag_len =
+        Char.code s.[cur.pos] lor (Char.code s.[cur.pos + 1] lsl 8)
+      in
+      cur.pos <- cur.pos + 2;
+      if cur.pos + tag_len > limit then err "truncated section tag";
+      let tag = String.sub s cur.pos tag_len in
+      cur.pos <- cur.pos + tag_len;
+      let body_len = read_u64 cur in
+      if cur.pos + body_len > limit then
+        err "truncated section %S (declares %d bytes)" tag body_len;
+      let body_pos = cur.pos in
+      cur.pos <- cur.pos + body_len;
+      (tag, body_pos, body_len)
+    in
+    let sections = List.init n_sections (fun _ -> read_section ()) in
+    if cur.pos <> limit then
+      err "payload has %d trailing bytes" (limit - cur.pos);
+    match
+      List.find_opt (fun (tag, _, _) -> String.equal tag core_tag) sections
+    with
+    | None -> err "missing %S section" core_tag
+    | Some (_, body_pos, body_len) ->
+        let t = decode_core s body_pos (body_pos + body_len) in
+        let extras =
+          List.filter_map
+            (fun (tag, pos, len) ->
+              if String.equal tag core_tag then None
+              else Some (tag, String.sub s pos len))
+            sections
+        in
+        (t, extras)
+
+  let save path ?sections t =
+    let data = to_string ?sections t in
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data)
+
+  let load_with_sections path =
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    let result = of_string data in
+    Obs.incr "topology.snapshot.load";
+    Obs.incr ~by:(num_ases (fst result)) "topology.snapshot.ases";
+    result
+
+  let load path = fst (load_with_sections path)
+end

@@ -86,3 +86,43 @@ val iter_provider_customer_links :
     provider. *)
 
 val pp_stats : Format.formatter -> t -> unit
+
+(** Versioned binary snapshots of the frozen view.
+
+    A snapshot file is a small container: an 8-byte magic, a format
+    version, a section count, the payload length, and an MD5 checksum of
+    the payload, followed by tagged sections.  The mandatory ["core"]
+    section stores the interned-ASN table and the three per-relationship
+    CSR adjacency classes verbatim, so [load] rebuilds the exact frozen
+    view without re-parsing or re-freezing — a full-CAIDA service starts
+    in milliseconds.  Extra sections (geo and bandwidth tables, see
+    {!Snapshot}) ride in the same container under the same checksum.
+
+    Stale or damaged files are rejected loudly: bad magic, an unknown
+    format version, a truncated payload, and a checksum mismatch each
+    raise [Invalid_argument] with a distinct message — never a decode
+    crash on corrupt bytes. *)
+module Snapshot : sig
+  val format_version : int
+  (** Bumped whenever the binary layout changes; [load] refuses other
+      versions. *)
+
+  val to_string : ?sections:(string * string) list -> t -> string
+  (** Serialize; [sections] are extra [(tag, body)] pairs appended after
+      the core section (tags must be unique and not ["core"]). *)
+
+  val of_string : string -> t * (string * string) list
+  (** Parse a snapshot image; returns the frozen view and any extra
+      sections.  @raise Invalid_argument on any malformed input. *)
+
+  val save : string -> ?sections:(string * string) list -> t -> unit
+  (** Write [to_string] to a file. *)
+
+  val load : string -> t
+  (** Read a file and decode the core section (extra sections ignored).
+      Records [topology.snapshot.load] / [topology.snapshot.ases] when
+      {!Pan_obs.Obs} is configured.
+      @raise Invalid_argument as {!of_string}, [Sys_error] on I/O. *)
+
+  val load_with_sections : string -> t * (string * string) list
+end

@@ -1,0 +1,28 @@
+(** Bundled topology snapshots: the frozen {!Compact} core plus optional
+    {!Geo} and {!Bandwidth} tables in one versioned, checksummed container
+    (see {!Compact.Snapshot} for the container format).  Loading a bundle
+    restores the exact frozen topology without re-parsing or re-freezing —
+    the "instant start" path for CAIDA-scale graphs. *)
+
+type bundle = {
+  topo : Compact.t;
+  geo : Geo.t option;
+  bandwidth : Bandwidth.t option;
+}
+
+val to_string : ?geo:Geo.t -> ?bandwidth:Bandwidth.t -> Compact.t -> string
+(** Serialize a bundle.  Equal inputs produce equal bytes. *)
+
+val of_string : string -> bundle
+(** Inverse of {!to_string}.
+    @raise Invalid_argument on corrupt, truncated, or version-mismatched
+    data (propagated from {!Compact.Snapshot.of_string}, or raised here
+    for malformed geo/bandwidth sections). *)
+
+val save : string -> ?geo:Geo.t -> ?bandwidth:Bandwidth.t -> Compact.t -> unit
+(** Write [to_string] to a file (binary mode). *)
+
+val load : string -> bundle
+(** Read and decode a snapshot file; bumps the [topology.snapshot.*]
+    observability counters.
+    @raise Invalid_argument as {!of_string}; [Sys_error] on I/O failure. *)

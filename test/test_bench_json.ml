@@ -1,0 +1,143 @@
+(* Schema tests for the machine-readable bench snapshots
+   (BENCH_<part>.json): canonical emission round-trips through the
+   parser, value-level validation rejects malformed snapshots with
+   specific diagnostics, and the fingerprint convention is stable across
+   worker counts (the property CI asserts on the emitted files). *)
+
+open Pan_obs
+module B = Bench_snap
+
+let snap =
+  B.make ~part:"econ" ~wall_s:1.25 ~throughput:48.0 ~speedup:2.125
+    ~fingerprint:(B.fingerprint_of_string "payload") ~jobs:4
+    ~meta:[ ("scenarios", "24"); ("b", "two") ]
+    ()
+
+let index_of_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then -1 else if String.sub s i m = sub then i else go (i + 1)
+  in
+  go 0
+
+let test_emit_canonical () =
+  (* sorted keys, sorted meta, trailing newline: equal snapshots are
+     equal bytes *)
+  let json = B.to_json snap in
+  Alcotest.(check string) "stable bytes" json (B.to_json snap);
+  Alcotest.(check bool) "keys sorted" true
+    (index_of_sub json "\"fingerprint\"" < index_of_sub json "\"jobs\""
+    && index_of_sub json "\"jobs\"" < index_of_sub json "\"meta\""
+    && index_of_sub json "\"speedup\"" < index_of_sub json "\"wall_s\"");
+  Alcotest.(check bool) "meta sorted" true
+    (index_of_sub json "\"b\"" < index_of_sub json "\"scenarios\"")
+
+let test_roundtrip () =
+  match B.of_string (B.to_json snap) with
+  | Error e -> Alcotest.fail ("round-trip failed: " ^ e)
+  | Ok t ->
+      Alcotest.(check string) "part" snap.B.part t.B.part;
+      Alcotest.(check (float 0.0)) "wall_s" snap.B.wall_s t.B.wall_s;
+      Alcotest.(check (float 0.0)) "throughput" snap.B.throughput
+        t.B.throughput;
+      Alcotest.(check (float 0.0)) "speedup" snap.B.speedup t.B.speedup;
+      Alcotest.(check string) "fingerprint" snap.B.fingerprint t.B.fingerprint;
+      Alcotest.(check int) "jobs" snap.B.jobs t.B.jobs;
+      Alcotest.(check (list (pair string string)))
+        "meta" (List.sort compare snap.B.meta)
+        (List.sort compare t.B.meta)
+
+let test_schema_negatives () =
+  let expect_err name s =
+    match B.of_string s with
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+    | Error _ -> ()
+  in
+  expect_err "not json" "}{";
+  expect_err "not an object" "[1, 2]";
+  expect_err "missing part"
+    {|{"fingerprint": "0123", "jobs": 1, "speedup": 1, "throughput": 1, "wall_s": 1}|};
+  expect_err "missing fingerprint"
+    {|{"part": "econ", "jobs": 1, "speedup": 1, "throughput": 1, "wall_s": 1}|};
+  expect_err "wrong type"
+    {|{"part": 3, "fingerprint": "x", "jobs": 1, "speedup": 1, "throughput": 1, "wall_s": 1}|};
+  (* value-level validation *)
+  let valid_fp = B.fingerprint_of_string "x" in
+  let mk ?(part = "p") ?(fp = valid_fp) ?(wall = 1.0) ?(jobs = 1) () =
+    Printf.sprintf
+      {|{"fingerprint": "%s", "jobs": %d, "part": "%s", "speedup": 1, "throughput": 1, "wall_s": %g}|}
+      fp jobs part wall
+  in
+  (match B.of_string (mk ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "baseline should validate: %s" e);
+  expect_err "short fingerprint" (mk ~fp:"abc123" ());
+  expect_err "non-hex fingerprint"
+    (mk ~fp:(String.make 32 'z') ());
+  expect_err "bad part name" (mk ~part:"no spaces" ());
+  expect_err "negative wall_s" (mk ~wall:(-1.0) ());
+  expect_err "jobs < 1" (mk ~jobs:0 ())
+
+let test_make_rejects_bad_part () =
+  Alcotest.check_raises "bad part"
+    (Invalid_argument "Bench_snap.make: part must be non-empty [A-Za-z0-9_-]")
+    (fun () ->
+      ignore
+        (B.make ~part:"a/b" ~wall_s:1.0 ~throughput:1.0 ~speedup:1.0
+           ~fingerprint:(B.fingerprint_of_string "x") ~jobs:1 ()))
+
+let test_write_read_file () =
+  let dir = Filename.temp_file "panagree_bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let path = B.write ~dir snap in
+      Alcotest.(check string) "path" (Filename.concat dir "BENCH_econ.json")
+        path;
+      match B.read path with
+      | Error e -> Alcotest.fail ("read failed: " ^ e)
+      | Ok t -> Alcotest.(check string) "read part" "econ" t.B.part);
+  match B.read "/nonexistent/BENCH_x.json" with
+  | Ok _ -> Alcotest.fail "read of missing file succeeded"
+  | Error _ -> ()
+
+(* The fingerprint the econ bench part snapshots: a job-count-invariant
+   render of the Methods_exp report.  Running in-process at -j1 and -j4
+   must agree bit-for-bit (chunk-deterministic map_reduce), which is
+   exactly what CI checks on the emitted BENCH_econ.json. *)
+let report_fingerprint (r : Pan_experiments.Methods_exp.report) =
+  B.fingerprint_of_string
+    (Printf.sprintf "%d,%d,%d,%d,%.17g,%.17g"
+       r.Pan_experiments.Methods_exp.scenarios r.Pan_experiments.Methods_exp.cash_concluded
+       r.Pan_experiments.Methods_exp.flow_volume_concluded
+       r.Pan_experiments.Methods_exp.cash_only
+       r.Pan_experiments.Methods_exp.mean_cash_joint
+       r.Pan_experiments.Methods_exp.mean_flow_volume_joint)
+
+let test_fingerprint_jobs_invariant () =
+  let run pool = Pan_experiments.Methods_exp.run ?pool ~scenarios:8 ~seed:5 () in
+  let fp_j1 = report_fingerprint (run None) in
+  let fp_j4 =
+    Pan_runner.Pool.with_pool ~domains:4 (fun pool ->
+        report_fingerprint (run (Some pool)))
+  in
+  Alcotest.(check string) "fingerprints agree across -j1/-j4" fp_j1 fp_j4
+
+let suite =
+  [
+    Alcotest.test_case "canonical emission" `Quick test_emit_canonical;
+    Alcotest.test_case "round-trip through parser" `Quick test_roundtrip;
+    Alcotest.test_case "schema negatives rejected" `Quick
+      test_schema_negatives;
+    Alcotest.test_case "make rejects bad part names" `Quick
+      test_make_rejects_bad_part;
+    Alcotest.test_case "write/read BENCH file" `Quick test_write_read_file;
+    Alcotest.test_case "fingerprint invariant across jobs" `Slow
+      test_fingerprint_jobs_invariant;
+  ]

@@ -343,6 +343,96 @@ let test_counts_on_fig1 () =
     (Path_enum.grc g (Gen.fig1_asn 'D'))
     (Path_enum_compact.to_mid_sets c m)
 
+(* ------------------------------------------------------------------ *)
+(* Versioned binary snapshots                                          *)
+
+(* Serialized equality is the strongest practical equality for the
+   frozen view: identical interning tables, CSR arrays and counts. *)
+let frozen_equal a b =
+  String.equal (Compact.Snapshot.to_string a) (Compact.Snapshot.to_string b)
+
+let qcheck_snapshot_roundtrip =
+  QCheck.Test.make ~count:20 ~name:"Snapshot.of_string (to_string c) = c"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let c = Compact.freeze (gen_graph ~n_transit:10 ~n_stub:40 seed) in
+      let image = Compact.Snapshot.to_string c in
+      let c', extras = Compact.Snapshot.of_string image in
+      frozen_equal c c' && extras = []
+      && String.equal image (Compact.Snapshot.to_string c'))
+
+let caida_sample = "# comment line\n1|2|-1|bgp\n2|3|0|mlp\n\n1|4|-1|bgp\n"
+
+let test_snapshot_caida_roundtrip () =
+  let c = Compact.freeze (Caida.of_string caida_sample) in
+  let file = Filename.temp_file "panagree_test" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Compact.Snapshot.save file c;
+      let c' = Compact.Snapshot.load file in
+      Alcotest.(check bool) "caida round-trip" true (frozen_equal c c');
+      Alcotest.(check int) "ases" 4 (Compact.num_ases c');
+      Alcotest.(check int) "p2c" 2
+        (Compact.num_provider_customer_links c');
+      Alcotest.(check int) "p2p" 1 (Compact.num_peering_links c'))
+
+let test_snapshot_bundle_roundtrip () =
+  let c = Compact.freeze (gen_graph ~n_transit:8 ~n_stub:30 5) in
+  let geo = Geo.of_compact ~seed:9 c in
+  let bw = Bandwidth.of_compact ~coefficient:2.5 c in
+  let file = Filename.temp_file "panagree_test" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Snapshot.save file ~geo ~bandwidth:bw c;
+      let b = Snapshot.load file in
+      Alcotest.(check bool) "topo equal" true
+        (frozen_equal c b.Snapshot.topo);
+      (match b.Snapshot.geo with
+      | None -> Alcotest.fail "geo section lost"
+      | Some geo' ->
+          Alcotest.(check bool) "geo tables equal" true
+            (Geo.bindings geo = Geo.bindings geo'));
+      match b.Snapshot.bandwidth with
+      | None -> Alcotest.fail "bandwidth section lost"
+      | Some bw' ->
+          Alcotest.(check (float 0.0)) "coefficient" 2.5
+            (Bandwidth.coefficient bw'))
+
+let test_snapshot_rejects_corruption () =
+  let c = Compact.freeze (Caida.of_string caida_sample) in
+  let image = Compact.Snapshot.to_string c in
+  let expect_invalid name bytes msg =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () ->
+        ignore (Compact.Snapshot.of_string bytes))
+  in
+  let flip pos byte =
+    let b = Bytes.of_string image in
+    Bytes.set b pos byte;
+    Bytes.to_string b
+  in
+  expect_invalid "bad magic"
+    ("NOTASNAP" ^ String.sub image 8 (String.length image - 8))
+    "Compact.Snapshot.load: bad magic \"NOTASNAP\" (not a panagree snapshot)";
+  expect_invalid "flipped version byte"
+    (flip 8 '\255')
+    "Compact.Snapshot.load: unsupported format version 255 (this build \
+     reads version 1)";
+  let declared = String.length image - 40 in
+  expect_invalid "truncated payload"
+    (String.sub image 0 50)
+    (Printf.sprintf
+       "Compact.Snapshot.load: truncated payload (header declares %d \
+        bytes, found 10)"
+       declared);
+  (* corrupt one payload byte: the checksum rejects it before any
+     decoding happens *)
+  expect_invalid "corrupted payload" (flip 60 '\255')
+    "Compact.Snapshot.load: checksum mismatch (corrupt snapshot)";
+  expect_invalid "truncated header" (String.sub image 0 10)
+    "Compact.Snapshot.load: truncated header (10 bytes, need at least 40)"
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_bitset_roundtrip;
@@ -361,4 +451,11 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_concluded_equivalence;
     QCheck_alcotest.to_alcotest qcheck_top_partners_equivalence;
     Alcotest.test_case "fig1 counts (hand-checked)" `Quick test_counts_on_fig1;
+    QCheck_alcotest.to_alcotest qcheck_snapshot_roundtrip;
+    Alcotest.test_case "snapshot: CAIDA sample round-trip" `Quick
+      test_snapshot_caida_roundtrip;
+    Alcotest.test_case "snapshot: geo+bandwidth bundle round-trip" `Quick
+      test_snapshot_bundle_roundtrip;
+    Alcotest.test_case "snapshot: corruption rejected loudly" `Quick
+      test_snapshot_rejects_corruption;
   ]

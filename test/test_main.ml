@@ -24,6 +24,7 @@ let () =
       ("econ.agreement", Test_agreement.suite);
       ("econ.traffic_model", Test_traffic_model.suite);
       ("econ.nash_opt", Test_nash_opt.suite);
+      ("econ.fast_kernel", Test_econ_fast.suite);
       ("bosco", Test_bosco.suite);
       ("bosco.strategy_fast", Test_strategy_fast.suite);
       ("experiments", Test_experiments.suite);
@@ -48,4 +49,5 @@ let () =
       ("runner.golden", Test_runner_golden.suite);
       ("obs.core", Test_obs.suite);
       ("obs.runner", Test_runner_obs.suite);
+      ("obs.bench_json", Test_bench_json.suite);
     ]

@@ -90,6 +90,38 @@ let qcheck_ecdf_monotone =
       let c = Stats.ecdf (Array.of_list xs) in
       Stats.cdf_at c x <= Stats.cdf_at c (x +. dx))
 
+(* NaN-adjacent edges: a NaN percentile rank slips through the
+   [p < 0 || p > 100] range check (both comparisons are false), and NaN
+   samples would sort to an arbitrary position — all must raise, never
+   return an order-dependent quantile. *)
+let test_nan_edges () =
+  let xs = [| 10.0; 20.0; 30.0 |] in
+  Alcotest.check_raises "NaN p"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile xs Float.nan));
+  Alcotest.check_raises "p below range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile xs (-0.5)));
+  Alcotest.check_raises "p above range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile xs 100.5));
+  let with_nan = [| 1.0; Float.nan; 3.0 |] in
+  Alcotest.check_raises "NaN sample in percentile"
+    (Invalid_argument "Stats.percentile: NaN input") (fun () ->
+      ignore (Stats.percentile with_nan 50.0));
+  Alcotest.check_raises "NaN sample in median"
+    (Invalid_argument "Stats.percentile: NaN input") (fun () ->
+      ignore (Stats.median with_nan));
+  Alcotest.check_raises "NaN sample in ecdf"
+    (Invalid_argument "Stats.ecdf: NaN input") (fun () ->
+      ignore (Stats.ecdf with_nan));
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.percentile: empty array") (fun () ->
+      ignore (Stats.percentile [||] 50.0));
+  Alcotest.check_raises "empty ecdf"
+    (Invalid_argument "Stats.ecdf: empty array") (fun () ->
+      ignore (Stats.ecdf [||]))
+
 let suite =
   [
     Alcotest.test_case "mean / variance / stddev" `Quick test_mean_variance;
@@ -106,4 +138,5 @@ let suite =
     Alcotest.test_case "fraction_where" `Quick test_fraction_where;
     QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
     QCheck_alcotest.to_alcotest qcheck_ecdf_monotone;
+    Alcotest.test_case "NaN-adjacent edges raise" `Quick test_nan_edges;
   ]
