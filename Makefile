@@ -1,5 +1,5 @@
 .PHONY: all build quick test bench bench-topo bench-bosco bench-faults \
-	bench-snapshots profile clean
+	bench-serve bench-snapshots profile clean
 
 all: build
 
@@ -39,6 +39,15 @@ bench-bosco:
 # (CI runs this too).
 bench-faults:
 	dune exec bench/main.exe -- faults
+
+# Resident-service sweep (bench part 11): queries/sec and latency
+# percentiles under link churn on a 3k-AS topology, with the
+# incremental-vs-refreeze and -j1/-j4 transcript fingerprint checks;
+# exits non-zero on any mismatch (CI runs the `serve-smoke` variant
+# through the bench-serve-smoke alias, which also schema-checks the
+# emitted BENCH_serve.json).
+bench-serve:
+	dune exec bench/main.exe -- serve
 
 # Machine-readable bench trajectory: run the econ-kernel, topology-
 # snapshot, and BOSCO parts at smoke scale, emit BENCH_<part>.json for

@@ -47,6 +47,13 @@
    re-freezing its CAIDA serialization, verifying byte-identical frozen
    cores.
 
+   Part 11 measures the resident path-query service (lib/service):
+   sustained queries/sec and per-query latency percentiles under link
+   churn, the incremental-freeze drain vs the full re-freeze oracle,
+   verifying byte-identical transcripts between the two modes and
+   between -j1 and -j4, and emitting BENCH_serve.json
+   (`main.exe serve[-smoke]`, `make bench-serve`).
+
    Parts 7, 9 and 10 also emit machine-readable BENCH_<part>.json
    snapshots (Pan_obs.Bench_snap) recording wall-clock, throughput,
    speedup and a result fingerprint; `main.exe validate-bench FILE...`
@@ -954,6 +961,102 @@ let run_supervised () =
   if retried <= 0 then ok := false;
   !ok
 
+(* ------------------------------------------------------------------ *)
+(* Part 11: resident path-query service (lib/service)                  *)
+
+(* transit, stubs, requests, churn *)
+let serve_params = function
+  | `Smoke -> (60, 928, 3000, 0.02)
+  | `Full -> (200, 3000, 20000, 0.02)
+
+let run_serve scale =
+  let module Sv = Pan_service in
+  section "Resident service: sustained path queries under link churn";
+  let n_transit, n_stub, requests, churn = serve_params scale in
+  let params = { Gen.default_params with Gen.n_transit; Gen.n_stub } in
+  let topo = Compact.freeze (Gen.graph (Gen.generate ~params ~seed:42 ())) in
+  let stream =
+    Sv.Stream.generate ~rng:(Rng.create 44) ~topo ~requests ~churn
+  in
+  let n_queries =
+    List.length
+      (List.filter
+         (function Sv.Stream.Query _ -> true | _ -> false)
+         stream)
+  in
+  let n_events = requests - n_queries in
+  Format.fprintf fmt "topology: %a@.stream: %d queries, %d events (churn %g)@."
+    Compact.pp_stats topo n_queries n_events churn;
+  (* Latency pass: drive the engine directly, timing each memoized query
+     individually (the sustained-service shape: store hits dominate once
+     the memo warms between churn events). *)
+  let engine = Sv.Engine.create topo in
+  let latencies = Array.make (max 1 n_queries) 0.0 in
+  let q = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Sv.Stream.Query { src; dst; policy } ->
+          let src = Option.get (Compact.index_of topo src) in
+          let dst = Option.get (Compact.index_of topo dst) in
+          let t0 = Unix.gettimeofday () in
+          ignore (Sv.Engine.query engine ~src ~dst ~policy : int list);
+          latencies.(!q) <- Unix.gettimeofday () -. t0;
+          incr q
+      | ev ->
+          ignore (Sv.Engine.apply engine (Sv.Serve.event_of_item topo ev) : int))
+    stream;
+  let st = Sv.Engine.stats engine in
+  let p50 = Pan_numerics.Stats.percentile latencies 50.0 *. 1e6 in
+  let p99 = Pan_numerics.Stats.percentile latencies 99.0 *. 1e6 in
+  Format.fprintf fmt
+    "store: %d hits, %d misses, %d invalidations@.\
+     query latency: p50 %.1f us, p99 %.1f us@."
+    st.Sv.Engine.store_hits st.Sv.Engine.store_misses st.Sv.Engine.invalidated
+    p50 p99;
+  (* Incremental freeze vs full re-freeze, same stream end to end. *)
+  let inc, t_inc =
+    time (fun () -> Sv.Serve.run ~mode:Sv.Engine.Incremental ~topo stream)
+  in
+  let refr, t_refr =
+    time (fun () -> Sv.Serve.run ~mode:Sv.Engine.Refreeze ~topo stream)
+  in
+  let modes_equal =
+    String.equal inc.Sv.Serve.fingerprint refr.Sv.Serve.fingerprint
+  in
+  let qps = float_of_int n_queries /. t_inc in
+  Format.fprintf fmt
+    "drain: incremental %.3f s (%.0f queries/s), refreeze %.3f s (%.1fx); \
+     transcripts equal %b@."
+    t_inc qps t_refr (t_refr /. t_inc) modes_equal;
+  (* Parallel prefill must not change a byte of the transcript. *)
+  let par, _t_par =
+    Pan_runner.Pool.with_pool ~domains:4 (fun pool ->
+        time (fun () ->
+            Sv.Serve.run ~pool ~mode:Sv.Engine.Incremental ~topo stream))
+  in
+  let jobs_equal =
+    String.equal inc.Sv.Serve.fingerprint par.Sv.Serve.fingerprint
+  in
+  Format.fprintf fmt "fingerprint -j1 %s  -j4 %s  equal %b@."
+    inc.Sv.Serve.fingerprint par.Sv.Serve.fingerprint jobs_equal;
+  emit_snapshot
+    (Pan_obs.Bench_snap.make ~part:"serve" ~wall_s:t_inc ~throughput:qps
+       ~speedup:(t_refr /. t_inc) ~fingerprint:inc.Sv.Serve.fingerprint
+       ~jobs:4
+       ~meta:
+         [
+           ("queries", string_of_int n_queries);
+           ("events", string_of_int n_events);
+           ("churn", Printf.sprintf "%g" churn);
+           ("p50_us", Printf.sprintf "%.1f" p50);
+           ("p99_us", Printf.sprintf "%.1f" p99);
+           ("fingerprint_j1", inc.Sv.Serve.fingerprint);
+           ("fingerprint_j4", par.Sv.Serve.fingerprint);
+         ]
+       ());
+  modes_equal && jobs_equal
+
 let full_run () =
   reproduce_gadgets ();
   reproduce_methods ();
@@ -976,6 +1079,7 @@ let full_run () =
   ignore (run_econ ~scenarios:24 () : bool);
   ignore (run_topo_snapshot `Smoke : bool);
   ignore (run_supervised () : bool);
+  ignore (run_serve `Smoke : bool);
   run_benchmarks ();
   run_runner_pair ();
   obs_profile ()
@@ -992,6 +1096,8 @@ let () =
   | "econ" -> if not (run_econ ~scenarios:60 ()) then exit 1
   | "econ-smoke" -> if not (run_econ ~scenarios:24 ()) then exit 1
   | "faults" -> if not (run_supervised ()) then exit 1
+  | "serve" -> if not (run_serve `Full) then exit 1
+  | "serve-smoke" -> if not (run_serve `Smoke) then exit 1
   | "validate-bench" ->
       validate_bench
         (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)))
@@ -999,7 +1105,8 @@ let () =
       Format.eprintf
         "usage: %s \
          [topo|topo-full|topo-snapshot|topo-snapshot-smoke|bosco|bosco-smoke|\
-         econ|econ-smoke|faults|validate-bench FILE...]  (unknown part %S)@."
+         econ|econ-smoke|faults|serve|serve-smoke|validate-bench FILE...]  \
+         (unknown part %S)@."
         Sys.argv.(0) other;
       exit 2);
   Format.fprintf fmt "@.bench: done@."

@@ -536,6 +536,147 @@ let export_cmd =
       $ sup_term $ metrics_arg $ trace_arg $ sample_arg $ out)
 
 (* ------------------------------------------------------------------ *)
+(* serve: resident path-query service (lib/service)                    *)
+
+let serve_cmd =
+  let open Pan_service in
+  let stream_arg =
+    let doc =
+      "Drain the request/event stream from $(docv) instead of generating \
+       one.  Format, one item per line: 'query AS1 AS2 ma-all', 'down \
+       peer AS1 AS2', 'up transit AS1 AS2' (transit is provider then \
+       customer); policies are grc, ma-all, ma-direct, ma-top:N; '#' \
+       starts a comment."
+    in
+    Arg.(value & opt (some file) None & info [ "stream" ] ~doc ~docv:"FILE")
+  in
+  let requests_arg =
+    let doc = "Length of the generated stream (queries plus events)." in
+    Arg.(value & opt int 200 & info [ "requests" ] ~doc ~docv:"N")
+  in
+  let churn_arg =
+    let doc =
+      "Probability that a generated stream item is a link up/down event \
+       instead of a query."
+    in
+    Arg.(value & opt float 0.05 & info [ "churn" ] ~doc ~docv:"P")
+  in
+  let mode_arg =
+    let doc =
+      "Topology update strategy under churn: $(b,incremental) splices \
+       the frozen CSR core per event (the incremental freeze), \
+       $(b,refreeze) rebuilds it from scratch per event (the oracle \
+       path)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("incremental", Engine.Incremental);
+               ("refreeze", Engine.Refreeze);
+             ])
+          Engine.Incremental
+      & info [ "mode" ] ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Shadow every event with a full re-freeze engine and fail loudly \
+       if the incremental core ever diverges (frozen views are compared \
+       byte-for-byte)."
+    in
+    Arg.(value & flag & info [ "oracle" ] ~doc)
+  in
+  let run caida transit stubs seed jobs sup metrics trace snapshot stream
+      requests churn mode oracle =
+    with_obs ~metrics ~trace @@ fun () ->
+    match
+      let topo =
+        match snapshot with
+        | Some path ->
+            let b = Snapshot.load path in
+            Format.fprintf fmt "# loaded snapshot %s: %a@." path
+              Compact.pp_stats b.Snapshot.topo;
+            b.Snapshot.topo
+        | None -> Compact.freeze (topology ~caida ~transit ~stubs ~seed)
+      in
+      let items =
+        match stream with
+        | Some path ->
+            let s = Stream.load path in
+            Format.fprintf fmt "# stream %s: %d items@." path (List.length s);
+            s
+        | None ->
+            let rng = Pan_numerics.Rng.create (seed + 2) in
+            let s = Stream.generate ~rng ~topo ~requests ~churn in
+            Format.fprintf fmt "# generated stream (seed %d): %d items, \
+                               churn %g@."
+              (seed + 2) requests churn;
+            s
+      in
+      with_jobs jobs (fun pool ->
+          Serve.run ~pool ~retries:sup.retries ?deadline:sup.deadline ~oracle
+            ~mode ~topo items)
+    with
+    | outcome ->
+        Format.fprintf fmt "%s" outcome.Serve.transcript;
+        let s = outcome.Serve.stats in
+        Format.fprintf fmt
+          "# served %d queries (%d store hits, %d misses), %d events, %d \
+           invalidations@."
+          s.Engine.queries s.Engine.store_hits s.Engine.store_misses
+          s.Engine.events s.Engine.invalidated;
+        Format.fprintf fmt "# transcript fingerprint %s@."
+          outcome.Serve.fingerprint
+    | exception Invalid_argument msg ->
+        Format.eprintf "panagree: %s@." msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Resident path-query service: answer (src, dst, policy) queries \
+          from a per-pair memoized store while draining link churn over \
+          the incrementally-updated frozen core.")
+    Term.(
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
+      $ sup_term $ metrics_arg $ trace_arg $ snapshot_arg $ stream_arg
+      $ requests_arg $ churn_arg $ mode_arg $ oracle_arg)
+
+(* ------------------------------------------------------------------ *)
+(* validate-bench                                                      *)
+
+let validate_bench_cmd =
+  let files =
+    let doc = "BENCH_<part>.json files to validate." in
+    Arg.(non_empty & pos_all string [] & info [] ~doc ~docv:"FILE")
+  in
+  let run files =
+    let ok =
+      List.fold_left
+        (fun ok file ->
+          match Pan_obs.Bench_snap.read file with
+          | Ok snap ->
+              Format.fprintf fmt "%s: ok (part %s, fingerprint %s)@." file
+                snap.Pan_obs.Bench_snap.part
+                snap.Pan_obs.Bench_snap.fingerprint;
+              ok
+          | Error e ->
+              Format.eprintf "%s: INVALID: %s@." file e;
+              false)
+        true files
+    in
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate-bench"
+       ~doc:
+         "Parse and schema-check machine-readable BENCH_<part>.json \
+          snapshots emitted by the bench harness; exits non-zero on any \
+          malformed file.")
+    Term.(const run $ files)
+
+(* ------------------------------------------------------------------ *)
 (* all                                                                 *)
 
 let all_cmd =
@@ -596,6 +737,8 @@ let () =
             te_cmd;
             fragility_cmd;
             topology_cmd;
+            serve_cmd;
+            validate_bench_cmd;
             export_cmd;
             all_cmd;
           ]))

@@ -1,0 +1,265 @@
+open Pan_topology
+module Obs = Pan_obs.Obs
+
+type link =
+  | Peer of int * int
+  | Transit of { provider : int; customer : int }
+
+type event = Link_up of link | Link_down of link
+type mode = Incremental | Refreeze
+
+type stats = {
+  queries : int;
+  store_hits : int;
+  store_misses : int;
+  events : int;
+  invalidated : int;
+}
+
+(* Memo keys use the scenario constructors directly: Ma_top carries only
+   an int, so structural hashing and equality are exact. *)
+type mid_key = int * Path_enum.scenario
+type store_key = int * int * Path_enum.scenario
+
+type t = {
+  mode : mode;
+  mutable topo : Compact.t;
+  mirror : Graph.t;
+  mids : (mid_key, Path_enum_compact.mid_sets) Hashtbl.t;
+  mid_keys : (int, Path_enum.scenario list ref) Hashtbl.t;
+  store : (store_key, int list) Hashtbl.t;
+  store_keys : (int, (int * Path_enum.scenario) list ref) Hashtbl.t;
+  mutable queries : int;
+  mutable store_hits : int;
+  mutable store_misses : int;
+  mutable events : int;
+  mutable invalidated : int;
+}
+
+let mode t = t.mode
+let topology t = t.topo
+
+let stats t =
+  {
+    queries = t.queries;
+    store_hits = t.store_hits;
+    store_misses = t.store_misses;
+    events = t.events;
+    invalidated = t.invalidated;
+  }
+
+let make mode topo mirror =
+  {
+    mode;
+    topo;
+    mirror;
+    mids = Hashtbl.create 256;
+    mid_keys = Hashtbl.create 256;
+    store = Hashtbl.create 1024;
+    store_keys = Hashtbl.create 256;
+    queries = 0;
+    store_hits = 0;
+    store_misses = 0;
+    events = 0;
+    invalidated = 0;
+  }
+
+let create ?(mode = Incremental) topo = make mode topo (Compact.thaw topo)
+let of_graph ?(mode = Incremental) g = make mode (Compact.freeze g) (Graph.copy g)
+
+let err fmt = Printf.ksprintf invalid_arg ("Engine." ^^ fmt)
+
+let check_index t i =
+  if i < 0 || i >= Compact.num_ases t.topo then
+    err "apply: index %d outside [0, %d)" i (Compact.num_ases t.topo)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let compute_mids topo src policy = Path_enum_compact.scenario_paths topo policy src
+
+let push_key keys src k =
+  match Hashtbl.find_opt keys src with
+  | Some l -> l := k :: !l
+  | None -> Hashtbl.add keys src (ref [ k ])
+
+let mids_of t ~src ~policy =
+  match Hashtbl.find_opt t.mids (src, policy) with
+  | Some m -> m
+  | None ->
+      let m = compute_mids t.topo src policy in
+      Hashtbl.replace t.mids (src, policy) m;
+      push_key t.mid_keys src policy;
+      m
+
+let answer_of_mids mids dst =
+  let acc = ref [] in
+  Path_enum_compact.iter_sets
+    (fun mid dsts -> if Bitset.mem dsts dst then acc := mid :: !acc)
+    mids;
+  List.rev !acc
+
+let query_uncached t ~src ~dst ~policy =
+  check_index t src;
+  check_index t dst;
+  answer_of_mids (compute_mids t.topo src policy) dst
+
+let query t ~src ~dst ~policy =
+  check_index t src;
+  check_index t dst;
+  t.queries <- t.queries + 1;
+  Obs.incr "serve.queries";
+  Obs.time "serve.query" (fun () ->
+      match Hashtbl.find_opt t.store (src, dst, policy) with
+      | Some a ->
+          t.store_hits <- t.store_hits + 1;
+          Obs.incr "serve.store_hits";
+          a
+      | None ->
+          t.store_misses <- t.store_misses + 1;
+          Obs.incr "serve.store_misses";
+          let a = answer_of_mids (mids_of t ~src ~policy) dst in
+          Hashtbl.replace t.store (src, dst, policy) a;
+          push_key t.store_keys src (dst, policy);
+          a)
+
+let prefill ?pool ?retries ?deadline t pairs =
+  let missing = Hashtbl.create 64 in
+  let order =
+    List.filter
+      (fun key ->
+        if Hashtbl.mem t.mids key || Hashtbl.mem missing key then false
+        else (
+          Hashtbl.add missing key ();
+          true))
+      pairs
+  in
+  match order with
+  | [] -> ()
+  | _ ->
+      let keys = Array.of_list order in
+      let topo = t.topo in
+      let results =
+        Pan_runner.Task.map ?pool ?retries ?deadline ~n:(Array.length keys)
+          ~f:(fun k ->
+            let src, policy = keys.(k) in
+            compute_mids topo src policy)
+          ()
+      in
+      Array.iteri
+        (fun k m ->
+          let ((src, policy) as key) = keys.(k) in
+          Hashtbl.replace t.mids key m;
+          push_key t.mid_keys src policy)
+        results
+
+(* ------------------------------------------------------------------ *)
+(* Churn                                                               *)
+
+let pp_as t i = Printf.sprintf "AS%d" (Asn.to_int (Compact.id t.topo i))
+
+let check_endpoints t i j =
+  check_index t i;
+  check_index t j;
+  if i = j then err "apply: self-link on %s" (pp_as t i)
+
+let check_applicable t ev =
+  match ev with
+  | Link_up (Peer (i, j)) | Link_up (Transit { provider = i; customer = j }) ->
+      check_endpoints t i j;
+      if Compact.connected t.topo i j then
+        err "apply: %s and %s are already linked" (pp_as t i) (pp_as t j)
+  | Link_down (Peer (i, j)) ->
+      check_endpoints t i j;
+      if not (Compact.mem_peer t.topo i j) then
+        err "apply: %s and %s are not peers" (pp_as t i) (pp_as t j)
+  | Link_down (Transit { provider; customer }) ->
+      check_endpoints t provider customer;
+      if not (Compact.mem_customer t.topo provider customer) then
+        err "apply: %s is not a provider of %s" (pp_as t provider)
+          (pp_as t customer)
+
+let endpoints = function
+  | Link_up (Peer (i, j)) | Link_down (Peer (i, j)) -> (i, j)
+  | Link_up (Transit { provider; customer })
+  | Link_down (Transit { provider; customer }) ->
+      (provider, customer)
+
+(* Sources whose scenario paths can differ after flipping link (a, b):
+   {a, b} and both endpoints' neighborhoods, taken on the topology
+   before AND after the flip (the union differs only in a/b themselves,
+   but taking both sides keeps the argument one line).  See DESIGN §6f
+   for the sufficiency argument. *)
+let affected_sources before after a b =
+  let n = Compact.num_ases after in
+  let s = Bitset.create ~width:n in
+  Bitset.add s a;
+  Bitset.add s b;
+  let absorb topo =
+    Compact.iter_neighbors topo a (Bitset.unsafe_add s);
+    Compact.iter_neighbors topo b (Bitset.unsafe_add s)
+  in
+  absorb before;
+  absorb after;
+  s
+
+let drop_memos t affected =
+  let dropped = ref 0 in
+  Bitset.iter
+    (fun src ->
+      (match Hashtbl.find_opt t.mid_keys src with
+      | None -> ()
+      | Some policies ->
+          List.iter (fun p -> Hashtbl.remove t.mids (src, p)) !policies;
+          Hashtbl.remove t.mid_keys src);
+      match Hashtbl.find_opt t.store_keys src with
+      | None -> ()
+      | Some keys ->
+          List.iter
+            (fun (dst, p) ->
+              if Hashtbl.mem t.store (src, dst, p) then (
+                Hashtbl.remove t.store (src, dst, p);
+                incr dropped))
+            !keys;
+          Hashtbl.remove t.store_keys src)
+    affected;
+  !dropped
+
+let mutate_mirror t ev =
+  let asn i = Compact.id t.topo i in
+  match ev with
+  | Link_up (Peer (i, j)) -> Graph.add_peering t.mirror (asn i) (asn j)
+  | Link_down (Peer (i, j)) -> Graph.remove_peering t.mirror (asn i) (asn j)
+  | Link_up (Transit { provider; customer }) ->
+      Graph.add_provider_customer t.mirror ~provider:(asn provider)
+        ~customer:(asn customer)
+  | Link_down (Transit { provider; customer }) ->
+      Graph.remove_provider_customer t.mirror ~provider:(asn provider)
+        ~customer:(asn customer)
+
+let incremental_step topo ev =
+  match ev with
+  | Link_up (Peer (i, j)) -> Compact.Delta.add_peering topo i j
+  | Link_down (Peer (i, j)) -> Compact.Delta.remove_peering topo i j
+  | Link_up (Transit { provider; customer }) ->
+      Compact.Delta.add_provider_customer topo ~provider ~customer
+  | Link_down (Transit { provider; customer }) ->
+      Compact.Delta.remove_provider_customer topo ~provider ~customer
+
+let apply t ev =
+  check_applicable t ev;
+  let before = t.topo in
+  mutate_mirror t ev;
+  let after =
+    match t.mode with
+    | Incremental -> incremental_step before ev
+    | Refreeze -> Compact.freeze t.mirror
+  in
+  t.topo <- after;
+  let a, b = endpoints ev in
+  let dropped = drop_memos t (affected_sources before after a b) in
+  t.events <- t.events + 1;
+  t.invalidated <- t.invalidated + dropped;
+  Obs.incr "serve.events";
+  Obs.incr ~by:dropped "serve.invalidations";
+  dropped

@@ -1,0 +1,104 @@
+(** Resident path-query engine: one frozen {!Pan_topology.Compact}
+    topology, a per-pair memoized path store, and live link churn.
+
+    The engine answers [(src, dst, policy)] queries — "how many length-3
+    paths, and through which middle ASes, does [src] have to [dst] under
+    this agreement scenario?" — from two memo layers:
+
+    - a {e mid-sets memo} keyed by [(src, policy)], holding the expensive
+      {!Pan_topology.Path_enum_compact.scenario_paths} enumeration;
+    - a per-pair {e path store} keyed by [(src, dst, policy)], holding
+      the rendered answer ([store_hits] / [store_misses] count here).
+
+    On a {!event} the topology is updated and every store entry whose
+    source could be affected is dropped.  For a single changed link
+    [(a, b)], a source [x]'s scenario paths depend only on links at
+    distance ≤ 1 from [x]'s first hops, so the affected sources are
+    [{a, b} ∪ N(a) ∪ N(b)] (neighborhoods taken both before and after
+    the flip) — everything else keeps its memo.  The churn-equivalence
+    suite ([test/test_serve.ml]) checks this invalidation is not just
+    sound but gives answers identical to a cold engine.
+
+    Two {!mode}s update the topology: [Incremental] splices the CSR
+    adjacency through {!Pan_topology.Compact.Delta} (the incremental
+    freeze), [Refreeze] rebuilds it with a full
+    {!Pan_topology.Compact.freeze} of the mutable mirror.  Both maintain
+    the same answers; [Refreeze] is the correctness oracle the
+    incremental path is tested against, byte-for-byte via
+    {!Pan_topology.Compact.Snapshot.to_string}.
+
+    When {!Pan_obs.Obs} is configured the engine records [serve.queries],
+    [serve.store_hits], [serve.store_misses], [serve.events],
+    [serve.invalidations] counters and a [serve.query] latency
+    histogram. *)
+
+open Pan_topology
+
+type link =
+  | Peer of int * int  (** endpoints as dense indices, either order *)
+  | Transit of { provider : int; customer : int }
+
+type event = Link_up of link | Link_down of link
+
+type mode =
+  | Incremental  (** CSR splice per event ({!Compact.Delta}) *)
+  | Refreeze  (** full {!Compact.freeze} per event — the oracle *)
+
+type stats = {
+  queries : int;
+  store_hits : int;
+  store_misses : int;
+  events : int;
+  invalidated : int;  (** store entries dropped by churn, cumulative *)
+}
+
+type t
+
+val create : ?mode:mode -> Compact.t -> t
+(** Start an engine on a frozen topology ([mode] defaults to
+    [Incremental]).  The mutable {!Graph.t} mirror is rebuilt with
+    {!Compact.thaw}, so snapshot-loaded topologies work unchanged. *)
+
+val of_graph : ?mode:mode -> Graph.t -> t
+(** [create (Compact.freeze g)] with the mirror copied from [g]. *)
+
+val mode : t -> mode
+
+val topology : t -> Compact.t
+(** The {e current} frozen view — a new value after every event. *)
+
+val stats : t -> stats
+
+val query : t -> src:int -> dst:int -> policy:Path_enum.scenario -> int list
+(** Middle-AS indices of every length-3 path [src - mid - dst] available
+    under [policy], ascending; for a fixed pair each mid is one path, so
+    the path count is the list length.  Served from the store when
+    possible.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val query_uncached :
+  t -> src:int -> dst:int -> policy:Path_enum.scenario -> int list
+(** Recompute from the current topology, bypassing and not touching
+    either memo layer — the equivalence baseline for the store. *)
+
+val prefill :
+  ?pool:Pan_runner.Pool.t ->
+  ?retries:int ->
+  ?deadline:float ->
+  t ->
+  (int * Path_enum.scenario) list ->
+  unit
+(** Compute the mid-sets memo entries for the distinct missing
+    [(src, policy)] pairs, in first-occurrence order, through the
+    supervised {!Pan_runner.Task.map} — the enumerations are pure over
+    the immutable frozen view, so this is safe to parallelize while
+    answers stay sequential.  Results are bit-identical for every pool
+    size, including none. *)
+
+val apply : t -> event -> int
+(** Apply one churn event: mutate the mirror, update the frozen view
+    (per {!mode}), drop affected memo entries.  Returns the number of
+    path-store entries invalidated.
+    @raise Invalid_argument if the event is not applicable: link already
+    present on [Link_up], absent (or of the other class) on [Link_down],
+    out-of-range index, or self-link. *)

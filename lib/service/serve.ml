@@ -1,0 +1,134 @@
+open Pan_topology
+module Obs = Pan_obs.Obs
+
+type outcome = {
+  transcript : string;
+  stats : Engine.stats;
+  fingerprint : string;
+}
+
+let pp_as topo i = Printf.sprintf "AS%d" (Asn.to_int (Compact.id topo i))
+
+let render_query topo ~src ~dst ~policy mids =
+  let pair =
+    Printf.sprintf "%s -> %s [%s]" (pp_as topo src) (pp_as topo dst)
+      (Stream.policy_label policy)
+  in
+  match mids with
+  | [] -> pair ^ ": no paths"
+  | _ ->
+      Printf.sprintf "%s: %d path%s via %s" pair (List.length mids)
+        (if List.length mids = 1 then "" else "s")
+        (String.concat ", " (List.map (pp_as topo) mids))
+
+let render_event topo ev dropped =
+  let verb, link =
+    match ev with
+    | Engine.Link_up l -> ("up", l)
+    | Engine.Link_down l -> ("down", l)
+  in
+  let link_s =
+    match link with
+    | Engine.Peer (i, j) ->
+        Printf.sprintf "peer %s -- %s" (pp_as topo i) (pp_as topo j)
+    | Engine.Transit { provider; customer } ->
+        Printf.sprintf "transit %s -> %s" (pp_as topo provider)
+          (pp_as topo customer)
+  in
+  Printf.sprintf "link %s %s: invalidated %d store entr%s" verb link_s dropped
+    (if dropped = 1 then "y" else "ies")
+
+let index topo what x =
+  match Compact.index_of topo x with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Serve.run: %s AS%d is not in the topology" what
+           (Asn.to_int x))
+
+let event_of_item topo = function
+  | Stream.Up (Stream.Peer (a, b)) ->
+      Engine.Link_up (Engine.Peer (index topo "endpoint" a, index topo "endpoint" b))
+  | Stream.Down (Stream.Peer (a, b)) ->
+      Engine.Link_down
+        (Engine.Peer (index topo "endpoint" a, index topo "endpoint" b))
+  | Stream.Up (Stream.Transit { provider; customer }) ->
+      Engine.Link_up
+        (Engine.Transit
+           {
+             provider = index topo "provider" provider;
+             customer = index topo "customer" customer;
+           })
+  | Stream.Down (Stream.Transit { provider; customer }) ->
+      Engine.Link_down
+        (Engine.Transit
+           {
+             provider = index topo "provider" provider;
+             customer = index topo "customer" customer;
+           })
+  | Stream.Query _ ->
+      invalid_arg "Serve.event_of_item: a query is not a churn event"
+
+let run ?pool ?retries ?deadline ?(oracle = false) ~mode ~topo stream =
+  let engine = Engine.create ~mode topo in
+  let shadow =
+    if oracle then Some (Engine.create ~mode:Engine.Refreeze topo) else None
+  in
+  let buf = Buffer.create 4096 in
+  Obs.with_span "serve.drain" (fun () ->
+      (* Split off the longest prefix of queries, prefill their missing
+         mid-sets in parallel, answer sequentially; events are barriers. *)
+      let rec drain items =
+        match items with
+        | [] -> ()
+        | Stream.Query _ :: _ ->
+            let rec split acc = function
+              | Stream.Query q :: rest -> split (q :: acc) rest
+              | rest -> (List.rev acc, rest)
+            in
+            let batch, rest = split [] items in
+            let t = Engine.topology engine in
+            let keys =
+              List.map
+                (fun (q : Stream.query) ->
+                  (index t "source" q.src, q.policy))
+                batch
+            in
+            Engine.prefill ?pool ?retries ?deadline engine keys;
+            List.iter
+              (fun { Stream.src; dst; policy } ->
+                let src = index t "source" src in
+                let dst = index t "destination" dst in
+                let mids = Engine.query engine ~src ~dst ~policy in
+                Buffer.add_string buf
+                  (render_query t ~src ~dst ~policy mids);
+                Buffer.add_char buf '\n')
+              batch;
+            drain rest
+        | ev :: rest ->
+            let t = Engine.topology engine in
+            let ev = event_of_item t ev in
+            let dropped = Engine.apply engine ev in
+            (match shadow with
+            | None -> ()
+            | Some oracle_engine ->
+                ignore (Engine.apply oracle_engine ev);
+                let a = Compact.Snapshot.to_string (Engine.topology engine) in
+                let b =
+                  Compact.Snapshot.to_string (Engine.topology oracle_engine)
+                in
+                if not (String.equal a b) then
+                  failwith
+                    "Serve.run: oracle divergence — incremental freeze does \
+                     not match full re-freeze");
+            Buffer.add_string buf (render_event t ev dropped);
+            Buffer.add_char buf '\n';
+            drain rest
+      in
+      drain stream);
+  let transcript = Buffer.contents buf in
+  {
+    transcript;
+    stats = Engine.stats engine;
+    fingerprint = Digest.to_hex (Digest.string transcript);
+  }

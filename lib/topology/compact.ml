@@ -150,6 +150,113 @@ let pp_stats fmt t =
     "%d ASes interned, %d provider-customer + %d peering links (CSR)"
     (num_ases t) t.n_p2c t.n_p2p
 
+let thaw t =
+  let g = Graph.create () in
+  Array.iter (fun x -> Graph.add_as g x) t.ids;
+  iter_provider_customer_links t (fun ~provider ~customer ->
+      Graph.add_provider_customer g ~provider:t.ids.(provider)
+        ~customer:t.ids.(customer));
+  iter_peering_links t (fun i j -> Graph.add_peering g t.ids.(i) t.ids.(j));
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Incremental freeze: single-link CSR splices                         *)
+
+module Delta = struct
+  let err name fmt =
+    Printf.ksprintf
+      (fun msg -> invalid_arg ("Compact.Delta." ^ name ^ ": " ^ msg))
+      fmt
+
+  let check_index name t i =
+    if i < 0 || i >= num_ases t then
+      err name "index %d outside [0, %d)" i (num_ases t)
+
+  let check_endpoints name t i j =
+    check_index name t i;
+    check_index name t j;
+    if i = j then err name "self-link on AS%d" (Asn.to_int t.ids.(i))
+
+  (* Global [adj] position where [v] belongs in row [i] (first element
+     >= v), found by binary search — rows are sorted ascending. *)
+  let row_lower_bound off adj i v =
+    let lo = ref off.(i) and hi = ref off.(i + 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if adj.(mid) < v then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* Splice [v] into row [row]: one fresh (off, adj) pair, two blits.
+     Rows other than [row] keep their contents at shifted offsets; the
+     other two relationship classes are shared untouched by the
+     caller. *)
+  let insert off adj row v =
+    let pos = row_lower_bound off adj row v in
+    let n = Array.length adj in
+    let adj' = Array.make (n + 1) 0 in
+    Array.blit adj 0 adj' 0 pos;
+    adj'.(pos) <- v;
+    Array.blit adj pos adj' (pos + 1) (n - pos);
+    let off' = Array.mapi (fun k x -> if k > row then x + 1 else x) off in
+    (off', adj')
+
+  let remove off adj row v =
+    let pos = row_lower_bound off adj row v in
+    let n = Array.length adj in
+    let adj' = Array.make (n - 1) 0 in
+    Array.blit adj 0 adj' 0 pos;
+    Array.blit adj (pos + 1) adj' pos (n - pos - 1);
+    let off' = Array.mapi (fun k x -> if k > row then x - 1 else x) off in
+    (off', adj')
+
+  let check_unconnected name t i j =
+    if connected t i j then
+      err name "AS%d and AS%d are already linked" (Asn.to_int t.ids.(i))
+        (Asn.to_int t.ids.(j))
+
+  let add_peering t i j =
+    let name = "add_peering" in
+    check_endpoints name t i j;
+    check_unconnected name t i j;
+    let peer_off, peer_adj = insert t.peer_off t.peer_adj i j in
+    let peer_off, peer_adj = insert peer_off peer_adj j i in
+    Obs.incr "topology.delta.add";
+    { t with peer_off; peer_adj; n_p2p = t.n_p2p + 1 }
+
+  let remove_peering t i j =
+    let name = "remove_peering" in
+    check_endpoints name t i j;
+    if not (mem_peer t i j) then
+      err name "AS%d and AS%d are not peers" (Asn.to_int t.ids.(i))
+        (Asn.to_int t.ids.(j));
+    let peer_off, peer_adj = remove t.peer_off t.peer_adj i j in
+    let peer_off, peer_adj = remove peer_off peer_adj j i in
+    Obs.incr "topology.delta.remove";
+    { t with peer_off; peer_adj; n_p2p = t.n_p2p - 1 }
+
+  let add_provider_customer t ~provider ~customer =
+    let name = "add_provider_customer" in
+    check_endpoints name t provider customer;
+    check_unconnected name t provider customer;
+    let cust_off, cust_adj = insert t.cust_off t.cust_adj provider customer in
+    let prov_off, prov_adj = insert t.prov_off t.prov_adj customer provider in
+    Obs.incr "topology.delta.add";
+    { t with cust_off; cust_adj; prov_off; prov_adj; n_p2c = t.n_p2c + 1 }
+
+  let remove_provider_customer t ~provider ~customer =
+    let name = "remove_provider_customer" in
+    check_endpoints name t provider customer;
+    if not (mem_customer t provider customer) then
+      err name "AS%d is not a provider of AS%d"
+        (Asn.to_int t.ids.(provider))
+        (Asn.to_int t.ids.(customer));
+    let cust_off, cust_adj = remove t.cust_off t.cust_adj provider customer in
+    let prov_off, prov_adj = remove t.prov_off t.prov_adj customer provider in
+    Obs.incr "topology.delta.remove";
+    { t with cust_off; cust_adj; prov_off; prov_adj; n_p2c = t.n_p2c - 1 }
+end
+
 (* ------------------------------------------------------------------ *)
 (* Versioned binary snapshots                                          *)
 
@@ -188,17 +295,17 @@ module Snapshot = struct
 
   let read_u64 cur =
     if cur.pos + 8 > cur.limit then
-      err "truncated payload (need 8 bytes at offset %d, have %d)" cur.pos
+      err "truncated payload (need 8 bytes at byte offset %d, have %d)" cur.pos
         (cur.limit - cur.pos);
     let v = Int64.to_int (String.get_int64_le cur.s cur.pos) in
     cur.pos <- cur.pos + 8;
-    if v < 0 then err "negative length field at offset %d" (cur.pos - 8);
+    if v < 0 then err "negative length field at byte offset %d" (cur.pos - 8);
     v
 
   let read_int_array cur =
     let n = read_u64 cur in
     if cur.pos + (8 * n) > cur.limit then
-      err "truncated payload (array of %d words at offset %d)" n cur.pos;
+      err "truncated payload (array of %d words at byte offset %d)" n cur.pos;
     Array.init n (fun _ -> read_u64 cur)
 
   let encode_core t =
@@ -222,7 +329,8 @@ module Snapshot = struct
     let cur = { s; pos; limit } in
     let n = read_u64 cur in
     if cur.pos + (8 * n) > cur.limit then
-      err "truncated payload (ASN table of %d entries)" n;
+      err "truncated payload (ASN table of %d entries at byte offset %d)" n
+        cur.pos;
     let ids = Array.init n (fun _ -> Asn.of_int (read_u64 cur)) in
     let read_csr name =
       let off = read_int_array cur in
@@ -240,7 +348,8 @@ module Snapshot = struct
     let n_p2c = read_u64 cur in
     let n_p2p = read_u64 cur in
     if cur.pos <> cur.limit then
-      err "core section has %d trailing bytes" (cur.limit - cur.pos);
+      err "core section has %d trailing bytes at byte offset %d"
+        (cur.limit - cur.pos) cur.pos;
     {
       ids;
       prov_off;
@@ -275,8 +384,8 @@ module Snapshot = struct
 
   let of_string s =
     if String.length s < header_len then
-      err "truncated header (%d bytes, need at least %d)" (String.length s)
-        header_len;
+      err "truncated header (file ends at byte offset %d, need at least %d)"
+        (String.length s) header_len;
     if String.sub s 0 8 <> magic then
       err "bad magic %S (not a panagree snapshot)" (String.sub s 0 8);
     let version = Int32.to_int (String.get_int32_le s 8) in
@@ -286,35 +395,49 @@ module Snapshot = struct
     let n_sections = Int32.to_int (String.get_int32_le s 12) in
     let payload_len = Int64.to_int (String.get_int64_le s 16) in
     let digest = String.sub s 24 16 in
-    if String.length s - header_len <> payload_len then
-      err "truncated payload (header declares %d bytes, found %d)" payload_len
-        (String.length s - header_len);
+    if String.length s - header_len < payload_len then
+      err
+        "truncated payload (header declares %d bytes, file ends at byte \
+         offset %d)"
+        payload_len (String.length s);
+    if String.length s - header_len > payload_len then
+      err "payload has %d trailing bytes at byte offset %d"
+        (String.length s - header_len - payload_len)
+        (header_len + payload_len);
     if not (String.equal (Digest.substring s header_len payload_len) digest)
-    then err "checksum mismatch (corrupt snapshot)";
+    then
+      err "checksum mismatch (corrupt snapshot payload in bytes %d..%d)"
+        header_len
+        (header_len + payload_len - 1);
     let limit = header_len + payload_len in
     (* Section bodies are located in place; only non-core sections (geo,
        bandwidth — small) are materialised as substrings.  The core body
        is decoded directly out of [s]. *)
     let cur = { s; pos = header_len; limit } in
     let read_section () =
-      if cur.pos + 2 > limit then err "truncated section header";
+      if cur.pos + 2 > limit then
+        err "truncated section header at byte offset %d" cur.pos;
       let tag_len =
         Char.code s.[cur.pos] lor (Char.code s.[cur.pos + 1] lsl 8)
       in
       cur.pos <- cur.pos + 2;
-      if cur.pos + tag_len > limit then err "truncated section tag";
+      if cur.pos + tag_len > limit then
+        err "truncated section tag at byte offset %d" cur.pos;
       let tag = String.sub s cur.pos tag_len in
       cur.pos <- cur.pos + tag_len;
       let body_len = read_u64 cur in
       if cur.pos + body_len > limit then
-        err "truncated section %S (declares %d bytes)" tag body_len;
+        err "truncated section %S at byte offset %d (declares %d bytes, %d \
+             available)"
+          tag cur.pos body_len (limit - cur.pos);
       let body_pos = cur.pos in
       cur.pos <- cur.pos + body_len;
       (tag, body_pos, body_len)
     in
     let sections = List.init n_sections (fun _ -> read_section ()) in
     if cur.pos <> limit then
-      err "payload has %d trailing bytes" (limit - cur.pos);
+      err "payload has %d trailing bytes at byte offset %d" (limit - cur.pos)
+        cur.pos;
     match
       List.find_opt (fun (tag, _, _) -> String.equal tag core_tag) sections
     with

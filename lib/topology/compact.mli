@@ -87,6 +87,48 @@ val iter_provider_customer_links :
 
 val pp_stats : Format.formatter -> t -> unit
 
+val thaw : t -> Graph.t
+(** Rebuild an equivalent mutable builder: every interned AS registered,
+    every link re-added.  [freeze (thaw t)] is byte-identical to [t]
+    (both intern ascending), which lets a service reconstruct its mutable
+    mirror from a snapshot-loaded core. *)
+
+(** Single-link updates to a frozen view — the {e incremental freeze}
+    used by the resident path-query service under link churn.
+
+    Each operation splices one element in or out of the two affected CSR
+    rows and returns a {e new} [t]; untouched relationship classes are
+    shared with the input, and the input itself is never mutated.  Cost
+    is O(links in the class) for the splice plus O(num_ases) for the
+    offset rebuild — far below a full {!freeze}, which re-sorts every
+    row from the hash-table builder.
+
+    Invariant: the result is byte-identical (via {!Snapshot.to_string})
+    to [freeze] of the equivalently-mutated {!Graph.t}; the service's
+    re-freeze oracle and the churn-equivalence qcheck suite both lean on
+    this.
+
+    Endpoints are dense indices (as used by the query layer), and the AS
+    set never changes — churn flips links, not ASes.  Each operation
+    validates its precondition and raises [Invalid_argument] (with the
+    offending ASNs) on out-of-range indices, self-links, adding a link
+    that already exists in any class, or removing one that does not. *)
+module Delta : sig
+  val add_peering : t -> int -> int -> t
+  (** [add_peering t i j] links [i] and [j] as settlement-free peers.
+      @raise Invalid_argument if already connected (in any class). *)
+
+  val remove_peering : t -> int -> int -> t
+  (** @raise Invalid_argument if [i] and [j] are not peers. *)
+
+  val add_provider_customer : t -> provider:int -> customer:int -> t
+  (** @raise Invalid_argument if already connected (in any class). *)
+
+  val remove_provider_customer : t -> provider:int -> customer:int -> t
+  (** @raise Invalid_argument if [provider] is not a provider of
+      [customer]. *)
+end
+
 (** Versioned binary snapshots of the frozen view.
 
     A snapshot file is a small container: an 8-byte magic, a format

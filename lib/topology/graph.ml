@@ -68,6 +68,33 @@ let add_peering g x y =
       add_to g.peers y x;
       g.n_p2p <- g.n_p2p + 1
 
+let remove_from tbl x y =
+  let s = Asn.Set.remove y (get tbl x) in
+  if Asn.Set.is_empty s then Hashtbl.remove tbl x else Hashtbl.replace tbl x s
+
+let remove_peering g x y =
+  match relationship g x y with
+  | Some Peer ->
+      remove_from g.peers x y;
+      remove_from g.peers y x;
+      g.n_p2p <- g.n_p2p - 1
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Graph.remove_peering: AS%d and AS%d are not peers"
+           (Asn.to_int x) (Asn.to_int y))
+
+let remove_provider_customer g ~provider ~customer =
+  match relationship g customer provider with
+  | Some Provider ->
+      remove_from g.providers customer provider;
+      remove_from g.customers provider customer;
+      g.n_p2c <- g.n_p2c - 1
+  | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Graph.remove_provider_customer: AS%d is not a provider of AS%d"
+           (Asn.to_int provider) (Asn.to_int customer))
+
 let num_ases g = Asn.Set.cardinal g.known
 let num_provider_customer_links g = g.n_p2c
 let num_peering_links g = g.n_p2p

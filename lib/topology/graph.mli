@@ -34,6 +34,17 @@ val add_peering : t -> Asn.t -> Asn.t -> unit
     @raise Invalid_argument on a self-link or if the pair already has a
     different relationship. *)
 
+val remove_peering : t -> Asn.t -> Asn.t -> unit
+(** Remove an existing peering link (the churn mutation used by the
+    resident path-query service).  Both endpoints stay registered, so
+    interning is stable across removals.
+    @raise Invalid_argument if the pair is not peering. *)
+
+val remove_provider_customer : t -> provider:Asn.t -> customer:Asn.t -> unit
+(** Remove an existing transit link; endpoints stay registered.
+    @raise Invalid_argument if [provider] is not a provider of
+    [customer]. *)
+
 val mem : t -> Asn.t -> bool
 val num_ases : t -> int
 val num_provider_customer_links : t -> int

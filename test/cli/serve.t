@@ -1,0 +1,94 @@
+Resident path-query service: ``panagree serve`` drains a query/churn
+stream over the incrementally-updated frozen core, answering from a
+per-pair memoized store and invalidating on link up/down.  Transcripts
+are byte-stable for every --jobs value, with or without injected
+faults, and --oracle shadow-checks the incremental freeze against a
+full re-freeze after every event.
+
+A hand-written stream file: warm a pair, take down a peering link it
+rides, re-ask, heal the link, re-ask.  The oracle stays silent (the
+incremental core never diverges from re-freeze):
+
+  $ cat > ask.stream <<'EOF'
+  > # warm the pair, churn the link it rides, re-ask, heal, re-ask
+  > query AS8 AS12 ma-all
+  > down peer AS4 AS8
+  > query AS8 AS12 ma-all
+  > up peer AS4 AS8
+  > query AS8 AS12 ma-all
+  > EOF
+  $ panagree serve --transit 6 --stubs 20 --stream ask.stream --oracle \
+  >   --mode incremental
+  # synthetic topology (seed 42): 38 ASes, 38 provider-customer links, 128 peering links
+  # stream ask.stream: 5 items
+  AS8 -> AS12 [ma-all]: 10 paths via AS1, AS2, AS3, AS4, AS5, AS6, AS7, AS9, AS10, AS11
+  link down peer AS4 -- AS8: invalidated 1 store entry
+  AS8 -> AS12 [ma-all]: 9 paths via AS1, AS2, AS3, AS5, AS6, AS7, AS9, AS10, AS11
+  link up peer AS4 -- AS8: invalidated 1 store entry
+  AS8 -> AS12 [ma-all]: 10 paths via AS1, AS2, AS3, AS4, AS5, AS6, AS7, AS9, AS10, AS11
+  # served 3 queries (0 store hits, 3 misses), 2 events, 2 invalidations
+  # transcript fingerprint 8d3b79a36b06ebd7f0d3afd1ba57489b
+
+--mode refreeze rebuilds the core from the mutable mirror after every
+event instead of splicing CSR rows; the bytes must not change:
+
+  $ panagree serve --transit 6 --stubs 20 --stream ask.stream \
+  >   --mode incremental > ask.inc
+  $ panagree serve --transit 6 --stubs 20 --stream ask.stream \
+  >   --mode refreeze > ask.refreeze
+  $ cmp ask.inc ask.refreeze
+
+A generated stream (--requests/--churn) is byte-identical at any pool
+size, and under injected faults with retries:
+
+  $ panagree serve --transit 10 --stubs 40 --requests 60 --churn 0.2 > gen.j1
+  $ panagree serve --transit 10 --stubs 40 --requests 60 --churn 0.2 \
+  >   --jobs 4 > gen.j4
+  $ cmp gen.j1 gen.j4
+  $ panagree serve --transit 10 --stubs 40 --requests 60 --churn 0.2 \
+  >   --jobs 4 --faults rate=0.4,seed=9 --retries 6 > gen.f4
+  $ cmp gen.j1 gen.f4
+  $ tail -2 gen.j1
+  # served 41 queries (0 store hits, 41 misses), 19 events, 36 invalidations
+  # transcript fingerprint fea73a6506e03d1ae77f40f701765603
+
+The service is instrumented: the metrics snapshot counts queries,
+store traffic and invalidations, and carries a serve.query latency
+histogram (the virtual clock keeps the snapshot byte-stable):
+
+  $ PANAGREE_VCLOCK=0 panagree serve --transit 6 --stubs 20 \
+  >   --stream ask.stream --metrics m.json > /dev/null
+  $ grep -o '"serve\.[a-z_]*": [0-9][0-9]*' m.json
+  "serve.events": 2
+  "serve.invalidations": 2
+  "serve.queries": 3
+  "serve.store_misses": 3
+  $ grep -c '"serve.query"' m.json
+  1
+
+A stream naming an AS outside the topology, or a malformed policy,
+fails with a parse-located message and exit code 1:
+
+  $ cat > bad.stream <<'EOF'
+  > query AS8 AS999 ma-all
+  > EOF
+  $ panagree serve --transit 6 --stubs 20 --stream bad.stream
+  # synthetic topology (seed 42): 38 ASes, 38 provider-customer links, 128 peering links
+  # stream bad.stream: 1 items
+  panagree: Serve.run: destination AS999 is not in the topology
+  [1]
+  $ cat > badpolicy.stream <<'EOF'
+  > query AS8 AS12 shortest
+  > EOF
+  $ panagree serve --transit 6 --stubs 20 --stream badpolicy.stream
+  # synthetic topology (seed 42): 38 ASes, 38 provider-customer links, 128 peering links
+  panagree: Stream.parse: line 1: unknown policy "shortest" (expected grc, ma-all, ma-direct or ma-top:N)
+  [1]
+
+``panagree validate-bench`` rejects files that do not parse as bench
+snapshots:
+
+  $ echo 'not json' > BENCH_bogus.json
+  $ panagree validate-bench BENCH_bogus.json
+  BENCH_bogus.json: INVALID: bad literal null at offset 0
+  [1]

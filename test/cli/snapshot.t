@@ -37,12 +37,13 @@ A corrupted payload byte fails the checksum:
   $ cp topo.snap corrupt.snap
   $ printf '\377' | dd of=corrupt.snap bs=1 seek=50 count=1 conv=notrunc status=none
   $ panagree topology --snapshot corrupt.snap
-  panagree: Compact.Snapshot.load: checksum mismatch (corrupt snapshot)
+  panagree: Compact.Snapshot.load: checksum mismatch (corrupt snapshot payload in bytes 40..67389)
   [1]
 
-A truncated file is caught by the declared payload length:
+A truncated file is caught by the declared payload length, reporting
+where the file actually ends:
 
   $ head -c 100 topo.snap > trunc.snap
   $ panagree topology --snapshot trunc.snap
-  panagree: Compact.Snapshot.load: truncated payload (header declares 67350 bytes, found 60)
+  panagree: Compact.Snapshot.load: truncated payload (header declares 67350 bytes, file ends at byte offset 100)
   [1]

@@ -424,14 +424,76 @@ let test_snapshot_rejects_corruption () =
     (String.sub image 0 50)
     (Printf.sprintf
        "Compact.Snapshot.load: truncated payload (header declares %d \
-        bytes, found 10)"
+        bytes, file ends at byte offset 50)"
        declared);
   (* corrupt one payload byte: the checksum rejects it before any
      decoding happens *)
   expect_invalid "corrupted payload" (flip 60 '\255')
-    "Compact.Snapshot.load: checksum mismatch (corrupt snapshot)";
+    (Printf.sprintf
+       "Compact.Snapshot.load: checksum mismatch (corrupt snapshot \
+        payload in bytes 40..%d)"
+       (String.length image - 1));
   expect_invalid "truncated header" (String.sub image 0 10)
-    "Compact.Snapshot.load: truncated header (10 bytes, need at least 40)"
+    "Compact.Snapshot.load: truncated header (file ends at byte offset \
+     10, need at least 40)"
+
+(* Regression for the byte-offset reporting on section-level damage: the
+   header checks (length, checksum) pass, so the error must come from the
+   section walk and name where in the file decoding stopped.  Images are
+   hand-built with a correct digest over a damaged payload. *)
+let make_image ~n_sections payload =
+  let out = Buffer.create 64 in
+  Buffer.add_string out "PANSNAPS";
+  Buffer.add_int32_le out 1l;
+  Buffer.add_int32_le out (Int32.of_int n_sections);
+  Buffer.add_int64_le out (Int64.of_int (String.length payload));
+  Buffer.add_string out (Digest.string payload);
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let test_snapshot_corruption_offsets () =
+  let expect_invalid name bytes msg =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () ->
+        ignore (Compact.Snapshot.of_string bytes))
+  in
+  expect_invalid "missing section header"
+    (make_image ~n_sections:1 "")
+    "Compact.Snapshot.load: truncated section header at byte offset 40";
+  expect_invalid "truncated section tag"
+    (make_image ~n_sections:1 "\x04\x00co")
+    "Compact.Snapshot.load: truncated section tag at byte offset 42";
+  let section tag body_len_field body =
+    let buf = Buffer.create 32 in
+    Buffer.add_int16_le buf (String.length tag);
+    Buffer.add_string buf tag;
+    Buffer.add_int64_le buf (Int64.of_int body_len_field);
+    Buffer.add_string buf body;
+    Buffer.contents buf
+  in
+  expect_invalid "section body cut short"
+    (make_image ~n_sections:1 (section "core" 100 ""))
+    "Compact.Snapshot.load: truncated section \"core\" at byte offset 54 \
+     (declares 100 bytes, 0 available)";
+  (* a "core" body whose ASN-table count points past the body's end *)
+  let huge_table =
+    let b = Buffer.create 8 in
+    Buffer.add_int64_le b 1000L;
+    Buffer.contents b
+  in
+  expect_invalid "ASN table overruns section"
+    (make_image ~n_sections:1 (section "core" 8 huge_table))
+    "Compact.Snapshot.load: truncated payload (ASN table of 1000 entries \
+     at byte offset 62)";
+  (* trailing garbage after the declared sections *)
+  let c = Compact.freeze (Caida.of_string caida_sample) in
+  let image = Compact.Snapshot.to_string c in
+  let payload = String.sub image 40 (String.length image - 40) in
+  expect_invalid "trailing bytes after last section"
+    (make_image ~n_sections:1 (payload ^ "x"))
+    (Printf.sprintf
+       "Compact.Snapshot.load: payload has 1 trailing bytes at byte \
+        offset %d"
+       (String.length image))
 
 let suite =
   [
@@ -458,4 +520,6 @@ let suite =
       test_snapshot_bundle_roundtrip;
     Alcotest.test_case "snapshot: corruption rejected loudly" `Quick
       test_snapshot_rejects_corruption;
+    Alcotest.test_case "snapshot: errors name the byte offset" `Quick
+      test_snapshot_corruption_offsets;
   ]

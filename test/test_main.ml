@@ -50,4 +50,5 @@ let () =
       ("obs.core", Test_obs.suite);
       ("obs.runner", Test_runner_obs.suite);
       ("obs.bench_json", Test_bench_json.suite);
+      ("service.serve", Test_serve.suite);
     ]

@@ -1,0 +1,464 @@
+(* Churn-equivalence suite for the resident path-query service
+   (lib/service) and the incremental freeze (Compact.Delta).
+
+   The headline properties: after ANY random sequence of link up/down
+   events, (1) the incrementally-updated frozen core is byte-identical
+   to a from-scratch Compact.freeze of the equivalently-mutated Graph —
+   checked after every single event, not just at the end — and (2) the
+   memoized per-pair path store answers every query identically to an
+   unmemoized recompute, interleaved with churn.  Together they are the
+   license for a resident service to never re-freeze and never recompute
+   a warm pair. *)
+
+open Pan_numerics
+open Pan_topology
+open Pan_service
+
+let asn = Asn.of_int
+
+let gen_graph ?(n_transit = 8) ?(n_stub = 30) seed =
+  let params = { Gen.default_params with Gen.n_transit; Gen.n_stub } in
+  Gen.graph (Gen.generate ~params ~seed ())
+
+let frozen_equal a b =
+  String.equal (Compact.Snapshot.to_string a) (Compact.Snapshot.to_string b)
+
+let policies =
+  [ Path_enum.Grc; Path_enum.Ma_all; Path_enum.Ma_direct_only;
+    Path_enum.Ma_top 2 ]
+
+(* Apply a stream churn item to a mutable Graph — the independent
+   mutation path the incremental core is checked against. *)
+let apply_to_graph g = function
+  | Stream.Up (Stream.Peer (a, b)) -> Graph.add_peering g a b
+  | Stream.Down (Stream.Peer (a, b)) -> Graph.remove_peering g a b
+  | Stream.Up (Stream.Transit { provider; customer }) ->
+      Graph.add_provider_customer g ~provider ~customer
+  | Stream.Down (Stream.Transit { provider; customer }) ->
+      Graph.remove_provider_customer g ~provider ~customer
+  | Stream.Query _ -> invalid_arg "apply_to_graph: query"
+
+(* An all-events stream is exactly what churn probability 1 generates,
+   and the generator guarantees each event is applicable in order. *)
+let gen_events ~seed ~topo n =
+  Stream.generate ~rng:(Rng.create seed) ~topo ~requests:n ~churn:1.0
+
+(* ------------------------------------------------------------------ *)
+(* Headline 1: incremental freeze = full re-freeze, after every event   *)
+
+let qcheck_churn_equivalence =
+  QCheck.Test.make ~count:12
+    ~name:"churn: incremental core = refreeze engine = freeze of mutated graph"
+    QCheck.(pair (int_range 1 10_000) (int_range 1 40))
+    (fun (seed, n_events) ->
+      let g = gen_graph seed in
+      let topo = Compact.freeze g in
+      let events = gen_events ~seed:(seed + 1) ~topo n_events in
+      let inc = Engine.create ~mode:Engine.Incremental topo in
+      let orc = Engine.create ~mode:Engine.Refreeze topo in
+      let mirror = Compact.thaw topo in
+      List.for_all
+        (fun item ->
+          let ev = Serve.event_of_item topo item in
+          ignore (Engine.apply inc ev : int);
+          ignore (Engine.apply orc ev : int);
+          apply_to_graph mirror item;
+          frozen_equal (Engine.topology inc) (Engine.topology orc)
+          && frozen_equal (Engine.topology inc) (Compact.freeze mirror))
+        events
+      &&
+      (* ... and the churned engine answers every sampled query exactly
+         like a cold engine built on the mutated graph. *)
+      let cold = Engine.of_graph mirror in
+      let n = Compact.num_ases topo in
+      let rng = Rng.create (seed + 2) in
+      List.for_all
+        (fun policy ->
+          List.for_all
+            (fun _ ->
+              let src = Rng.int rng n in
+              let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+              Engine.query inc ~src ~dst ~policy
+              = Engine.query cold ~src ~dst ~policy)
+            [ (); (); (); (); (); (); (); () ])
+        policies)
+
+(* ------------------------------------------------------------------ *)
+(* Headline 2: memoized store = unmemoized recompute, under churn       *)
+
+let qcheck_store_equivalence =
+  QCheck.Test.make ~count:12
+    ~name:"store: memoized = unmemoized, interleaved with churn"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let topo = Compact.freeze (gen_graph seed) in
+      let stream =
+        Stream.generate ~rng:(Rng.create (seed + 1)) ~topo ~requests:80
+          ~churn:0.3
+      in
+      let e = Engine.create topo in
+      List.for_all
+        (fun item ->
+          match item with
+          | Stream.Query { src; dst; policy } ->
+              let src = Compact.index_of_exn topo src in
+              let dst = Compact.index_of_exn topo dst in
+              let first = Engine.query e ~src ~dst ~policy in
+              let fresh = Engine.query_uncached e ~src ~dst ~policy in
+              (* second hit must come from the store and still agree *)
+              let again = Engine.query e ~src ~dst ~policy in
+              first = fresh && again = fresh
+          | ev ->
+              ignore (Engine.apply e (Serve.event_of_item topo ev) : int);
+              true)
+        stream
+      &&
+      (* hits + misses account for every query made above *)
+      let s = Engine.stats e in
+      s.Engine.queries = s.Engine.store_hits + s.Engine.store_misses)
+
+(* ------------------------------------------------------------------ *)
+(* Delta round-trips and thaw                                          *)
+
+let qcheck_delta_roundtrip =
+  QCheck.Test.make ~count:20
+    ~name:"Delta: remove;add (and add;remove) round-trip byte-identically"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let topo = Compact.freeze (gen_graph seed) in
+      let peers = ref [] and transits = ref [] in
+      Compact.iter_peering_links topo (fun i j -> peers := (i, j) :: !peers);
+      Compact.iter_provider_customer_links topo (fun ~provider ~customer ->
+          transits := (provider, customer) :: !transits);
+      let rng = Rng.create (seed + 1) in
+      let peer_rt =
+        match !peers with
+        | [] -> true
+        | l ->
+            let i, j = Rng.choose rng (Array.of_list l) in
+            frozen_equal topo
+              (Compact.Delta.add_peering
+                 (Compact.Delta.remove_peering topo i j)
+                 i j)
+        in
+      let transit_rt =
+        match !transits with
+        | [] -> true
+        | l ->
+            let provider, customer = Rng.choose rng (Array.of_list l) in
+            frozen_equal topo
+              (Compact.Delta.add_provider_customer
+                 (Compact.Delta.remove_provider_customer topo ~provider
+                    ~customer)
+                 ~provider ~customer)
+      in
+      (* add a fresh link, then remove it again *)
+      let n = Compact.num_ases topo in
+      let rec fresh_pair tries =
+        if tries = 0 then None
+        else
+          let i = Rng.int rng n in
+          let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+          if Compact.connected topo i j then fresh_pair (tries - 1)
+          else Some (i, j)
+      in
+      let add_rt =
+        match fresh_pair 50 with
+        | None -> true
+        | Some (i, j) ->
+            frozen_equal topo
+              (Compact.Delta.remove_peering
+                 (Compact.Delta.add_peering topo i j)
+                 i j)
+            && frozen_equal topo
+                 (Compact.Delta.remove_provider_customer
+                    (Compact.Delta.add_provider_customer topo ~provider:i
+                       ~customer:j)
+                    ~provider:i ~customer:j)
+      in
+      peer_rt && transit_rt && add_rt)
+
+let qcheck_freeze_thaw =
+  QCheck.Test.make ~count:20 ~name:"freeze (thaw c) = c"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let c = Compact.freeze (gen_graph seed) in
+      frozen_equal c (Compact.freeze (Compact.thaw c)))
+
+(* A 5-AS topology small enough to check answers by hand:
+     AS1 provider of AS2 and AS3;  AS2 -- AS3 peering;
+     AS2 provider of AS4;  AS3 provider of AS5.
+   Dense indices are ASN - 1. *)
+let hand_graph () =
+  let g = Graph.create () in
+  Graph.add_provider_customer g ~provider:(asn 1) ~customer:(asn 2);
+  Graph.add_provider_customer g ~provider:(asn 1) ~customer:(asn 3);
+  Graph.add_peering g (asn 2) (asn 3);
+  Graph.add_provider_customer g ~provider:(asn 2) ~customer:(asn 4);
+  Graph.add_provider_customer g ~provider:(asn 3) ~customer:(asn 5);
+  g
+
+let test_delta_validation () =
+  let c = Compact.freeze (hand_graph ()) in
+  let expect name msg f =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () -> ignore (f ()))
+  in
+  expect "add existing link"
+    "Compact.Delta.add_peering: AS1 and AS2 are already linked" (fun () ->
+      Compact.Delta.add_peering c 0 1);
+  expect "add existing link (transit over peering)"
+    "Compact.Delta.add_provider_customer: AS2 and AS3 are already linked"
+    (fun () -> Compact.Delta.add_provider_customer c ~provider:1 ~customer:2);
+  expect "remove non-peering"
+    "Compact.Delta.remove_peering: AS1 and AS3 are not peers" (fun () ->
+      Compact.Delta.remove_peering c 0 2);
+  expect "remove absent transit"
+    "Compact.Delta.remove_provider_customer: AS4 is not a provider of AS5"
+    (fun () ->
+      Compact.Delta.remove_provider_customer c ~provider:3 ~customer:4);
+  expect "self link" "Compact.Delta.add_peering: self-link on AS2" (fun () ->
+      Compact.Delta.add_peering c 1 1);
+  expect "index out of range"
+    "Compact.Delta.add_peering: index 9 outside [0, 5)" (fun () ->
+      Compact.Delta.add_peering c 0 9)
+
+let test_engine_apply_validation () =
+  let e = Engine.of_graph (hand_graph ()) in
+  let expect name msg f =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () -> ignore (f ()))
+  in
+  expect "up on linked pair" "Engine.apply: AS2 and AS3 are already linked"
+    (fun () -> Engine.apply e (Engine.Link_up (Engine.Peer (1, 2))));
+  expect "down on non-peers" "Engine.apply: AS1 and AS2 are not peers"
+    (fun () -> Engine.apply e (Engine.Link_down (Engine.Peer (0, 1))));
+  expect "down absent transit" "Engine.apply: AS4 is not a provider of AS5"
+    (fun () ->
+      Engine.apply e
+        (Engine.Link_down (Engine.Transit { provider = 3; customer = 4 })));
+  expect "self link" "Engine.apply: self-link on AS1" (fun () ->
+      Engine.apply e (Engine.Link_up (Engine.Peer (0, 0))));
+  expect "out of range" "Engine.apply: index 7 outside [0, 5)" (fun () ->
+      Engine.apply e (Engine.Link_up (Engine.Peer (0, 7))))
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation soundness: warm every pair, churn, re-check every pair  *)
+
+let test_invalidation_soundness () =
+  let topo = Compact.freeze (gen_graph ~n_transit:5 ~n_stub:12 7) in
+  let n = Compact.num_ases topo in
+  let e = Engine.create topo in
+  let sweep_equal () =
+    for src = 0 to n - 1 do
+      for dst = 0 to n - 1 do
+        if src <> dst then
+          List.iter
+            (fun policy ->
+              let memo = Engine.query e ~src ~dst ~policy in
+              let fresh = Engine.query_uncached e ~src ~dst ~policy in
+              if memo <> fresh then
+                Alcotest.failf "stale answer for (%d, %d) after churn" src dst)
+            policies
+      done
+    done
+  in
+  sweep_equal ();
+  let warm = Engine.stats e in
+  Alcotest.(check int) "cold sweep misses everywhere" warm.Engine.queries
+    warm.Engine.store_misses;
+  List.iteri
+    (fun k item ->
+      let dropped = Engine.apply e (Serve.event_of_item topo item) in
+      if dropped < 0 then Alcotest.failf "negative drop count at event %d" k;
+      (* every pair must still answer as if computed cold *)
+      sweep_equal ())
+    (gen_events ~seed:8 ~topo 6);
+  let s = Engine.stats e in
+  Alcotest.(check int) "events counted" 6 s.Engine.events;
+  if s.Engine.store_hits = 0 then
+    Alcotest.fail "memo never hit: invalidation is dropping everything"
+
+(* ------------------------------------------------------------------ *)
+(* Hand-checked answers and transcript rendering                       *)
+
+let test_hand_answers () =
+  let topo = Compact.freeze (hand_graph ()) in
+  let e = Engine.create topo in
+  (* GRC from AS4: 4 - 2 - z with z in {1, 3} (AS2 is AS4's provider) *)
+  Alcotest.(check (list int)) "AS4->AS3 grc via AS2" [ 1 ]
+    (Engine.query e ~src:3 ~dst:2 ~policy:Path_enum.Grc);
+  Alcotest.(check (list int)) "AS4->AS1 grc via AS2" [ 1 ]
+    (Engine.query e ~src:3 ~dst:0 ~policy:Path_enum.Grc);
+  Alcotest.(check (list int)) "AS4->AS5 grc: none" []
+    (Engine.query e ~src:3 ~dst:4 ~policy:Path_enum.Grc);
+  (* GRC from AS5 mirrors it: 5 - 3 - z with z in {1, 2} *)
+  Alcotest.(check (list int)) "AS5->AS2 grc via AS3" [ 2 ]
+    (Engine.query e ~src:4 ~dst:1 ~policy:Path_enum.Grc)
+
+let test_transcript_rendering () =
+  let topo = Compact.freeze (hand_graph ()) in
+  let stream =
+    Stream.parse
+      "# warm, churn, re-ask, heal, re-ask\n\
+       query AS4 AS3 grc\n\
+       down peer AS2 AS3\n\
+       query AS4 AS3 grc\n\
+       up peer AS2 AS3\n\
+       query AS4 AS3 grc\n"
+  in
+  let out = Serve.run ~mode:Engine.Incremental ~oracle:true ~topo stream in
+  Alcotest.(check string) "transcript"
+    "AS4 -> AS3 [grc]: 1 path via AS2\n\
+     link down peer AS2 -- AS3: invalidated 1 store entry\n\
+     AS4 -> AS3 [grc]: no paths\n\
+     link up peer AS2 -- AS3: invalidated 1 store entry\n\
+     AS4 -> AS3 [grc]: 1 path via AS2\n"
+    out.Serve.transcript;
+  let s = out.Serve.stats in
+  Alcotest.(check int) "queries" 3 s.Engine.queries;
+  Alcotest.(check int) "misses" 3 s.Engine.store_misses;
+  Alcotest.(check int) "events" 2 s.Engine.events;
+  Alcotest.(check int) "invalidated" 2 s.Engine.invalidated
+
+(* ------------------------------------------------------------------ *)
+(* Serve.run determinism: pool sizes and injected faults               *)
+
+let serve_fixture () =
+  let topo = Compact.freeze (gen_graph 11) in
+  let stream =
+    Stream.generate ~rng:(Rng.create 12) ~topo ~requests:120 ~churn:0.15
+  in
+  (topo, stream)
+
+let stats_equal a b =
+  a.Engine.queries = b.Engine.queries
+  && a.Engine.store_hits = b.Engine.store_hits
+  && a.Engine.store_misses = b.Engine.store_misses
+  && a.Engine.events = b.Engine.events
+  && a.Engine.invalidated = b.Engine.invalidated
+
+let test_serve_jobs_equal () =
+  let topo, stream = serve_fixture () in
+  let base = Serve.run ~mode:Engine.Incremental ~topo stream in
+  let par =
+    Pan_runner.Pool.with_pool ~domains:4 (fun pool ->
+        Serve.run ~pool ~mode:Engine.Incremental ~topo stream)
+  in
+  Alcotest.(check string) "-j1 = -j4 transcript" base.Serve.transcript
+    par.Serve.transcript;
+  Alcotest.(check bool) "stats equal" true
+    (stats_equal base.Serve.stats par.Serve.stats)
+
+let test_serve_faults_equal () =
+  let topo, stream = serve_fixture () in
+  let base = Serve.run ~mode:Engine.Incremental ~topo stream in
+  let faulty =
+    Pan_runner.Fault.set
+      (Some
+         { Pan_runner.Fault.seed = 3; rate = 0.3; delay = 0.0;
+           delay_rate = 0.0 });
+    Fun.protect
+      ~finally:(fun () -> Pan_runner.Fault.set None)
+      (fun () ->
+        Pan_runner.Pool.with_pool ~domains:4 (fun pool ->
+            Serve.run ~pool ~retries:6 ~mode:Engine.Incremental ~topo stream))
+  in
+  Alcotest.(check string) "fault-injected run is byte-identical"
+    base.Serve.transcript faulty.Serve.transcript;
+  Alcotest.(check string) "fingerprint too" base.Serve.fingerprint
+    faulty.Serve.fingerprint
+
+let test_serve_mode_equal () =
+  let topo, stream = serve_fixture () in
+  let inc = Serve.run ~mode:Engine.Incremental ~topo stream in
+  let refr = Serve.run ~mode:Engine.Refreeze ~topo stream in
+  Alcotest.(check string) "incremental = refreeze transcript"
+    inc.Serve.transcript refr.Serve.transcript
+
+(* ------------------------------------------------------------------ *)
+(* Stream format                                                       *)
+
+let qcheck_stream_roundtrip =
+  QCheck.Test.make ~count:25 ~name:"Stream: parse (to_string s) = s"
+    QCheck.(pair (int_range 1 10_000) (int_range 0 60))
+    (fun (seed, requests) ->
+      let topo = Compact.freeze (gen_graph seed) in
+      let s =
+        Stream.generate ~rng:(Rng.create (seed + 1)) ~topo ~requests
+          ~churn:0.4
+      in
+      Stream.parse (Stream.to_string s) = s)
+
+let test_stream_parse_errors () =
+  let expect name msg input =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () ->
+        ignore (Stream.parse input))
+  in
+  expect "unknown policy"
+    "Stream.parse: line 1: unknown policy \"bogus\" (expected grc, ma-all, \
+     ma-direct or ma-top:N)"
+    "query AS1 AS2 bogus";
+  expect "unknown verb, right line number"
+    "Stream.parse: line 3: unknown item \"nonsense\" (expected query, up or \
+     down)"
+    "# comment\nquery AS1 AS2 grc\nnonsense\n";
+  expect "bad ASN"
+    "Stream.parse: line 1: expected an AS number like AS42, got \"ASx\""
+    "query AS1 ASx grc";
+  expect "short link"
+    "Stream.parse: line 1: expected <kind> <AS> <AS>, got 2 token(s)"
+    "up peer AS1";
+  expect "bad link kind"
+    "Stream.parse: line 1: unknown link kind \"cable\" (expected peer or \
+     transit)"
+    "down cable AS1 AS2"
+
+let test_policy_labels () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "round-trip %s" (Stream.policy_label p))
+        true
+        (Stream.policy_of_label (Stream.policy_label p) = Some p))
+    (Path_enum.Ma_top 7 :: policies);
+  Alcotest.(check bool) "ma-top:5" true
+    (Stream.policy_of_label "ma-top:5" = Some (Path_enum.Ma_top 5));
+  Alcotest.(check bool) "ma-top junk rejected" true
+    (Stream.policy_of_label "ma-top:x" = None);
+  Alcotest.(check bool) "empty rejected" true
+    (Stream.policy_of_label "" = None)
+
+let test_generated_events_applicable () =
+  (* 200 pure-churn events on a small graph stay applicable throughout —
+     the down/up state tracking never desyncs. *)
+  let topo = Compact.freeze (gen_graph ~n_transit:4 ~n_stub:8 21) in
+  let e = Engine.create topo in
+  List.iter
+    (fun item -> ignore (Engine.apply e (Serve.event_of_item topo item) : int))
+    (gen_events ~seed:22 ~topo 200)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_churn_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_store_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_delta_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_freeze_thaw;
+    Alcotest.test_case "Delta validation errors" `Quick test_delta_validation;
+    Alcotest.test_case "Engine.apply validation errors" `Quick
+      test_engine_apply_validation;
+    Alcotest.test_case "invalidation soundness (exhaustive sweeps)" `Quick
+      test_invalidation_soundness;
+    Alcotest.test_case "hand-checked answers (5-AS topology)" `Quick
+      test_hand_answers;
+    Alcotest.test_case "transcript rendering + oracle" `Quick
+      test_transcript_rendering;
+    Alcotest.test_case "Serve.run -j1 = -j4" `Quick test_serve_jobs_equal;
+    Alcotest.test_case "Serve.run faults+retries byte-identical" `Quick
+      test_serve_faults_equal;
+    Alcotest.test_case "Serve.run incremental = refreeze" `Quick
+      test_serve_mode_equal;
+    QCheck_alcotest.to_alcotest qcheck_stream_roundtrip;
+    Alcotest.test_case "stream parse errors" `Quick test_stream_parse_errors;
+    Alcotest.test_case "policy labels round-trip" `Quick test_policy_labels;
+    Alcotest.test_case "generated churn always applicable" `Quick
+      test_generated_events_applicable;
+  ]
