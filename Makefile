@@ -1,5 +1,5 @@
 .PHONY: all build quick test bench bench-topo bench-bosco bench-faults \
-	bench-serve bench-snapshots profile clean
+	bench-serve bench-intent bench-snapshots validate-bench profile clean
 
 all: build
 
@@ -49,12 +49,26 @@ bench-faults:
 bench-serve:
 	dune exec bench/main.exe -- serve
 
+# Intent-engine sweep (bench part 12): K-shortest candidate throughput
+# at K = 1..32 over a 3k-AS compact core, deterministic probe failover
+# under an injected fault spec, and the all-intent serve drain with the
+# -j1/-j4 transcript fingerprint check; exits non-zero on any mismatch
+# (CI runs the `intent-smoke` variant through the bench-intent-smoke
+# alias, which also schema-checks the emitted BENCH_intent.json).
+bench-intent:
+	dune exec bench/main.exe -- intent
+
 # Machine-readable bench trajectory: run the econ-kernel, topology-
-# snapshot, and BOSCO parts at smoke scale, emit BENCH_<part>.json for
-# each, and re-validate the files through the schema checker (CI runs
-# the same alias).
+# snapshot, BOSCO, serve, and intent parts at smoke scale, emit
+# BENCH_<part>.json for each, and re-validate the files through the
+# schema checker (CI runs the same alias).
 bench-snapshots:
 	dune build @bench/bench-snapshot-smoke
+
+# Schema-check every committed BENCH_<part>.json in the repo root
+# through the CLI validator; exits non-zero on any malformed file.
+validate-bench:
+	dune exec bin/panagree.exe -- validate-bench $(wildcard BENCH_*.json)
 
 # Real-clock profile of the Fig. 3/4 pipeline on the default synthetic
 # topology: per-chunk durations and per-scenario path counters to stdout.

@@ -54,6 +54,13 @@
    between -j1 and -j4, and emitting BENCH_serve.json
    (`main.exe serve[-smoke]`, `make bench-serve`).
 
+   Part 12 measures the intent engine (lib/intent): K-shortest candidate
+   generation throughput over the compact core across K = 1..32,
+   deterministic probe-with-failover under an injected fault spec, and a
+   serve drain of an all-intent stream under churn, verifying -j1 = -j4
+   transcripts and emitting BENCH_intent.json
+   (`main.exe intent[-smoke]`, `make bench-intent`).
+
    Parts 7, 9 and 10 also emit machine-readable BENCH_<part>.json
    snapshots (Pan_obs.Bench_snap) recording wall-clock, throughput,
    speedup and a result fingerprint; `main.exe validate-bench FILE...`
@@ -976,7 +983,7 @@ let run_serve scale =
   let params = { Gen.default_params with Gen.n_transit; Gen.n_stub } in
   let topo = Compact.freeze (Gen.graph (Gen.generate ~params ~seed:42 ())) in
   let stream =
-    Sv.Stream.generate ~rng:(Rng.create 44) ~topo ~requests ~churn
+    Sv.Stream.generate ~rng:(Rng.create 44) ~topo ~requests ~churn ()
   in
   let n_queries =
     List.length
@@ -1057,6 +1064,144 @@ let run_serve scale =
        ());
   modes_equal && jobs_equal
 
+(* ------------------------------------------------------------------ *)
+(* Part 12: intent engine (lib/intent): K-shortest candidates          *)
+
+(* transit, stubs, candidate pairs, serve-drain requests *)
+let intent_params = function
+  | `Smoke -> (60, 928, 200, 1500)
+  | `Full -> (200, 3000, 600, 8000)
+
+let run_intent scale =
+  let module I = Pan_intent in
+  let module Sv = Pan_service in
+  section "Intent engine: K-shortest candidates over the compact core";
+  let n_transit, n_stub, pairs, requests = intent_params scale in
+  let params = { Gen.default_params with Gen.n_transit; Gen.n_stub } in
+  let topo = Compact.freeze (Gen.graph (Gen.generate ~params ~seed:42 ())) in
+  Format.fprintf fmt "topology: %a, %d endpoint pairs@." Compact.pp_stats topo
+    pairs;
+  let n = Compact.num_ases topo in
+  let rng = Rng.create 45 in
+  let endpoints =
+    Array.init pairs (fun _ ->
+        let src = Rng.int rng n in
+        let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+        (Compact.id topo src, Compact.id topo dst))
+  in
+  (* The same metric environment Engine pins at creation (geo seed 43). *)
+  let metric =
+    I.Metric.of_models
+      ~geo:(Geo.of_compact ~seed:43 topo)
+      ~bandwidth:(Bandwidth.of_compact topo)
+  in
+  let web =
+    [
+      { I.Intent.weight = 1.0; component = I.Intent.Nlatency };
+      { I.Intent.weight = 1.0; component = I.Intent.Nbandwidth };
+    ]
+  in
+  let ok = ref true in
+  (* Candidate generation throughput across the K sweep; each K is run
+     twice and must reproduce bit-for-bit (pure function of the frozen
+     view). *)
+  let rate_k8 = ref 0.0 and wall_k8 = ref 0.0 in
+  Format.fprintf fmt "%4s %12s %10s %14s  %s@." "K" "candidates" "wall (s)"
+    "candidates/s" "deterministic";
+  List.iter
+    (fun k ->
+      let intent = I.Intent.make ~metric:web ~k () in
+      let sweep () =
+        Array.fold_left
+          (fun acc (src, dst) ->
+            I.Candidates.generate ~topo ~metric intent ~src ~dst :: acc)
+          [] endpoints
+      in
+      let r1, t = time sweep in
+      let r2, _ = time sweep in
+      let count =
+        List.fold_left (fun acc rs -> acc + List.length rs) 0 r1
+      in
+      let det = r1 = r2 in
+      if not det then ok := false;
+      let rate = float_of_int count /. t in
+      if k = 8 then (rate_k8 := rate; wall_k8 := t);
+      Format.fprintf fmt "%4d %12d %10.3f %14.0f  %b@." k count t rate det)
+    [ 1; 2; 4; 8; 16; 32 ];
+  (* Probe-with-failover under an active fault spec: outages are a pure
+     function of (spec, link), so two probe passes must select the same
+     paths. *)
+  let k8 = I.Intent.make ~metric:web ~k:8 () in
+  let candidate_paths =
+    Array.map
+      (fun (src, dst) ->
+        List.map
+          (fun r -> r.I.Candidates.path)
+          (I.Candidates.generate ~topo ~metric k8 ~src ~dst))
+      endpoints
+  in
+  let saved = Pan_runner.Fault.get () in
+  let probe_pass () =
+    Pan_runner.Fault.set
+      (Some { Pan_runner.Fault.seed = 9; rate = 0.1; delay = 0.0;
+              delay_rate = 0.0 });
+    Fun.protect
+      ~finally:(fun () -> Pan_runner.Fault.set saved)
+      (fun () ->
+        Array.fold_left
+          (fun (sel, fail) paths ->
+            let o = I.Probe.run ~topo paths in
+            ( o.I.Probe.selected :: sel,
+              fail + List.length (I.Probe.failed_links o) ))
+          ([], 0) candidate_paths)
+  in
+  let (sel1, failovers), t_probe = time probe_pass in
+  let (sel2, _), _ = time probe_pass in
+  let probe_det = sel1 = sel2 in
+  if not probe_det then ok := false;
+  let survived =
+    List.length (List.filter Option.is_some sel1)
+  in
+  Format.fprintf fmt
+    "probe (fault rate 0.1): %d/%d pairs served, %d failed links, %.3f s; \
+     deterministic %b@."
+    survived pairs failovers t_probe probe_det;
+  (* Serve drain over an all-intent stream under churn: byte-identical
+     transcripts at -j1 and -j4 (intent answers never touch the pool). *)
+  let stream =
+    Sv.Stream.generate ~intent:k8 ~rng:(Rng.create 44) ~topo ~requests
+      ~churn:0.02 ()
+  in
+  let j1, t_j1 =
+    time (fun () -> Sv.Serve.run ~mode:Sv.Engine.Incremental ~topo stream)
+  in
+  let j4, _ =
+    Pan_runner.Pool.with_pool ~domains:4 (fun pool ->
+        time (fun () ->
+            Sv.Serve.run ~pool ~mode:Sv.Engine.Incremental ~topo stream))
+  in
+  let jobs_equal = String.equal j1.Sv.Serve.fingerprint j4.Sv.Serve.fingerprint in
+  if not jobs_equal then ok := false;
+  Format.fprintf fmt
+    "serve drain (%d intent items, churn 0.02): %.3f s; fingerprint -j1 %s  \
+     -j4 %s  equal %b@."
+    requests t_j1 j1.Sv.Serve.fingerprint j4.Sv.Serve.fingerprint jobs_equal;
+  emit_snapshot
+    (Pan_obs.Bench_snap.make ~part:"intent" ~wall_s:!wall_k8
+       ~throughput:!rate_k8
+       ~speedup:1.0 ~fingerprint:j1.Sv.Serve.fingerprint ~jobs:4
+       ~meta:
+         [
+           ("pairs", string_of_int pairs);
+           ("requests", string_of_int requests);
+           ("candidates_per_s_k8", Printf.sprintf "%.0f" !rate_k8);
+           ("probe_failed_links", string_of_int failovers);
+           ("fingerprint_j1", j1.Sv.Serve.fingerprint);
+           ("fingerprint_j4", j4.Sv.Serve.fingerprint);
+         ]
+       ());
+  !ok
+
 let full_run () =
   reproduce_gadgets ();
   reproduce_methods ();
@@ -1080,6 +1225,7 @@ let full_run () =
   ignore (run_topo_snapshot `Smoke : bool);
   ignore (run_supervised () : bool);
   ignore (run_serve `Smoke : bool);
+  ignore (run_intent `Smoke : bool);
   run_benchmarks ();
   run_runner_pair ();
   obs_profile ()
@@ -1098,6 +1244,8 @@ let () =
   | "faults" -> if not (run_supervised ()) then exit 1
   | "serve" -> if not (run_serve `Full) then exit 1
   | "serve-smoke" -> if not (run_serve `Smoke) then exit 1
+  | "intent" -> if not (run_intent `Full) then exit 1
+  | "intent-smoke" -> if not (run_intent `Smoke) then exit 1
   | "validate-bench" ->
       validate_bench
         (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)))
@@ -1105,7 +1253,8 @@ let () =
       Format.eprintf
         "usage: %s \
          [topo|topo-full|topo-snapshot|topo-snapshot-smoke|bosco|bosco-smoke|\
-         econ|econ-smoke|faults|serve|serve-smoke|validate-bench FILE...]  \
+         econ|econ-smoke|faults|serve|serve-smoke|intent|intent-smoke|\
+         validate-bench FILE...]  \
          (unknown part %S)@."
         Sys.argv.(0) other;
       exit 2);

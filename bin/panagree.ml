@@ -379,6 +379,9 @@ let fragility_cmd =
           GRC-violating agreements.")
     Term.(const run $ seed_arg $ topologies)
 
+let intent_conv =
+  Arg.conv ~docv:"SPEC" (Pan_intent.Intent.parse, Pan_intent.Intent.pp)
+
 let snapshot_arg =
   let doc =
     "Load the frozen topology (and any geo/bandwidth sections) from a \
@@ -587,8 +590,18 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "oracle" ] ~doc)
   in
+  let intent_arg =
+    let doc =
+      "Generate intent queries instead of policy queries: every query \
+       item of the generated stream carries this intent spec (syntax as \
+       in $(b,panagree paths --intent); e.g. 'metric=latency; k=4').  \
+       Ignored when $(b,--stream) supplies the stream."
+    in
+    Arg.(
+      value & opt (some intent_conv) None & info [ "intent" ] ~doc ~docv:"SPEC")
+  in
   let run caida transit stubs seed jobs sup metrics trace snapshot stream
-      requests churn mode oracle =
+      intent requests churn mode oracle =
     with_obs ~metrics ~trace @@ fun () ->
     match
       let topo =
@@ -608,7 +621,7 @@ let serve_cmd =
             s
         | None ->
             let rng = Pan_numerics.Rng.create (seed + 2) in
-            let s = Stream.generate ~rng ~topo ~requests ~churn in
+            let s = Stream.generate ?intent ~rng ~topo ~requests ~churn () in
             Format.fprintf fmt "# generated stream (seed %d): %d items, \
                                churn %g@."
               (seed + 2) requests churn;
@@ -641,7 +654,118 @@ let serve_cmd =
     Term.(
       const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
       $ sup_term $ metrics_arg $ trace_arg $ snapshot_arg $ stream_arg
-      $ requests_arg $ churn_arg $ mode_arg $ oracle_arg)
+      $ intent_arg $ requests_arg $ churn_arg $ mode_arg $ oracle_arg)
+
+(* ------------------------------------------------------------------ *)
+(* paths                                                               *)
+
+let paths_cmd =
+  let open Pan_service in
+  let src_arg =
+    let doc = "Source AS number." in
+    Arg.(required & pos 0 (some int) None & info [] ~doc ~docv:"SRC")
+  in
+  let dst_arg =
+    let doc = "Destination AS number." in
+    Arg.(required & pos 1 (some int) None & info [] ~doc ~docv:"DST")
+  in
+  let intent_arg =
+    let doc =
+      "Path intent: a ';'-separated list of clauses.  'metric=' takes \
+       '+'-joined weighted components (latency, nlatency, bandwidth, \
+       nbandwidth, hops; e.g. 'metric=2*nlatency+nbandwidth'); 'k=N' \
+       bounds the candidate count; optional clauses: 'max-hops=N', \
+       'exclude-as=AS1,AS2', 'exclude-link=AS1-AS2', \
+       'geo-fence=lat,lon,radius-km', 'require=encrypted,monitored'."
+    in
+    Arg.(
+      value
+      & opt intent_conv Pan_intent.Intent.default
+      & info [ "intent" ] ~doc ~docv:"SPEC")
+  in
+  let probe_arg =
+    let doc =
+      "Probe the ranked candidates in order (failing over past links \
+       downed by the active fault spec, if any) and report the selected \
+       path."
+    in
+    Arg.(value & flag & info [ "probe" ] ~doc)
+  in
+  let run caida transit stubs seed metrics trace snapshot faults src dst
+      intent probe =
+    Option.iter (fun spec -> Pan_runner.Fault.set (Some spec)) faults;
+    with_obs ~metrics ~trace @@ fun () ->
+    match
+      let topo =
+        match snapshot with
+        | Some path ->
+            let b = Snapshot.load path in
+            Format.fprintf fmt "# loaded snapshot %s: %a@." path
+              Compact.pp_stats b.Snapshot.topo;
+            b.Snapshot.topo
+        | None -> Compact.freeze (topology ~caida ~transit ~stubs ~seed)
+      in
+      let lookup label x =
+        match Compact.index_of topo (Asn.of_int x) with
+        | Some i -> i
+        | None ->
+            invalid_arg
+              (Printf.sprintf "paths: %s AS%d is not in the topology" label x)
+      in
+      let src = lookup "source" src and dst = lookup "destination" dst in
+      (* The engine's intent environment — the same scores [serve]
+         renders for the same seed. *)
+      let engine = Engine.create topo in
+      let results = Engine.intent_query engine ~src ~dst intent in
+      (topo, src, dst, results)
+    with
+    | topo, src, dst, results ->
+        Format.fprintf fmt "%s@."
+          (Serve.render_intent_query topo ~src ~dst intent results);
+        if probe then begin
+          let open Pan_intent in
+          let candidates =
+            List.map (fun r -> r.Candidates.path) results
+          in
+          let o = Probe.run ~topo candidates in
+          List.iteri
+            (fun i (a : Probe.attempt) ->
+              match a.failed_link with
+              | Some (x, y) ->
+                  Format.fprintf fmt "probe %d: %s failed (link %a-%a down)@."
+                    (i + 1)
+                    (String.concat " "
+                       (List.map (fun x -> Format.asprintf "%a" Asn.pp x)
+                          a.path))
+                    Asn.pp x Asn.pp y
+              | None ->
+                  Format.fprintf fmt "probe %d: %s ok@." (i + 1)
+                    (String.concat " "
+                       (List.map (fun x -> Format.asprintf "%a" Asn.pp x)
+                          a.path)))
+            o.Probe.attempts;
+          match o.Probe.selected with
+          | Some path ->
+              Format.fprintf fmt "selected: %s@."
+                (String.concat " "
+                   (List.map (fun x -> Format.asprintf "%a" Asn.pp x) path))
+          | None -> Format.fprintf fmt "selected: none (all candidates down)@."
+        end
+    | exception Invalid_argument msg ->
+        Format.eprintf "panagree: %s@." msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "paths"
+       ~doc:
+         "Rank K-shortest-path candidates between two ASes under a path \
+          intent (composite metric, hard constraints, candidate budget) \
+          over the frozen compact core; optionally probe them with \
+          failover.")
+    Term.(
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ metrics_arg
+      $ trace_arg $ snapshot_arg $ faults_arg $ src_arg $ dst_arg $ intent_arg
+      $ probe_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate-bench                                                      *)
@@ -738,6 +862,7 @@ let () =
             fragility_cmd;
             topology_cmd;
             serve_cmd;
+            paths_cmd;
             validate_bench_cmd;
             export_cmd;
             all_cmd;

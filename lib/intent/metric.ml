@@ -1,0 +1,89 @@
+open Pan_topology
+
+type ctx = {
+  as_location : Asn.t -> Geo.point;
+  link_location : Asn.t -> Asn.t -> Geo.point;
+  link_capacity : Asn.t -> Asn.t -> float;
+}
+
+let of_models ~geo ~bandwidth =
+  {
+    as_location = Geo.as_location geo;
+    link_location = Geo.link_location geo;
+    link_capacity = Bandwidth.link_capacity bandwidth;
+  }
+
+let per_hop_penalty_km = 100.0
+
+(* The arithmetic below is ported expression-for-expression from the
+   pre-refactor Scion.Selection.latency_proxy / Bandwidth.path_bandwidth
+   so that the Selection facade stays bit-identical: same association,
+   same operand order, same fold shapes. *)
+
+let latency_km ctx ases =
+  match ases with
+  | [] | [ _ ] -> invalid_arg "Metric.latency_km: path too short"
+  | first :: _ ->
+      let rec link_points = function
+        | a :: (b :: _ as rest) -> ctx.link_location a b :: link_points rest
+        | _ -> []
+      in
+      let links = link_points ases in
+      let src_loc = ctx.as_location first in
+      let rec last = function
+        | [ x ] -> x
+        | _ :: rest -> last rest
+        | [] -> assert false
+      in
+      let dst_loc = ctx.as_location (last ases) in
+      let rec chain acc prev = function
+        | [] -> acc +. Geo.distance_km prev dst_loc
+        | p :: rest -> chain (acc +. Geo.distance_km prev p) p rest
+      in
+      let geodist =
+        match links with
+        | [] -> Geo.distance_km src_loc dst_loc
+        | p :: rest -> chain (Geo.distance_km src_loc p) p rest
+      in
+      geodist +. (per_hop_penalty_km *. float_of_int (List.length ases))
+
+let bandwidth ctx path =
+  let rec go = function
+    | a :: (b :: _ as rest) -> Float.min (ctx.link_capacity a b) (go rest)
+    | [ _ ] | [] -> infinity
+  in
+  match path with
+  | _ :: _ :: _ -> go path
+  | _ -> invalid_arg "Metric.bandwidth: path shorter than 2 ASes"
+
+let component_value ctx component ases =
+  match component with
+  | Intent.Latency -> latency_km ctx ases
+  | Intent.Nlatency -> latency_km ctx ases /. 1000.0
+  | Intent.Bandwidth -> -.bandwidth ctx ases
+  | Intent.Nbandwidth -> 1000.0 /. Float.max 1.0 (bandwidth ctx ases)
+  | Intent.Hops -> float_of_int (List.length ases)
+
+(* Weight-1 terms contribute the bare component value (no [1.0 *.]
+   canonicalization concerns), and the sum folds left to right from the
+   first term's value — no 0.0 seed — which is exactly how the legacy
+   Web score associates. *)
+let term_value ctx { Intent.weight; component } ases =
+  let v = component_value ctx component ases in
+  if weight = 1.0 then v else weight *. v
+
+let score ctx terms ases =
+  match terms with
+  | [] -> invalid_arg "Metric.score: empty metric"
+  | t :: rest ->
+      List.fold_left
+        (fun acc t -> acc +. term_value ctx t ases)
+        (term_value ctx t ases) rest
+
+let compare_paths ctx terms a1 a2 =
+  match compare (score ctx terms a1) (score ctx terms a2) with
+  | 0 -> (
+      match compare (List.length a1) (List.length a2) with
+      | 0 -> compare a1 a2
+      | c -> c)
+  | c -> c

@@ -1,0 +1,46 @@
+(** Composite path metrics over pluggable geo / capacity lookups.
+
+    A {!ctx} bundles the three lookups every component needs as plain
+    closures, so the same scoring code runs over a {!Pan_topology.Geo}
+    embedding + degree-gravity {!Pan_topology.Bandwidth} model
+    ({!of_models}), over the service engine's churn-aware fallbacks, or
+    over synthetic fixtures in tests.
+
+    The arithmetic is ported expression-for-expression from the
+    pre-refactor [Scion.Selection] proxies: {!latency_km} is the
+    geodistance chain through interconnection points plus 100 km per AS
+    hop, {!bandwidth} the bottleneck [Float.min] fold, and {!score}
+    sums terms left to right starting from the first term's value — so
+    the legacy application classes compile to intents whose scores are
+    bit-identical floats. *)
+
+open Pan_topology
+
+type ctx = {
+  as_location : Asn.t -> Geo.point;
+  link_location : Asn.t -> Asn.t -> Geo.point;
+  link_capacity : Asn.t -> Asn.t -> float;
+}
+
+val of_models : geo:Geo.t -> bandwidth:Bandwidth.t -> ctx
+(** Lookups raise [Not_found] exactly where the models do (unknown AS,
+    non-adjacent link). *)
+
+val per_hop_penalty_km : float
+(** 100 km of equivalent distance per AS hop. *)
+
+val latency_km : ctx -> Asn.t list -> float
+(** @raise Invalid_argument on paths shorter than 2 ASes. *)
+
+val bandwidth : ctx -> Asn.t list -> float
+(** Bottleneck capacity.
+    @raise Invalid_argument on paths shorter than 2 ASes. *)
+
+val component_value : ctx -> Intent.component -> Asn.t list -> float
+
+val score : ctx -> Intent.term list -> Asn.t list -> float
+(** Lower is better.  @raise Invalid_argument on an empty term list. *)
+
+val compare_paths : ctx -> Intent.term list -> Asn.t list -> Asn.t list -> int
+(** Score, then AS-level length, then lexicographic — the legacy
+    [Selection] candidate order. *)

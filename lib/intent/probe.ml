@@ -1,0 +1,53 @@
+open Pan_topology
+module Obs = Pan_obs.Obs
+module Clock = Pan_obs.Clock
+module Fault = Pan_runner.Fault
+
+type attempt = { path : Asn.t list; failed_link : (Asn.t * Asn.t) option }
+type outcome = { attempts : attempt list; selected : Asn.t list option }
+
+(* One fault draw per (unordered) link: the chunk index is the link's
+   dense key, the attempt index is 0 — so whether a link is out is a
+   pure function of the active {!Fault} spec and the link itself,
+   independent of which candidate list or probe order reaches it.  The
+   same link therefore fails consistently across candidates within one
+   probe pass, which is what makes failover transcripts reproducible. *)
+let link_out topo ~clock a b =
+  let n = Compact.num_ases topo in
+  let i = Compact.index_of_exn topo a and j = Compact.index_of_exn topo b in
+  let chunk = if i < j then (i * n) + j else (j * n) + i in
+  match Fault.inject ~clock ~chunk ~attempt:0 with
+  | () -> false
+  | exception Fault.Injected _ -> true
+
+let probe_path topo ~clock ases =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        if link_out topo ~clock a b then Some (a, b) else go rest
+    | [ _ ] | [] -> None
+  in
+  go ases
+
+let run ~topo paths =
+  Obs.with_span "intent.probe" @@ fun () ->
+  let clock =
+    match Obs.clock () with Some c -> c | None -> Clock.of_env ()
+  in
+  let rec go acc = function
+    | [] -> { attempts = List.rev acc; selected = None }
+    | path :: rest -> (
+        Obs.incr "intent.probe.attempts";
+        match probe_path topo ~clock path with
+        | None ->
+            {
+              attempts = List.rev ({ path; failed_link = None } :: acc);
+              selected = Some path;
+            }
+        | Some link ->
+            Obs.incr "intent.probe.failovers";
+            go ({ path; failed_link = Some link } :: acc) rest)
+  in
+  go [] paths
+
+let failed_links outcome =
+  List.filter_map (fun a -> a.failed_link) outcome.attempts

@@ -1,0 +1,41 @@
+(** Deterministic path probing with failover down a ranked candidate
+    list.
+
+    A probe walks candidates best-first and "sends" down each path; a
+    link outage fails the attempt and fails over to the next candidate.
+    Outages come from the PR 5 fault harness ({!Pan_runner.Fault}): when
+    a spec is active (via [Fault.set], [--faults], or
+    [PANAGREE_FAULTS]), each {e link} gets one injection draw keyed by
+    its dense link index — a pure function of the spec seed and the
+    link, independent of probe order, candidate list, or pool size — so
+    which links are out, and therefore the failover trace, is
+    bit-reproducible.  With no active spec every link is up and the
+    first candidate wins.
+
+    Injected delays advance the ambient clock exactly as the supervised
+    runner's chunk attempts do (virtual clock: deterministic time;
+    real clock: actual sleeps). *)
+
+open Pan_topology
+
+type attempt = {
+  path : Asn.t list;
+  failed_link : (Asn.t * Asn.t) option;
+      (** the first link of the path that was out, [None] on success *)
+}
+
+type outcome = {
+  attempts : attempt list;  (** probe order: every tried candidate *)
+  selected : Asn.t list option;
+      (** the first fully-up candidate, or [None] if all failed *)
+}
+
+val run : topo:Compact.t -> Asn.t list list -> outcome
+(** Probe candidates in the given (ranked) order, stopping at the first
+    success.  Counts [intent.probe.attempts] / [intent.probe.failovers]
+    when {!Pan_obs.Obs} is configured.
+    @raise Invalid_argument on a path AS not in [topo]. *)
+
+val failed_links : outcome -> (Pan_topology.Asn.t * Pan_topology.Asn.t) list
+(** Every link that failed a probe, in probe order — ready to compose
+    into a {!Pan_topology.Compact.Mask} for a constrained re-query. *)

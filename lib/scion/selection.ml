@@ -1,65 +1,44 @@
 open Pan_topology
+module Intent = Pan_intent.Intent
+module Metric = Pan_intent.Metric
 
 type application = Voip | File_transfer | Web
 
 type context = { geo : Geo.t; bandwidth : Bandwidth.t }
 
-let per_hop_penalty_km = 100.0
+(* Each application class is one fixed composite metric; everything
+   below delegates to the intent engine.  The compiled terms reproduce
+   the historical proxies bit-for-bit: Voip is the bare latency proxy,
+   File_transfer the negated bottleneck bandwidth, Web the
+   1000-normalized latency plus reciprocal bandwidth, summed in that
+   order (see [Pan_intent.Metric]). *)
+let terms_of_application = function
+  | Voip -> [ { Intent.weight = 1.0; component = Intent.Latency } ]
+  | File_transfer -> [ { Intent.weight = 1.0; component = Intent.Bandwidth } ]
+  | Web ->
+      [
+        { Intent.weight = 1.0; component = Intent.Nlatency };
+        { Intent.weight = 1.0; component = Intent.Nbandwidth };
+      ]
 
-let latency_proxy ctx ases =
-  match ases with
-  | [] | [ _ ] -> invalid_arg "Selection.latency_proxy: path too short"
-  | first :: _ ->
-      (* distance source -> first link -> ... -> last link -> destination,
-         as in the paper's geodistance decomposition, generalized to any
-         length *)
-      let rec link_points = function
-        | a :: (b :: _ as rest) ->
-            Geo.link_location ctx.geo a b :: link_points rest
-        | _ -> []
-      in
-      let links = link_points ases in
-      let src_loc = Geo.as_location ctx.geo first in
-      let rec last = function
-        | [ x ] -> x
-        | _ :: rest -> last rest
-        | [] -> assert false
-      in
-      let dst_loc = Geo.as_location ctx.geo (last ases) in
-      let rec chain acc prev = function
-        | [] -> acc +. Geo.distance_km prev dst_loc
-        | p :: rest -> chain (acc +. Geo.distance_km prev p) p rest
-      in
-      let geodist =
-        match links with
-        | [] -> Geo.distance_km src_loc dst_loc
-        | p :: rest -> chain (Geo.distance_km src_loc p) p rest
-      in
-      geodist +. (per_hop_penalty_km *. float_of_int (List.length ases))
+let intent_of_application ?k app =
+  Intent.make ~metric:(terms_of_application app) ?k ()
 
-let bandwidth_proxy ctx ases = Bandwidth.path_bandwidth ctx.bandwidth ases
+let metric_ctx ctx = Metric.of_models ~geo:ctx.geo ~bandwidth:ctx.bandwidth
+
+let latency_proxy ctx ases = Metric.latency_km (metric_ctx ctx) ases
+let bandwidth_proxy ctx ases = Metric.bandwidth (metric_ctx ctx) ases
 
 let score ctx app ases =
-  match app with
-  | Voip -> latency_proxy ctx ases
-  | File_transfer -> -.bandwidth_proxy ctx ases
-  | Web ->
-      (* normalize both proxies to comparable magnitudes: latency in
-         thousands of km, bandwidth as its reciprocal *)
-      (latency_proxy ctx ases /. 1000.0)
-      +. (1000.0 /. Float.max 1.0 (bandwidth_proxy ctx ases))
-
-let compare_candidates ctx app s1 s2 =
-  let a1 = Segment.ases s1 and a2 = Segment.ases s2 in
-  match compare (score ctx app a1) (score ctx app a2) with
-  | 0 -> (
-      match compare (List.length a1) (List.length a2) with
-      | 0 -> compare a1 a2
-      | c -> c)
-  | c -> c
+  Metric.score (metric_ctx ctx) (terms_of_application app) ases
 
 let rank ctx app candidates =
-  List.stable_sort (compare_candidates ctx app) candidates
+  let mctx = metric_ctx ctx in
+  let terms = terms_of_application app in
+  List.stable_sort
+    (fun s1 s2 ->
+      Metric.compare_paths mctx terms (Segment.ases s1) (Segment.ases s2))
+    candidates
 
 let select ctx app candidates =
   match rank ctx app candidates with [] -> None | best :: _ -> Some best

@@ -6,7 +6,14 @@
     for file transfers".  This module scores AS-level paths with a latency
     proxy (geodistance plus a per-hop processing penalty) and a bandwidth
     proxy (degree-gravity bottleneck capacity) and picks the best
-    authorized path per application class. *)
+    authorized path per application class.
+
+    Since the intent-engine refactor this module is a thin compiler onto
+    [Pan_intent]: each application class maps to a fixed composite
+    metric ({!intent_of_application}), and scoring/ranking delegate to
+    [Pan_intent.Metric] with arithmetic that reproduces the historical
+    proxies bit-for-bit (the facade-equivalence qcheck suite pins
+    this). *)
 
 open Pan_topology
 
@@ -16,6 +23,12 @@ type application =
   | Web  (** balanced: normalized latency and bandwidth mixed 50/50 *)
 
 type context = { geo : Geo.t; bandwidth : Bandwidth.t }
+
+val intent_of_application : ?k:int -> application -> Pan_intent.Intent.t
+(** The intent an application class compiles to: [Voip] minimizes
+    [latency], [File_transfer] minimizes [bandwidth] (negated
+    capacity), [Web] minimizes [nlatency+nbandwidth].  [k] is the
+    candidate budget (default 1). *)
 
 val latency_proxy : context -> Asn.t list -> float
 (** Sum of great-circle link distances through the interconnection points,

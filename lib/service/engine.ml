@@ -1,5 +1,8 @@
 open Pan_topology
 module Obs = Pan_obs.Obs
+module Intent = Pan_intent.Intent
+module Metric = Pan_intent.Metric
+module Candidates = Pan_intent.Candidates
 
 type link =
   | Peer of int * int
@@ -21,6 +24,11 @@ type stats = {
 type mid_key = int * Path_enum.scenario
 type store_key = int * int * Path_enum.scenario
 
+(* Intent answers are memoized under the canonical spec text: two
+   intents print identically iff they are equal values, so the string is
+   an exact key with structural hashing. *)
+type istore_key = int * int * string
+
 type t = {
   mode : mode;
   mutable topo : Compact.t;
@@ -29,6 +37,12 @@ type t = {
   mid_keys : (int, Path_enum.scenario list ref) Hashtbl.t;
   store : (store_key, int list) Hashtbl.t;
   store_keys : (int, (int * Path_enum.scenario) list ref) Hashtbl.t;
+  istore : (istore_key, Candidates.result list) Hashtbl.t;
+  ilinks : (int * int, istore_key list ref) Hashtbl.t;
+      (** normalized (lo, hi) dense link -> intent entries whose cached
+          candidate paths traverse it *)
+  ictx : Metric.ctx Lazy.t;
+      (** metric environment pinned to the creation-time topology *)
   mutable queries : int;
   mutable store_hits : int;
   mutable store_misses : int;
@@ -48,7 +62,39 @@ let stats t =
     invalidated = t.invalidated;
   }
 
-let make mode topo mirror =
+let default_geo_seed = 43
+
+(* Metric environment for intent scoring, pinned to the creation-time
+   frozen view: a deterministic synthetic geo embedding and degree-
+   gravity capacities from creation-time degrees.  Pinning makes scores
+   a static endowment — a link flipping elsewhere does not change
+   another link's capacity — so churn invalidates cached intent answers
+   only through the path {e set}, never through re-scoring (DESIGN
+   §6g).  Links added by churn (absent from the embedding) fall back to
+   the endpoint-midpoint interconnection location and the same
+   degree-gravity product. *)
+let intent_ctx ~geo_seed topo =
+  lazy
+    (let geo = Geo.of_compact ~seed:geo_seed topo in
+     let as_location = Geo.as_location geo in
+     let link_location a b =
+       try Geo.link_location geo a b
+       with Not_found ->
+         let p = as_location a and q = as_location b in
+         {
+           Geo.lat = (p.Geo.lat +. q.Geo.lat) /. 2.0;
+           lon = (p.Geo.lon +. q.Geo.lon) /. 2.0;
+         }
+     in
+     let link_capacity a b =
+       let i = Compact.index_of_exn topo a
+       and j = Compact.index_of_exn topo b in
+       float_of_int (Compact.degree topo i)
+       *. float_of_int (Compact.degree topo j)
+     in
+     { Metric.as_location; link_location; link_capacity })
+
+let make ?(geo_seed = default_geo_seed) mode topo mirror =
   {
     mode;
     topo;
@@ -57,6 +103,9 @@ let make mode topo mirror =
     mid_keys = Hashtbl.create 256;
     store = Hashtbl.create 1024;
     store_keys = Hashtbl.create 256;
+    istore = Hashtbl.create 256;
+    ilinks = Hashtbl.create 256;
+    ictx = intent_ctx ~geo_seed topo;
     queries = 0;
     store_hits = 0;
     store_misses = 0;
@@ -64,8 +113,11 @@ let make mode topo mirror =
     invalidated = 0;
   }
 
-let create ?(mode = Incremental) topo = make mode topo (Compact.thaw topo)
-let of_graph ?(mode = Incremental) g = make mode (Compact.freeze g) (Graph.copy g)
+let create ?(mode = Incremental) ?geo_seed topo =
+  make ?geo_seed mode topo (Compact.thaw topo)
+
+let of_graph ?(mode = Incremental) ?geo_seed g =
+  make ?geo_seed mode (Compact.freeze g) (Graph.copy g)
 
 let err fmt = Printf.ksprintf invalid_arg ("Engine." ^^ fmt)
 
@@ -122,6 +174,52 @@ let query t ~src ~dst ~policy =
           Hashtbl.replace t.store (src, dst, policy) a;
           push_key t.store_keys src (dst, policy);
           a)
+
+let intent_query t ~src ~dst intent =
+  check_index t src;
+  check_index t dst;
+  if src = dst then err "intent_query: src = dst (index %d)" src;
+  t.queries <- t.queries + 1;
+  Obs.incr "serve.queries";
+  Obs.time "serve.query" (fun () ->
+      let key = (src, dst, Intent.to_string intent) in
+      match Hashtbl.find_opt t.istore key with
+      | Some r ->
+          t.store_hits <- t.store_hits + 1;
+          Obs.incr "serve.store_hits";
+          r
+      | None ->
+          t.store_misses <- t.store_misses + 1;
+          Obs.incr "serve.store_misses";
+          let metric = Lazy.force t.ictx in
+          let results =
+            Candidates.generate ~topo:t.topo ~metric intent
+              ~src:(Compact.id t.topo src) ~dst:(Compact.id t.topo dst)
+          in
+          Hashtbl.replace t.istore key results;
+          List.iter
+            (fun (r : Candidates.result) ->
+              let rec links = function
+                | a :: (b :: _ as rest) ->
+                    let i = Compact.index_of_exn t.topo a
+                    and j = Compact.index_of_exn t.topo b in
+                    let lk = if i < j then (i, j) else (j, i) in
+                    (match Hashtbl.find_opt t.ilinks lk with
+                    | Some l -> l := key :: !l
+                    | None -> Hashtbl.add t.ilinks lk (ref [ key ]));
+                    links rest
+                | [ _ ] | [] -> ()
+              in
+              links r.Candidates.path)
+            results;
+          results)
+
+let intent_query_uncached t ~src ~dst intent =
+  check_index t src;
+  check_index t dst;
+  if src = dst then err "intent_query: src = dst (index %d)" src;
+  Candidates.generate ~topo:t.topo ~metric:(Lazy.force t.ictx) intent
+    ~src:(Compact.id t.topo src) ~dst:(Compact.id t.topo dst)
 
 let prefill ?pool ?retries ?deadline t pairs =
   let missing = Hashtbl.create 64 in
@@ -246,6 +344,36 @@ let incremental_step topo ev =
   | Link_down (Transit { provider; customer }) ->
       Compact.Delta.remove_provider_customer topo ~provider ~customer
 
+(* Intent invalidation over the masked candidate store.  Link-down is
+   surgical: removing a link only deletes paths, so a cached K-best set
+   none of whose paths traverse the link is still the K-best — only the
+   entries indexed under the downed link are dropped.  Link-up has no
+   such argument (a new link can beat cached candidates anywhere), so
+   it flushes the intent store.  Scores never go stale: the metric
+   environment is pinned to the creation-time topology. *)
+let drop_intents t ev =
+  match ev with
+  | Link_up _ ->
+      let n = Hashtbl.length t.istore in
+      Hashtbl.reset t.istore;
+      Hashtbl.reset t.ilinks;
+      n
+  | Link_down _ -> (
+      let a, b = endpoints ev in
+      let lk = if a < b then (a, b) else (b, a) in
+      match Hashtbl.find_opt t.ilinks lk with
+      | None -> 0
+      | Some keys ->
+          let dropped = ref 0 in
+          List.iter
+            (fun k ->
+              if Hashtbl.mem t.istore k then (
+                Hashtbl.remove t.istore k;
+                incr dropped))
+            !keys;
+          Hashtbl.remove t.ilinks lk;
+          !dropped)
+
 let apply t ev =
   check_applicable t ev;
   let before = t.topo in
@@ -257,7 +385,9 @@ let apply t ev =
   in
   t.topo <- after;
   let a, b = endpoints ev in
-  let dropped = drop_memos t (affected_sources before after a b) in
+  let dropped =
+    drop_memos t (affected_sources before after a b) + drop_intents t ev
+  in
   t.events <- t.events + 1;
   t.invalidated <- t.invalidated + dropped;
   Obs.incr "serve.events";

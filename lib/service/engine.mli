@@ -54,12 +54,16 @@ type stats = {
 
 type t
 
-val create : ?mode:mode -> Compact.t -> t
+val create : ?mode:mode -> ?geo_seed:int -> Compact.t -> t
 (** Start an engine on a frozen topology ([mode] defaults to
     [Incremental]).  The mutable {!Graph.t} mirror is rebuilt with
-    {!Compact.thaw}, so snapshot-loaded topologies work unchanged. *)
+    {!Compact.thaw}, so snapshot-loaded topologies work unchanged.
+    [geo_seed] (default 43) seeds the synthetic geo embedding of the
+    intent metric environment; it is forced lazily on the first
+    {!intent_query}, so engines serving only policy queries never build
+    it. *)
 
-val of_graph : ?mode:mode -> Graph.t -> t
+val of_graph : ?mode:mode -> ?geo_seed:int -> Graph.t -> t
 (** [create (Compact.freeze g)] with the mirror copied from [g]. *)
 
 val mode : t -> mode
@@ -80,6 +84,25 @@ val query_uncached :
   t -> src:int -> dst:int -> policy:Path_enum.scenario -> int list
 (** Recompute from the current topology, bypassing and not touching
     either memo layer — the equivalence baseline for the store. *)
+
+val intent_query :
+  t -> src:int -> dst:int -> Pan_intent.Intent.t -> Pan_intent.Candidates.result list
+(** Ranked K-shortest candidates for an intent over the {e current}
+    topology, memoized under [(src, dst, canonical spec)].  Scoring uses
+    a metric environment pinned to the creation-time topology (synthetic
+    geo embedding from [geo_seed], degree-gravity capacities from
+    creation-time degrees; churn-added links fall back to endpoint
+    midpoints and the same degree product), so cached answers are
+    invalidated by path-set changes only: a link-down drops exactly the
+    entries whose cached paths traverse the link, a link-up flushes the
+    intent store.  Both count into [stats.invalidated].  Hits and misses
+    share the policy store's counters.
+    @raise Invalid_argument on an out-of-range index or [src = dst]. *)
+
+val intent_query_uncached :
+  t -> src:int -> dst:int -> Pan_intent.Intent.t -> Pan_intent.Candidates.result list
+(** Recompute from the current topology, bypassing the intent store —
+    the equivalence baseline for intent memo/invalidation. *)
 
 val prefill :
   ?pool:Pan_runner.Pool.t ->

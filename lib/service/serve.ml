@@ -21,6 +21,24 @@ let render_query topo ~src ~dst ~policy mids =
         (if List.length mids = 1 then "" else "s")
         (String.concat ", " (List.map (pp_as topo) mids))
 
+let render_intent_query topo ~src ~dst intent results =
+  let pair =
+    Printf.sprintf "%s -> %s [intent %s]" (pp_as topo src) (pp_as topo dst)
+      (Pan_intent.Intent.to_string intent)
+  in
+  match results with
+  | [] -> pair ^ ": no candidates"
+  | _ ->
+      let line (r : Pan_intent.Candidates.result) =
+        Printf.sprintf "  %s (score %g, hops %d)"
+          (String.concat " "
+             (List.map (fun x -> Printf.sprintf "AS%d" (Asn.to_int x)) r.path))
+          r.score r.hops
+      in
+      Printf.sprintf "%s: %d candidate%s\n%s" pair (List.length results)
+        (if List.length results = 1 then "" else "s")
+        (String.concat "\n" (List.map line results))
+
 let render_event topo ev dropped =
   let verb, link =
     match ev with
@@ -66,7 +84,7 @@ let event_of_item topo = function
              provider = index topo "provider" provider;
              customer = index topo "customer" customer;
            })
-  | Stream.Query _ ->
+  | Stream.Query _ | Stream.Intent_query _ ->
       invalid_arg "Serve.event_of_item: a query is not a churn event"
 
 let run ?pool ?retries ?deadline ?(oracle = false) ~mode ~topo stream =
@@ -81,28 +99,45 @@ let run ?pool ?retries ?deadline ?(oracle = false) ~mode ~topo stream =
       let rec drain items =
         match items with
         | [] -> ()
-        | Stream.Query _ :: _ ->
+        | (Stream.Query _ | Stream.Intent_query _) :: _ ->
             let rec split acc = function
-              | Stream.Query q :: rest -> split (q :: acc) rest
+              | ((Stream.Query _ | Stream.Intent_query _) as q) :: rest ->
+                  split (q :: acc) rest
               | rest -> (List.rev acc, rest)
             in
             let batch, rest = split [] items in
             let t = Engine.topology engine in
+            (* Only policy queries prefill mid-sets through the pool;
+               intent answers are computed sequentially on the answering
+               pass, so they are trivially identical at any pool size. *)
             let keys =
-              List.map
-                (fun (q : Stream.query) ->
-                  (index t "source" q.src, q.policy))
+              List.filter_map
+                (function
+                  | Stream.Query q -> Some (index t "source" q.src, q.policy)
+                  | _ -> None)
                 batch
             in
             Engine.prefill ?pool ?retries ?deadline engine keys;
             List.iter
-              (fun { Stream.src; dst; policy } ->
-                let src = index t "source" src in
-                let dst = index t "destination" dst in
-                let mids = Engine.query engine ~src ~dst ~policy in
-                Buffer.add_string buf
-                  (render_query t ~src ~dst ~policy mids);
-                Buffer.add_char buf '\n')
+              (fun item ->
+                match item with
+                | Stream.Query { src; dst; policy } ->
+                    let src = index t "source" src in
+                    let dst = index t "destination" dst in
+                    let mids = Engine.query engine ~src ~dst ~policy in
+                    Buffer.add_string buf
+                      (render_query t ~src ~dst ~policy mids);
+                    Buffer.add_char buf '\n'
+                | Stream.Intent_query { src; dst; intent } ->
+                    let src = index t "source" src in
+                    let dst = index t "destination" dst in
+                    let results =
+                      Engine.intent_query engine ~src ~dst intent
+                    in
+                    Buffer.add_string buf
+                      (render_intent_query t ~src ~dst intent results);
+                    Buffer.add_char buf '\n'
+                | Stream.Up _ | Stream.Down _ -> assert false)
               batch;
             drain rest
         | ev :: rest ->

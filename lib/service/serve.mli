@@ -1,12 +1,15 @@
 (** Drain a {!Stream} through an {!Engine} and render the transcript.
 
     The drain is segmented at churn events: each maximal run of
-    consecutive queries first {!Engine.prefill}s the distinct missing
-    [(src, policy)] mid-sets through the supervised pool (pure work,
-    safely parallel), then answers the queries {e sequentially} against
-    the memoized store.  The rendered transcript is therefore
-    bit-identical for every pool size, with or without fault injection —
-    the property [test/cli/serve.t] and bench part 11 pin down.
+    consecutive queries (policy and intent alike) first
+    {!Engine.prefill}s the distinct missing [(src, policy)] mid-sets of
+    the policy queries through the supervised pool (pure work, safely
+    parallel), then answers the whole run {e sequentially} against the
+    memoized stores — intent answers never touch the pool or the fault
+    harness.  The rendered transcript is therefore bit-identical for
+    every pool size, with or without fault injection — the property
+    [test/cli/serve.t], [test/cli/intent.t] and bench part 11 pin
+    down.
 
     With [oracle:true] a second [Refreeze] engine shadows the primary:
     after every event the two frozen views are compared byte-for-byte
@@ -36,6 +39,18 @@ val render_query :
   Compact.t -> src:int -> dst:int -> policy:Path_enum.scenario -> int list ->
   string
 (** ["AS2 -> AS7 [ma-all]: 2 paths via AS3, AS5"] (or ["no paths"]). *)
+
+val render_intent_query :
+  Compact.t ->
+  src:int ->
+  dst:int ->
+  Pan_intent.Intent.t ->
+  Pan_intent.Candidates.result list ->
+  string
+(** A header line ["AS2 -> AS7 [intent metric=latency; k=2]: 2
+    candidates"] (or ["no candidates"]) followed by one indented
+    ["  AS2 AS3 AS7 (score 3519.62, hops 3)"] line per ranked
+    candidate. *)
 
 val run :
   ?pool:Pan_runner.Pool.t ->

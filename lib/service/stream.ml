@@ -1,12 +1,18 @@
 open Pan_numerics
 open Pan_topology
+module Intent = Pan_intent.Intent
 
 type link =
   | Peer of Asn.t * Asn.t
   | Transit of { provider : Asn.t; customer : Asn.t }
 
 type query = { src : Asn.t; dst : Asn.t; policy : Path_enum.scenario }
-type item = Query of query | Up of link | Down of link
+
+type item =
+  | Query of query
+  | Intent_query of { src : Asn.t; dst : Asn.t; intent : Intent.t }
+  | Up of link
+  | Down of link
 
 type t = item list
 
@@ -39,6 +45,9 @@ let item_to_string = function
   | Query { src; dst; policy } ->
       Printf.sprintf "query %s %s %s" (pp_asn src) (pp_asn dst)
         (policy_label policy)
+  | Intent_query { src; dst; intent } ->
+      Printf.sprintf "intent %s %s %s" (pp_asn src) (pp_asn dst)
+        (Intent.to_string intent)
   | Up l -> "up " ^ link_to_string l
   | Down l -> "down " ^ link_to_string l
 
@@ -68,6 +77,50 @@ let parse_link line = function
       err line "unknown link kind %S (expected peer or transit)" kind
   | toks -> err line "expected <kind> <AS> <AS>, got %d token(s)" (List.length toks)
 
+(* The intent verb keeps the raw line: its spec tail is free-form (it
+   contains spaces and [;]), and parse errors from [Intent.parse_located]
+   are re-anchored to 1-based columns of the stream line itself. *)
+let parse_intent lineno l =
+  let n = String.length l in
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' in
+  let skip_ws i =
+    let i = ref i in
+    while !i < n && is_ws l.[!i] do
+      incr i
+    done;
+    !i
+  in
+  let token i =
+    let j = ref i in
+    while !j < n && not (is_ws l.[!j]) do
+      incr j
+    done;
+    (String.sub l i (!j - i), !j)
+  in
+  let i = skip_ws 0 in
+  let verb, i = token i in
+  assert (verb = "intent");
+  let i = skip_ws i in
+  let src, i = token i in
+  let i = skip_ws i in
+  let dst, i = token i in
+  let spec_start = skip_ws i in
+  let spec_stop =
+    let j = ref n in
+    while !j > spec_start && is_ws l.[!j - 1] do
+      decr j
+    done;
+    !j
+  in
+  if src = "" || dst = "" || spec_stop = spec_start then
+    err lineno "intent takes <src> <dst> <intent-spec>";
+  let spec = String.sub l spec_start (spec_stop - spec_start) in
+  match Intent.parse_located spec with
+  | Ok intent ->
+      Intent_query { src = parse_asn lineno src; dst = parse_asn lineno dst; intent }
+  | Error (_, col, msg) ->
+      err lineno "intent spec (col %d): %s" (spec_start + col) msg
+
 let parse_line lineno l =
   let l =
     match String.index_opt l '#' with
@@ -92,9 +145,11 @@ let parse_line lineno l =
   | "query" :: toks ->
       err lineno "query takes <src> <dst> <policy>, got %d token(s)"
         (List.length toks)
+  | "intent" :: _ -> Some (parse_intent lineno l)
   | "up" :: rest -> Some (Up (parse_link lineno rest))
   | "down" :: rest -> Some (Down (parse_link lineno rest))
-  | verb :: _ -> err lineno "unknown item %S (expected query, up or down)" verb
+  | verb :: _ ->
+      err lineno "unknown item %S (expected query, intent, up or down)" verb
 
 let parse s =
   String.split_on_char '\n' s
@@ -109,7 +164,7 @@ let load file = parse (In_channel.with_open_text file In_channel.input_all)
 (* Indexed link with live up/down state.  Picking an up link uses
    rejection sampling over the full link array — at realistic churn the
    downed fraction stays tiny, so the expected number of draws is ~1. *)
-let generate ~rng ~topo ~requests ~churn =
+let generate ?intent ~rng ~topo ~requests ~churn () =
   let churn = Float.max 0.0 (Float.min 1.0 churn) in
   let n = Compact.num_ases topo in
   if n < 2 then
@@ -161,12 +216,10 @@ let generate ~rng ~topo ~requests ~churn =
     else
       let src = Rng.int rng n in
       let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
-      Query
-        {
-          src = Compact.id topo src;
-          dst = Compact.id topo dst;
-          policy = Rng.choose rng policies;
-        }
+      let src = Compact.id topo src and dst = Compact.id topo dst in
+      match intent with
+      | None -> Query { src; dst; policy = Rng.choose rng policies }
+      | Some intent -> Intent_query { src; dst; intent }
   in
   (* explicit recursion: List.init's evaluation order is unspecified,
      and item advances the rng *)

@@ -10,13 +10,17 @@
 
     {v
     query AS12 AS77 ma-all
+    intent AS12 AS77 metric=latency; k=4
     down peer AS4 AS5
     up transit AS1 AS9        # provider AS1, customer AS9
     v}
 
-    Policies: [grc], [ma-all], [ma-direct], [ma-top:N].  {!parse} and
-    {!to_string} round-trip, and {!parse} reports the offending line on
-    malformed input. *)
+    Policies: [grc], [ma-all], [ma-direct], [ma-top:N].  An [intent]
+    line's tail (everything after the destination) is an intent spec in
+    the [Pan_intent.Intent] syntax.  {!parse} and {!to_string}
+    round-trip, and {!parse} reports the offending line on malformed
+    input — for a bad intent spec, also the 1-based column within the
+    line. *)
 
 open Pan_numerics
 open Pan_topology
@@ -26,7 +30,12 @@ type link =
   | Transit of { provider : Asn.t; customer : Asn.t }
 
 type query = { src : Asn.t; dst : Asn.t; policy : Path_enum.scenario }
-type item = Query of query | Up of link | Down of link
+
+type item =
+  | Query of query
+  | Intent_query of { src : Asn.t; dst : Asn.t; intent : Pan_intent.Intent.t }
+  | Up of link
+  | Down of link
 
 type t = item list
 
@@ -47,11 +56,20 @@ val parse : string -> t
 val load : string -> t
 (** {!parse} a file.  @raise Sys_error on I/O. *)
 
-val generate : rng:Rng.t -> topo:Compact.t -> requests:int -> churn:float -> t
+val generate :
+  ?intent:Pan_intent.Intent.t ->
+  rng:Rng.t ->
+  topo:Compact.t ->
+  requests:int ->
+  churn:float ->
+  unit ->
+  t
 (** [requests] items drawn deterministically from [rng]: each is a churn
     event with probability [churn] (clamped to [0, 1]), else a query
     with distinct random endpoints and a policy drawn uniformly from
-    [grc] / [ma-all] / [ma-direct] / [ma-top:3].
+    [grc] / [ma-all] / [ma-direct] / [ma-top:3].  With [intent], query
+    items become {!Intent_query}s carrying that intent instead (the
+    policy draw is skipped; churn and endpoint draws are unchanged).
 
     Events are always applicable in order: the generator tracks which of
     the topology's links are currently down, only downs an up link and

@@ -258,6 +258,77 @@ module Delta = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Subgraph restriction masks                                          *)
+
+module Mask = struct
+  (* Immutable: every operation copies the (small) blocked state, so a
+     mask can be kept as part of a memo key or snapshotted per query
+     while churn events derive new masks from it. *)
+  type mask = {
+    m_width : int;
+    blocked : Bitset.t;  (** excluded AS indices *)
+    down : (int * int) list;  (** excluded links, normalized lo < hi, sorted *)
+  }
+
+  let merr name fmt =
+    Printf.ksprintf
+      (fun msg -> invalid_arg ("Compact.Mask." ^ name ^ ": " ^ msg))
+      fmt
+
+  let all t =
+    let m_width = num_ases t in
+    { m_width; blocked = Bitset.create ~width:m_width; down = [] }
+
+  let width m = m.m_width
+
+  let check name m i =
+    if i < 0 || i >= m.m_width then
+      merr name "index %d outside [0, %d)" i m.m_width
+
+  let exclude_as m i =
+    check "exclude_as" m i;
+    let blocked = Bitset.copy m.blocked in
+    Bitset.add blocked i;
+    { m with blocked }
+
+  let norm name m i j =
+    check name m i;
+    check name m j;
+    if i = j then merr name "self-link on index %d" i;
+    if i < j then (i, j) else (j, i)
+
+  let rec insert_link l ij =
+    match l with
+    | [] -> [ ij ]
+    | hd :: tl ->
+        let c = compare hd ij in
+        if c = 0 then l
+        else if c < 0 then hd :: insert_link tl ij
+        else ij :: l
+
+  let exclude_link m i j =
+    let ij = norm "exclude_link" m i j in
+    { m with down = insert_link m.down ij }
+
+  let restore_link m i j =
+    let ij = norm "restore_link" m i j in
+    { m with down = List.filter (fun x -> x <> ij) m.down }
+
+  let allows_as m i = not (Bitset.mem m.blocked i)
+
+  let allows_link m i j =
+    let ij = if i < j then (i, j) else (j, i) in
+    allows_as m i && allows_as m j && not (List.mem ij m.down)
+
+  let is_trivial m = m.down = [] && Bitset.is_empty m.blocked
+  let excluded_ases m = Bitset.to_list m.blocked
+  let excluded_links m = m.down
+
+  let equal a b =
+    a.m_width = b.m_width && a.down = b.down && Bitset.equal a.blocked b.blocked
+end
+
+(* ------------------------------------------------------------------ *)
 (* Versioned binary snapshots                                          *)
 
 module Snapshot = struct

@@ -129,6 +129,59 @@ module Delta : sig
       [customer]. *)
 end
 
+(** Immutable subgraph restrictions over a frozen view — the masked
+    traversal universe used by intent-based candidate generation.
+
+    A mask pairs a blocked-AS bitset (width [num_ases]) with a
+    normalized, sorted list of blocked undirected links.  Every
+    operation returns a {e new} mask (the blocked state is small, so
+    copies are cheap), which lets a mask live inside a memo key while
+    link churn derives updated masks from it: a [Delta]-applied
+    link-down event composes as {!Mask.exclude_link} and the matching
+    link-up as {!Mask.restore_link}, without rebuilding the mask that
+    the intent's own static exclusions produced.
+
+    Masks restrict traversal only — the underlying [t] is untouched, so
+    one frozen view serves arbitrarily many differently-masked queries
+    concurrently. *)
+module Mask : sig
+  type mask
+
+  val all : t -> mask
+  (** No restriction: every AS and link of [t] is allowed. *)
+
+  val width : mask -> int
+
+  val exclude_as : mask -> int -> mask
+  (** Block a dense AS index (and implicitly every link at it).
+      @raise Invalid_argument on an out-of-range index. *)
+
+  val exclude_link : mask -> int -> int -> mask
+  (** Block one undirected link (endpoints in either order); idempotent.
+      @raise Invalid_argument on out-of-range indices or a self-link. *)
+
+  val restore_link : mask -> int -> int -> mask
+  (** Unblock a link previously blocked with {!exclude_link}; removing a
+      link that is not blocked is a no-op.  This is the inverse used
+      when a downed link comes back up. *)
+
+  val allows_as : mask -> int -> bool
+
+  val allows_link : mask -> int -> int -> bool
+  (** Both endpoints allowed and the link itself not blocked. *)
+
+  val is_trivial : mask -> bool
+  (** [true] iff the mask blocks nothing. *)
+
+  val excluded_ases : mask -> int list
+  (** Ascending. *)
+
+  val excluded_links : mask -> (int * int) list
+  (** Normalized (lo, hi), ascending. *)
+
+  val equal : mask -> mask -> bool
+end
+
 (** Versioned binary snapshots of the frozen view.
 
     A snapshot file is a small container: an 8-byte magic, a format

@@ -1,0 +1,536 @@
+(* Tests for the intent engine (lib/intent) and its consumers:
+
+   - Compact.Mask semantics against hand-checked cases;
+   - qcheck oracle: Yen-style k_shortest over the CSR equals brute-force
+     enumeration of all simple paths sorted by (hops, lex) — including
+     masked subgraphs — which pins both completeness and the
+     deterministic tie-break;
+   - Intent parse/print canonical round-trip (qcheck) and parse-error
+     line/column positions (unit);
+   - qcheck facade equivalence: the refactored Scion.Selection is
+     bit-identical (scores and ranking) to a copy of the pre-refactor
+     implementation on real beaconed candidate sets;
+   - Engine intent memo: cached answers equal uncached recomputation
+     across link churn (surgical link-down drops, link-up flushes);
+   - Probe determinism under an injected fault spec. *)
+
+open Pan_topology
+open Pan_intent
+module Rng = Pan_numerics.Rng
+
+let asn = Asn.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Compact.Mask                                                        *)
+
+let diamond () =
+  (* 1 -2- 3 with two middles 2 and 4, plus direct 1-3 *)
+  let g = Graph.create () in
+  Graph.add_peering g (asn 1) (asn 2);
+  Graph.add_peering g (asn 2) (asn 3);
+  Graph.add_peering g (asn 1) (asn 4);
+  Graph.add_peering g (asn 4) (asn 3);
+  Graph.add_peering g (asn 1) (asn 3);
+  Compact.freeze g
+
+let test_mask_semantics () =
+  let c = diamond () in
+  let i x = Compact.index_of_exn c (asn x) in
+  let m = Compact.Mask.all c in
+  Alcotest.(check bool) "all is trivial" true (Compact.Mask.is_trivial m);
+  Alcotest.(check bool) "all allows link" true
+    (Compact.Mask.allows_link m (i 1) (i 3));
+  let m2 = Compact.Mask.exclude_as m (i 2) in
+  Alcotest.(check bool) "original untouched" true (Compact.Mask.is_trivial m);
+  Alcotest.(check bool) "as blocked" false (Compact.Mask.allows_as m2 (i 2));
+  Alcotest.(check bool) "links at blocked as" false
+    (Compact.Mask.allows_link m2 (i 1) (i 2));
+  Alcotest.(check (list int)) "excluded_ases" [ i 2 ]
+    (Compact.Mask.excluded_ases m2);
+  let m3 = Compact.Mask.exclude_link m2 (i 3) (i 1) in
+  Alcotest.(check bool) "link blocked either order" false
+    (Compact.Mask.allows_link m3 (i 1) (i 3));
+  Alcotest.(check bool) "other links stay" true
+    (Compact.Mask.allows_link m3 (i 1) (i 4));
+  (* idempotent exclusion, inverse restore *)
+  let m4 = Compact.Mask.exclude_link m3 (i 1) (i 3) in
+  Alcotest.(check bool) "exclude idempotent" true (Compact.Mask.equal m3 m4);
+  let m5 = Compact.Mask.restore_link m4 (i 1) (i 3) in
+  Alcotest.(check bool) "restore inverts" true (Compact.Mask.equal m2 m5);
+  Alcotest.(check bool) "restore absent = no-op" true
+    (Compact.Mask.equal m2 (Compact.Mask.restore_link m5 (i 1) (i 3)));
+  (match Compact.Mask.exclude_as m (-1) with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "error names module" true
+        (String.length msg > 12 && String.sub msg 0 12 = "Compact.Mask")
+  | _ -> Alcotest.fail "out-of-range index accepted")
+
+(* ------------------------------------------------------------------ *)
+(* Yen k_shortest vs brute force                                       *)
+
+(* Small random mixed-class topologies; dense enough that K9-ish path
+   explosions keep the oracle honest but cheap. *)
+let random_compact seed =
+  let rng = Rng.create seed in
+  let n = 4 + Rng.int rng 5 in
+  let g = Graph.create () in
+  let added = ref false in
+  for i = 1 to n do
+    for j = i + 1 to n do
+      if Rng.float rng < 0.45 then begin
+        added := true;
+        if Rng.bool rng then Graph.add_peering g (asn i) (asn j)
+        else Graph.add_provider_customer g ~provider:(asn i) ~customer:(asn j)
+      end
+    done
+  done;
+  if not !added then Graph.add_peering g (asn 1) (asn 2);
+  Compact.freeze g
+
+let compare_hops_lex p q =
+  match compare (List.length p) (List.length q) with
+  | 0 -> compare p q
+  | c -> c
+
+(* Every simple path src..dst (at most max_hops ASes) over the allowed
+   subgraph, sorted by (hops, lex) — the order k_shortest promises. *)
+let brute_force topo ~node_ok ~edge_ok ~max_hops ~src ~dst =
+  let acc = ref [] in
+  let visited = Array.make (Compact.num_ases topo) false in
+  let rec go cur path len =
+    if cur = dst then acc := List.rev path :: !acc
+    else if len < max_hops then
+      Compact.iter_neighbors topo cur (fun v ->
+          if (not visited.(v)) && node_ok v && edge_ok cur v then begin
+            visited.(v) <- true;
+            go v (v :: path) (len + 1);
+            visited.(v) <- false
+          end)
+  in
+  if node_ok src && node_ok dst then begin
+    visited.(src) <- true;
+    go src [ src ] 1
+  end;
+  List.sort compare_hops_lex !acc
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let check_pair topo ?mask ~max_hops ~src ~dst k =
+  let node_ok, edge_ok =
+    match mask with
+    | None -> ((fun _ -> true), fun _ _ -> true)
+    | Some m -> (Compact.Mask.allows_as m, Compact.Mask.allows_link m)
+  in
+  let bound =
+    match max_hops with Some h -> h | None -> Compact.num_ases topo
+  in
+  let expected =
+    take k (brute_force topo ~node_ok ~edge_ok ~max_hops:bound ~src ~dst)
+  in
+  let got = Candidates.k_shortest topo ?mask ?max_hops ~src ~dst ~k () in
+  if got <> expected then
+    QCheck.Test.fail_reportf
+      "k_shortest (src=%d dst=%d k=%d) = [%s], brute force = [%s]" src dst k
+      (String.concat " | "
+         (List.map (fun p -> String.concat "-" (List.map string_of_int p)) got))
+      (String.concat " | "
+         (List.map
+            (fun p -> String.concat "-" (List.map string_of_int p))
+            expected));
+  true
+
+let qcheck_yen_oracle =
+  QCheck.Test.make ~count:60 ~name:"k_shortest = brute force (hops, lex)"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let topo = random_compact seed in
+      let n = Compact.num_ases topo in
+      List.for_all Fun.id
+        (List.concat_map
+           (fun src ->
+             List.concat_map
+               (fun dst ->
+                 List.map
+                   (fun k ->
+                     check_pair topo ~max_hops:None ~src ~dst k
+                     && check_pair topo ~max_hops:(Some 4) ~src ~dst k)
+                   [ 1; 2; 5; 9 ])
+               (List.init n Fun.id))
+           (List.init n Fun.id)))
+
+let qcheck_yen_oracle_masked =
+  QCheck.Test.make ~count:60 ~name:"k_shortest under mask = brute force"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let topo = random_compact (seed + 77) in
+      let n = Compact.num_ases topo in
+      let rng = Rng.create (seed * 3) in
+      let blocked_as = Rng.int rng n in
+      let la = Rng.int rng n in
+      let lb = (la + 1 + Rng.int rng (n - 1)) mod n in
+      let mask =
+        Compact.Mask.exclude_link
+          (Compact.Mask.exclude_as (Compact.Mask.all topo) blocked_as)
+          la lb
+      in
+      List.for_all Fun.id
+        (List.concat_map
+           (fun src ->
+             List.map
+               (fun dst -> check_pair topo ~mask ~max_hops:None ~src ~dst 6)
+               (List.init n Fun.id))
+           (List.init n Fun.id)))
+
+(* Re-running the enumeration must reproduce it bit-for-bit: it is a
+   pure function of the frozen view (no hash-order dependence). *)
+let qcheck_yen_deterministic =
+  QCheck.Test.make ~count:30 ~name:"k_shortest reruns bit-identical"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let topo = random_compact seed in
+      let n = Compact.num_ases topo in
+      let src = seed mod n and dst = (seed + 1) mod n in
+      Candidates.k_shortest topo ~src ~dst ~k:8 ()
+      = Candidates.k_shortest topo ~src ~dst ~k:8 ())
+
+(* ------------------------------------------------------------------ *)
+(* Intent syntax round-trip                                            *)
+
+let arbitrary_intent =
+  let open QCheck.Gen in
+  let component =
+    oneofl
+      Intent.[ Latency; Nlatency; Bandwidth; Nbandwidth; Hops ]
+  in
+  let term =
+    map2
+      (fun weight component -> { Intent.weight; component })
+      (oneofl [ 0.25; 0.5; 1.0; 2.0; 2.5; 3.0; 10.0 ])
+      component
+  in
+  let gen =
+    let* metric = list_size (int_range 1 4) term in
+    let* k = int_range 1 32 in
+    let* max_hops = opt (int_range 1 8) in
+    let* exclude_as = list_size (int_range 0 3) (map asn (int_range 1 40)) in
+    let* exclude_link =
+      list_size (int_range 0 2)
+        (map2
+           (fun a b -> (asn a, asn (a + 1 + b)))
+           (int_range 1 20) (int_range 0 20))
+    in
+    let* geo_fence =
+      opt
+        (map2
+           (fun lat lon ->
+             {
+               Intent.center =
+                 { Geo.lat = float_of_int lat; lon = float_of_int lon };
+               radius_km = 2500.0;
+             })
+           (int_range (-80) 80) (int_range (-170) 170))
+    in
+    let* require =
+      oneofl [ []; [ Intent.Encrypted ]; [ Intent.Monitored ];
+               Intent.[ Encrypted; Monitored ] ]
+    in
+    (* metric lists with duplicate-free components: canonical printing
+       keeps term order, so any list round-trips; no constraint needed *)
+    return
+      (Intent.make ~metric ~k ?max_hops ~exclude_as ~exclude_link ?geo_fence
+         ~require ())
+  in
+  QCheck.make ~print:Intent.to_string gen
+
+let qcheck_intent_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"Intent parse (to_string t) = t"
+    arbitrary_intent (fun t ->
+      match Intent.parse (Intent.to_string t) with
+      | Ok t' ->
+          Intent.equal t t' && String.equal (Intent.to_string t') (Intent.to_string t)
+      | Error (`Msg m) ->
+          QCheck.Test.fail_reportf "%S did not parse: %s" (Intent.to_string t) m)
+
+(* Whitespace and case-insensitive keywords normalize to the canonical
+   form. *)
+let test_parse_normalizes () =
+  let t =
+    Intent.parse_exn
+      "  metric = 2 * nlatency + nbandwidth ;k=08; exclude-as = AS7 , AS3, \
+       AS7 ; require=monitored,encrypted"
+  in
+  Alcotest.(check string) "canonical"
+    "metric=2*nlatency+nbandwidth; k=8; exclude-as=AS3,AS7; \
+     require=encrypted,monitored"
+    (Intent.to_string t);
+  let u = Intent.parse_exn "metric=latency" in
+  Alcotest.(check bool) "defaults fill in" true (Intent.equal u Intent.default)
+
+let check_error spec line col frag =
+  match Intent.parse_located spec with
+  | Ok t ->
+      Alcotest.failf "%S parsed as %s, expected error" spec (Intent.to_string t)
+  | Error (l, c, msg) ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "position of %S" spec)
+        (line, col) (l, c);
+      let has_frag =
+        let fl = String.length frag and ml = String.length msg in
+        let rec scan i =
+          i + fl <= ml && (String.sub msg i fl = frag || scan (i + 1))
+        in
+        scan 0
+      in
+      if not has_frag then
+        Alcotest.failf "error %S does not mention %S" msg frag
+
+let test_parse_error_positions () =
+  check_error "metric=bogus" 1 8 "unknown metric component";
+  check_error "metric=latency; k=0" 1 19 "k";
+  check_error "metric=latency; k=4; k=2" 1 22 "duplicate";
+  check_error "metric=" 1 8 "unknown metric component";
+  check_error "metric=latency; geo-fence=1,2" 1 27 "geo-fence";
+  check_error "metric=latency; exclude-link=AS1-AS1" 1 30 "self-link";
+  check_error "metric=latency;\nwat=1" 2 1 "unknown clause";
+  check_error "metric=latency;\n  k = x" 2 7 "k"
+
+(* A bad spec inside a stream line reports the 1-based column within
+   that line (the embedder re-anchors intent columns). *)
+let test_stream_intent_error_column () =
+  let line = "intent AS1 AS2 metric=bogus; k=2" in
+  match Pan_service.Stream.parse line with
+  | _ -> Alcotest.fail "bad intent spec accepted"
+  | exception Invalid_argument msg ->
+      (* "metric=" starts at column 16, so the bad component is at 23 *)
+      Alcotest.(check string) "anchored column"
+        "Stream.parse: line 1: intent spec (col 23): unknown metric \
+         component \"bogus\" (expected latency, nlatency, bandwidth, \
+         nbandwidth or hops)"
+        msg
+
+(* ------------------------------------------------------------------ *)
+(* Scion.Selection facade = pre-refactor implementation                *)
+
+(* The pre-refactor Selection, copied verbatim (modulo module paths):
+   the facade must reproduce its floats bit-for-bit. *)
+module Reference = struct
+  let per_hop_penalty_km = 100.0
+
+  let latency_proxy (ctx : Pan_scion.Selection.context) ases =
+    match ases with
+    | [] | [ _ ] -> invalid_arg "reference: path too short"
+    | first :: _ ->
+        let rec link_points = function
+          | a :: (b :: _ as rest) ->
+              Geo.link_location ctx.geo a b :: link_points rest
+          | _ -> []
+        in
+        let links = link_points ases in
+        let src_loc = Geo.as_location ctx.geo first in
+        let rec last = function
+          | [ x ] -> x
+          | _ :: rest -> last rest
+          | [] -> assert false
+        in
+        let dst_loc = Geo.as_location ctx.geo (last ases) in
+        let rec chain acc prev = function
+          | [] -> acc +. Geo.distance_km prev dst_loc
+          | p :: rest -> chain (acc +. Geo.distance_km prev p) p rest
+        in
+        let geodist =
+          match links with
+          | [] -> Geo.distance_km src_loc dst_loc
+          | p :: rest -> chain (Geo.distance_km src_loc p) p rest
+        in
+        geodist +. (per_hop_penalty_km *. float_of_int (List.length ases))
+
+  let bandwidth_proxy (ctx : Pan_scion.Selection.context) ases =
+    Bandwidth.path_bandwidth ctx.bandwidth ases
+
+  let score ctx app ases =
+    match app with
+    | Pan_scion.Selection.Voip -> latency_proxy ctx ases
+    | Pan_scion.Selection.File_transfer -> -.bandwidth_proxy ctx ases
+    | Pan_scion.Selection.Web ->
+        (latency_proxy ctx ases /. 1000.0)
+        +. (1000.0 /. Float.max 1.0 (bandwidth_proxy ctx ases))
+
+  let compare_candidates ctx app s1 s2 =
+    let a1 = Pan_scion.Segment.ases s1 and a2 = Pan_scion.Segment.ases s2 in
+    match compare (score ctx app a1) (score ctx app a2) with
+    | 0 -> (
+        match compare (List.length a1) (List.length a2) with
+        | 0 -> compare a1 a2
+        | c -> c)
+    | c -> c
+
+  let rank ctx app candidates =
+    List.stable_sort (compare_candidates ctx app) candidates
+end
+
+let qcheck_selection_facade =
+  QCheck.Test.make ~count:15
+    ~name:"Selection.rank/score = pre-refactor reference (bit-identical)"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let open Pan_scion in
+      let params =
+        { Gen.default_params with Gen.n_transit = 8; Gen.n_stub = 30 }
+      in
+      let g = Gen.graph (Gen.generate ~params ~seed ()) in
+      let ctx =
+        {
+          Selection.geo = Geo.generate ~seed:(seed + 1) g;
+          Selection.bandwidth = Bandwidth.degree_gravity g;
+        }
+      in
+      let authz = Authz.create g in
+      let ps = Path_server.build authz (Beacon.run authz) in
+      let ases = Array.of_list (Graph.ases g) in
+      let rng = Rng.create (seed + 2) in
+      let apps =
+        Selection.[ Voip; File_transfer; Web ]
+      in
+      List.for_all Fun.id
+        (List.init 20 (fun _ ->
+             let src = ases.(Rng.int rng (Array.length ases)) in
+             let dst = ases.(Rng.int rng (Array.length ases)) in
+             let candidates = Combinator.end_to_end ps ~src ~dst in
+             List.for_all
+               (fun app ->
+                 let got = Selection.rank ctx app candidates in
+                 let expected = Reference.rank ctx app candidates in
+                 List.map Segment.ases got = List.map Segment.ases expected
+                 && Selection.select ctx app candidates
+                    = (match expected with [] -> None | s :: _ -> Some s)
+                 && List.for_all
+                      (fun s ->
+                        let ases = Segment.ases s in
+                        (* bit-identical, not approximately equal *)
+                        Float.equal
+                          (Selection.score ctx app ases)
+                          (Reference.score ctx app ases))
+                      candidates)
+               apps)))
+
+(* ------------------------------------------------------------------ *)
+(* Engine intent memo across churn                                     *)
+
+let test_engine_intent_churn_equivalence () =
+  let open Pan_service in
+  let params = { Gen.default_params with Gen.n_transit = 10; Gen.n_stub = 40 } in
+  let topo = Compact.freeze (Gen.graph (Gen.generate ~params ~seed:7 ())) in
+  let intent = Intent.parse_exn "metric=nlatency+nbandwidth; k=4" in
+  let stream =
+    Stream.generate ~intent ~rng:(Rng.create 11) ~topo ~requests:120
+      ~churn:0.3 ()
+  in
+  let engine = Engine.create topo in
+  let n = Compact.num_ases topo in
+  let pairs = List.init 6 (fun i -> (i * 5 mod n, ((i * 5) + 7) mod n)) in
+  List.iter
+    (fun item ->
+      (match item with
+      | Stream.Up _ | Stream.Down _ ->
+          ignore (Engine.apply engine (Serve.event_of_item topo item) : int)
+      | Stream.Intent_query { src; dst; intent } ->
+          let src = Compact.index_of_exn topo src in
+          let dst = Compact.index_of_exn topo dst in
+          ignore (Engine.intent_query engine ~src ~dst intent
+                   : Candidates.result list)
+      | Stream.Query _ -> ());
+      (* after every item, the memo (warm or churn-invalidated) must
+         agree with a fresh recomputation on fixed probe pairs *)
+      List.iter
+        (fun (src, dst) ->
+          if src <> dst then
+            let cached = Engine.intent_query engine ~src ~dst intent in
+            let fresh = Engine.intent_query_uncached engine ~src ~dst intent in
+            if cached <> fresh then
+              Alcotest.failf "memoized intent answer diverges for (%d, %d)"
+                src dst)
+        pairs)
+    stream;
+  let st = Engine.stats engine in
+  Alcotest.(check bool) "memo was exercised" true (st.Engine.store_hits > 0);
+  Alcotest.(check bool) "churn invalidated something" true
+    (st.Engine.invalidated > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Probe                                                               *)
+
+let test_probe_no_faults_selects_first () =
+  let topo = diamond () in
+  let paths = [ [ asn 1; asn 2; asn 3 ]; [ asn 1; asn 3 ] ] in
+  let saved = Pan_runner.Fault.get () in
+  Pan_runner.Fault.set None;
+  Fun.protect
+    ~finally:(fun () -> Pan_runner.Fault.set saved)
+    (fun () ->
+      let o = Probe.run ~topo paths in
+      Alcotest.(check bool) "first candidate wins" true
+        (o.Probe.selected = Some [ asn 1; asn 2; asn 3 ]);
+      Alcotest.(check int) "single attempt" 1 (List.length o.Probe.attempts))
+
+let test_probe_deterministic_under_faults () =
+  let params = { Gen.default_params with Gen.n_transit = 8; Gen.n_stub = 30 } in
+  let topo = Compact.freeze (Gen.graph (Gen.generate ~params ~seed:5 ())) in
+  let metric =
+    Metric.of_models
+      ~geo:(Geo.of_compact ~seed:43 topo)
+      ~bandwidth:(Bandwidth.of_compact topo)
+  in
+  let intent = Intent.parse_exn "metric=latency; k=6" in
+  let n = Compact.num_ases topo in
+  let saved = Pan_runner.Fault.get () in
+  let probe_all () =
+    Pan_runner.Fault.set
+      (Some { Pan_runner.Fault.seed = 3; rate = 0.2; delay = 0.0;
+              delay_rate = 0.0 });
+    Fun.protect
+      ~finally:(fun () -> Pan_runner.Fault.set saved)
+      (fun () ->
+        List.init 15 (fun i ->
+            let src = Compact.id topo (i mod n) in
+            let dst = Compact.id topo ((i + 9) mod n) in
+            if Asn.equal src dst then None
+            else
+              let paths =
+                List.map
+                  (fun r -> r.Candidates.path)
+                  (Candidates.generate ~topo ~metric intent ~src ~dst)
+              in
+              let o = Probe.run ~topo paths in
+              Some (o.Probe.selected, Probe.failed_links o)))
+  in
+  let first = probe_all () in
+  Alcotest.(check bool) "probe outcome is a pure function of the spec" true
+    (first = probe_all ());
+  let failed =
+    List.exists
+      (function Some (_, _ :: _) -> true | _ -> false)
+      first
+  in
+  Alcotest.(check bool) "faults actually fired" true failed
+
+let suite =
+  [
+    Alcotest.test_case "Compact.Mask semantics" `Quick test_mask_semantics;
+    QCheck_alcotest.to_alcotest qcheck_yen_oracle;
+    QCheck_alcotest.to_alcotest qcheck_yen_oracle_masked;
+    QCheck_alcotest.to_alcotest qcheck_yen_deterministic;
+    QCheck_alcotest.to_alcotest qcheck_intent_roundtrip;
+    Alcotest.test_case "parse normalizes to canonical form" `Quick
+      test_parse_normalizes;
+    Alcotest.test_case "parse errors carry line/column" `Quick
+      test_parse_error_positions;
+    Alcotest.test_case "stream re-anchors intent error columns" `Quick
+      test_stream_intent_error_column;
+    QCheck_alcotest.to_alcotest qcheck_selection_facade;
+    Alcotest.test_case "engine intent memo = uncached across churn" `Quick
+      test_engine_intent_churn_equivalence;
+    Alcotest.test_case "probe: no faults -> first candidate" `Quick
+      test_probe_no_faults_selects_first;
+    Alcotest.test_case "probe: deterministic under injected faults" `Quick
+      test_probe_deterministic_under_faults;
+  ]

@@ -51,4 +51,5 @@ let () =
       ("obs.runner", Test_runner_obs.suite);
       ("obs.bench_json", Test_bench_json.suite);
       ("service.serve", Test_serve.suite);
+      ("intent", Test_intent.suite);
     ]

@@ -36,12 +36,13 @@ let apply_to_graph g = function
       Graph.add_provider_customer g ~provider ~customer
   | Stream.Down (Stream.Transit { provider; customer }) ->
       Graph.remove_provider_customer g ~provider ~customer
-  | Stream.Query _ -> invalid_arg "apply_to_graph: query"
+  | Stream.Query _ | Stream.Intent_query _ ->
+      invalid_arg "apply_to_graph: query"
 
 (* An all-events stream is exactly what churn probability 1 generates,
    and the generator guarantees each event is applicable in order. *)
 let gen_events ~seed ~topo n =
-  Stream.generate ~rng:(Rng.create seed) ~topo ~requests:n ~churn:1.0
+  Stream.generate ~rng:(Rng.create seed) ~topo ~requests:n ~churn:1.0 ()
 
 (* ------------------------------------------------------------------ *)
 (* Headline 1: incremental freeze = full re-freeze, after every event   *)
@@ -94,7 +95,7 @@ let qcheck_store_equivalence =
       let topo = Compact.freeze (gen_graph seed) in
       let stream =
         Stream.generate ~rng:(Rng.create (seed + 1)) ~topo ~requests:80
-          ~churn:0.3
+          ~churn:0.3 ()
       in
       let e = Engine.create topo in
       List.for_all
@@ -325,7 +326,7 @@ let test_transcript_rendering () =
 let serve_fixture () =
   let topo = Compact.freeze (gen_graph 11) in
   let stream =
-    Stream.generate ~rng:(Rng.create 12) ~topo ~requests:120 ~churn:0.15
+    Stream.generate ~rng:(Rng.create 12) ~topo ~requests:120 ~churn:0.15 ()
   in
   (topo, stream)
 
@@ -384,7 +385,7 @@ let qcheck_stream_roundtrip =
       let topo = Compact.freeze (gen_graph seed) in
       let s =
         Stream.generate ~rng:(Rng.create (seed + 1)) ~topo ~requests
-          ~churn:0.4
+          ~churn:0.4 ()
       in
       Stream.parse (Stream.to_string s) = s)
 
@@ -398,8 +399,8 @@ let test_stream_parse_errors () =
      ma-direct or ma-top:N)"
     "query AS1 AS2 bogus";
   expect "unknown verb, right line number"
-    "Stream.parse: line 3: unknown item \"nonsense\" (expected query, up or \
-     down)"
+    "Stream.parse: line 3: unknown item \"nonsense\" (expected query, \
+     intent, up or down)"
     "# comment\nquery AS1 AS2 grc\nnonsense\n";
   expect "bad ASN"
     "Stream.parse: line 1: expected an AS number like AS42, got \"ASx\""
