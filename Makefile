@@ -1,5 +1,6 @@
 .PHONY: all build quick test bench bench-topo bench-bosco bench-faults \
-	bench-serve bench-intent bench-snapshots validate-bench profile clean
+	bench-serve bench-intent bench-market bench-snapshots validate-bench \
+	profile clean
 
 all: build
 
@@ -58,8 +59,17 @@ bench-serve:
 bench-intent:
 	dune exec bench/main.exe -- intent
 
+# Marketplace sweep (bench part 13): the full epoch loop — candidate
+# enumeration, concurrent BOSCO negotiations, batch agreement splices —
+# timed at -j1/-j2/-j4 in negotiations/sec, with fingerprint, re-run,
+# and delta-oracle checks; exits non-zero on any mismatch (CI runs the
+# `market-smoke` variant through the bench-market-smoke alias, which
+# also schema-checks the emitted BENCH_market.json).
+bench-market:
+	dune exec bench/main.exe -- market
+
 # Machine-readable bench trajectory: run the econ-kernel, topology-
-# snapshot, BOSCO, serve, and intent parts at smoke scale, emit
+# snapshot, BOSCO, serve, intent, and market parts at smoke scale, emit
 # BENCH_<part>.json for each, and re-validate the files through the
 # schema checker (CI runs the same alias).
 bench-snapshots:

@@ -61,6 +61,14 @@
    transcripts and emitting BENCH_intent.json
    (`main.exe intent[-smoke]`, `make bench-intent`).
 
+   Part 13 measures the MA negotiation marketplace (lib/market): the
+   full epoch loop — candidate enumeration, concurrent BOSCO
+   negotiations, batch agreement splices — timed at -j1/-j2/-j4 in
+   negotiations/sec, verifying byte-identical transcript fingerprints
+   at every pool size, across re-runs, and against the from-scratch
+   freeze oracle, and emitting BENCH_market.json
+   (`main.exe market[-smoke]`, `make bench-market`).
+
    Parts 7, 9 and 10 also emit machine-readable BENCH_<part>.json
    snapshots (Pan_obs.Bench_snap) recording wall-clock, throughput,
    speedup and a result fingerprint; `main.exe validate-bench FILE...`
@@ -1202,6 +1210,92 @@ let run_intent scale =
        ());
   !ok
 
+(* ------------------------------------------------------------------ *)
+(* Part 13: MA negotiation marketplace (lib/market)                    *)
+
+(* transit, stubs, epochs, max candidates per epoch, W *)
+let market_params = function
+  | `Smoke -> (24, 170, 2, 384, 24)
+  | `Full -> (48, 440, 3, 768, 32)
+
+let run_market scale =
+  let module M = Pan_market.Market in
+  section "MA marketplace: concurrent negotiations over the frozen core";
+  let n_transit, n_stub, epochs, max_candidates, w = market_params scale in
+  let params = { Gen.default_params with Gen.n_transit; Gen.n_stub } in
+  let g = Gen.graph (Gen.generate ~params ~seed:42 ()) in
+  Format.fprintf fmt "topology: %a@." Graph.pp_stats g;
+  let config = { M.default with M.epochs; w; max_candidates; chunk = 8 } in
+  let ok = ref true in
+  (* Scaling sweep: the whole epoch loop (enumerate, negotiate, splice)
+     at increasing pool sizes; every fingerprint must match -j1. *)
+  let results = ref [] in
+  Format.fprintf fmt "%4s %10s %15s  %s@." "j" "wall (s)" "negotiations/s"
+    "fingerprint";
+  List.iter
+    (fun j ->
+      let r, t =
+        if j = 1 then time (fun () -> M.run config g)
+        else
+          Pan_runner.Pool.with_pool ~domains:j (fun pool ->
+              time (fun () -> M.run ~pool config g))
+      in
+      let rate = float_of_int r.M.negotiations /. t in
+      results := (j, r, t, rate) :: !results;
+      Format.fprintf fmt "%4d %10.3f %15.0f  %s@." j t rate r.M.fingerprint)
+    [ 1; 2; 4 ];
+  let results = List.rev !results in
+  let _, r1, t1, rate1 = List.hd results in
+  let jobs_equal =
+    List.for_all
+      (fun (_, r, _, _) -> String.equal r.M.fingerprint r1.M.fingerprint)
+      results
+  in
+  if not jobs_equal then ok := false;
+  (* Double run at -j1: the transcript is a pure function of the seed. *)
+  let r1', _ = time (fun () -> M.run config g) in
+  let rerun_equal = String.equal r1.M.fingerprint r1'.M.fingerprint in
+  if not rerun_equal then ok := false;
+  (* Delta oracle: each epoch's incrementally-spliced core must equal a
+     from-scratch freeze of the equivalently-mutated graph. *)
+  let oracle = M.run ~oracle:true config g in
+  let oracle_ok = oracle.M.oracle_ok = Some true in
+  if not oracle_ok then ok := false;
+  List.iter
+    (fun (e : M.epoch_report) ->
+      Format.fprintf fmt
+        "epoch %d: %d candidates, %d viable, %d signed, %d invalidated@."
+        e.M.epoch e.M.candidates e.M.viable e.M.signed e.M.invalidated)
+    r1.M.reports;
+  Format.fprintf fmt
+    "agreements: %d, welfare %.3f; -j equal %b, rerun equal %b, oracle %b@."
+    (List.length r1.M.agreements)
+    r1.M.welfare jobs_equal rerun_equal oracle_ok;
+  let _, r4, _, rate4 =
+    List.find (fun (j, _, _, _) -> j = 4) results
+  in
+  emit_snapshot
+    (Pan_obs.Bench_snap.make ~part:"market" ~wall_s:t1 ~throughput:rate1
+       ~speedup:(rate4 /. rate1) ~fingerprint:r1.M.fingerprint ~jobs:4
+       ~meta:
+         ([
+            ("epochs", string_of_int epochs);
+            ("pairs", string_of_int r1.M.pairs);
+            ("negotiations", string_of_int r1.M.negotiations);
+            ("agreements", string_of_int (List.length r1.M.agreements));
+            ("welfare", Printf.sprintf "%.3f" r1.M.welfare);
+            ("fingerprint_j1", r1.M.fingerprint);
+            ("fingerprint_j4", r4.M.fingerprint);
+            ("oracle", string_of_bool oracle_ok);
+          ]
+         @ List.map
+             (fun (e : M.epoch_report) ->
+               ( Printf.sprintf "epoch%d_candidates" e.M.epoch,
+                 string_of_int e.M.candidates ))
+             r1.M.reports)
+       ());
+  !ok
+
 let full_run () =
   reproduce_gadgets ();
   reproduce_methods ();
@@ -1226,6 +1320,7 @@ let full_run () =
   ignore (run_supervised () : bool);
   ignore (run_serve `Smoke : bool);
   ignore (run_intent `Smoke : bool);
+  ignore (run_market `Smoke : bool);
   run_benchmarks ();
   run_runner_pair ();
   obs_profile ()
@@ -1246,6 +1341,8 @@ let () =
   | "serve-smoke" -> if not (run_serve `Smoke) then exit 1
   | "intent" -> if not (run_intent `Full) then exit 1
   | "intent-smoke" -> if not (run_intent `Smoke) then exit 1
+  | "market" -> if not (run_market `Full) then exit 1
+  | "market-smoke" -> if not (run_market `Smoke) then exit 1
   | "validate-bench" ->
       validate_bench
         (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)))
@@ -1254,7 +1351,7 @@ let () =
         "usage: %s \
          [topo|topo-full|topo-snapshot|topo-snapshot-smoke|bosco|bosco-smoke|\
          econ|econ-smoke|faults|serve|serve-smoke|intent|intent-smoke|\
-         validate-bench FILE...]  \
+         market|market-smoke|validate-bench FILE...]  \
          (unknown part %S)@."
         Sys.argv.(0) other;
       exit 2);

@@ -657,6 +657,105 @@ let serve_cmd =
       $ intent_arg $ requests_arg $ churn_arg $ mode_arg $ oracle_arg)
 
 (* ------------------------------------------------------------------ *)
+(* market: concurrent MA negotiation marketplace (lib/market)          *)
+
+let market_cmd =
+  let open Pan_market in
+  let epochs_arg =
+    let doc =
+      "Marketplace epochs: each epoch enumerates MA candidates over the \
+       current frozen core, negotiates them concurrently, and splices the \
+       signed agreements back in, reshaping the next epoch's candidate \
+       set.  Stops early when an epoch signs nothing."
+    in
+    Arg.(value & opt int Market.default.Market.epochs
+         & info [ "epochs" ] ~doc ~docv:"N")
+  in
+  let w_arg =
+    let doc = "Choice-set cardinality W of each BOSCO negotiation." in
+    Arg.(value & opt int Market.default.Market.w & info [ "w" ] ~doc ~docv:"W")
+  in
+  let demands_arg =
+    let doc = "Traffic demands per direction in each candidate scenario." in
+    Arg.(value & opt int Market.default.Market.max_demands
+         & info [ "demands" ] ~doc ~docv:"N")
+  in
+  let min_gain_arg =
+    let doc =
+      "Minimum destinations each side must gain for a pair to be a \
+       candidate."
+    in
+    Arg.(value & opt int Market.default.Market.min_gain
+         & info [ "min-gain" ] ~doc ~docv:"N")
+  in
+  let max_candidates_arg =
+    let doc = "Candidate pairs negotiated per epoch (highest gain first)." in
+    Arg.(value & opt int Market.default.Market.max_candidates
+         & info [ "max-candidates" ] ~doc ~docv:"N")
+  in
+  let chunk_arg =
+    let doc =
+      "Negotiations per scheduled chunk.  Results are chunk-deterministic: \
+       identical for every chunk size and every --jobs value."
+    in
+    Arg.(value & opt int Market.default.Market.chunk
+         & info [ "chunk" ] ~doc ~docv:"N")
+  in
+  let oracle_arg =
+    let doc =
+      "After each epoch's batch splice, re-freeze the mutated graph from \
+       scratch and compare byte-for-byte with the incrementally-spliced \
+       core."
+    in
+    Arg.(value & flag & info [ "oracle" ] ~doc)
+  in
+  let run caida transit stubs seed jobs sup metrics trace snapshot epochs w
+      demands min_gain max_candidates chunk oracle =
+    with_obs ~metrics ~trace @@ fun () ->
+    match
+      let g =
+        match snapshot with
+        | Some path ->
+            let b = Snapshot.load path in
+            Format.fprintf fmt "# loaded snapshot %s: %a@." path
+              Compact.pp_stats b.Snapshot.topo;
+            Compact.thaw b.Snapshot.topo
+        | None -> topology ~caida ~transit ~stubs ~seed
+      in
+      let config =
+        {
+          Market.epochs;
+          w;
+          max_demands = demands;
+          min_gain;
+          max_candidates;
+          chunk;
+          seed;
+        }
+      in
+      with_jobs jobs (fun pool ->
+          Market.run ~pool ~retries:sup.retries ?deadline:sup.deadline ~oracle
+            config g)
+    with
+    | result -> Market.pp fmt result
+    | exception Invalid_argument msg ->
+        Format.eprintf "panagree: %s@." msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "market"
+       ~doc:
+         "MA negotiation marketplace: enumerate viable candidate pairs \
+          over the frozen core, drive their BOSCO negotiations \
+          concurrently (chunk-deterministic), splice signed agreements \
+          back into the core, and repeat for --epochs rounds.")
+    Term.(
+      const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
+      $ sup_term $ metrics_arg $ trace_arg $ snapshot_arg $ epochs_arg $ w_arg
+      $ demands_arg $ min_gain_arg $ max_candidates_arg $ chunk_arg
+      $ oracle_arg)
+
+(* ------------------------------------------------------------------ *)
 (* paths                                                               *)
 
 let paths_cmd =
@@ -862,6 +961,7 @@ let () =
             fragility_cmd;
             topology_cmd;
             serve_cmd;
+            market_cmd;
             paths_cmd;
             validate_bench_cmd;
             export_cmd;

@@ -9,6 +9,7 @@ type entry = {
 
 type t = {
   mutable entries : entry list;
+  capacity : int;
   mutable pv : float array;
   mutable suf_p : float array;
   mutable suf_pv : float array;
@@ -18,11 +19,13 @@ type t = {
   mutable stack_from : float array;
 }
 
-let max_entries = 8
+let default_capacity = 8
 
-let create () =
+let create ?(cache_capacity = default_capacity) () =
+  if cache_capacity < 1 then invalid_arg "Workspace.create: cache_capacity < 1";
   {
     entries = [];
+    capacity = cache_capacity;
     pv = [||];
     suf_p = [||];
     suf_pv = [||];
@@ -31,6 +34,10 @@ let create () =
     stack_line = [||];
     stack_from = [||];
   }
+
+let clear_cache ws = ws.entries <- []
+let cache_size ws = List.length ws.entries
+let cache_capacity ws = ws.capacity
 
 let grown a n = if Array.length a >= n then a else Array.make (2 * n) 0.0
 let grown_int a n = if Array.length a >= n then a else Array.make (2 * n) 0
@@ -84,14 +91,26 @@ let compute_probs dist thresholds probs =
     prev := next
   done
 
+(* LRU lookup: a hit promotes the entry to the list head, so the tail is
+   always the least-recently-used entry and eviction on insert trims it
+   first.  Promotion reorders scratch state only — the cached floats are
+   bit-identical to recomputation, so neither ordering nor eviction can
+   perturb results. *)
+let find_and_promote ws dist thresholds =
+  let rec go acc = function
+    | [] -> None
+    | e :: rest ->
+        if e.dist == dist && same_thresholds e.thresholds thresholds then (
+          ws.entries <- e :: List.rev_append acc rest;
+          Some e)
+        else go (e :: acc) rest
+  in
+  go [] ws.entries
+
 let choice_probabilities ws dist thresholds =
   let w = Array.length thresholds - 1 in
   if w < 0 then invalid_arg "Workspace.choice_probabilities: no thresholds";
-  match
-    List.find_opt
-      (fun e -> e.dist == dist && same_thresholds e.thresholds thresholds)
-      ws.entries
-  with
+  match find_and_promote ws dist thresholds with
   | Some e ->
       Obs.incr "bosco.br.cdf_cache_hits";
       e.probs
@@ -100,8 +119,6 @@ let choice_probabilities ws dist thresholds =
       let probs = Array.make w 0.0 in
       compute_probs dist thresholds probs;
       let e = { dist; thresholds; probs } in
-      let kept =
-        List.filteri (fun i _ -> i < max_entries - 1) ws.entries
-      in
+      let kept = List.filteri (fun i _ -> i < ws.capacity - 1) ws.entries in
       ws.entries <- e :: kept;
       probs

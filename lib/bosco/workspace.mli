@@ -20,11 +20,29 @@ open Pan_numerics
 
 type t
 
-val create : unit -> t
+val create : ?cache_capacity:int -> unit -> t
+(** [cache_capacity] bounds the opponent-CDF cache (default 8 entries,
+    enough for both parties of a few interleaved negotiations).  When a
+    long-lived workspace is reused across many negotiations — the
+    marketplace keeps one per domain — the cache evicts
+    least-recently-used entries past the cap instead of growing, so
+    million-negotiation runs stay flat.
+    @raise Invalid_argument if [cache_capacity < 1]. *)
+
+val clear_cache : t -> unit
+(** Drop every cached CDF entry (scratch buffers are kept).  Results are
+    unaffected — the cache is a pure memo — only the
+    [bosco.br.cdf_cache_*] hit/miss split changes. *)
+
+val cache_size : t -> int
+(** Number of live CDF cache entries, [<= cache_capacity]. *)
+
+val cache_capacity : t -> int
 
 val choice_probabilities : t -> Distribution.t -> float array -> float array
 (** [choice_probabilities ws dist thresholds] is
-    [P(σ(u) = v_i)] for each strategy interval (Eq. 15), cached.
+    [P(σ(u) = v_i)] for each strategy interval (Eq. 15), cached with
+    LRU eviction past the workspace's capacity.
     The returned array is owned by the workspace and valid until the
     next cache eviction — read it before the next series of calls, do
     not retain or mutate it.  Distributions are keyed by physical

@@ -1,0 +1,68 @@
+open Pan_topology
+module Obs = Pan_obs.Obs
+
+type t = { x : int; y : int; gain_x : int; gain_y : int }
+
+(* |(providers(via) ∪ peers(via)) \ customers(side) \ {side}| counted
+   straight off the CSR rows: the two classes are disjoint (a pair is
+   linked in at most one class), so no dedup set is needed, and customer
+   membership is a binary search per element — no bitset allocation on
+   the enumeration hot path. *)
+let gain_via topo ~side ~via =
+  let g = ref 0 in
+  let count z =
+    if z <> side && not (Compact.mem_customer topo side z) then incr g
+  in
+  Compact.iter_providers topo via count;
+  Compact.iter_peers topo via count;
+  !g
+
+let gains topo x y =
+  (gain_via topo ~side:x ~via:y, gain_via topo ~side:y ~via:x)
+
+let candidates_of_source topo ~min_gain x =
+  let n = Compact.num_ases topo in
+  let seen = Bitset.create ~width:n in
+  let acc = ref [] in
+  let consider y =
+    if y > x && not (Bitset.mem seen y) then begin
+      Bitset.unsafe_add seen y;
+      if not (Compact.connected topo x y) then begin
+        let gx = gain_via topo ~side:x ~via:y in
+        if gx >= min_gain then begin
+          let gy = gain_via topo ~side:y ~via:x in
+          if gy >= min_gain then
+            acc := { x; y; gain_x = gx; gain_y = gy } :: !acc
+        end
+      end
+    end
+  in
+  Compact.iter_neighbors topo x (fun m ->
+      Compact.iter_neighbors topo m consider);
+  !acc
+
+(* Total gain descending, then (x, y) ascending: a total order, so the
+   sort (and the truncation under it) is deterministic. *)
+let compare_candidates a b =
+  match compare (b.gain_x + b.gain_y) (a.gain_x + a.gain_y) with
+  | 0 -> compare (a.x, a.y) (b.x, b.y)
+  | c -> c
+
+let enumerate ?pool ?retries ?deadline ?(min_gain = 1) ?(max_candidates = 4096)
+    topo =
+  if min_gain < 1 then invalid_arg "Candidates.enumerate: min_gain < 1";
+  if max_candidates < 0 then
+    invalid_arg "Candidates.enumerate: max_candidates < 0";
+  Obs.with_span "market/enumerate" @@ fun () ->
+  let n = Compact.num_ases topo in
+  let per_src =
+    Pan_runner.Task.map ?pool ?retries ?deadline ~n
+      ~f:(fun x -> candidates_of_source topo ~min_gain x)
+      ()
+  in
+  let all = List.concat (Array.to_list per_src) in
+  let arr = Array.of_list (List.sort compare_candidates all) in
+  let kept = Array.sub arr 0 (min max_candidates (Array.length arr)) in
+  Obs.incr ~by:(Array.length arr) "market.candidates.enumerated";
+  Obs.incr ~by:(Array.length kept) "market.candidates.kept";
+  kept

@@ -1,0 +1,46 @@
+(** MA candidate enumeration over the frozen core.
+
+    A marketplace epoch starts from the current {!Pan_topology.Compact}
+    view and asks: which {e unconnected} AS pairs would gain new
+    destinations from a mutuality agreement?  Candidates live in the
+    2-hop neighborhood (an MA is only useful between ASes that can
+    actually interconnect through a shared neighbor's facilities, and it
+    keeps the pair universe near-linear instead of quadratic); the gain
+    of each side is the §VI mutuality count — the counterparty's
+    providers and peers that are not already customers of the gaining
+    side — computed directly on the CSR rows without materializing the
+    {!Pan_topology.Path_enum_compact.ma_gain} bitsets.
+
+    Enumeration is pure over the immutable frozen view, so it fans out
+    over sources through the supervised runner; the result is
+    bit-identical for every pool size. *)
+
+open Pan_topology
+
+type t = {
+  x : int;  (** dense index, [x < y] *)
+  y : int;
+  gain_x : int;  (** new destinations [x] gains via [y] *)
+  gain_y : int;
+}
+
+val gains : Compact.t -> int -> int -> int * int
+(** [(gain_x, gain_y)] of the pair; exact per-side cardinalities of the
+    MA gain sets ([Path_enum_compact.ma_gain] both ways). *)
+
+val enumerate :
+  ?pool:Pan_runner.Pool.t ->
+  ?retries:int ->
+  ?deadline:float ->
+  ?min_gain:int ->
+  ?max_candidates:int ->
+  Compact.t ->
+  t array
+(** Every unconnected 2-hop pair whose sides both gain at least
+    [min_gain] (default 1) destinations, ordered by total gain
+    descending (ties: ascending [(x, y)]) and truncated to
+    [max_candidates] (default 4096).  Signing a candidate connects the
+    pair, which removes it from — and generally reshapes — the next
+    epoch's enumeration.  [retries]/[deadline] supervise the fan-out
+    exactly as in {!Pan_runner.Task.map}.
+    @raise Invalid_argument if [min_gain < 1] or [max_candidates < 0]. *)

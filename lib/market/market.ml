@@ -1,0 +1,283 @@
+open Pan_numerics
+open Pan_topology
+module Obs = Pan_obs.Obs
+module Engine = Pan_service.Engine
+module Efficiency = Pan_bosco.Efficiency
+module Claim = Pan_bosco.Claim
+module Game = Pan_bosco.Game
+module Nash = Pan_econ.Nash
+
+type config = {
+  epochs : int;
+  w : int;
+  max_demands : int;
+  min_gain : int;
+  max_candidates : int;
+  chunk : int;
+  seed : int;
+}
+
+let default =
+  {
+    epochs = 3;
+    w = 16;
+    max_demands = 3;
+    min_gain = 2;
+    max_candidates = 512;
+    chunk = 16;
+    seed = 42;
+  }
+
+type epoch_report = {
+  epoch : int;
+  candidates : int;
+  viable : int;
+  signed : int;
+  welfare : float;
+  mean_pod : float;
+  new_paths : int;
+  invalidated : int;
+}
+
+type result = {
+  reports : epoch_report list;
+  agreements : (Asn.t * Asn.t) list;
+  pairs : int;
+  negotiations : int;
+  welfare : float;
+  fingerprint : string;
+  oracle_ok : bool option;
+}
+
+let check_config c =
+  let bad fmt = Printf.ksprintf invalid_arg ("Market.run: " ^^ fmt) in
+  if c.epochs < 1 then bad "epochs < 1";
+  if c.w < 1 then bad "w < 1";
+  if c.chunk < 1 then bad "chunk < 1";
+  if c.max_demands < 1 then bad "max_demands < 1";
+  if c.min_gain < 1 then bad "min_gain < 1";
+  if c.max_candidates < 0 then bad "max_candidates < 0"
+
+(* Exact hex floats in the transcript: the fingerprint is the
+   determinism oracle, so two runs agree iff every outcome bit agrees. *)
+let outcome_line buf epoch (o : Negotiate.outcome) topo =
+  let asn i = Asn.to_int (Compact.id topo i) in
+  Printf.bprintf buf "e%d AS%d-AS%d g%d/%d u:%h/%h pod:%h r:%d c:%b s:%b\n"
+    epoch
+    (asn o.Negotiate.cand.Candidates.x)
+    (asn o.Negotiate.cand.Candidates.y)
+    o.Negotiate.cand.Candidates.gain_x o.Negotiate.cand.Candidates.gain_y
+    o.Negotiate.u_x o.Negotiate.u_y o.Negotiate.pod o.Negotiate.rounds
+    o.Negotiate.converged o.Negotiate.signed
+
+(* Epoch welfare through the batch Nash helper: post-transfer utilities
+   of the signed agreements (equal-split of each surplus), summed. *)
+let epoch_welfare signed_outcomes =
+  let n = List.length signed_outcomes in
+  if n = 0 then 0.0
+  else begin
+    let u_x = Array.make n 0.0 and u_y = Array.make n 0.0 in
+    List.iteri
+      (fun i (o : Negotiate.outcome) ->
+        u_x.(i) <- o.Negotiate.u_x;
+        u_y.(i) <- o.Negotiate.u_y)
+      signed_outcomes;
+    let out_x = Array.make n 0.0 and out_y = Array.make n 0.0 in
+    let _viable = Nash.after_transfer_into ~n ~u_x ~u_y ~out_x ~out_y in
+    let total = ref 0.0 in
+    for i = 0 to n - 1 do
+      total := !total +. out_x.(i) +. out_y.(i)
+    done;
+    !total
+  end
+
+let snapshot_bytes topo = Compact.Snapshot.to_string topo
+
+let run ?pool ?retries ?deadline ?(oracle = false) config g =
+  check_config config;
+  Obs.with_span "market/run" @@ fun () ->
+  let engine = Engine.of_graph ~mode:Engine.Incremental g in
+  (* Private mutable link state: scenario construction reads it, signed
+     agreements mutate it, and the oracle re-freezes it from scratch. *)
+  let graph = Graph.copy g in
+  let dist = Distribution.uniform (-1.0) 1.0 in
+  (* One truthful benchmark shared by every negotiation (they all
+     bargain over the same normalized utility distribution). *)
+  let truthful =
+    Efficiency.expected_nash_truthful
+      Game.
+        {
+          dist_x = dist;
+          dist_y = dist;
+          claims_x = Claim.of_list [];
+          claims_y = Claim.of_list [];
+        }
+  in
+  let buf = Buffer.create 4096 in
+  let reports = ref [] in
+  let agreements = ref [] in
+  let pairs = ref 0 in
+  let negotiations = ref 0 in
+  let oracle_ok = ref (if oracle then Some true else None) in
+  let epoch = ref 1 in
+  let continue = ref true in
+  while !continue && !epoch <= config.epochs do
+    let e = !epoch in
+    let topo = Engine.topology engine in
+    let cands =
+      Candidates.enumerate ?pool ?retries ?deadline ~min_gain:config.min_gain
+        ~max_candidates:config.max_candidates topo
+    in
+    let n = Array.length cands in
+    if n = 0 then begin
+      reports :=
+        {
+          epoch = e;
+          candidates = 0;
+          viable = 0;
+          signed = 0;
+          welfare = 0.0;
+          mean_pod = Float.nan;
+          new_paths = 0;
+          invalidated = 0;
+        }
+        :: !reports;
+      Printf.bprintf buf "epoch %d: no candidates\n" e;
+      continue := false
+    end
+    else begin
+      (* Outcome randomness is keyed per (seed, epoch, pair) inside
+         negotiate_pair; the sweep rng below only drives the runner's
+         chunk-splitting, so results are independent of chunk size and
+         pool size, and fault retries replay to the same bytes. *)
+      let rng = Rng.create (Hashtbl.hash (config.seed, e, "market-epoch")) in
+      let outcomes =
+        Obs.with_span "market/negotiate" @@ fun () ->
+        Pan_runner.Task.map_reduce ?pool ?retries ?deadline ~rng ~n
+          ~chunk:config.chunk
+          ~f:(fun _crng i ->
+            Negotiate.negotiate_pair ~graph ~topo ~seed:config.seed ~epoch:e
+              ~w:config.w ~max_demands:config.max_demands ~truthful ~dist
+              cands.(i))
+          ~combine:(fun acc o -> o :: acc)
+          ~init:[] ()
+        |> List.rev
+      in
+      List.iter (fun o -> outcome_line buf e o topo) outcomes;
+      let viable_o =
+        List.filter (fun (o : Negotiate.outcome) -> o.Negotiate.viable) outcomes
+      in
+      let signed_o =
+        List.filter (fun (o : Negotiate.outcome) -> o.Negotiate.signed) outcomes
+      in
+      pairs := !pairs + n;
+      negotiations := !negotiations + List.length viable_o;
+      let welfare = epoch_welfare signed_o in
+      let mean_pod =
+        match viable_o with
+        | [] -> Float.nan
+        | _ ->
+            List.fold_left
+              (fun acc (o : Negotiate.outcome) -> acc +. o.Negotiate.pod)
+              0.0 viable_o
+            /. float_of_int (List.length viable_o)
+      in
+      (* Apply the epoch's signings as one batch splice; the engine
+         drops exactly the affected memo entries. *)
+      let events =
+        List.map
+          (fun (o : Negotiate.outcome) ->
+            Engine.Link_up
+              (Engine.Peer
+                 (o.Negotiate.cand.Candidates.x, o.Negotiate.cand.Candidates.y)))
+          signed_o
+      in
+      let invalidated = Engine.apply_batch engine events in
+      List.iter
+        (fun (o : Negotiate.outcome) ->
+          let ix = o.Negotiate.cand.Candidates.x
+          and iy = o.Negotiate.cand.Candidates.y in
+          let x = Compact.id topo ix and y = Compact.id topo iy in
+          Graph.add_peering graph x y;
+          agreements := (x, y) :: !agreements)
+        signed_o;
+      (* Memoized path store across epochs: each signed pair's MA path
+         count is served (and cached) by the engine on the post-splice
+         view; a later epoch's splice invalidates exactly the affected
+         entries. *)
+      let new_paths =
+        List.fold_left
+          (fun acc (o : Negotiate.outcome) ->
+            let mids =
+              Engine.query engine ~src:o.Negotiate.cand.Candidates.x
+                ~dst:o.Negotiate.cand.Candidates.y ~policy:Path_enum.Ma_all
+            in
+            acc + List.length mids)
+          0 signed_o
+      in
+      if oracle then begin
+        let ok =
+          String.equal
+            (snapshot_bytes (Engine.topology engine))
+            (snapshot_bytes (Compact.freeze graph))
+        in
+        oracle_ok :=
+          Some (match !oracle_ok with Some prev -> prev && ok | None -> ok)
+      end;
+      Printf.bprintf buf
+        "epoch %d: %d candidates %d viable %d signed welfare:%h paths:%d \
+         invalidated:%d\n"
+        e n (List.length viable_o) (List.length signed_o) welfare new_paths
+        invalidated;
+      reports :=
+        {
+          epoch = e;
+          candidates = n;
+          viable = List.length viable_o;
+          signed = List.length signed_o;
+          welfare;
+          mean_pod;
+          new_paths;
+          invalidated;
+        }
+        :: !reports;
+      Obs.incr "market.epochs";
+      if signed_o = [] then continue := false
+    end;
+    incr epoch
+  done;
+  let reports = List.rev !reports in
+  let welfare =
+    List.fold_left (fun acc (r : epoch_report) -> acc +. r.welfare) 0.0 reports
+  in
+  {
+    reports;
+    agreements = List.rev !agreements;
+    pairs = !pairs;
+    negotiations = !negotiations;
+    welfare;
+    fingerprint = Digest.to_hex (Digest.string (Buffer.contents buf));
+    oracle_ok = !oracle_ok;
+  }
+
+let pp fmt r =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt
+        "epoch %d: %d candidates, %d viable, %d signed, welfare %.3f, %s, %d \
+         new MA paths, %d invalidated@."
+        e.epoch e.candidates e.viable e.signed e.welfare
+        (if Float.is_nan e.mean_pod then "PoD -"
+         else Printf.sprintf "PoD %.3f" e.mean_pod)
+        e.new_paths e.invalidated)
+    r.reports;
+  Format.fprintf fmt
+    "market: %d pairs scored, %d negotiations, %d agreements signed, total \
+     welfare %.3f@."
+    r.pairs r.negotiations
+    (List.length r.agreements)
+    r.welfare;
+  (match r.oracle_ok with
+  | None -> ()
+  | Some ok -> Format.fprintf fmt "delta oracle: %s@." (if ok then "ok" else "MISMATCH"));
+  Format.fprintf fmt "transcript fingerprint %s@." r.fingerprint

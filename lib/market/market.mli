@@ -1,0 +1,84 @@
+(** The agreement marketplace: epochs of concurrent BOSCO negotiations
+    reshaping the topology (ROADMAP item 1, the paper's Internet-scale
+    claim run end-to-end).
+
+    Each epoch: {!Candidates.enumerate} over the current frozen view,
+    every candidate negotiated concurrently through the supervised
+    runner ({!Negotiate.negotiate_pair} — chunk-deterministic, outcome
+    randomness keyed per pair, per-domain arenas), then every signed
+    agreement applied to the topology as {e one}
+    {!Pan_service.Engine.apply_batch} peering splice.  The splice
+    reshapes reachability — next epoch's candidate set is enumerated on
+    the updated view — and the engine's invalidation machinery keeps the
+    memoized per-pair path store sound between epochs: the market
+    queries the store for every signed pair's MA path count, and later
+    epochs' splices invalidate exactly the affected entries.
+
+    Determinism: for a fixed config the whole result — agreement set,
+    welfare totals, the transcript fingerprint — is bit-identical for
+    every pool size, chunk size, and under injected faults with retries
+    (the PR 5 supervision contract).  The [oracle] flag additionally
+    re-freezes a from-scratch mutated graph after every epoch and
+    requires byte-identical snapshots ({!Pan_topology.Compact.Snapshot}),
+    pinning the incremental splice chain. *)
+
+open Pan_topology
+
+type config = {
+  epochs : int;
+  w : int;  (** BOSCO choice-set size per side *)
+  max_demands : int;  (** forecast segment demands per side *)
+  min_gain : int;  (** candidate filter: both sides gain at least this *)
+  max_candidates : int;  (** per-epoch cap, best total gain first *)
+  chunk : int;  (** negotiations per runner chunk *)
+  seed : int;
+}
+
+val default : config
+(** 3 epochs, [w = 16], 3 demands, [min_gain = 2], 512 candidates,
+    chunk 16, seed 42. *)
+
+type epoch_report = {
+  epoch : int;  (** 1-based *)
+  candidates : int;
+  viable : int;
+  signed : int;
+  welfare : float;
+      (** summed post-transfer utility of the epoch's signed agreements
+          (= summed surplus; Nash transfers are welfare-neutral) *)
+  mean_pod : float;  (** over viable negotiations; [nan] if none *)
+  new_paths : int;
+      (** MA paths the signed pairs gain, from the engine's memo store *)
+  invalidated : int;  (** store entries dropped by the epoch's splice *)
+}
+
+type result = {
+  reports : epoch_report list;  (** epoch order *)
+  agreements : (Asn.t * Asn.t) list;
+      (** signed links in application order *)
+  pairs : int;  (** candidates scored, all epochs *)
+  negotiations : int;  (** BOSCO negotiations run (viable candidates) *)
+  welfare : float;
+  fingerprint : string;
+      (** MD5 hex over the per-outcome transcript (exact hex floats) —
+          the determinism oracle *)
+  oracle_ok : bool option;  (** [Some ok] when run with [~oracle:true] *)
+}
+
+val run :
+  ?pool:Pan_runner.Pool.t ->
+  ?retries:int ->
+  ?deadline:float ->
+  ?oracle:bool ->
+  config ->
+  Graph.t ->
+  result
+(** Run the marketplace on (a private copy of the link state of) [g].
+    [retries]/[deadline] supervise the negotiation sweeps exactly as in
+    {!Pan_runner.Task.map_reduce}.
+    @raise Invalid_argument if [epochs < 1], [w < 1], [chunk < 1],
+    [max_demands < 1], or the candidate bounds are invalid. *)
+
+val pp : Format.formatter -> result -> unit
+(** Human-readable per-epoch lines plus totals (stable formatting; the
+    CLI transcript is cram-pinned). *)

@@ -1,0 +1,216 @@
+open Pan_numerics
+open Pan_topology
+open Pan_econ
+module Obs = Pan_obs.Obs
+module Workspace = Pan_bosco.Workspace
+module Service = Pan_bosco.Service
+
+type arena = { bosco : Workspace.t; econ : Econ_workspace.t }
+
+(* One arena per domain, created on the domain's first negotiation and
+   reused for every later one it runs — no per-negotiation allocation of
+   kernel scratch, and the opponent-CDF cache is keyed per shard.
+   Workspaces are bit-identical scratch, so which domain runs which
+   negotiation can never change an outcome. *)
+let arena_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        bosco = Workspace.create ~cache_capacity:16 ();
+        econ = Econ_workspace.create ();
+      })
+
+let arena () = Domain.DLS.get arena_key
+
+type outcome = {
+  cand : Candidates.t;
+  u_x : float;
+  u_y : float;
+  viable : bool;
+  pod : float;
+  rounds : int;
+  converged : bool;
+  signed : bool;
+}
+
+let forecast_levels = [| 0.25; 0.5; 0.75; 1.0 |]
+
+(* What [via] offers the gaining side: its providers and peers that are
+   not already customers of (or identical to) the gaining side — the
+   same filter as Path_enum_compact.ma_gain, classified back into grant
+   components so Agreement validation sees subsets of [via]'s actual
+   neighbor sets. *)
+let grant_for topo ~side ~via =
+  let asn i = Compact.id topo i in
+  let keep z = z <> side && not (Compact.mem_customer topo side z) in
+  let providers = ref Asn.Set.empty and peers = ref Asn.Set.empty in
+  Compact.iter_providers topo via (fun z ->
+      if keep z then providers := Asn.Set.add (asn z) !providers);
+  Compact.iter_peers topo via (fun z ->
+      if keep z then peers := Asn.Set.add (asn z) !peers);
+  {
+    Agreement.providers = !providers;
+    peers = !peers;
+    customers = Asn.Set.empty;
+  }
+
+(* Deterministic per-AS business conditions, the Adoption recipe with a
+   market-keyed seed stream: varied transit/stub pricing and internal
+   cost rates are what make some agreements viable and others not. *)
+let business_of ~seed g x =
+  let rng = Rng.create (Hashtbl.hash (seed, Asn.to_int x, "market-biz")) in
+  let transit = Pricing.per_usage ~unit_price:(Rng.uniform rng 0.7 1.3) in
+  let stub =
+    if Rng.float rng < 0.4 then Pricing.flat_rate ~fee:20.0
+    else Pricing.per_usage ~unit_price:(Rng.uniform rng 1.2 2.5)
+  in
+  let internal = Cost.linear ~rate:(Rng.uniform rng 0.05 0.7) in
+  Business.of_graph ~default_transit:transit ~default_internal:internal
+    ~stub_price:stub g x
+
+let baseline_of g x =
+  let entries =
+    Asn.Set.fold
+      (fun y acc ->
+        let v =
+          2.0 *. sqrt (float_of_int (Graph.degree g x * Graph.degree g y))
+        in
+        (y, v) :: acc)
+      (Graph.neighbors g x) []
+  in
+  let stub_volume = 4.0 +. float_of_int (Graph.degree g x) in
+  Flows.of_list ((Flows.stub x, stub_volume) :: entries)
+
+(* Forecast demands for one side: the partner's providers first (the
+   headline MA case), then peers, in degree order. *)
+let demands_for ~rng ~max_demands g ~beneficiary ~transit ~granted =
+  let providers, peers =
+    Asn.Set.partition
+      (fun z -> Asn.Set.mem z (Graph.providers g transit))
+      granted
+  in
+  let by_degree set =
+    Asn.Set.elements set
+    |> List.map (fun z -> (Graph.degree g z, z))
+    |> List.sort (fun (d1, z1) (d2, z2) ->
+           match compare d2 d1 with 0 -> Asn.compare z1 z2 | c -> c)
+    |> List.map snd
+  in
+  let dests =
+    by_degree providers @ by_degree peers
+    |> List.filteri (fun i _ -> i < max_demands)
+  in
+  let providers = Graph.providers g beneficiary in
+  let reroute_from =
+    if Asn.Set.is_empty providers then None
+    else Some (Asn.Set.min_elt providers)
+  in
+  let provider_traffic =
+    4.0 *. sqrt (float_of_int (Graph.degree g beneficiary))
+  in
+  List.map
+    (fun z ->
+      let share = Rng.uniform rng 0.05 0.3 in
+      let reroutable =
+        if reroute_from = None then 0.0 else provider_traffic *. share
+      in
+      Traffic_model.
+        {
+          beneficiary;
+          transit;
+          dest = z;
+          reroutable;
+          reroute_from;
+          attracted_max = reroutable *. Rng.uniform rng 0.2 0.8;
+        })
+    dests
+
+(* Score the agreement economically: all forecast levels in one batch
+   kernel call, best surplus (ties: lowest level) fixes the utilities a
+   cash-compensation bargain starts from. *)
+let score_best ~econ_ws model =
+  let n_d = Model_fast.n_demands model in
+  let stride = 2 * n_d in
+  let m = Array.length forecast_levels in
+  let demands = Traffic_model.demands (Model_fast.scenario model) in
+  let vectors = Array.make (Int.max 1 (m * stride)) 0.0 in
+  List.iteri
+    (fun d (dem : Traffic_model.segment_demand) ->
+      Array.iteri
+        (fun l level ->
+          let base = (l * stride) + (2 * d) in
+          vectors.(base) <- level *. dem.Traffic_model.reroutable;
+          vectors.(base + 1) <- level *. dem.Traffic_model.attracted_max)
+        forecast_levels)
+    demands;
+  let out_x, out_y = Econ_workspace.batch_scratch econ_ws m in
+  Model_fast.utilities_batch ~workspace:econ_ws model ~vectors ~m ~out_x
+    ~out_y;
+  let best = ref 0 in
+  for i = 1 to m - 1 do
+    if
+      Nash.surplus ~u_x:out_x.(i) ~u_y:out_y.(i)
+      > Nash.surplus ~u_x:out_x.(!best) ~u_y:out_y.(!best)
+    then best := i
+  done;
+  (out_x.(!best), out_y.(!best))
+
+let negotiate_pair ~graph ~topo ~seed ~epoch ~w ~max_demands ~truthful ~dist
+    cand =
+  let ar = arena () in
+  let ix = cand.Candidates.x and iy = cand.Candidates.y in
+  let x = Compact.id topo ix and y = Compact.id topo iy in
+  let rng =
+    Rng.create
+      (Hashtbl.hash (seed, epoch, Asn.to_int x, Asn.to_int y, "market-pair"))
+  in
+  let x_grant = grant_for topo ~side:iy ~via:ix in
+  let y_grant = grant_for topo ~side:ix ~via:iy in
+  let agreement = Agreement.make_exn graph ~x ~y ~x_grant ~y_grant in
+  let demands =
+    demands_for ~rng ~max_demands graph ~beneficiary:x ~transit:y
+      ~granted:(Agreement.accessible agreement ~to_:x)
+    @ demands_for ~rng ~max_demands graph ~beneficiary:y ~transit:x
+        ~granted:(Agreement.accessible agreement ~to_:y)
+  in
+  let scenario =
+    Traffic_model.make_scenario_exn ~graph ~agreement
+      ~businesses:
+        [ (x, business_of ~seed graph x); (y, business_of ~seed graph y) ]
+      ~baseline:[ (x, baseline_of graph x); (y, baseline_of graph y) ]
+      ~demands
+  in
+  let model = Model_fast.compile scenario in
+  let u_x, u_y = score_best ~econ_ws:ar.econ model in
+  Obs.incr "market.pairs";
+  if not (Nash.viable ~u_x ~u_y) then
+    {
+      cand;
+      u_x;
+      u_y;
+      viable = false;
+      pod = Float.nan;
+      rounds = 0;
+      converged = false;
+      signed = false;
+    }
+  else begin
+    Obs.incr "market.viable";
+    let r =
+      Service.negotiate ~truthful ~workspace:ar.bosco ~rng ~dist_x:dist
+        ~dist_y:dist ~w ()
+    in
+    Obs.incr "market.negotiations";
+    Obs.incr ~by:r.Service.rounds "market.rounds";
+    let signed = r.Service.converged in
+    if signed then Obs.incr "market.signed";
+    {
+      cand;
+      u_x;
+      u_y;
+      viable = true;
+      pod = r.Service.pod;
+      rounds = r.Service.rounds;
+      converged = r.Service.converged;
+      signed;
+    }
+  end

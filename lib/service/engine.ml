@@ -261,21 +261,49 @@ let check_endpoints t i j =
   check_index t j;
   if i = j then err "apply: self-link on %s" (pp_as t i)
 
-let check_applicable t ev =
+(* Per-pair link state during batch validation: later events of a batch
+   must see the effect of earlier ones (the sequential semantics), so
+   applicability is checked against the base topology shadowed by an
+   overlay of normalized pairs already edited in the batch. *)
+type lstate = Absent | Peered | Transit_pc of { provider : int }
+
+let base_state t lo hi =
+  if Compact.mem_peer t.topo lo hi then Peered
+  else if Compact.mem_customer t.topo lo hi then Transit_pc { provider = lo }
+  else if Compact.mem_customer t.topo hi lo then Transit_pc { provider = hi }
+  else Absent
+
+let check_applicable t overlay ev =
+  let state i j =
+    let lo, hi = if i < j then (i, j) else (j, i) in
+    match Hashtbl.find_opt overlay (lo, hi) with
+    | Some s -> s
+    | None -> base_state t lo hi
+  in
+  let set i j s =
+    let lo, hi = if i < j then (i, j) else (j, i) in
+    Hashtbl.replace overlay (lo, hi) s
+  in
   match ev with
   | Link_up (Peer (i, j)) | Link_up (Transit { provider = i; customer = j }) ->
       check_endpoints t i j;
-      if Compact.connected t.topo i j then
-        err "apply: %s and %s are already linked" (pp_as t i) (pp_as t j)
+      if state i j <> Absent then
+        err "apply: %s and %s are already linked" (pp_as t i) (pp_as t j);
+      set i j
+        (match ev with
+        | Link_up (Peer _) -> Peered
+        | _ -> Transit_pc { provider = i })
   | Link_down (Peer (i, j)) ->
       check_endpoints t i j;
-      if not (Compact.mem_peer t.topo i j) then
-        err "apply: %s and %s are not peers" (pp_as t i) (pp_as t j)
+      if state i j <> Peered then
+        err "apply: %s and %s are not peers" (pp_as t i) (pp_as t j);
+      set i j Absent
   | Link_down (Transit { provider; customer }) ->
       check_endpoints t provider customer;
-      if not (Compact.mem_customer t.topo provider customer) then
+      if state provider customer <> Transit_pc { provider } then
         err "apply: %s is not a provider of %s" (pp_as t provider)
-          (pp_as t customer)
+          (pp_as t customer);
+      set provider customer Absent
 
 let endpoints = function
   | Link_up (Peer (i, j)) | Link_down (Peer (i, j)) -> (i, j)
@@ -285,22 +313,8 @@ let endpoints = function
 
 (* Sources whose scenario paths can differ after flipping link (a, b):
    {a, b} and both endpoints' neighborhoods, taken on the topology
-   before AND after the flip (the union differs only in a/b themselves,
-   but taking both sides keeps the argument one line).  See DESIGN §6f
-   for the sufficiency argument. *)
-let affected_sources before after a b =
-  let n = Compact.num_ases after in
-  let s = Bitset.create ~width:n in
-  Bitset.add s a;
-  Bitset.add s b;
-  let absorb topo =
-    Compact.iter_neighbors topo a (Bitset.unsafe_add s);
-    Compact.iter_neighbors topo b (Bitset.unsafe_add s)
-  in
-  absorb before;
-  absorb after;
-  s
-
+   before AND after the flip.  See DESIGN §6f for the sufficiency
+   argument; [apply_batch] unions these sets over the batch. *)
 let drop_memos t affected =
   let dropped = ref 0 in
   Bitset.iter
@@ -335,14 +349,13 @@ let mutate_mirror t ev =
       Graph.remove_provider_customer t.mirror ~provider:(asn provider)
         ~customer:(asn customer)
 
-let incremental_step topo ev =
-  match ev with
-  | Link_up (Peer (i, j)) -> Compact.Delta.add_peering topo i j
-  | Link_down (Peer (i, j)) -> Compact.Delta.remove_peering topo i j
+let edit_of_event = function
+  | Link_up (Peer (i, j)) -> Compact.Delta.Add_peering (i, j)
+  | Link_down (Peer (i, j)) -> Compact.Delta.Remove_peering (i, j)
   | Link_up (Transit { provider; customer }) ->
-      Compact.Delta.add_provider_customer topo ~provider ~customer
+      Compact.Delta.Add_provider_customer { provider; customer }
   | Link_down (Transit { provider; customer }) ->
-      Compact.Delta.remove_provider_customer topo ~provider ~customer
+      Compact.Delta.Remove_provider_customer { provider; customer }
 
 (* Intent invalidation over the masked candidate store.  Link-down is
    surgical: removing a link only deletes paths, so a cached K-best set
@@ -374,22 +387,61 @@ let drop_intents t ev =
           Hashtbl.remove t.ilinks lk;
           !dropped)
 
-let apply t ev =
-  check_applicable t ev;
-  let before = t.topo in
-  mutate_mirror t ev;
-  let after =
-    match t.mode with
-    | Incremental -> incremental_step before ev
-    | Refreeze -> Compact.freeze t.mirror
-  in
-  t.topo <- after;
-  let a, b = endpoints ev in
-  let dropped =
-    drop_memos t (affected_sources before after a b) + drop_intents t ev
-  in
-  t.events <- t.events + 1;
-  t.invalidated <- t.invalidated + dropped;
-  Obs.incr "serve.events";
-  Obs.incr ~by:dropped "serve.invalidations";
-  dropped
+(* Batch intent invalidation: any link-up flushes the store (same
+   argument as the single-event case — a new link can beat cached
+   candidates anywhere), otherwise each downed link drops its indexed
+   entries surgically. *)
+let drop_intents_batch t evs =
+  if List.exists (function Link_up _ -> true | Link_down _ -> false) evs then (
+    let n = Hashtbl.length t.istore in
+    Hashtbl.reset t.istore;
+    Hashtbl.reset t.ilinks;
+    n)
+  else List.fold_left (fun acc ev -> acc + drop_intents t ev) 0 evs
+
+let apply_batch t evs =
+  match evs with
+  | [] -> 0
+  | _ ->
+      (* Validate the whole batch first (sequential semantics via the
+         overlay): on error nothing — mirror included — has mutated. *)
+      let overlay = Hashtbl.create 16 in
+      List.iter (check_applicable t overlay) evs;
+      let before = t.topo in
+      List.iter (mutate_mirror t) evs;
+      let after =
+        match t.mode with
+        | Incremental ->
+            Compact.Delta.apply_batch before (List.map edit_of_event evs)
+        | Refreeze -> Compact.freeze t.mirror
+      in
+      t.topo <- after;
+      (* Union of per-event affected sources.  Every source whose
+         neighborhood changes at any intermediate step of the sequential
+         fold is an edit endpoint itself, so the union over events of
+         {a, b} ∪ N_before(a, b) ∪ N_after(a, b) — neighborhoods on the
+         batch-boundary topologies only — equals the union the
+         event-at-a-time fold would drop. *)
+      let n = Compact.num_ases after in
+      let affected = Bitset.create ~width:n in
+      List.iter
+        (fun ev ->
+          let a, b = endpoints ev in
+          Bitset.add affected a;
+          Bitset.add affected b;
+          let absorb topo =
+            Compact.iter_neighbors topo a (Bitset.unsafe_add affected);
+            Compact.iter_neighbors topo b (Bitset.unsafe_add affected)
+          in
+          absorb before;
+          absorb after)
+        evs;
+      let dropped = drop_memos t affected + drop_intents_batch t evs in
+      let n_events = List.length evs in
+      t.events <- t.events + n_events;
+      t.invalidated <- t.invalidated + dropped;
+      Obs.incr ~by:n_events "serve.events";
+      Obs.incr ~by:dropped "serve.invalidations";
+      dropped
+
+let apply t ev = apply_batch t [ ev ]

@@ -121,7 +121,23 @@ val prefill :
 val apply : t -> event -> int
 (** Apply one churn event: mutate the mirror, update the frozen view
     (per {!mode}), drop affected memo entries.  Returns the number of
-    path-store entries invalidated.
+    path-store entries invalidated.  Equivalent to [apply_batch t [ev]]
+    (and implemented as such).
     @raise Invalid_argument if the event is not applicable: link already
     present on [Link_up], absent (or of the other class) on [Link_down],
     out-of-range index, or self-link. *)
+
+val apply_batch : t -> event list -> int
+(** Apply N churn events with the sequential semantics of folding
+    {!apply} left-to-right — later events see the effect of earlier
+    ones, and the resulting topology and memo state are identical — but
+    in one pass: one {!Compact.Delta.apply_batch} CSR splice
+    ([Incremental]) or one {!Compact.freeze} ([Refreeze]) for the whole
+    batch, and one memo-invalidation sweep over the union of affected
+    sources.  The marketplace epoch loop applies each epoch's signed
+    agreements this way.  Returns the total number of store entries
+    invalidated.  Unlike the sequential fold, validation of the whole
+    batch happens {e before} any mutation: on raise, the engine is
+    unchanged.
+    @raise Invalid_argument as {!apply}, against the state left by the
+    earlier events of the batch. *)

@@ -255,6 +255,166 @@ module Delta = struct
     let prov_off, prov_adj = remove t.prov_off t.prov_adj customer provider in
     Obs.incr "topology.delta.remove";
     { t with cust_off; cust_adj; prov_off; prov_adj; n_p2c = t.n_p2c - 1 }
+
+  (* ---------------------------------------------------------------- *)
+  (* Batch application: N edits, one splice pass per relationship
+     class.  Semantics are pinned to the left-to-right fold of the
+     single-link operations (same validation, same error messages, and
+     a byte-identical result via Snapshot.to_string), but the arrays
+     are rebuilt once instead of N times. *)
+
+  type edit =
+    | Add_peering of int * int
+    | Remove_peering of int * int
+    | Add_provider_customer of { provider : int; customer : int }
+    | Remove_provider_customer of { provider : int; customer : int }
+
+  (* Directed membership overrides per class: (row, neighbor) -> final
+     presence.  Validation consults base CSR membership unless an
+     earlier edit in the batch overrode it, which reproduces the
+     sequential semantics exactly (including add-then-remove chains on
+     the same pair). *)
+  let mem_ov ov base (i, j) =
+    match Hashtbl.find_opt ov (i, j) with Some b -> b | None -> base i j
+
+  let rebuild_class n off adj ov =
+    if Hashtbl.length ov = 0 then (off, adj)
+    else begin
+      (* group membership overrides per row; each (row, v) key is
+         unique, so assoc lookups below are unambiguous *)
+      let rows = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun (i, v) present ->
+          let prev = try Hashtbl.find rows i with Not_found -> [] in
+          Hashtbl.replace rows i ((v, present) :: prev))
+        ov;
+      let off' = Array.make (n + 1) 0 in
+      for i = 0 to n - 1 do
+        let base = off.(i + 1) - off.(i) in
+        let delta =
+          match Hashtbl.find_opt rows i with
+          | None -> 0
+          | Some l ->
+              List.fold_left
+                (fun d (v, present) ->
+                  let was = row_mem off adj i v in
+                  if present && not was then d + 1
+                  else if (not present) && was then d - 1
+                  else d)
+                0 l
+        in
+        off'.(i + 1) <- off'.(i) + base + delta
+      done;
+      let adj' = Array.make off'.(n) 0 in
+      for i = 0 to n - 1 do
+        match Hashtbl.find_opt rows i with
+        | None -> Array.blit adj off.(i) adj' off'.(i) (off.(i + 1) - off.(i))
+        | Some l ->
+            let adds =
+              List.filter_map
+                (fun (v, present) ->
+                  if present && not (row_mem off adj i v) then Some v else None)
+                l
+              |> List.sort compare
+            in
+            let removed v = List.assoc_opt v l = Some false in
+            (* merge the surviving base row with the sorted additions;
+               both sides are ascending, so the output row is too *)
+            let k = ref off'.(i) in
+            let bp = ref off.(i) in
+            let pending = ref adds in
+            let emit v =
+              adj'.(!k) <- v;
+              incr k
+            in
+            while !bp < off.(i + 1) || !pending <> [] do
+              match !pending with
+              | a :: rest when !bp >= off.(i + 1) || a < adj.(!bp) ->
+                  emit a;
+                  pending := rest
+              | _ ->
+                  let v = adj.(!bp) in
+                  incr bp;
+                  if not (removed v) then emit v
+            done
+      done;
+      (off', adj')
+    end
+
+  let apply_batch t edits =
+    let n = num_ases t in
+    let peer_ov = Hashtbl.create 16 in
+    let cust_ov = Hashtbl.create 16 in
+    let prov_ov = Hashtbl.create 16 in
+    let mem_peer' i j = mem_ov peer_ov (mem_peer t) (i, j) in
+    let mem_customer' i j = mem_ov cust_ov (mem_customer t) (i, j) in
+    let mem_provider' i j = mem_ov prov_ov (mem_provider t) (i, j) in
+    let connected' i j = mem_provider' i j || mem_peer' i j || mem_customer' i j in
+    let check_unconnected' name i j =
+      if connected' i j then
+        err name "AS%d and AS%d are already linked" (Asn.to_int t.ids.(i))
+          (Asn.to_int t.ids.(j))
+    in
+    let p2p = ref t.n_p2p and p2c = ref t.n_p2c in
+    List.iter
+      (fun edit ->
+        match edit with
+        | Add_peering (i, j) ->
+            let name = "add_peering" in
+            check_endpoints name t i j;
+            check_unconnected' name i j;
+            Hashtbl.replace peer_ov (i, j) true;
+            Hashtbl.replace peer_ov (j, i) true;
+            incr p2p;
+            Obs.incr "topology.delta.add"
+        | Remove_peering (i, j) ->
+            let name = "remove_peering" in
+            check_endpoints name t i j;
+            if not (mem_peer' i j) then
+              err name "AS%d and AS%d are not peers" (Asn.to_int t.ids.(i))
+                (Asn.to_int t.ids.(j));
+            Hashtbl.replace peer_ov (i, j) false;
+            Hashtbl.replace peer_ov (j, i) false;
+            decr p2p;
+            Obs.incr "topology.delta.remove"
+        | Add_provider_customer { provider; customer } ->
+            let name = "add_provider_customer" in
+            check_endpoints name t provider customer;
+            check_unconnected' name provider customer;
+            Hashtbl.replace cust_ov (provider, customer) true;
+            Hashtbl.replace prov_ov (customer, provider) true;
+            incr p2c;
+            Obs.incr "topology.delta.add"
+        | Remove_provider_customer { provider; customer } ->
+            let name = "remove_provider_customer" in
+            check_endpoints name t provider customer;
+            if not (mem_customer' provider customer) then
+              err name "AS%d is not a provider of AS%d"
+                (Asn.to_int t.ids.(provider))
+                (Asn.to_int t.ids.(customer));
+            Hashtbl.replace cust_ov (provider, customer) false;
+            Hashtbl.replace prov_ov (customer, provider) false;
+            decr p2c;
+            Obs.incr "topology.delta.remove")
+      edits;
+    if edits = [] then t
+    else begin
+      let peer_off, peer_adj = rebuild_class n t.peer_off t.peer_adj peer_ov in
+      let cust_off, cust_adj = rebuild_class n t.cust_off t.cust_adj cust_ov in
+      let prov_off, prov_adj = rebuild_class n t.prov_off t.prov_adj prov_ov in
+      Obs.incr "topology.delta.batch";
+      {
+        t with
+        peer_off;
+        peer_adj;
+        cust_off;
+        cust_adj;
+        prov_off;
+        prov_adj;
+        n_p2p = !p2p;
+        n_p2c = !p2c;
+      }
+    end
 end
 
 (* ------------------------------------------------------------------ *)

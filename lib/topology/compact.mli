@@ -127,6 +127,27 @@ module Delta : sig
   val remove_provider_customer : t -> provider:int -> customer:int -> t
   (** @raise Invalid_argument if [provider] is not a provider of
       [customer]. *)
+
+  (** One link edit of a batch, endpoints as dense indices. *)
+  type edit =
+    | Add_peering of int * int
+    | Remove_peering of int * int
+    | Add_provider_customer of { provider : int; customer : int }
+    | Remove_provider_customer of { provider : int; customer : int }
+
+  val apply_batch : t -> edit list -> t
+  (** [apply_batch t edits] applies the edits left-to-right with the
+      exact semantics (validation order, error messages, byte-identical
+      result) of folding the single-link operations above, but rebuilds
+      each touched relationship class in {e one} splice pass instead of
+      one per edit — the marketplace epoch loop applies hundreds of
+      signed agreements per epoch this way, and [serve] churn replay
+      uses the same entry point.  Edits may revisit the same pair
+      (add-then-remove chains behave as in the sequential fold).
+      Validation sees the effect of earlier edits in the batch.
+      Increments [topology.delta.add]/[remove] per edit plus one
+      [topology.delta.batch].
+      @raise Invalid_argument exactly when the sequential fold would. *)
 end
 
 (** Immutable subgraph restrictions over a frozen view — the masked

@@ -378,6 +378,58 @@ let test_service_grid_construction () =
   in
   Alcotest.(check bool) "grid negotiation verifies" true (Service.verify r)
 
+(* ------------------------------------------------------------------ *)
+(* Workspace CDF cache: bounded, LRU, and a pure memo                  *)
+
+let test_workspace_cache_eviction () =
+  Alcotest.check_raises "capacity < 1 rejected"
+    (Invalid_argument "Workspace.create: cache_capacity < 1") (fun () ->
+      ignore (Workspace.create ~cache_capacity:0 () : Workspace.t));
+  let ws = Workspace.create ~cache_capacity:2 () in
+  Alcotest.(check int) "capacity accessor" 2 (Workspace.cache_capacity ws);
+  let t1 = [| -0.5; 0.0; 0.5 |]
+  and t2 = [| -0.25; 0.25 |]
+  and t3 = [| -0.75; -0.1; 0.3; 0.8 |] in
+  let probe thresholds =
+    Array.copy (Workspace.choice_probabilities ws u1 thresholds)
+  in
+  let p1 = probe t1 and p2 = probe t2 in
+  Alcotest.(check int) "two entries live" 2 (Workspace.cache_size ws);
+  (* hit: same physical thresholds return the cached array itself *)
+  Alcotest.(check bool) "t1 hit is physically cached" true
+    (Workspace.choice_probabilities ws u1 t1
+    == Workspace.choice_probabilities ws u1 t1);
+  (* t1 was just promoted to most-recent, so inserting t3 evicts t2 *)
+  let p3 = probe t3 in
+  Alcotest.(check int) "still at capacity" 2 (Workspace.cache_size ws);
+  Alcotest.(check bool) "t1 survived (was promoted)" true
+    (Array.copy (Workspace.choice_probabilities ws u1 t1) = p1);
+  (* recomputing the evicted entry is bit-identical to a fresh
+     workspace: eviction can never change results *)
+  let fresh = Workspace.create () in
+  Alcotest.(check bool) "evicted t2 recomputes bit-identically" true
+    (probe t2 = Array.copy (Workspace.choice_probabilities fresh u1 t2));
+  Alcotest.(check bool) "t3 stable across the t2 re-insertion" true
+    (probe t3 = p3);
+  Workspace.clear_cache ws;
+  Alcotest.(check int) "clear_cache empties" 0 (Workspace.cache_size ws);
+  Alcotest.(check bool) "post-clear recompute bit-identical" true
+    (probe t1 = p1 && probe t2 = p2 && probe t3 = p3)
+
+let test_workspace_capacity_invariant_negotiation () =
+  (* a cap of 1 forces an eviction on every opponent switch inside
+     best-response dynamics; the negotiation must not notice *)
+  let run workspace =
+    let rng = Rng.create 21 in
+    Service.negotiate ?workspace ~rng ~dist_x:u1 ~dist_y:u1 ~w:20 ()
+  in
+  let base = run None in
+  let tiny = run (Some (Workspace.create ~cache_capacity:1 ())) in
+  Alcotest.(check bool) "cache_capacity:1 negotiation bit-identical" true
+    (base.Service.pod = tiny.Service.pod
+    && base.Service.rounds = tiny.Service.rounds
+    && base.Service.converged = tiny.Service.converged)
+
 let suite =
   [
     Alcotest.test_case "claim of_list" `Quick test_claim_of_list;
@@ -429,4 +481,8 @@ let suite =
       test_service_trials_and_best;
     Alcotest.test_case "service grid construction" `Quick
       test_service_grid_construction;
+    Alcotest.test_case "workspace cache eviction (LRU, bounded, pure)" `Quick
+      test_workspace_cache_eviction;
+    Alcotest.test_case "workspace capacity invariant under negotiation" `Quick
+      test_workspace_capacity_invariant_negotiation;
   ]

@@ -52,4 +52,5 @@ let () =
       ("obs.bench_json", Test_bench_json.suite);
       ("service.serve", Test_serve.suite);
       ("intent", Test_intent.suite);
+      ("market", Test_market.suite);
     ]

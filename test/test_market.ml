@@ -1,0 +1,178 @@
+(* Marketplace determinism suite (lib/market).
+
+   The headline properties, in the spirit of the PR 5 runner-equivalence
+   and PR 7 churn-equivalence suites: a marketplace run's epoch outcomes
+   — the signed agreement set, welfare totals, and the byte-exact
+   transcript fingerprint — are identical for every pool size, for every
+   chunk size, and under injected faults with retries; and the epoch
+   loop's incrementally-spliced topology is byte-identical to a
+   from-scratch freeze of the equivalently-mutated graph (the Delta
+   oracle). *)
+
+open Pan_topology
+open Pan_market
+module Pool = Pan_runner.Pool
+module Fault = Pan_runner.Fault
+
+let gen_graph ?(n_transit = 8) ?(n_stub = 30) seed =
+  let params = { Gen.default_params with Gen.n_transit; Gen.n_stub } in
+  Gen.graph (Gen.generate ~params ~seed ())
+
+let config ?(epochs = 2) ?(seed = 11) () =
+  {
+    Market.default with
+    Market.epochs;
+    w = 8;
+    max_candidates = 32;
+    chunk = 5;
+    seed;
+  }
+
+let same_result (a : Market.result) (b : Market.result) =
+  String.equal a.Market.fingerprint b.Market.fingerprint
+  && a.Market.agreements = b.Market.agreements
+  && a.Market.welfare = b.Market.welfare
+  && List.map (fun (r : Market.epoch_report) -> (r.Market.epoch, r.Market.welfare)) a.Market.reports
+     = List.map (fun (r : Market.epoch_report) -> (r.Market.epoch, r.Market.welfare)) b.Market.reports
+
+(* ------------------------------------------------------------------ *)
+(* j=1 = j=4, any chunk size                                           *)
+
+let qcheck_jobs_equivalence =
+  QCheck.Test.make ~count:4
+    ~name:"market: epoch outcomes byte-identical at j=1 vs j=4, any chunk"
+    QCheck.(int_range 1 1_000)
+    (fun seed ->
+      let g = gen_graph seed in
+      let cfg = config ~seed () in
+      let seq = Market.run cfg g in
+      let par =
+        Pool.with_pool ~domains:4 (fun pool -> Market.run ~pool cfg g)
+      in
+      let rechunked = Market.run { cfg with Market.chunk = 16 } g in
+      same_result seq par && same_result seq rechunked)
+
+(* ------------------------------------------------------------------ *)
+(* Faults + retries reproduce the fault-free run                       *)
+
+let qcheck_fault_equivalence =
+  QCheck.Test.make ~count:3
+    ~name:"market: faulty run with retries = fault-free, j=1 and j=4"
+    QCheck.(int_range 1 1_000)
+    (fun seed ->
+      let g = gen_graph seed in
+      let cfg = config ~seed () in
+      let baseline = Market.run cfg g in
+      (* rate 0.3 with 10 retries: exhausting a chunk is ~6e-6 *)
+      Fault.set
+        (Some { Fault.seed; rate = 0.3; delay = 0.0; delay_rate = 0.0 });
+      Fun.protect
+        ~finally:(fun () -> Fault.set None)
+        (fun () ->
+          let faulty_seq = Market.run ~retries:10 cfg g in
+          let faulty_par =
+            Pool.with_pool ~domains:4 (fun pool ->
+                Market.run ~pool ~retries:10 cfg g)
+          in
+          same_result baseline faulty_seq && same_result baseline faulty_par))
+
+(* ------------------------------------------------------------------ *)
+(* Delta oracle: spliced topology = from-scratch freeze, every epoch   *)
+
+let test_delta_oracle () =
+  let g = gen_graph 3 in
+  let r = Market.run ~oracle:true (config ~seed:3 ()) g in
+  Alcotest.(check (option bool)) "oracle" (Some true) r.Market.oracle_ok;
+  Alcotest.(check bool) "candidates were scored" true (r.Market.pairs > 0);
+  Alcotest.(check bool) "negotiations ran" true (r.Market.negotiations > 0);
+  Alcotest.(check bool) "agreements were signed" true
+    (r.Market.agreements <> []);
+  Alcotest.(check int) "reports cover the signed totals"
+    (List.length r.Market.agreements)
+    (List.fold_left
+       (fun acc (e : Market.epoch_report) -> acc + e.Market.signed)
+       0 r.Market.reports)
+
+(* Signing reshapes the next epoch: every signed pair is connected
+   afterwards, so no agreement can recur across epochs. *)
+let test_agreements_distinct () =
+  let g = gen_graph 7 in
+  let r = Market.run (config ~epochs:3 ~seed:7 ()) g in
+  let norm (x, y) = if Asn.compare x y <= 0 then (x, y) else (y, x) in
+  let pairs = List.map norm r.Market.agreements in
+  Alcotest.(check int) "no pair signed twice"
+    (List.length pairs)
+    (List.length (List.sort_uniq compare pairs))
+
+(* ------------------------------------------------------------------ *)
+(* Arena reuse is pure scratch: re-negotiating is bit-identical        *)
+
+let test_negotiate_pair_deterministic () =
+  let g = gen_graph 5 in
+  let topo = Compact.freeze g in
+  let cands = Candidates.enumerate ~min_gain:2 topo in
+  Alcotest.(check bool) "have candidates" true (Array.length cands > 0);
+  let dist = Pan_numerics.Distribution.uniform (-1.0) 1.0 in
+  let truthful = 1.0 /. 12.0 in
+  let once i =
+    Negotiate.negotiate_pair ~graph:g ~topo ~seed:5 ~epoch:1 ~w:8
+      ~max_demands:3 ~truthful ~dist cands.(i)
+  in
+  for i = 0 to Int.min 4 (Array.length cands - 1) do
+    let a = once i and b = once i in
+    Alcotest.(check bool)
+      (Printf.sprintf "outcome %d bit-identical on arena reuse" i)
+      true
+      (a.Negotiate.u_x = b.Negotiate.u_x
+      && a.Negotiate.u_y = b.Negotiate.u_y
+      && (a.Negotiate.pod = b.Negotiate.pod
+         || (Float.is_nan a.Negotiate.pod && Float.is_nan b.Negotiate.pod))
+      && a.Negotiate.rounds = b.Negotiate.rounds
+      && a.Negotiate.signed = b.Negotiate.signed)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Candidate enumeration invariants                                    *)
+
+let test_candidates_sound () =
+  let g = gen_graph 9 in
+  let topo = Compact.freeze g in
+  let cands = Candidates.enumerate ~min_gain:2 ~max_candidates:1000 topo in
+  Array.iter
+    (fun (c : Candidates.t) ->
+      if c.Candidates.x >= c.Candidates.y then Alcotest.fail "x >= y";
+      if Compact.connected topo c.Candidates.x c.Candidates.y then
+        Alcotest.fail "candidate pair already connected";
+      let gx, gy = Candidates.gains topo c.Candidates.x c.Candidates.y in
+      Alcotest.(check int) "gain_x" gx c.Candidates.gain_x;
+      Alcotest.(check int) "gain_y" gy c.Candidates.gain_y;
+      if gx < 2 || gy < 2 then Alcotest.fail "below min_gain";
+      (* the cheap CSR count agrees with the bitset path algebra *)
+      Alcotest.(check int) "gain_x = |ma_gain|"
+        (Bitset.cardinal
+           (Path_enum_compact.ma_gain topo c.Candidates.x c.Candidates.y))
+        gx;
+      Alcotest.(check int) "gain_y = |ma_gain|"
+        (Bitset.cardinal
+           (Path_enum_compact.ma_gain topo c.Candidates.y c.Candidates.x))
+        gy)
+    cands;
+  (* pool-size independence of the enumeration itself *)
+  let par =
+    Pool.with_pool ~domains:4 (fun pool ->
+        Candidates.enumerate ~pool ~min_gain:2 ~max_candidates:1000 topo)
+  in
+  Alcotest.(check bool) "enumerate j=1 = j=4" true (cands = par)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_jobs_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_fault_equivalence;
+    Alcotest.test_case "delta oracle across epochs" `Quick test_delta_oracle;
+    Alcotest.test_case "agreements distinct across epochs" `Quick
+      test_agreements_distinct;
+    Alcotest.test_case "negotiate_pair deterministic on arena reuse" `Quick
+      test_negotiate_pair_deterministic;
+    Alcotest.test_case "candidate enumeration sound" `Quick
+      test_candidates_sound;
+  ]

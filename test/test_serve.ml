@@ -186,6 +186,100 @@ let qcheck_freeze_thaw =
       let c = Compact.freeze (gen_graph seed) in
       frozen_equal c (Compact.freeze (Compact.thaw c)))
 
+(* ------------------------------------------------------------------ *)
+(* Batch application = sequential fold                                  *)
+
+let delta_edit_of_event = function
+  | Engine.Link_up (Engine.Peer (i, j)) -> Compact.Delta.Add_peering (i, j)
+  | Engine.Link_down (Engine.Peer (i, j)) ->
+      Compact.Delta.Remove_peering (i, j)
+  | Engine.Link_up (Engine.Transit { provider; customer }) ->
+      Compact.Delta.Add_provider_customer { provider; customer }
+  | Engine.Link_down (Engine.Transit { provider; customer }) ->
+      Compact.Delta.Remove_provider_customer { provider; customer }
+
+let apply_single topo = function
+  | Compact.Delta.Add_peering (i, j) -> Compact.Delta.add_peering topo i j
+  | Compact.Delta.Remove_peering (i, j) ->
+      Compact.Delta.remove_peering topo i j
+  | Compact.Delta.Add_provider_customer { provider; customer } ->
+      Compact.Delta.add_provider_customer topo ~provider ~customer
+  | Compact.Delta.Remove_provider_customer { provider; customer } ->
+      Compact.Delta.remove_provider_customer topo ~provider ~customer
+
+let qcheck_batch_equals_sequential =
+  QCheck.Test.make ~count:20
+    ~name:"Delta.apply_batch = sequential single-link fold (byte-identical)"
+    QCheck.(pair (int_range 1 10_000) (int_range 0 40))
+    (fun (seed, n_events) ->
+      let topo = Compact.freeze (gen_graph seed) in
+      let edits =
+        gen_events ~seed:(seed + 1) ~topo n_events
+        |> List.map (fun item ->
+               delta_edit_of_event (Serve.event_of_item topo item))
+      in
+      let sequential = List.fold_left apply_single topo edits in
+      let batch = Compact.Delta.apply_batch topo edits in
+      frozen_equal sequential batch
+      (* add-then-remove chains on the same pair collapse correctly *)
+      &&
+      match edits with
+      | Compact.Delta.Add_peering (i, j) :: _ ->
+          frozen_equal topo
+            (Compact.Delta.apply_batch topo
+               [
+                 Compact.Delta.Add_peering (i, j);
+                 Compact.Delta.Remove_peering (i, j);
+               ])
+      | _ -> true)
+
+let qcheck_engine_batch_equals_fold =
+  QCheck.Test.make ~count:15
+    ~name:"Engine.apply_batch = folded Engine.apply (topology, store, counts)"
+    QCheck.(pair (int_range 1 10_000) (int_range 1 30))
+    (fun (seed, n_events) ->
+      let topo = Compact.freeze (gen_graph seed) in
+      let evs =
+        gen_events ~seed:(seed + 1) ~topo n_events
+        |> List.map (Serve.event_of_item topo)
+      in
+      let e_fold = Engine.create topo and e_batch = Engine.create topo in
+      (* warm both stores identically so the splice has entries to drop *)
+      let n = Compact.num_ases topo in
+      let rng = Rng.create (seed + 2) in
+      let pairs =
+        List.init 25 (fun _ ->
+            let src = Rng.int rng n in
+            let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+            (src, dst))
+      in
+      List.iter
+        (fun (src, dst) ->
+          List.iter
+            (fun policy ->
+              ignore (Engine.query e_fold ~src ~dst ~policy : int list);
+              ignore (Engine.query e_batch ~src ~dst ~policy : int list))
+            policies)
+        pairs;
+      let d_fold =
+        List.fold_left (fun acc ev -> acc + Engine.apply e_fold ev) 0 evs
+      in
+      let d_batch = Engine.apply_batch e_batch evs in
+      d_fold = d_batch
+      && frozen_equal (Engine.topology e_fold) (Engine.topology e_batch)
+      && (Engine.stats e_fold).Engine.events
+         = (Engine.stats e_batch).Engine.events
+      && List.for_all
+           (fun (src, dst) ->
+             List.for_all
+               (fun policy ->
+                 Engine.query e_fold ~src ~dst ~policy
+                 = Engine.query e_batch ~src ~dst ~policy
+                 && Engine.query e_batch ~src ~dst ~policy
+                    = Engine.query_uncached e_batch ~src ~dst ~policy)
+               policies)
+           pairs)
+
 (* A 5-AS topology small enough to check answers by hand:
      AS1 provider of AS2 and AS3;  AS2 -- AS3 peering;
      AS2 provider of AS4;  AS3 provider of AS5.
@@ -240,6 +334,37 @@ let test_engine_apply_validation () =
       Engine.apply e (Engine.Link_up (Engine.Peer (0, 0))));
   expect "out of range" "Engine.apply: index 7 outside [0, 5)" (fun () ->
       Engine.apply e (Engine.Link_up (Engine.Peer (0, 7))))
+
+let test_engine_batch_validates_before_mutation () =
+  let e = Engine.of_graph (hand_graph ()) in
+  let before = Compact.Snapshot.to_string (Engine.topology e) in
+  (* second event invalid against the state left by the first *)
+  (try
+     ignore
+       (Engine.apply_batch e
+          [
+            Engine.Link_up (Engine.Peer (0, 3));
+            Engine.Link_up (Engine.Peer (0, 3));
+          ]
+        : int);
+     Alcotest.fail "duplicate up accepted"
+   with Invalid_argument msg ->
+     Alcotest.(check string) "sequential-semantics message"
+       "Engine.apply: AS1 and AS4 are already linked" msg);
+  Alcotest.(check string) "engine unchanged on batch failure" before
+    (Compact.Snapshot.to_string (Engine.topology e));
+  Alcotest.(check int) "no events recorded" 0 (Engine.stats e).Engine.events;
+  (* down-then-up of the same pair is valid within one batch *)
+  let dropped =
+    Engine.apply_batch e
+      [
+        Engine.Link_down (Engine.Peer (1, 2));
+        Engine.Link_up (Engine.Peer (1, 2));
+      ]
+  in
+  Alcotest.(check bool) "round-trip batch applies" true (dropped >= 0);
+  Alcotest.(check string) "round-trip leaves topology identical" before
+    (Compact.Snapshot.to_string (Engine.topology e))
 
 (* ------------------------------------------------------------------ *)
 (* Invalidation soundness: warm every pair, churn, re-check every pair  *)
@@ -443,6 +568,10 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_store_equivalence;
     QCheck_alcotest.to_alcotest qcheck_delta_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_freeze_thaw;
+    QCheck_alcotest.to_alcotest qcheck_batch_equals_sequential;
+    QCheck_alcotest.to_alcotest qcheck_engine_batch_equals_fold;
+    Alcotest.test_case "Engine.apply_batch validates before mutating" `Quick
+      test_engine_batch_validates_before_mutation;
     Alcotest.test_case "Delta validation errors" `Quick test_delta_validation;
     Alcotest.test_case "Engine.apply validation errors" `Quick
       test_engine_apply_validation;
