@@ -1,6 +1,6 @@
 .PHONY: all build quick test bench bench-topo bench-bosco bench-faults \
-	bench-serve bench-intent bench-market bench-snapshots validate-bench \
-	profile clean
+	bench-serve bench-intent bench-market bench-market-mech \
+	bench-snapshots validate-bench profile clean
 
 all: build
 
@@ -68,10 +68,22 @@ bench-intent:
 bench-market:
 	dune exec bench/main.exe -- market
 
+# Mechanism comparison (bench part 14): the marketplace in Both mode —
+# BOSCO and the Nash-Peering global-bargaining qualifier on shared
+# epoch snapshots and identical candidate streams — timed at -j1/-j2/
+# -j4, with per-epoch welfare / agreement-count / PoD comparison lines
+# and the same fingerprint, re-run, and re-freeze-oracle checks as part
+# 13; exits non-zero on any mismatch (CI runs the `market-mech-smoke`
+# variant through the bench-market-mech-smoke alias, which also
+# schema-checks the emitted BENCH_market_mech.json).
+bench-market-mech:
+	dune exec bench/main.exe -- market-mech
+
 # Machine-readable bench trajectory: run the econ-kernel, topology-
-# snapshot, BOSCO, serve, intent, and market parts at smoke scale, emit
-# BENCH_<part>.json for each, and re-validate the files through the
-# schema checker (CI runs the same alias).
+# snapshot, BOSCO, serve, intent, market, and mechanism-comparison
+# parts at smoke scale, emit BENCH_<part>.json for each, and
+# re-validate the files through the schema checker (CI runs the same
+# alias).
 bench-snapshots:
 	dune build @bench/bench-snapshot-smoke
 

@@ -1296,6 +1296,104 @@ let run_market scale =
        ());
   !ok
 
+(* ------------------------------------------------------------------ *)
+(* Part 14: mechanism comparison (Bosco vs Nash-Peering, Both mode)    *)
+
+let run_market_mech scale =
+  let module M = Pan_market.Market in
+  section
+    "Mechanism comparison: Bosco vs Nash-Peering on shared candidate streams";
+  let n_transit, n_stub, epochs, max_candidates, w = market_params scale in
+  let params = { Gen.default_params with Gen.n_transit; Gen.n_stub } in
+  let g = Gen.graph (Gen.generate ~params ~seed:42 ()) in
+  Format.fprintf fmt "topology: %a@." Graph.pp_stats g;
+  let config = { M.default with M.epochs; w; max_candidates; chunk = 8 } in
+  let ok = ref true in
+  (* Both mode negotiates the full candidate stream and scores the
+     Nash-Peering arm counterfactually on the same outcomes, so the
+     comparison rides the epoch loop at the Bosco arm's cost; the
+     fingerprint covers the comparison records too and must match -j1 at
+     every pool size. *)
+  let results = ref [] in
+  Format.fprintf fmt "%4s %10s %15s  %s@." "j" "wall (s)" "negotiations/s"
+    "fingerprint";
+  List.iter
+    (fun j ->
+      let r, t =
+        if j = 1 then time (fun () -> M.run ~mechanism:M.Both config g)
+        else
+          Pan_runner.Pool.with_pool ~domains:j (fun pool ->
+              time (fun () -> M.run ~pool ~mechanism:M.Both config g))
+      in
+      let rate = float_of_int r.M.negotiations /. t in
+      results := (j, r, t, rate) :: !results;
+      Format.fprintf fmt "%4d %10.3f %15.0f  %s@." j t rate r.M.fingerprint)
+    [ 1; 2; 4 ];
+  let results = List.rev !results in
+  let _, r1, t1, rate1 = List.hd results in
+  let jobs_equal =
+    List.for_all
+      (fun (_, r, _, _) -> String.equal r.M.fingerprint r1.M.fingerprint)
+      results
+  in
+  if not jobs_equal then ok := false;
+  let r1', _ = time (fun () -> M.run ~mechanism:M.Both config g) in
+  let rerun_equal = String.equal r1.M.fingerprint r1'.M.fingerprint in
+  if not rerun_equal then ok := false;
+  (* Re-freeze oracle, as in part 13: the Both-mode splice chain (the
+     Bosco arm's signings) must equal a from-scratch freeze per epoch. *)
+  let oracle = M.run ~oracle:true ~mechanism:M.Both config g in
+  let oracle_ok = oracle.M.oracle_ok = Some true in
+  if not oracle_ok then ok := false;
+  let mech_meta = ref [] in
+  List.iter
+    (fun (e : M.epoch_report) ->
+      match e.M.mech with
+      | None -> ok := false
+      | Some c ->
+          Format.fprintf fmt
+            "epoch %d: bosco %d signed welfare %.3f pod %.3f | nash-peering \
+             %d/%d qualified %d signed welfare %.3f pod %.3f@."
+            e.M.epoch c.M.bosco_signed c.M.bosco_welfare c.M.bosco_pod
+            c.M.cmp_qualified e.M.candidates c.M.nash_signed c.M.nash_welfare
+            c.M.nash_pod;
+          let p = Printf.sprintf "epoch%d_" e.M.epoch in
+          mech_meta :=
+            !mech_meta
+            @ [
+                (p ^ "qualified", string_of_int c.M.cmp_qualified);
+                (p ^ "bosco_signed", string_of_int c.M.bosco_signed);
+                (p ^ "bosco_welfare", Printf.sprintf "%.3f" c.M.bosco_welfare);
+                (p ^ "bosco_pod", Printf.sprintf "%.3f" c.M.bosco_pod);
+                (p ^ "nash_signed", string_of_int c.M.nash_signed);
+                (p ^ "nash_welfare", Printf.sprintf "%.3f" c.M.nash_welfare);
+                (p ^ "nash_pod", Printf.sprintf "%.3f" c.M.nash_pod);
+              ])
+    r1.M.reports;
+  Format.fprintf fmt
+    "agreements: %d, welfare %.3f; -j equal %b, rerun equal %b, oracle %b@."
+    (List.length r1.M.agreements)
+    r1.M.welfare jobs_equal rerun_equal oracle_ok;
+  let _, r4, _, rate4 = List.find (fun (j, _, _, _) -> j = 4) results in
+  emit_snapshot
+    (Pan_obs.Bench_snap.make ~part:"market_mech" ~wall_s:t1 ~throughput:rate1
+       ~speedup:(rate4 /. rate1) ~fingerprint:r1.M.fingerprint ~jobs:4
+       ~meta:
+         ([
+            ("mechanism", "both");
+            ("epochs", string_of_int epochs);
+            ("pairs", string_of_int r1.M.pairs);
+            ("negotiations", string_of_int r1.M.negotiations);
+            ("agreements", string_of_int (List.length r1.M.agreements));
+            ("welfare", Printf.sprintf "%.3f" r1.M.welfare);
+            ("fingerprint_j1", r1.M.fingerprint);
+            ("fingerprint_j4", r4.M.fingerprint);
+            ("oracle", string_of_bool oracle_ok);
+          ]
+         @ !mech_meta)
+       ());
+  !ok
+
 let full_run () =
   reproduce_gadgets ();
   reproduce_methods ();
@@ -1321,6 +1419,7 @@ let full_run () =
   ignore (run_serve `Smoke : bool);
   ignore (run_intent `Smoke : bool);
   ignore (run_market `Smoke : bool);
+  ignore (run_market_mech `Smoke : bool);
   run_benchmarks ();
   run_runner_pair ();
   obs_profile ()
@@ -1343,6 +1442,8 @@ let () =
   | "intent-smoke" -> if not (run_intent `Smoke) then exit 1
   | "market" -> if not (run_market `Full) then exit 1
   | "market-smoke" -> if not (run_market `Smoke) then exit 1
+  | "market-mech" -> if not (run_market_mech `Full) then exit 1
+  | "market-mech-smoke" -> if not (run_market_mech `Smoke) then exit 1
   | "validate-bench" ->
       validate_bench
         (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)))
@@ -1351,7 +1452,8 @@ let () =
         "usage: %s \
          [topo|topo-full|topo-snapshot|topo-snapshot-smoke|bosco|bosco-smoke|\
          econ|econ-smoke|faults|serve|serve-smoke|intent|intent-smoke|\
-         market|market-smoke|validate-bench FILE...]  \
+         market|market-smoke|market-mech|market-mech-smoke|\
+         validate-bench FILE...]  \
          (unknown part %S)@."
         Sys.argv.(0) other;
       exit 2);

@@ -14,20 +14,43 @@ let seed_arg =
   let doc = "Random seed (all experiments are deterministic given it)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~doc)
 
+(* Bounded numeric parsers, shared by every subcommand so out-of-range
+   values are rejected at parse time with one uniform wording (the
+   messages are cram-pinned).  Rejecting 0 here matters: several knobs
+   (--epochs, --max-candidates) would otherwise be accepted and silently
+   produce an empty run. *)
+let int_at_least lo =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= lo -> Ok n
+    | Ok _ ->
+        Error
+          (`Msg
+             (Printf.sprintf "invalid value '%s' (expected an integer >= %d)"
+                s lo))
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
+let positive_int = int_at_least 1
+let nonneg_int = int_at_least 0
+
+let pos_float =
+  let parse s =
+    match Arg.conv_parser Arg.float s with
+    | Ok d when d > 0.0 -> Ok d
+    | Ok _ ->
+        Error
+          (`Msg (Printf.sprintf "invalid value '%s' (expected a number > 0)" s))
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.float)
+
 let jobs_arg =
   let doc =
     "Worker domains for the parallel experiment engine.  Seeding is \
      chunk-deterministic, so the output is identical for any value \
      (including 1, the sequential path)."
-  in
-  let positive_int =
-    let parse s =
-      match Arg.conv_parser Arg.int s with
-      | Ok n when n >= 1 -> Ok n
-      | Ok _ -> Error (`Msg "must be at least 1")
-      | Error _ as e -> e
-    in
-    Arg.conv (parse, Arg.conv_printer Arg.int)
   in
   Arg.(value & opt positive_int 1 & info [ "j"; "jobs" ] ~doc)
 
@@ -45,15 +68,6 @@ let retries_arg =
      replay their deterministic RNG split, so a run that recovers from \
      (injected) faults is byte-identical to a fault-free run."
   in
-  let nonneg_int =
-    let parse s =
-      match Arg.conv_parser Arg.int s with
-      | Ok n when n >= 0 -> Ok n
-      | Ok _ -> Error (`Msg "must be non-negative")
-      | Error _ as e -> e
-    in
-    Arg.conv (parse, Arg.conv_printer Arg.int)
-  in
   Arg.(value & opt nonneg_int 0 & info [ "retries" ] ~doc ~docv:"N")
 
 let deadline_arg =
@@ -61,15 +75,6 @@ let deadline_arg =
     "Abort the run once $(docv) seconds of wall clock have elapsed \
      (checked cooperatively at chunk boundaries; honors \
      PANAGREE_VCLOCK)."
-  in
-  let pos_float =
-    let parse s =
-      match Arg.conv_parser Arg.float s with
-      | Ok d when d > 0.0 -> Ok d
-      | Ok _ -> Error (`Msg "must be positive")
-      | Error _ as e -> e
-    in
-    Arg.conv (parse, Arg.conv_printer Arg.float)
   in
   Arg.(value & opt (some pos_float) None
        & info [ "deadline" ] ~doc ~docv:"SECONDS")
@@ -668,16 +673,17 @@ let market_cmd =
        signed agreements back in, reshaping the next epoch's candidate \
        set.  Stops early when an epoch signs nothing."
     in
-    Arg.(value & opt int Market.default.Market.epochs
+    Arg.(value & opt positive_int Market.default.Market.epochs
          & info [ "epochs" ] ~doc ~docv:"N")
   in
   let w_arg =
     let doc = "Choice-set cardinality W of each BOSCO negotiation." in
-    Arg.(value & opt int Market.default.Market.w & info [ "w" ] ~doc ~docv:"W")
+    Arg.(value & opt positive_int Market.default.Market.w
+         & info [ "w" ] ~doc ~docv:"W")
   in
   let demands_arg =
     let doc = "Traffic demands per direction in each candidate scenario." in
-    Arg.(value & opt int Market.default.Market.max_demands
+    Arg.(value & opt positive_int Market.default.Market.max_demands
          & info [ "demands" ] ~doc ~docv:"N")
   in
   let min_gain_arg =
@@ -685,12 +691,12 @@ let market_cmd =
       "Minimum destinations each side must gain for a pair to be a \
        candidate."
     in
-    Arg.(value & opt int Market.default.Market.min_gain
+    Arg.(value & opt positive_int Market.default.Market.min_gain
          & info [ "min-gain" ] ~doc ~docv:"N")
   in
   let max_candidates_arg =
     let doc = "Candidate pairs negotiated per epoch (highest gain first)." in
-    Arg.(value & opt int Market.default.Market.max_candidates
+    Arg.(value & opt positive_int Market.default.Market.max_candidates
          & info [ "max-candidates" ] ~doc ~docv:"N")
   in
   let chunk_arg =
@@ -698,8 +704,30 @@ let market_cmd =
       "Negotiations per scheduled chunk.  Results are chunk-deterministic: \
        identical for every chunk size and every --jobs value."
     in
-    Arg.(value & opt int Market.default.Market.chunk
+    Arg.(value & opt positive_int Market.default.Market.chunk
          & info [ "chunk" ] ~doc ~docv:"N")
+  in
+  let mechanism_arg =
+    let doc =
+      "Qualification mechanism: $(b,bosco) negotiates every enumerated \
+       candidate pair-by-pair (the default), $(b,nash-peering) first runs \
+       the global-bargaining qualifier and negotiates only pairs offering \
+       both endpoints a competitive share of their coalition value, \
+       $(b,both) runs the two qualifiers on a shared epoch snapshot and \
+       identical candidate streams, reporting a per-epoch welfare / \
+       agreement-count / Price-of-Dishonesty comparison."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("bosco", Market.Bosco);
+               ("nash-peering", Market.Nash_peering);
+               ("both", Market.Both);
+             ])
+          Market.Bosco
+      & info [ "mechanism" ] ~doc ~docv:"MECH")
   in
   let oracle_arg =
     let doc =
@@ -710,7 +738,7 @@ let market_cmd =
     Arg.(value & flag & info [ "oracle" ] ~doc)
   in
   let run caida transit stubs seed jobs sup metrics trace snapshot epochs w
-      demands min_gain max_candidates chunk oracle =
+      demands min_gain max_candidates chunk mechanism oracle =
     with_obs ~metrics ~trace @@ fun () ->
     match
       let g =
@@ -735,7 +763,7 @@ let market_cmd =
       in
       with_jobs jobs (fun pool ->
           Market.run ~pool ~retries:sup.retries ?deadline:sup.deadline ~oracle
-            config g)
+            ~mechanism config g)
     with
     | result -> Market.pp fmt result
     | exception Invalid_argument msg ->
@@ -753,7 +781,7 @@ let market_cmd =
       const run $ caida_arg $ transit_arg $ stub_arg $ seed_arg $ jobs_arg
       $ sup_term $ metrics_arg $ trace_arg $ snapshot_arg $ epochs_arg $ w_arg
       $ demands_arg $ min_gain_arg $ max_candidates_arg $ chunk_arg
-      $ oracle_arg)
+      $ mechanism_arg $ oracle_arg)
 
 (* ------------------------------------------------------------------ *)
 (* paths                                                               *)

@@ -42,9 +42,21 @@ let candidates_of_source topo ~min_gain x =
   !acc
 
 (* Total gain descending, then (x, y) ascending: a total order, so the
-   sort (and the truncation under it) is deterministic. *)
+   sort (and the truncation under it) is deterministic.  The ranking sum
+   saturates: adversarial gain counts near [max_int] would wrap the
+   unboxed addition, flip the comparison sign, and break transitivity —
+   undefined sort behavior and a nondeterministic truncation.  Saturated
+   ties fall back to the pair order, which keeps the order total. *)
+let sat_add a b =
+  let s = a + b in
+  if a >= 0 && b >= 0 && s < 0 then max_int
+  else if a < 0 && b < 0 && s >= 0 then min_int
+  else s
+
+let total_gain c = sat_add c.gain_x c.gain_y
+
 let compare_candidates a b =
-  match compare (b.gain_x + b.gain_y) (a.gain_x + a.gain_y) with
+  match compare (total_gain b) (total_gain a) with
   | 0 -> compare (a.x, a.y) (b.x, b.y)
   | c -> c
 

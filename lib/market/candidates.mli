@@ -28,6 +28,14 @@ val gains : Compact.t -> int -> int -> int * int
 (** [(gain_x, gain_y)] of the pair; exact per-side cardinalities of the
     MA gain sets ([Path_enum_compact.ma_gain] both ways). *)
 
+val compare_candidates : t -> t -> int
+(** Total gain descending, ties broken by ascending [(x, y)] — the order
+    {!enumerate} sorts and truncates under.  The gain sum saturates at
+    [max_int]/[min_int] instead of wrapping, so the order stays total
+    (antisymmetric, transitive) even for adversarial gain counts;
+    saturated ties fall back to the pair order.  Pinned by a qcheck
+    regression in [test_market]. *)
+
 val enumerate :
   ?pool:Pan_runner.Pool.t ->
   ?retries:int ->

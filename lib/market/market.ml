@@ -28,18 +28,38 @@ let default =
     seed = 42;
   }
 
+type mechanism = Bosco | Nash_peering | Both
+
+let mechanism_label = function
+  | Bosco -> "bosco"
+  | Nash_peering -> "nash-peering"
+  | Both -> "both"
+
+type comparison = {
+  cmp_qualified : int;
+  bosco_signed : int;
+  bosco_welfare : float;
+  bosco_pod : float;
+  nash_signed : int;
+  nash_welfare : float;
+  nash_pod : float;
+}
+
 type epoch_report = {
   epoch : int;
   candidates : int;
+  qualified : int;
   viable : int;
   signed : int;
   welfare : float;
   mean_pod : float;
   new_paths : int;
   invalidated : int;
+  mech : comparison option;
 }
 
 type result = {
+  mechanism : mechanism;
   reports : epoch_report list;
   agreements : (Asn.t * Asn.t) list;
   pairs : int;
@@ -93,7 +113,17 @@ let epoch_welfare signed_outcomes =
 
 let snapshot_bytes topo = Compact.Snapshot.to_string topo
 
-let run ?pool ?retries ?deadline ?(oracle = false) config g =
+let mean_pod_of viable_o =
+  match viable_o with
+  | [] -> Float.nan
+  | _ ->
+      List.fold_left
+        (fun acc (o : Negotiate.outcome) -> acc +. o.Negotiate.pod)
+        0.0 viable_o
+      /. float_of_int (List.length viable_o)
+
+let run ?pool ?retries ?deadline ?(oracle = false) ?(mechanism = Bosco) config
+    g =
   check_config config;
   Obs.with_span "market/run" @@ fun () ->
   let engine = Engine.of_graph ~mode:Engine.Incremental g in
@@ -134,12 +164,14 @@ let run ?pool ?retries ?deadline ?(oracle = false) config g =
         {
           epoch = e;
           candidates = 0;
+          qualified = 0;
           viable = 0;
           signed = 0;
           welfare = 0.0;
           mean_pod = Float.nan;
           new_paths = 0;
           invalidated = 0;
+          mech = None;
         }
         :: !reports;
       Printf.bprintf buf "epoch %d: no candidates\n" e;
@@ -147,21 +179,78 @@ let run ?pool ?retries ?deadline ?(oracle = false) config g =
     end
     else begin
       (* Outcome randomness is keyed per (seed, epoch, pair) inside
-         negotiate_pair; the sweep rng below only drives the runner's
-         chunk-splitting, so results are independent of chunk size and
-         pool size, and fault retries replay to the same bytes. *)
-      let rng = Rng.create (Hashtbl.hash (config.seed, e, "market-epoch")) in
-      let outcomes =
+         negotiate_pair / score_pair; the sweep rngs below only drive the
+         runner's chunk-splitting, so results are independent of chunk
+         size and pool size, and fault retries replay to the same
+         bytes. *)
+      let negotiate_all cs =
+        let rng =
+          Rng.create (Hashtbl.hash (config.seed, e, "market-epoch"))
+        in
         Obs.with_span "market/negotiate" @@ fun () ->
-        Pan_runner.Task.map_reduce ?pool ?retries ?deadline ~rng ~n
-          ~chunk:config.chunk
+        Pan_runner.Task.map_reduce ?pool ?retries ?deadline ~rng
+          ~n:(Array.length cs) ~chunk:config.chunk
           ~f:(fun _crng i ->
             Negotiate.negotiate_pair ~graph ~topo ~seed:config.seed ~epoch:e
               ~w:config.w ~max_demands:config.max_demands ~truthful ~dist
-              cands.(i))
+              cs.(i))
           ~combine:(fun acc o -> o :: acc)
           ~init:[] ()
         |> List.rev
+      in
+      let score_all cs =
+        let rng =
+          Rng.create (Hashtbl.hash (config.seed, e, "market-score"))
+        in
+        Obs.with_span "market/score" @@ fun () ->
+        Pan_runner.Task.map_reduce ?pool ?retries ?deadline ~rng
+          ~n:(Array.length cs) ~chunk:config.chunk
+          ~f:(fun _crng i ->
+            Nash_peering.score_pair ~graph ~topo ~seed:config.seed ~epoch:e
+              ~max_demands:config.max_demands cs.(i))
+          ~combine:(fun acc s -> s :: acc)
+          ~init:[] ()
+        |> List.rev |> Array.of_list
+      in
+      (* [outcomes] is what this epoch negotiates, reports, and splices:
+         every candidate under Bosco/Both, the qualifier's survivors
+         under Nash_peering.  In Both mode the Nash arm is the qualified
+         subset of the same outcomes — the qualifier is scored off the
+         utilities the Bosco arm already computed ([of_outcome]), so the
+         two mechanisms compare on one epoch snapshot, one candidate
+         stream, and the same pair-keyed randomness, at no extra
+         negotiation cost; the Nash arm's welfare is counterfactual (the
+         splice applies the Bosco signings). *)
+      let outcomes, qualified, nash_arm =
+        match mechanism with
+        | Bosco -> (negotiate_all cands, n, None)
+        | Nash_peering ->
+            let verdicts = Nash_peering.qualify_counted (score_all cands) in
+            let kept =
+              Array.to_list verdicts
+              |> List.filter_map (fun (v : Nash_peering.verdict) ->
+                     if v.Nash_peering.qualified then
+                       Some v.Nash_peering.score.Nash_peering.cand
+                     else None)
+              |> Array.of_list
+            in
+            let q = Array.length kept in
+            Printf.bprintf buf "epoch %d: nash-peering %d/%d qualified\n" e q
+              n;
+            (negotiate_all kept, q, None)
+        | Both ->
+            let outcomes = negotiate_all cands in
+            let scores =
+              Array.of_list (List.map Nash_peering.of_outcome outcomes)
+            in
+            let verdicts = Nash_peering.qualify_counted scores in
+            let nash_o =
+              List.filteri
+                (fun i _ -> verdicts.(i).Nash_peering.qualified)
+                outcomes
+            in
+            let q = Nash_peering.count_qualified verdicts in
+            (outcomes, q, Some nash_o)
       in
       List.iter (fun o -> outcome_line buf e o topo) outcomes;
       let viable_o =
@@ -170,17 +259,37 @@ let run ?pool ?retries ?deadline ?(oracle = false) config g =
       let signed_o =
         List.filter (fun (o : Negotiate.outcome) -> o.Negotiate.signed) outcomes
       in
-      pairs := !pairs + n;
+      pairs := !pairs + List.length outcomes;
       negotiations := !negotiations + List.length viable_o;
       let welfare = epoch_welfare signed_o in
-      let mean_pod =
-        match viable_o with
-        | [] -> Float.nan
-        | _ ->
-            List.fold_left
-              (fun acc (o : Negotiate.outcome) -> acc +. o.Negotiate.pod)
-              0.0 viable_o
-            /. float_of_int (List.length viable_o)
+      let mean_pod = mean_pod_of viable_o in
+      let mech =
+        match nash_arm with
+        | None -> None
+        | Some nash_o ->
+            let nash_signed_o =
+              List.filter
+                (fun (o : Negotiate.outcome) -> o.Negotiate.signed)
+                nash_o
+            in
+            let c =
+              {
+                cmp_qualified = qualified;
+                bosco_signed = List.length signed_o;
+                bosco_welfare = welfare;
+                bosco_pod = mean_pod;
+                nash_signed = List.length nash_signed_o;
+                nash_welfare = epoch_welfare nash_signed_o;
+                nash_pod = mean_pod_of nash_o;
+              }
+            in
+            Obs.incr ~by:c.bosco_signed "market.mech.bosco_signed";
+            Obs.incr ~by:c.nash_signed "market.mech.nash_signed";
+            Printf.bprintf buf
+              "mech e%d bosco s:%d w:%h pod:%h | nash q:%d s:%d w:%h pod:%h\n"
+              e c.bosco_signed c.bosco_welfare c.bosco_pod c.cmp_qualified
+              c.nash_signed c.nash_welfare c.nash_pod;
+            Some c
       in
       (* Apply the epoch's signings as one batch splice; the engine
          drops exactly the affected memo entries. *)
@@ -233,12 +342,14 @@ let run ?pool ?retries ?deadline ?(oracle = false) config g =
         {
           epoch = e;
           candidates = n;
+          qualified;
           viable = List.length viable_o;
           signed = List.length signed_o;
           welfare;
           mean_pod;
           new_paths;
           invalidated;
+          mech;
         }
         :: !reports;
       Obs.incr "market.epochs";
@@ -251,6 +362,7 @@ let run ?pool ?retries ?deadline ?(oracle = false) config g =
     List.fold_left (fun acc (r : epoch_report) -> acc +. r.welfare) 0.0 reports
   in
   {
+    mechanism;
     reports;
     agreements = List.rev !agreements;
     pairs = !pairs;
@@ -260,16 +372,36 @@ let run ?pool ?retries ?deadline ?(oracle = false) config g =
     oracle_ok = !oracle_ok;
   }
 
+let pp_pod fmt_nan pod =
+  if Float.is_nan pod then fmt_nan else Printf.sprintf "PoD %.3f" pod
+
 let pp fmt r =
+  (match r.mechanism with
+  | Bosco -> ()
+  | m ->
+      Format.fprintf fmt "mechanism: %s (theta %.2f)@." (mechanism_label m)
+        Nash_peering.theta);
   List.iter
     (fun e ->
+      (if r.mechanism = Nash_peering then
+         Format.fprintf fmt "epoch %d: %d/%d candidates qualified@." e.epoch
+           e.qualified e.candidates);
       Format.fprintf fmt
         "epoch %d: %d candidates, %d viable, %d signed, welfare %.3f, %s, %d \
          new MA paths, %d invalidated@."
         e.epoch e.candidates e.viable e.signed e.welfare
-        (if Float.is_nan e.mean_pod then "PoD -"
-         else Printf.sprintf "PoD %.3f" e.mean_pod)
-        e.new_paths e.invalidated)
+        (pp_pod "PoD -" e.mean_pod)
+        e.new_paths e.invalidated;
+      match e.mech with
+      | None -> ()
+      | Some c ->
+          Format.fprintf fmt
+            "  mechanisms: bosco %d signed, welfare %.3f, %s | nash-peering \
+             %d qualified, %d signed, welfare %.3f, %s@."
+            c.bosco_signed c.bosco_welfare
+            (pp_pod "PoD -" c.bosco_pod)
+            c.cmp_qualified c.nash_signed c.nash_welfare
+            (pp_pod "PoD -" c.nash_pod))
     r.reports;
   Format.fprintf fmt
     "market: %d pairs scored, %d negotiations, %d agreements signed, total \

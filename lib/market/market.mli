@@ -38,9 +38,39 @@ val default : config
 (** 3 epochs, [w = 16], 3 demands, [min_gain = 2], 512 candidates,
     chunk 16, seed 42. *)
 
+(** Which qualifier feeds the BOSCO negotiation path.  [Bosco] is the
+    PR 9 marketplace: every enumerated candidate is negotiated.
+    [Nash_peering] first runs the {!Nash_peering} global-bargaining
+    qualifier over the scored candidate set and negotiates only the
+    survivors.  [Both] negotiates every candidate (the Bosco arm) and
+    evaluates the Nash-Peering arm counterfactually on the same
+    outcomes — shared epoch snapshot, shared candidate stream, shared
+    pair-keyed randomness — emitting a per-epoch {!comparison} record;
+    the splice applies the Bosco arm's signings. *)
+type mechanism = Bosco | Nash_peering | Both
+
+val mechanism_label : mechanism -> string
+(** ["bosco"] / ["nash-peering"] / ["both"] — the CLI enum spelling. *)
+
+(** Per-epoch mechanism comparison ([Both] mode): agreement counts,
+    welfare, and mean Price of Dishonesty of each arm over the identical
+    candidate stream. *)
+type comparison = {
+  cmp_qualified : int;  (** candidates the Nash-Peering qualifier kept *)
+  bosco_signed : int;
+  bosco_welfare : float;
+  bosco_pod : float;  (** mean over the arm's viable pairs; [nan] if none *)
+  nash_signed : int;  (** qualified pairs whose BOSCO dynamics converged *)
+  nash_welfare : float;
+  nash_pod : float;
+}
+
 type epoch_report = {
   epoch : int;  (** 1-based *)
   candidates : int;
+  qualified : int;
+      (** candidates that reached negotiation: [= candidates] under
+          [Bosco], the qualifier's survivors otherwise *)
   viable : int;
   signed : int;
   welfare : float;
@@ -50,13 +80,15 @@ type epoch_report = {
   new_paths : int;
       (** MA paths the signed pairs gain, from the engine's memo store *)
   invalidated : int;  (** store entries dropped by the epoch's splice *)
+  mech : comparison option;  (** [Some] in [Both] mode *)
 }
 
 type result = {
+  mechanism : mechanism;
   reports : epoch_report list;  (** epoch order *)
   agreements : (Asn.t * Asn.t) list;
       (** signed links in application order *)
-  pairs : int;  (** candidates scored, all epochs *)
+  pairs : int;  (** candidates negotiated, all epochs (the qualified subset under [Nash_peering]) *)
   negotiations : int;  (** BOSCO negotiations run (viable candidates) *)
   welfare : float;
   fingerprint : string;
@@ -70,12 +102,17 @@ val run :
   ?retries:int ->
   ?deadline:float ->
   ?oracle:bool ->
+  ?mechanism:mechanism ->
   config ->
   Graph.t ->
   result
 (** Run the marketplace on (a private copy of the link state of) [g].
     [retries]/[deadline] supervise the negotiation sweeps exactly as in
-    {!Pan_runner.Task.map_reduce}.
+    {!Pan_runner.Task.map_reduce}.  [mechanism] (default [Bosco], which
+    is byte-identical to the PR 9 behavior) selects the qualifier; see
+    {!mechanism}.  Every mode keeps the determinism contract: result and
+    fingerprint are bit-identical for every pool size, chunk size, and
+    under injected faults with retries.
     @raise Invalid_argument if [epochs < 1], [w < 1], [chunk < 1],
     [max_demands < 1], or the candidate bounds are invalid. *)
 

@@ -154,8 +154,14 @@ let score_best ~econ_ws model =
   done;
   (out_x.(!best), out_y.(!best))
 
-let negotiate_pair ~graph ~topo ~seed ~epoch ~w ~max_demands ~truthful ~dist
-    cand =
+(* The deterministic prefix both mechanisms share: pair-keyed rng,
+   agreement construction, forecast demands (which consume the rng), and
+   the batched econ scoring.  [negotiate_pair] continues the returned rng
+   into BOSCO; [score_pair] stops here.  Because both run exactly these
+   operations in this order, the Nash-Peering qualifier and the BOSCO
+   path see bit-identical utilities and pair randomness for the same
+   candidate stream. *)
+let pair_context ~graph ~topo ~seed ~epoch ~max_demands cand =
   let ar = arena () in
   let ix = cand.Candidates.x and iy = cand.Candidates.y in
   let x = Compact.id topo ix and y = Compact.id topo iy in
@@ -181,6 +187,21 @@ let negotiate_pair ~graph ~topo ~seed ~epoch ~w ~max_demands ~truthful ~dist
   in
   let model = Model_fast.compile scenario in
   let u_x, u_y = score_best ~econ_ws:ar.econ model in
+  (rng, u_x, u_y)
+
+let score_pair ~graph ~topo ~seed ~epoch ~max_demands cand =
+  let _rng, u_x, u_y =
+    pair_context ~graph ~topo ~seed ~epoch ~max_demands cand
+  in
+  Obs.incr "market.scored";
+  (u_x, u_y)
+
+let negotiate_pair ~graph ~topo ~seed ~epoch ~w ~max_demands ~truthful ~dist
+    cand =
+  let ar = arena () in
+  let rng, u_x, u_y =
+    pair_context ~graph ~topo ~seed ~epoch ~max_demands cand
+  in
   Obs.incr "market.pairs";
   if not (Nash.viable ~u_x ~u_y) then
     {

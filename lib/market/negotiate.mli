@@ -49,6 +49,22 @@ val forecast_levels : float array
 (** Fractions of the maximal choice evaluated per candidate (one
     [Model_fast.utilities_batch] call), ascending. *)
 
+val score_pair :
+  graph:Graph.t ->
+  topo:Compact.t ->
+  seed:int ->
+  epoch:int ->
+  max_demands:int ->
+  Candidates.t ->
+  float * float
+(** The econ-scoring prefix of {!negotiate_pair} alone: same pair-keyed
+    rng derivation, same demand forecast (consuming the rng identically),
+    same batched scoring — so [(u_x, u_y)] is bit-identical to the
+    utilities a full negotiation of the same candidate would start from.
+    The Nash-Peering qualifier ({!Nash_peering}) uses this to score a
+    whole candidate set without negotiating it.  Increments
+    [market.scored]. *)
+
 val negotiate_pair :
   graph:Graph.t ->
   topo:Compact.t ->

@@ -63,12 +63,12 @@ Malformed specs are rejected up front:
 --retries must be non-negative and --deadline positive:
 
   $ panagree fig2 --trials 1 --ws 2 --retries=-1
-  panagree: option '--retries': must be non-negative
+  panagree: option '--retries': invalid value '-1' (expected an integer >= 0)
   Usage: panagree fig2 [OPTION]…
   Try 'panagree fig2 --help' or 'panagree --help' for more information.
   [124]
   $ panagree fig2 --trials 1 --ws 2 --deadline 0
-  panagree: option '--deadline': must be positive
+  panagree: option '--deadline': invalid value '0' (expected a number > 0)
   Usage: panagree fig2 [OPTION]…
   Try 'panagree fig2 --help' or 'panagree --help' for more information.
   [124]

@@ -25,7 +25,7 @@ Methods comparison (cash vs. future-value scenarios):
 --jobs must be positive:
 
   $ panagree fig2 --jobs 0 --trials 1 --ws 2
-  panagree: option '--jobs': must be at least 1
+  panagree: option '--jobs': invalid value '0' (expected an integer >= 1)
   Usage: panagree fig2 [OPTION]…
   Try 'panagree fig2 --help' or 'panagree --help' for more information.
   [124]

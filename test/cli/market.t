@@ -49,9 +49,81 @@ order-independently, so the metrics snapshot is stable too:
       "market.signed": 22,
       "market.viable": 22,
 
-Config validation fails loudly before any work happens:
+``--mechanism both`` runs the Nash-Peering global-bargaining qualifier
+alongside BOSCO on a shared epoch snapshot, identical candidate streams
+and identical pair-keyed randomness: the per-epoch comparison record
+(agreement counts, welfare, mean Price of Dishonesty of each arm) is
+attributable to the mechanism, never to noise.  The outcome transcript
+and the comparison lines share one fingerprint, pinned here:
+
+  $ panagree market --transit 6 --stubs 20 --seed 7 --epochs 2 -w 6 \
+  >   --max-candidates 12 --mechanism both --oracle
+  # synthetic topology (seed 7): 38 ASes, 39 provider-customer links, 151 peering links
+  mechanism: both (theta 0.50)
+  epoch 1: 12 candidates, 11 viable, 11 signed, welfare 42.934, PoD 0.280, 71 new MA paths, 0 invalidated
+    mechanisms: bosco 11 signed, welfare 42.934, PoD 0.280 | nash-peering 6 qualified, 6 signed, welfare 33.337, PoD 0.303
+  epoch 2: 12 candidates, 9 viable, 9 signed, welfare 35.866, PoD 0.229, 104 new MA paths, 11 invalidated
+    mechanisms: bosco 9 signed, welfare 35.866, PoD 0.229 | nash-peering 3 qualified, 3 signed, welfare 24.486, PoD 0.226
+  market: 24 pairs scored, 20 negotiations, 20 agreements signed, total welfare 78.800
+  delta oracle: ok
+  transcript fingerprint 4234b34ed25ba5d7cda8aa1c1deb5728
+
+The comparison is byte-identical at j=1/2/4 and with a different chunk
+size:
+
+  $ panagree market --transit 6 --stubs 20 --seed 7 --epochs 2 -w 6 \
+  >   --max-candidates 12 --mechanism both > mech.j1
+  $ panagree market --transit 6 --stubs 20 --seed 7 --epochs 2 -w 6 \
+  >   --max-candidates 12 --mechanism both --jobs 2 > mech.j2
+  $ cmp mech.j1 mech.j2
+  $ panagree market --transit 6 --stubs 20 --seed 7 --epochs 2 -w 6 \
+  >   --max-candidates 12 --mechanism both --jobs 4 --chunk 3 > mech.j4
+  $ cmp mech.j1 mech.j4
+
+``--mechanism nash-peering`` feeds only the qualifier's survivors into
+the BOSCO path; the splice applies their signings, so the epoch loop
+evolves the nash-peering topology (epoch 1 matches the counterfactual
+nash arm above, later epochs diverge):
+
+  $ panagree market --transit 6 --stubs 20 --seed 7 --epochs 2 -w 6 \
+  >   --max-candidates 12 --mechanism nash-peering --oracle
+  # synthetic topology (seed 7): 38 ASes, 39 provider-customer links, 151 peering links
+  mechanism: nash-peering (theta 0.50)
+  epoch 1: 6/12 candidates qualified
+  epoch 1: 12 candidates, 6 viable, 6 signed, welfare 33.337, PoD 0.303, 22 new MA paths, 0 invalidated
+  epoch 2: 5/12 candidates qualified
+  epoch 2: 12 candidates, 5 viable, 5 signed, welfare 25.500, PoD 0.322, 36 new MA paths, 6 invalidated
+  market: 11 pairs scored, 11 negotiations, 11 agreements signed, total welfare 58.837
+  delta oracle: ok
+  transcript fingerprint c41ac6936d009dc0e2c6d3b011c1712d
+
+Both-mode arm counters land in the metrics snapshot:
+
+  $ panagree market --transit 6 --stubs 20 --seed 7 --epochs 2 -w 6 \
+  >   --max-candidates 12 --mechanism both --metrics - 2>/dev/null \
+  >   | grep '"market\.mech'
+      "market.mech.bosco_signed": 20,
+      "market.mech.nash_signed": 9,
+      "market.mech.qualified": 9,
+
+Out-of-range knobs are rejected at parse time, loudly and uniformly —
+``--epochs 0`` or ``--max-candidates 0`` would otherwise silently run
+an empty marketplace:
 
   $ panagree market --transit 6 --stubs 20 --seed 7 --epochs 0
-  # synthetic topology (seed 7): 38 ASes, 39 provider-customer links, 151 peering links
-  panagree: Market.run: epochs < 1
-  [1]
+  panagree: option '--epochs': invalid value '0' (expected an integer >= 1)
+  Usage: panagree market [OPTION]…
+  Try 'panagree market --help' or 'panagree --help' for more information.
+  [124]
+  $ panagree market --transit 6 --stubs 20 --seed 7 --max-candidates=-1
+  panagree: option '--max-candidates': invalid value '-1' (expected an integer
+            >= 1)
+  Usage: panagree market [OPTION]…
+  Try 'panagree market --help' or 'panagree --help' for more information.
+  [124]
+  $ panagree market --transit 6 --stubs 20 --seed 7 --mechanism frob
+  panagree: option '--mechanism': invalid value 'frob', expected one of
+            'bosco', 'nash-peering' or 'both'
+  Usage: panagree market [OPTION]…
+  Try 'panagree market --help' or 'panagree --help' for more information.
+  [124]

@@ -430,6 +430,91 @@ let test_workspace_capacity_invariant_negotiation () =
     && base.Service.rounds = tiny.Service.rounds
     && base.Service.converged = tiny.Service.converged)
 
+(* Capacity 1 is the adversarial LRU case: every distinct probe evicts,
+   every repeated probe must still promote-and-hit.  Interleaving two
+   distributions over the same thresholds pins the eviction order. *)
+let test_workspace_lru_capacity_one_interleaved () =
+  let ws = Workspace.create ~cache_capacity:1 () in
+  let d2 = Distribution.uniform 0.0 1.0 in
+  let thr = [| -0.5; 0.0; 0.5 |] in
+  let fresh dist =
+    Workspace.choice_probabilities (Workspace.create ()) dist thr
+  in
+  let p1 = Workspace.choice_probabilities ws u1 thr in
+  Alcotest.(check bool) "repeat probe hits (promote keeps the entry)" true
+    (Workspace.choice_probabilities ws u1 thr == p1);
+  Alcotest.(check int) "one entry" 1 (Workspace.cache_size ws);
+  (* structural-equality hit: a copy of the thresholds, same floats *)
+  Alcotest.(check bool) "threshold copy still hits" true
+    (Workspace.choice_probabilities ws u1 (Array.copy thr) == p1);
+  let p2 = Workspace.choice_probabilities ws d2 thr in
+  Alcotest.(check bool) "distribution switch misses" true (p2 != p1);
+  Alcotest.(check int) "still one entry" 1 (Workspace.cache_size ws);
+  Alcotest.(check bool) "d2 hit after eviction of d1" true
+    (Workspace.choice_probabilities ws d2 thr == p2);
+  let p1' = Workspace.choice_probabilities ws u1 thr in
+  Alcotest.(check bool) "re-inserted d1 is a fresh array" true (p1' != p1);
+  Alcotest.(check bool) "interleaved recomputes bit-identical" true
+    (Array.to_list p1' = Array.to_list (fresh u1)
+    && Array.to_list p2 = Array.to_list (fresh d2))
+
+(* Model-based interleaving property: the cache behaves as a reference
+   LRU over (distribution, thresholds) keys — hits return the physically
+   cached array, misses allocate, eviction drops exactly the
+   least-recently-used key — and every returned value is bit-identical
+   to an uncached computation. *)
+let qcheck_workspace_lru_interleaving =
+  QCheck.Test.make ~count:200
+    ~name:"workspace: CDF LRU = reference model under interleaved probes"
+    QCheck.(
+      pair (int_range 1 4)
+        (list_of_size Gen.(int_range 1 40)
+           (pair (int_range 0 5) QCheck.bool)))
+    (fun (capacity, ops) ->
+      let dists =
+        [|
+          Distribution.uniform (-1.0) 1.0;
+          Distribution.uniform 0.0 1.0;
+          Distribution.uniform (-2.0) 0.5;
+        |]
+      in
+      let thrs =
+        [|
+          [| -0.5; 0.0; 0.5 |];
+          [| -0.25; 0.25 |];
+          [| -0.75; -0.1; 0.3; 0.8 |];
+          [| -1.0; 1.0 |];
+          [| -0.9; -0.3; 0.6 |];
+          [| 0.0; 0.1; 0.2; 0.4 |];
+        |]
+      in
+      let key k = (dists.(k / 2), thrs.(k)) in
+      let ws = Workspace.create ~cache_capacity:capacity () in
+      let model = ref [] (* (key index, cached probs) MRU first *) in
+      List.for_all
+        (fun (k, use_copy) ->
+          let dist, thr = key k in
+          let expect = List.assoc_opt k !model in
+          let probs =
+            Workspace.choice_probabilities ws dist
+              (if use_copy then Array.copy thr else thr)
+          in
+          let reference =
+            Workspace.choice_probabilities (Workspace.create ()) dist thr
+          in
+          let ok =
+            match expect with
+            | Some cached -> probs == cached
+            | None -> List.for_all (fun (_, p) -> p != probs) !model
+          in
+          model :=
+            (k, probs) :: List.filter (fun (k', _) -> k' <> k) !model;
+          model := List.filteri (fun i _ -> i < capacity) !model;
+          ok
+          && Array.to_list probs = Array.to_list reference
+          && Workspace.cache_size ws = List.length !model)
+        ops)
+
 let suite =
   [
     Alcotest.test_case "claim of_list" `Quick test_claim_of_list;
@@ -485,4 +570,7 @@ let suite =
       test_workspace_cache_eviction;
     Alcotest.test_case "workspace capacity invariant under negotiation" `Quick
       test_workspace_capacity_invariant_negotiation;
+    Alcotest.test_case "workspace LRU capacity 1, interleaved" `Quick
+      test_workspace_lru_capacity_one_interleaved;
+    QCheck_alcotest.to_alcotest qcheck_workspace_lru_interleaving;
   ]

@@ -34,45 +34,59 @@ let same_result (a : Market.result) (b : Market.result) =
   && a.Market.welfare = b.Market.welfare
   && List.map (fun (r : Market.epoch_report) -> (r.Market.epoch, r.Market.welfare)) a.Market.reports
      = List.map (fun (r : Market.epoch_report) -> (r.Market.epoch, r.Market.welfare)) b.Market.reports
+  (* the Both-mode comparison records hold possibly-nan PoD means, so
+     [compare] (which equates nans) instead of [=] *)
+  && compare
+       (List.map (fun (r : Market.epoch_report) -> r.Market.mech) a.Market.reports)
+       (List.map (fun (r : Market.epoch_report) -> r.Market.mech) b.Market.reports)
+     = 0
+
+let mech_gen =
+  QCheck.oneofl [ Market.Bosco; Market.Nash_peering; Market.Both ]
 
 (* ------------------------------------------------------------------ *)
-(* j=1 = j=4, any chunk size                                           *)
+(* j=1 = j=4, any chunk size — every mechanism                         *)
 
 let qcheck_jobs_equivalence =
-  QCheck.Test.make ~count:4
-    ~name:"market: epoch outcomes byte-identical at j=1 vs j=4, any chunk"
-    QCheck.(int_range 1 1_000)
-    (fun seed ->
+  QCheck.Test.make ~count:6
+    ~name:
+      "market: epoch outcomes byte-identical at j=1 vs j=4, any chunk, every \
+       mechanism"
+    QCheck.(pair (int_range 1 1_000) mech_gen)
+    (fun (seed, mechanism) ->
       let g = gen_graph seed in
       let cfg = config ~seed () in
-      let seq = Market.run cfg g in
+      let seq = Market.run ~mechanism cfg g in
       let par =
-        Pool.with_pool ~domains:4 (fun pool -> Market.run ~pool cfg g)
+        Pool.with_pool ~domains:4 (fun pool ->
+            Market.run ~pool ~mechanism cfg g)
       in
-      let rechunked = Market.run { cfg with Market.chunk = 16 } g in
+      let rechunked = Market.run ~mechanism { cfg with Market.chunk = 16 } g in
       same_result seq par && same_result seq rechunked)
 
 (* ------------------------------------------------------------------ *)
-(* Faults + retries reproduce the fault-free run                       *)
+(* Faults + retries reproduce the fault-free run — every mechanism     *)
 
 let qcheck_fault_equivalence =
-  QCheck.Test.make ~count:3
-    ~name:"market: faulty run with retries = fault-free, j=1 and j=4"
-    QCheck.(int_range 1 1_000)
-    (fun seed ->
+  QCheck.Test.make ~count:4
+    ~name:
+      "market: faulty run with retries = fault-free, j=1 and j=4, every \
+       mechanism"
+    QCheck.(pair (int_range 1 1_000) mech_gen)
+    (fun (seed, mechanism) ->
       let g = gen_graph seed in
       let cfg = config ~seed () in
-      let baseline = Market.run cfg g in
+      let baseline = Market.run ~mechanism cfg g in
       (* rate 0.3 with 10 retries: exhausting a chunk is ~6e-6 *)
       Fault.set
         (Some { Fault.seed; rate = 0.3; delay = 0.0; delay_rate = 0.0 });
       Fun.protect
         ~finally:(fun () -> Fault.set None)
         (fun () ->
-          let faulty_seq = Market.run ~retries:10 cfg g in
+          let faulty_seq = Market.run ~mechanism ~retries:10 cfg g in
           let faulty_par =
             Pool.with_pool ~domains:4 (fun pool ->
-                Market.run ~pool ~retries:10 cfg g)
+                Market.run ~pool ~mechanism ~retries:10 cfg g)
           in
           same_result baseline faulty_seq && same_result baseline faulty_par))
 
@@ -164,10 +178,159 @@ let test_candidates_sound () =
   in
   Alcotest.(check bool) "enumerate j=1 = j=4" true (cands = par)
 
+(* ------------------------------------------------------------------ *)
+(* Nash-Peering qualifier ≡ brute-force coalition oracle               *)
+
+let test_qualifier_oracle () =
+  List.iter
+    (fun seed ->
+      let g = gen_graph ~n_transit:4 ~n_stub:12 seed in
+      let topo = Compact.freeze g in
+      let cands = Candidates.enumerate ~min_gain:1 ~max_candidates:64 topo in
+      let scores =
+        Array.map
+          (Nash_peering.score_pair ~graph:g ~topo ~seed ~epoch:1
+             ~max_demands:3)
+          cands
+      in
+      let v = Nash_peering.qualify scores in
+      let o = Nash_peering.qualify_oracle scores in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: verdict count" seed)
+        (Array.length o) (Array.length v);
+      Array.iteri
+        (fun i (a : Nash_peering.verdict) ->
+          let b = o.(i) in
+          let ctx = Printf.sprintf "seed %d verdict %d" seed i in
+          Alcotest.(check bool)
+            (ctx ^ ": qualified")
+            b.Nash_peering.qualified a.Nash_peering.qualified;
+          Alcotest.(check bool)
+            (ctx ^ ": share/coalition values bit-identical")
+            true
+            (a.Nash_peering.share = b.Nash_peering.share
+            && a.Nash_peering.best_x = b.Nash_peering.best_x
+            && a.Nash_peering.best_y = b.Nash_peering.best_y))
+        v;
+      (* at least one graph in the sweep must actually discriminate *)
+      if seed = 1 then
+        Alcotest.(check bool) "qualifier keeps a strict subset somewhere" true
+          (Nash_peering.count_qualified v <= Array.length v))
+    [ 1; 2; 3; 17 ]
+
+(* ------------------------------------------------------------------ *)
+(* Both mode: the Bosco arm is the Bosco run; the Nash arm's first     *)
+(* epoch is the Nash_peering run's first epoch (shared snapshot)       *)
+
+let test_both_mode_arms () =
+  let g = gen_graph 13 in
+  let cfg = config ~seed:13 () in
+  let bosco = Market.run cfg g in
+  let nash = Market.run ~mechanism:Market.Nash_peering cfg g in
+  let both = Market.run ~mechanism:Market.Both cfg g in
+  Alcotest.(check bool) "Both splices the Bosco signings" true
+    (both.Market.agreements = bosco.Market.agreements);
+  Alcotest.(check bool) "Both's epoch stream = Bosco's" true
+    (List.map
+       (fun (r : Market.epoch_report) ->
+         (r.Market.epoch, r.Market.signed, r.Market.welfare))
+       both.Market.reports
+    = List.map
+        (fun (r : Market.epoch_report) ->
+          (r.Market.epoch, r.Market.signed, r.Market.welfare))
+        bosco.Market.reports);
+  List.iter
+    (fun (r : Market.epoch_report) ->
+      match r.Market.mech with
+      | None -> Alcotest.fail "Both-mode epoch without comparison record"
+      | Some c ->
+          Alcotest.(check int) "bosco arm signed = epoch signed"
+            r.Market.signed c.Market.bosco_signed;
+          Alcotest.(check bool) "bosco arm welfare = epoch welfare" true
+            (c.Market.bosco_welfare = r.Market.welfare);
+          Alcotest.(check bool) "nash arm is a subset" true
+            (c.Market.nash_signed <= c.Market.cmp_qualified
+            && c.Market.cmp_qualified <= r.Market.candidates
+            && c.Market.nash_welfare <= c.Market.bosco_welfare))
+    both.Market.reports;
+  (* first epochs share the pristine snapshot: the counterfactual nash
+     arm is bit-identical to the real nash-peering run *)
+  match (both.Market.reports, nash.Market.reports) with
+  | rb :: _, rn :: _ ->
+      let c = Option.get rb.Market.mech in
+      Alcotest.(check int) "first-epoch qualified" rn.Market.qualified
+        c.Market.cmp_qualified;
+      Alcotest.(check int) "first-epoch nash signed" rn.Market.signed
+        c.Market.nash_signed;
+      Alcotest.(check bool) "first-epoch nash welfare bit-identical" true
+        (c.Market.nash_welfare = rn.Market.welfare)
+  | _ -> Alcotest.fail "no epochs"
+
+(* ------------------------------------------------------------------ *)
+(* compare_candidates: saturating total order (the overflow regression)*)
+
+let cand_gen =
+  let open QCheck.Gen in
+  let gain =
+    oneof
+      [
+        int_range 0 1_000;
+        oneofl [ 0; 1; (max_int / 2) - 1; max_int / 2; max_int - 1; max_int ];
+      ]
+  in
+  map
+    (fun ((x, y), (gx, gy)) -> { Candidates.x; y; gain_x = gx; gain_y = gy })
+    (pair (pair (int_range 0 50) (int_range 0 50)) (pair gain gain))
+
+(* The intended order, computed without overflow: gain sums in Int64,
+   clamped to [max_int] (the saturation point), descending; ties by
+   ascending pair.  Agreement with this oracle pins both the ranking and
+   the saturation semantics — the pre-fix comparator wraps at
+   [max_int + 5] and sorts adversarial candidates last. *)
+let exact_compare a b =
+  let clamp v =
+    if Int64.compare v (Int64.of_int max_int) > 0 then Int64.of_int max_int
+    else v
+  in
+  let s (c : Candidates.t) =
+    clamp
+      (Int64.add (Int64.of_int c.Candidates.gain_x)
+         (Int64.of_int c.Candidates.gain_y))
+  in
+  match Int64.compare (s b) (s a) with
+  | 0 ->
+      compare
+        (a.Candidates.x, a.Candidates.y)
+        (b.Candidates.x, b.Candidates.y)
+  | c -> c
+
+let qcheck_compare_candidates =
+  QCheck.Test.make ~count:1_000
+    ~name:"candidates: compare is a saturating total order (= Int64 oracle)"
+    (QCheck.make
+       QCheck.Gen.(triple cand_gen cand_gen cand_gen)
+       ~print:(fun ((a : Candidates.t), b, c) ->
+         let one (d : Candidates.t) =
+           Printf.sprintf "{x=%d;y=%d;gx=%d;gy=%d}" d.Candidates.x
+             d.Candidates.y d.Candidates.gain_x d.Candidates.gain_y
+         in
+         String.concat " " [ one a; one b; one c ]))
+    (fun (a, b, c) ->
+      let sign n = compare n 0 in
+      let cmp = Candidates.compare_candidates in
+      (* agreement with the overflow-free oracle *)
+      sign (cmp a b) = sign (exact_compare a b)
+      (* antisymmetry and reflexivity *)
+      && sign (cmp a b) = -sign (cmp b a)
+      && cmp a a = 0
+      (* transitivity across the triple *)
+      && (not (cmp a b <= 0 && cmp b c <= 0) || cmp a c <= 0))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_jobs_equivalence;
     QCheck_alcotest.to_alcotest qcheck_fault_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_compare_candidates;
     Alcotest.test_case "delta oracle across epochs" `Quick test_delta_oracle;
     Alcotest.test_case "agreements distinct across epochs" `Quick
       test_agreements_distinct;
@@ -175,4 +338,7 @@ let suite =
       test_negotiate_pair_deterministic;
     Alcotest.test_case "candidate enumeration sound" `Quick
       test_candidates_sound;
+    Alcotest.test_case "nash-peering qualifier = coalition oracle" `Quick
+      test_qualifier_oracle;
+    Alcotest.test_case "both-mode arms consistent" `Quick test_both_mode_arms;
   ]
